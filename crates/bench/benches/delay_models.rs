@@ -1,0 +1,75 @@
+//! Criterion micro-benchmarks over the circuit delay models: one group per
+//! paper artifact, sweeping the same parameter the figure sweeps.
+
+use ce_delay::bypass::{BypassDelay, BypassParams};
+use ce_delay::rename::{RenameDelay, RenameParams};
+use ce_delay::restable::{ResTableDelay, ResTableParams};
+use ce_delay::select::{SelectDelay, SelectParams};
+use ce_delay::wakeup::{WakeupDelay, WakeupParams};
+use ce_delay::{FeatureSize, PipelineDelays, Technology};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_rename(c: &mut Criterion) {
+    let tech = Technology::new(FeatureSize::U018);
+    let mut group = c.benchmark_group("fig03_rename_delay");
+    for iw in [2usize, 4, 8] {
+        group.bench_function(format!("{iw}way"), |b| {
+            b.iter(|| RenameDelay::compute(black_box(&tech), &RenameParams::new(black_box(iw))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_wakeup(c: &mut Criterion) {
+    let tech = Technology::new(FeatureSize::U018);
+    let mut group = c.benchmark_group("fig05_wakeup_delay");
+    for window in [16usize, 32, 64] {
+        group.bench_function(format!("8way_w{window}"), |b| {
+            b.iter(|| {
+                WakeupDelay::compute(black_box(&tech), &WakeupParams::new(8, black_box(window)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_select(c: &mut Criterion) {
+    let tech = Technology::new(FeatureSize::U018);
+    let mut group = c.benchmark_group("fig08_select_delay");
+    for window in [16usize, 64, 128] {
+        group.bench_function(format!("w{window}"), |b| {
+            b.iter(|| SelectDelay::compute(black_box(&tech), &SelectParams::new(black_box(window))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bypass_and_restable(c: &mut Criterion) {
+    let tech = Technology::new(FeatureSize::U018);
+    c.bench_function("tab01_bypass_delay_8way", |b| {
+        b.iter(|| BypassDelay::compute(black_box(&tech), &BypassParams::new(black_box(8))))
+    });
+    c.bench_function("tab04_restable_delay_8way", |b| {
+        b.iter(|| ResTableDelay::compute(black_box(&tech), &ResTableParams::new(black_box(8))))
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("tab02_full_rollup", |b| {
+        b.iter(|| {
+            for tech in Technology::all() {
+                black_box(PipelineDelays::compute(&tech, 8, 64));
+            }
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_rename,
+    bench_wakeup,
+    bench_select,
+    bench_bypass_and_restable,
+    bench_table2
+);
+criterion_main!(benches);

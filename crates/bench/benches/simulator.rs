@@ -1,0 +1,32 @@
+//! Criterion benchmarks of whole-pipeline simulation speed: cycles of the
+//! Figure 13/15 machines over a fixed trace prefix.
+
+use ce_sim::{machine, Simulator};
+use ce_workloads::{trace_benchmark, Benchmark, Trace};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn prefix(trace: &Trace, n: usize) -> Trace {
+    trace.iter().take(n).copied().collect()
+}
+
+fn bench_machines(c: &mut Criterion) {
+    let full = trace_benchmark(Benchmark::Compress, 100_000).expect("kernel runs");
+    let trace = prefix(&full, 20_000);
+    let mut group = c.benchmark_group("simulate_20k_compress");
+    group.sample_size(10);
+    let machines = [
+        ("window_8way", machine::baseline_8way()),
+        ("fifos_8way", machine::dependence_8way()),
+        ("clustered_fifos", machine::clustered_fifos_8way()),
+        ("exec_steer", machine::clustered_window_exec_8way()),
+    ];
+    for (name, cfg) in machines {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(Simulator::new(cfg).run(&trace)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_machines);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks over the core structures: steering
+//! throughput, FIFO pool operations, branch prediction, and cache access.
+
+use ce_core::fifos::{FifoPool, PoolConfig};
+use ce_core::steering::{DependenceSteerer, SteerOutcome};
+use ce_core::InstId;
+use ce_isa::{Instruction, Opcode, Reg};
+use ce_sim::bpred::Gshare;
+use ce_sim::config::{BpredConfig, DcacheConfig};
+use ce_sim::dcache::Dcache;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_steering(c: &mut Criterion) {
+    // A mix of chained and independent instructions, steered and drained.
+    let insts: Vec<Instruction> = (0..64u8)
+        .map(|i| {
+            let src = if i % 3 == 0 { 1 } else { 8 + (i.wrapping_sub(1) % 16) };
+            Instruction::rrr(Opcode::Addu, Reg::new(8 + i % 16), Reg::new(src), Reg::new(2))
+        })
+        .collect();
+    c.bench_function("steer_64_instructions", |b| {
+        b.iter(|| {
+            let mut pool = FifoPool::new(PoolConfig::paper_default());
+            let mut steerer = DependenceSteerer::new();
+            let mut placed = 0u32;
+            for (i, inst) in insts.iter().enumerate() {
+                match steerer.steer(InstId(i as u64), inst, &mut pool) {
+                    SteerOutcome::Fifo(_) => placed += 1,
+                    SteerOutcome::Stall => {
+                        // Drain the heads and retry once.
+                        let heads: Vec<_> = pool.heads().collect();
+                        for (f, id) in heads {
+                            pool.pop_head(f);
+                            steerer.on_issue(id);
+                        }
+                    }
+                }
+            }
+            black_box(placed)
+        })
+    });
+}
+
+fn bench_fifo_pool(c: &mut Criterion) {
+    c.bench_function("fifo_pool_push_pop_cycle", |b| {
+        let mut pool = FifoPool::new(PoolConfig::paper_clustered());
+        b.iter(|| {
+            let f = pool.acquire().expect("free fifo");
+            pool.push(f, InstId(1));
+            pool.push(f, InstId(2));
+            black_box(pool.head(f));
+            pool.pop_head(f);
+            pool.pop_head(f);
+        })
+    });
+}
+
+fn bench_gshare(c: &mut Criterion) {
+    c.bench_function("gshare_predict_update", |b| {
+        let mut bp = Gshare::new(BpredConfig::default());
+        let mut pc = 0x40_0000u32;
+        b.iter(|| {
+            pc = pc.wrapping_add(4);
+            black_box(bp.predict_and_update(pc, pc & 8 == 0))
+        })
+    });
+}
+
+fn bench_dcache(c: &mut Criterion) {
+    c.bench_function("dcache_access_stream", |b| {
+        let mut cache = Dcache::new(DcacheConfig::default());
+        let mut addr = 0x1000_0000u32;
+        b.iter(|| {
+            addr = addr.wrapping_add(32);
+            black_box(cache.access(addr, false))
+        })
+    });
+}
+
+criterion_group!(benches, bench_steering, bench_fifo_pool, bench_gshare, bench_dcache);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 3: register rename delay versus issue width, with the
+//! decoder/wordline/bitline/senseamp breakdown, for all three feature
+//! sizes.
+
+use ce_delay::rename::{RenameDelay, RenameParams};
+use ce_delay::Technology;
+
+fn main() {
+    println!("Figure 3: rename delay (ps) vs issue width");
+    println!(
+        "{:<6} {:>5} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "tech", "IW", "decode", "wordline", "bitline", "senseamp", "TOTAL"
+    );
+    ce_bench::rule(68);
+    for tech in Technology::all() {
+        for iw in [2, 4, 8] {
+            let d = RenameDelay::compute(&tech, &RenameParams::new(iw));
+            println!(
+                "{:<6} {:>5} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+                tech.feature().to_string(),
+                iw,
+                d.decode_ps,
+                d.wordline_ps,
+                d.bitline_ps,
+                d.senseamp_ps,
+                d.total_ps()
+            );
+        }
+    }
+    println!();
+    println!("Paper shape checks:");
+    let t18 = Technology::all()[2];
+    let d2 = RenameDelay::compute(&t18, &RenameParams::new(2));
+    let d8 = RenameDelay::compute(&t18, &RenameParams::new(8));
+    println!(
+        "  bitline grows {:+.1} ps from 2- to 8-way vs wordline {:+.1} ps (bitlines longer)",
+        d8.bitline_ps - d2.bitline_ps,
+        d8.wordline_ps - d2.wordline_ps
+    );
+}

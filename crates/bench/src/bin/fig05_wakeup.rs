@@ -1,0 +1,22 @@
+//! Figure 5: wakeup delay versus window size for 2/4/8-way at 0.18 µm.
+
+use ce_delay::wakeup::{WakeupDelay, WakeupParams};
+use ce_delay::{FeatureSize, Technology};
+
+fn main() {
+    let tech = Technology::new(FeatureSize::U018);
+    println!("Figure 5: wakeup delay (ps) vs window size, 0.18 um");
+    println!("{:>8} {:>10} {:>10} {:>10}", "window", "2-way", "4-way", "8-way");
+    ce_bench::rule(42);
+    for window in (8..=64).step_by(8) {
+        let d = |iw| WakeupDelay::compute(&tech, &WakeupParams::new(iw, window)).total_ps();
+        println!("{:>8} {:>10.1} {:>10.1} {:>10.1}", window, d(2), d(4), d(8));
+    }
+    println!();
+    let d = |iw| WakeupDelay::compute(&tech, &WakeupParams::new(iw, 64)).total_ps();
+    println!(
+        "At window 64: 2->4-way {:+.1}% (paper +34%), 4->8-way {:+.1}% (paper +46%)",
+        (d(4) / d(2) - 1.0) * 100.0,
+        (d(8) / d(4) - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,36 @@
+//! Figure 8: selection delay versus window size, with the request/root/
+//! grant breakdown, for all three feature sizes.
+
+use ce_delay::select::{SelectDelay, SelectParams};
+use ce_delay::Technology;
+
+fn main() {
+    println!("Figure 8: selection delay (ps) vs window size");
+    println!(
+        "{:<6} {:>7} {:>10} {:>10} {:>10} {:>10}",
+        "tech", "window", "request", "root", "grant", "TOTAL"
+    );
+    ce_bench::rule(58);
+    for tech in Technology::all() {
+        for window in [16, 32, 64, 128] {
+            let d = SelectDelay::compute(&tech, &SelectParams::new(window));
+            println!(
+                "{:<6} {:>7} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+                tech.feature().to_string(),
+                window,
+                d.request_prop_ps,
+                d.root_ps,
+                d.grant_prop_ps,
+                d.total_ps()
+            );
+        }
+    }
+    println!();
+    let t = Technology::all()[2];
+    let d16 = SelectDelay::compute(&t, &SelectParams::new(16)).total_ps();
+    let d32 = SelectDelay::compute(&t, &SelectParams::new(32)).total_ps();
+    println!(
+        "16 -> 32 entries: {:+.1}% (paper: < +100% because the root delay is window-independent)",
+        (d32 / d16 - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,34 @@
+//! Figure 13: IPC of the dependence-based microarchitecture (8 FIFOs × 8)
+//! versus the baseline 8-way machine with a 64-entry window.
+//!
+//! Paper result: within 5 % for five of seven benchmarks; worst case 8 %
+//! (li).
+
+use ce_sim::{machine, Simulator};
+
+fn main() {
+    println!("Figure 13: IPC, baseline window vs dependence-based FIFOs (8-way)");
+    println!(
+        "{:<10} {:>10} {:>12} {:>12}",
+        "benchmark", "window", "dependence", "degradation"
+    );
+    ce_bench::rule(48);
+    let mut degradations = Vec::new();
+    for (bench, trace) in ce_bench::load_all_traces() {
+        let win = Simulator::new(machine::baseline_8way()).run(&trace);
+        let dep = Simulator::new(machine::dependence_8way()).run(&trace);
+        let degradation = (1.0 - dep.ipc() / win.ipc()) * 100.0;
+        degradations.push(degradation);
+        println!(
+            "{:<10} {:>10.3} {:>12.3} {:>11.1}%",
+            bench.name(),
+            win.ipc(),
+            dep.ipc(),
+            degradation
+        );
+    }
+    let mean = degradations.iter().sum::<f64>() / degradations.len() as f64;
+    let max = degradations.iter().cloned().fold(f64::MIN, f64::max);
+    println!();
+    println!("mean degradation {mean:.1}%, max {max:.1}% (paper: most <5%, max 8%)");
+}

@@ -1,0 +1,47 @@
+//! Figure 15: IPC of the 2×4-way clustered dependence-based machine
+//! (2-cycle inter-cluster bypass) versus the 8-way window baseline, plus
+//! the Section 5.5 clock-adjusted speedup.
+
+use ce_core::analysis::{mean_improvement, MachineSpec, Speedup};
+use ce_delay::{FeatureSize, Technology};
+use ce_sim::{machine, Simulator};
+
+fn main() {
+    let tech = Technology::new(FeatureSize::U018);
+    println!("Figure 15: IPC, 64-entry window 8-way vs 2-cluster dependence-based 8-way");
+    println!(
+        "{:<10} {:>10} {:>12} {:>12} {:>10} {:>9}",
+        "benchmark", "window", "2x4 fifos", "degradation", "IC-bypass", "speedup"
+    );
+    ce_bench::rule(68);
+    let mut speedups = Vec::new();
+    for (bench, trace) in ce_bench::load_all_traces() {
+        let win = Simulator::new(machine::baseline_8way()).run(&trace);
+        let dep = Simulator::new(machine::clustered_fifos_8way()).run(&trace);
+        let s = Speedup::combine(
+            &tech,
+            MachineSpec::paper_dependence_machine(),
+            win.ipc(),
+            dep.ipc(),
+        );
+        println!(
+            "{:<10} {:>10.3} {:>12.3} {:>11.1}% {:>9.1}% {:>8.2}x",
+            bench.name(),
+            win.ipc(),
+            dep.ipc(),
+            s.ipc_degradation() * 100.0,
+            dep.intercluster_bypass_frequency() * 100.0,
+            s.speedup
+        );
+        speedups.push(s);
+    }
+    println!();
+    println!(
+        "clock ratio clk_dep/clk_win = {:.3} (paper: 1.25 at 0.18 um)",
+        speedups[0].clock_ratio
+    );
+    println!(
+        "mean clock-adjusted improvement: {:+.1}% (paper: 10-22%, average 16%)",
+        mean_improvement(&speedups) * 100.0
+    );
+}

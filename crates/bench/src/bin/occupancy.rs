@@ -1,0 +1,43 @@
+//! Scheduler occupancy and dispatch-stall anatomy across organizations —
+//! *why* the FIFO machines lose the IPC they lose: the steering heuristic
+//! refuses placements a flexible window would accept (scheduler stalls),
+//! and FIFO slots shadow ready instructions behind unready heads (lower
+//! effective occupancy).
+
+use ce_sim::{machine, Simulator};
+
+fn main() {
+    let machines = [
+        ("window", machine::baseline_8way()),
+        ("fifos", machine::dependence_8way()),
+        ("2c-fifos", machine::clustered_fifos_8way()),
+        ("2c-windows", machine::clustered_windows_dispatch_8way()),
+    ];
+    println!("Scheduler occupancy and dispatch stalls");
+    println!(
+        "{:<10} {:<11} {:>8} {:>10} {:>12} {:>10} {:>9} {:>8}",
+        "benchmark", "machine", "IPC", "occupancy", "sched-stall", "inflight", "preg", "idle"
+    );
+    ce_bench::rule(84);
+    for (bench, trace) in ce_bench::load_all_traces() {
+        for (name, cfg) in &machines {
+            let stats = Simulator::new(*cfg).run(&trace);
+            println!(
+                "{:<10} {:<11} {:>8.3} {:>10.1} {:>12} {:>10} {:>9} {:>7.1}%",
+                bench.name(),
+                name,
+                stats.ipc(),
+                stats.mean_occupancy(),
+                stats.scheduler_stalls,
+                stats.inflight_stalls,
+                stats.preg_stalls,
+                stats.idle_issue_fraction() * 100.0
+            );
+        }
+    }
+    println!();
+    println!("The FIFO organizations run at lower mean occupancy for the same window");
+    println!("capacity — chains serialize issue — and take scheduler stalls the");
+    println!("flexible window never sees. That is the IPC price of head-only wakeup,");
+    println!("and Section 5.3's point is that the faster clock more than pays for it.");
+}

@@ -1,0 +1,60 @@
+//! Sections 5.3/5.5 bottom line: combining the clock-period models with
+//! the measured IPCs into the paper's headline speedup numbers.
+
+use ce_core::analysis::{mean_improvement, MachineSpec, Speedup};
+use ce_delay::pipeline::ClockComparison;
+use ce_delay::Technology;
+use ce_sim::{machine, Simulator};
+
+fn main() {
+    println!("Clock-period comparison (Section 5.3/5.5)");
+    println!(
+        "{:<6} {:>14} {:>14} {:>14} {:>12} {:>12}",
+        "tech", "clk win (ps)", "clk dep (ps)", "restab+sel", "ratio", "optimistic"
+    );
+    ce_bench::rule(78);
+    for tech in Technology::all() {
+        let cmp = ClockComparison::compute(&tech, 8, 64, 2);
+        println!(
+            "{:<6} {:>14.1} {:>14.1} {:>14.1} {:>11.3}x {:>11.1}%",
+            tech.feature().to_string(),
+            cmp.window_clock_ps,
+            cmp.dependence_clock_ps,
+            cmp.dependence_window_ps,
+            cmp.conservative_speedup(),
+            cmp.optimistic_improvement() * 100.0
+        );
+    }
+    println!("(paper at 0.18 um: ratio 1.25, optimistic rename-limited improvement 39%)");
+    println!();
+
+    let tech = Technology::all()[2];
+    println!("Per-benchmark clock-adjusted speedup, 2x4-way dependence-based vs 8-way window:");
+    println!("{:<10} {:>9} {:>9} {:>9} {:>12}", "benchmark", "IPC win", "IPC dep", "speedup", "improvement");
+    ce_bench::rule(54);
+    let mut speedups = Vec::new();
+    for (bench, trace) in ce_bench::load_all_traces() {
+        let win = Simulator::new(machine::baseline_8way()).run(&trace);
+        let dep = Simulator::new(machine::clustered_fifos_8way()).run(&trace);
+        let s = Speedup::combine(
+            &tech,
+            MachineSpec::paper_dependence_machine(),
+            win.ipc(),
+            dep.ipc(),
+        );
+        println!(
+            "{:<10} {:>9.3} {:>9.3} {:>8.2}x {:>11.1}%",
+            bench.name(),
+            s.ipc_window,
+            s.ipc_dependence,
+            s.speedup,
+            s.improvement() * 100.0
+        );
+        speedups.push(s);
+    }
+    println!();
+    println!(
+        "average improvement {:+.1}% (paper: 10-22%, average 16%)",
+        mean_improvement(&speedups) * 100.0
+    );
+}

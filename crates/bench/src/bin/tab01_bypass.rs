@@ -1,0 +1,33 @@
+//! Table 1: bypass result-wire lengths and delays for 4-way and 8-way
+//! machines.
+
+use ce_delay::bypass::{BypassDelay, BypassParams};
+use ce_delay::{FeatureSize, Technology};
+
+fn main() {
+    let tech = Technology::new(FeatureSize::U018);
+    println!("Table 1: bypass delays (identical across technologies by the scaling model)");
+    println!(
+        "{:>6} {:>14} {:>12} {:>14} {:>12} {:>8}",
+        "IW", "wire len (lam)", "paper (lam)", "delay (ps)", "paper (ps)", "paths"
+    );
+    ce_bench::rule(72);
+    let paper = [(4usize, 20_500.0, 184.9), (8, 49_000.0, 1056.4)];
+    for (iw, plen, pdelay) in paper {
+        let params = BypassParams::new(iw);
+        let d = BypassDelay::compute(&tech, &params);
+        println!(
+            "{:>6} {:>14.0} {:>12.0} {:>14.1} {:>12.1} {:>8}",
+            iw,
+            d.wire_length_lambda,
+            plen,
+            d.total_ps(),
+            pdelay,
+            params.path_count()
+        );
+    }
+    let d4 = BypassDelay::compute(&tech, &BypassParams::new(4)).total_ps();
+    let d8 = BypassDelay::compute(&tech, &BypassParams::new(8)).total_ps();
+    println!();
+    println!("8-way / 4-way delay ratio: {:.2}x (paper: ~5.7x)", d8 / d4);
+}

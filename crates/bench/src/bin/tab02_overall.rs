@@ -1,0 +1,56 @@
+//! Table 2: overall rename / wakeup+select / bypass delays for the 4-way,
+//! 32-entry and 8-way, 64-entry machines across the three technologies,
+//! with the paper's published values and the model's deviation.
+
+use ce_delay::{PipelineDelays, Technology};
+
+const PAPER: [(f64, usize, usize, f64, f64, f64); 6] = [
+    (0.8, 4, 32, 1577.9, 2903.7, 184.9),
+    (0.8, 8, 64, 1710.5, 3369.4, 1056.4),
+    (0.35, 4, 32, 627.2, 1248.4, 184.9),
+    (0.35, 8, 64, 726.6, 1484.8, 1056.4),
+    (0.18, 4, 32, 351.0, 578.0, 184.9),
+    (0.18, 8, 64, 427.9, 724.0, 1056.4),
+];
+
+fn main() {
+    println!("Table 2: overall delay results (measured vs paper, ps)");
+    println!(
+        "{:<6} {:>3}/{:<3} | {:>8} {:>8} {:>7} | {:>8} {:>8} {:>7} | {:>8} {:>8} {:>7}",
+        "tech", "IW", "win", "rename", "paper", "dev", "wak+sel", "paper", "dev", "bypass",
+        "paper", "dev"
+    );
+    ce_bench::rule(100);
+    let techs = Technology::all();
+    for (row, (feat, iw, win, p_ren, p_ws, p_byp)) in PAPER.iter().enumerate() {
+        let tech = techs[row / 2];
+        let d = PipelineDelays::compute(&tech, *iw, *win);
+        println!(
+            "{:<6} {:>3}/{:<3} | {:>8.1} {:>8.1} {:>7} | {:>8.1} {:>8.1} {:>7} | {:>8.1} {:>8.1} {:>7}",
+            format!("{feat}um"),
+            iw,
+            win,
+            d.rename_ps,
+            p_ren,
+            ce_bench::deviation(d.rename_ps, *p_ren),
+            d.window_ps(),
+            p_ws,
+            ce_bench::deviation(d.window_ps(), *p_ws),
+            d.bypass_ps,
+            p_byp,
+            ce_bench::deviation(d.bypass_ps, *p_byp),
+        );
+        let crit = d.critical_stage();
+        let _ = crit;
+    }
+    println!();
+    let t18 = techs[2];
+    let d4 = PipelineDelays::compute(&t18, 4, 32);
+    let d8 = PipelineDelays::compute(&t18, 8, 64);
+    println!("Critical stage, 0.18 um 4-way: {}", d4.critical_stage().stage);
+    println!(
+        "Bypass growth 4->8 way: {:.1}x; bypass vs rename at 8-way: {}",
+        d8.bypass_ps / d4.bypass_ps,
+        if d8.bypass_ps > d8.rename_ps { "bypass dominates" } else { "rename dominates" }
+    );
+}

@@ -1,0 +1,38 @@
+//! Table 4: reservation-table delay for the dependence-based design at
+//! 0.18 µm, versus the CAM-window wakeup it replaces.
+
+use ce_delay::restable::{ResTableDelay, ResTableParams};
+use ce_delay::wakeup::{WakeupDelay, WakeupParams};
+use ce_delay::rename::{RenameDelay, RenameParams};
+use ce_delay::{FeatureSize, Technology};
+
+fn main() {
+    let tech = Technology::new(FeatureSize::U018);
+    println!("Table 4: reservation table delay, 0.18 um");
+    println!(
+        "{:>4} {:>10} {:>9} {:>10} {:>12} {:>10} {:>7}",
+        "IW", "phys regs", "entries", "bits/row", "delay (ps)", "paper", "dev"
+    );
+    ce_bench::rule(68);
+    let paper = [(4usize, 192.1), (8, 251.7)];
+    for (iw, p) in paper {
+        let params = ResTableParams::new(iw);
+        let d = ResTableDelay::compute(&tech, &params).total_ps();
+        println!(
+            "{:>4} {:>10} {:>9} {:>10} {:>12.1} {:>10.1} {:>7}",
+            iw,
+            params.physical_regs,
+            params.entries(),
+            8,
+            d,
+            p,
+            ce_bench::deviation(d, p)
+        );
+    }
+    println!();
+    let rt8 = ResTableDelay::compute(&tech, &ResTableParams::new(8)).total_ps();
+    let cam = WakeupDelay::compute(&tech, &WakeupParams::new(4, 32)).total_ps();
+    let ren = RenameDelay::compute(&tech, &RenameParams::new(8)).total_ps();
+    println!("vs 4-way/32-entry CAM wakeup: {rt8:.1} < {cam:.1} ps  (paper: much smaller)");
+    println!("vs 8-way rename:              {rt8:.1} < {ren:.1} ps  (rename becomes critical)");
+}

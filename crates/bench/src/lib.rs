@@ -1,0 +1,90 @@
+//! # ce-bench — the experiment harness
+//!
+//! One binary per table and figure of the paper's evaluation; each prints
+//! the same rows/series the paper reports, alongside the paper's published
+//! values where the paper states them. Run them all with:
+//!
+//! ```text
+//! for exp in fig03_rename fig05_wakeup fig06_wakeup_scaling fig08_select \
+//!            tab01_bypass tab02_overall tab04_restable \
+//!            fig13_ipc fig15_clustered fig17_organizations \
+//!            speedup_summary ablations; do
+//!     cargo run --release -p ce-bench --bin $exp
+//! done
+//! ```
+//!
+//! The library half holds shared helpers: benchmark trace loading (with an
+//! instruction cap from `CE_MAX_INSTS`) and table formatting.
+
+use ce_workloads::{trace_benchmark, Benchmark, Trace};
+
+/// Default per-benchmark dynamic instruction cap. Every kernel completes
+/// below this, so by default the experiments run each program to
+/// completion, like the paper's 0.5 B-instruction cap did.
+pub const DEFAULT_MAX_INSTS: u64 = 2_000_000;
+
+/// The instruction cap, overridable via the `CE_MAX_INSTS` environment
+/// variable (useful to shorten smoke runs).
+pub fn max_insts() -> u64 {
+    std::env::var("CE_MAX_INSTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_MAX_INSTS)
+}
+
+/// Loads the dynamic trace for one benchmark.
+///
+/// # Panics
+///
+/// Panics if the bundled kernel fails to assemble or run — that would be a
+/// bug in `ce-workloads`, not an experiment outcome.
+pub fn load_trace(benchmark: Benchmark) -> Trace {
+    trace_benchmark(benchmark, max_insts())
+        .unwrap_or_else(|e| panic!("loading {benchmark}: {e}"))
+}
+
+/// Loads traces for all seven benchmarks, in figure order.
+pub fn load_all_traces() -> Vec<(Benchmark, Trace)> {
+    Benchmark::all().into_iter().map(|b| (b, load_trace(b))).collect()
+}
+
+/// Prints a rule line matching a header's width.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Formats a picosecond value for tables.
+pub fn ps(value: f64) -> String {
+    format!("{value:8.1}")
+}
+
+/// Formats a relative deviation between a measured and a reference value.
+pub fn deviation(measured: f64, reference: f64) -> String {
+    format!("{:+5.1}%", (measured / reference - 1.0) * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deviation_formatting() {
+        assert_eq!(deviation(110.0, 100.0), "+10.0%");
+        assert_eq!(deviation(95.0, 100.0), " -5.0%");
+    }
+
+    #[test]
+    fn max_insts_default() {
+        // Unless the env var is set in the test environment, the default
+        // applies.
+        if std::env::var("CE_MAX_INSTS").is_err() {
+            assert_eq!(max_insts(), DEFAULT_MAX_INSTS);
+        }
+    }
+
+    #[test]
+    fn traces_load() {
+        let t = load_trace(Benchmark::Compress);
+        assert!(t.len() > 10_000);
+    }
+}

@@ -1,0 +1,39 @@
+//! Identifier newtypes shared across the crate.
+
+use std::fmt;
+
+/// Identity of a dynamic instruction (its position in the dynamic stream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstId(pub u64);
+
+impl fmt::Display for InstId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+/// Identity of an issue FIFO within a [`FifoPool`](crate::fifos::FifoPool).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FifoId(pub usize);
+
+impl fmt::Display for FifoId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(InstId(7).to_string(), "i7");
+        assert_eq!(FifoId(3).to_string(), "f3");
+    }
+
+    #[test]
+    fn ordering_follows_sequence() {
+        assert!(InstId(1) < InstId(2));
+    }
+}

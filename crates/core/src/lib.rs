@@ -1,0 +1,55 @@
+//! # ce-core — the dependence-based microarchitecture as a library
+//!
+//! The paper's proposal (Section 5) replaces the CAM-based issue window
+//! with a small set of in-order FIFOs plus run-time *dependence steering*:
+//! chains of dependent instructions land in the same FIFO, so only the
+//! FIFO heads ever need wakeup and selection. This crate implements those
+//! structures independently of any particular simulator:
+//!
+//! * [`FifoPool`](fifos::FifoPool) — the issue FIFOs, with the per-cluster
+//!   free-list policy of Section 5.5,
+//! * [`DependenceSteerer`](steering::DependenceSteerer) — the Section 5.1
+//!   steering heuristic driven by a `SRC_FIFO` table,
+//! * [`RandomSteerer`](steering::RandomSteerer) — the Section 5.6.3
+//!   baseline,
+//! * [`ReservationTable`](restable::ReservationTable) — one ready bit per
+//!   physical register, the FIFO-head wakeup mechanism of Section 5.3,
+//! * [`analysis`] — clock-period and speedup arithmetic combining measured
+//!   IPC with the `ce-delay` circuit models (Sections 5.3/5.5).
+//!
+//! ## Example
+//!
+//! Steering the paper's Figure 12 idiom — a dependent pair lands in one
+//! FIFO, an independent instruction gets its own:
+//!
+//! ```
+//! use ce_core::fifos::{FifoPool, PoolConfig};
+//! use ce_core::steering::{DependenceSteerer, SteerOutcome};
+//! use ce_core::InstId;
+//! use ce_isa::{Instruction, Opcode, Reg};
+//!
+//! let mut pool = FifoPool::new(PoolConfig::paper_default());
+//! let mut steerer = DependenceSteerer::new();
+//!
+//! let producer = Instruction::imm(Opcode::Addiu, Reg::new(10), Reg::ZERO, 1);
+//! let consumer = Instruction::rrr(Opcode::Addu, Reg::new(11), Reg::new(10), Reg::ZERO);
+//! let f0 = match steerer.steer(InstId(0), &producer, &mut pool) {
+//!     SteerOutcome::Fifo(f) => f,
+//!     SteerOutcome::Stall => unreachable!(),
+//! };
+//! let f1 = match steerer.steer(InstId(1), &consumer, &mut pool) {
+//!     SteerOutcome::Fifo(f) => f,
+//!     SteerOutcome::Stall => unreachable!(),
+//! };
+//! assert_eq!(f0, f1, "dependent instructions share a FIFO");
+//! ```
+
+pub mod analysis;
+pub mod fifos;
+pub mod restable;
+pub mod steering;
+pub mod steering_variants;
+
+mod ids;
+
+pub use ids::{FifoId, InstId};

@@ -1,0 +1,140 @@
+//! The reservation table: one ready bit per physical register
+//! (paper Section 5.3).
+//!
+//! In the dependence-based microarchitecture, an instruction at a FIFO head
+//! does not listen to tag broadcasts; it *interrogates* this table. The bit
+//! for a physical register is set when the instruction that will write it
+//! is dispatched, and cleared when the value is produced. An instruction is
+//! ready when the bits for both its operands are clear.
+
+/// Ready/busy state for every physical register.
+///
+/// ```
+/// use ce_core::restable::ReservationTable;
+///
+/// let mut table = ReservationTable::new(120);
+/// assert!(table.is_ready(5));
+/// table.mark_pending(5);
+/// assert!(!table.is_ready(5));
+/// table.mark_available(5);
+/// assert!(table.is_ready(5));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReservationTable {
+    // true = value pending (reservation bit set), false = value available.
+    pending: Vec<bool>,
+}
+
+impl ReservationTable {
+    /// Creates a table for `physical_regs` registers, all available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `physical_regs` is zero.
+    pub fn new(physical_regs: usize) -> ReservationTable {
+        assert!(physical_regs > 0, "need at least one physical register");
+        ReservationTable { pending: vec![false; physical_regs] }
+    }
+
+    /// Number of physical registers covered.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether the table covers zero registers (never true).
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Marks a register as awaiting its value (set at dispatch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `preg` is out of range.
+    pub fn mark_pending(&mut self, preg: usize) {
+        self.pending[preg] = true;
+    }
+
+    /// Marks a register's value as produced (cleared at completion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `preg` is out of range.
+    pub fn mark_available(&mut self, preg: usize) {
+        self.pending[preg] = false;
+    }
+
+    /// Whether a register's value is available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `preg` is out of range.
+    pub fn is_ready(&self, preg: usize) -> bool {
+        !self.pending[preg]
+    }
+
+    /// Whether every register in `pregs` is available — the FIFO-head
+    /// readiness test.
+    pub fn all_ready<I: IntoIterator<Item = usize>>(&self, pregs: I) -> bool {
+        pregs.into_iter().all(|p| self.is_ready(p))
+    }
+
+    /// Number of registers currently pending.
+    pub fn pending_count(&self) -> usize {
+        self.pending.iter().filter(|&&p| p).count()
+    }
+
+    /// Resets every register to available.
+    pub fn clear(&mut self) {
+        self.pending.fill(false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_table_is_all_ready() {
+        let table = ReservationTable::new(80);
+        assert_eq!(table.len(), 80);
+        assert!(table.all_ready(0..80));
+        assert_eq!(table.pending_count(), 0);
+    }
+
+    #[test]
+    fn pending_lifecycle() {
+        let mut table = ReservationTable::new(8);
+        table.mark_pending(3);
+        table.mark_pending(5);
+        assert!(!table.is_ready(3));
+        assert!(!table.all_ready([1, 3]));
+        assert!(table.all_ready([0, 1, 2]));
+        assert_eq!(table.pending_count(), 2);
+        table.mark_available(3);
+        assert!(table.is_ready(3));
+        assert_eq!(table.pending_count(), 1);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut table = ReservationTable::new(4);
+        table.mark_pending(0);
+        table.mark_pending(1);
+        table.clear();
+        assert_eq!(table.pending_count(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        let mut table = ReservationTable::new(4);
+        table.mark_pending(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_size_panics() {
+        let _ = ReservationTable::new(0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests of the steering heuristic and FIFO pool:
+//! structural invariants that must hold for any instruction stream.
+
+use ce_core::fifos::{FifoPool, PoolConfig};
+use ce_core::steering::{DependenceSteerer, RandomSteerer, SteerOutcome};
+use ce_core::{FifoId, InstId};
+use ce_isa::{Instruction, Opcode, Reg};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A compact generator of ALU instructions with controlled dependences:
+/// `(dst, src_back)` where `src_back` picks a register written `k`
+/// instructions ago (or an always-ready register when out of range).
+fn arb_stream() -> impl Strategy<Value = Vec<Instruction>> {
+    proptest::collection::vec((8u8..24, 0usize..6), 1..80).prop_map(|pairs| {
+        let mut written: Vec<Reg> = Vec::new();
+        let mut out = Vec::new();
+        for (dst, back) in pairs {
+            let src = written
+                .iter()
+                .rev()
+                .nth(back)
+                .copied()
+                .unwrap_or(Reg::new(2));
+            let dst = Reg::new(dst);
+            out.push(Instruction::rrr(Opcode::Addu, dst, src, Reg::new(3)));
+            written.push(dst);
+        }
+        out
+    })
+}
+
+proptest! {
+    /// Every instruction either lands in exactly one FIFO or stalls; FIFO
+    /// contents stay in dispatch order; occupancy is conserved.
+    #[test]
+    fn steering_conserves_and_orders(insts in arb_stream(), fifos in 1usize..10, depth in 1usize..10) {
+        let mut pool = FifoPool::new(PoolConfig { fifos, depth, clusters: 1 });
+        let mut steerer = DependenceSteerer::new();
+        let mut placed: HashMap<InstId, FifoId> = HashMap::new();
+
+        for (i, inst) in insts.iter().enumerate() {
+            let id = InstId(i as u64);
+            match steerer.steer(id, inst, &mut pool) {
+                SteerOutcome::Fifo(f) => {
+                    placed.insert(id, f);
+                }
+                SteerOutcome::Stall => {
+                    // Full machine: drain one head and continue.
+                    let first_head = pool.heads().next();
+                    if let Some((f, head)) = first_head {
+                        pool.pop_head(f);
+                        steerer.on_issue(head);
+                        placed.remove(&head);
+                    }
+                }
+            }
+            // Invariant: every placed instruction is in exactly the FIFO
+            // recorded, in increasing dispatch order.
+            let mut seen = 0;
+            for fifo in 0..fifos {
+                let entries: Vec<InstId> = pool
+                    .entries()
+                    .filter(|(f, _, _)| *f == FifoId(fifo))
+                    .map(|(_, _, id)| id)
+                    .collect();
+                prop_assert!(entries.windows(2).all(|w| w[0] < w[1]), "FIFO order");
+                for id in &entries {
+                    prop_assert_eq!(placed.get(id), Some(&FifoId(fifo)));
+                    seen += 1;
+                }
+            }
+            prop_assert_eq!(seen, placed.len(), "no instruction lost or duplicated");
+            prop_assert_eq!(pool.occupancy(), placed.len());
+        }
+    }
+
+    /// The defining property of the heuristic: an instruction whose single
+    /// outstanding producer sits at a FIFO tail (with room) joins that
+    /// FIFO.
+    #[test]
+    fn chains_extend_tail_fifos(back_to_back in 2usize..20) {
+        let mut pool = FifoPool::new(PoolConfig { fifos: 8, depth: 32, clusters: 1 });
+        let mut steerer = DependenceSteerer::new();
+        let mut last_fifo = None;
+        for i in 0..back_to_back {
+            let inst = Instruction::rrr(
+                Opcode::Addu,
+                Reg::new(10),
+                if i == 0 { Reg::new(2) } else { Reg::new(10) },
+                Reg::new(3),
+            );
+            match steerer.steer(InstId(i as u64), &inst, &mut pool) {
+                SteerOutcome::Fifo(f) => {
+                    if let Some(prev) = last_fifo {
+                        prop_assert_eq!(prev, f, "chain must stay in one FIFO");
+                    }
+                    last_fifo = Some(f);
+                }
+                SteerOutcome::Stall => prop_assert!(false, "cannot stall: depth 32"),
+            }
+        }
+    }
+
+    /// Random steering never loses instructions either, and fills to exact
+    /// capacity.
+    #[test]
+    fn random_steering_fills_to_capacity(seed in 0u64..500, fifos in 1usize..8, depth in 1usize..8) {
+        let mut pool = FifoPool::new(PoolConfig { fifos, depth, clusters: 1 });
+        let mut steerer = RandomSteerer::new(seed);
+        let capacity = fifos * depth;
+        for i in 0..capacity {
+            prop_assert!(matches!(
+                steerer.steer(InstId(i as u64), &mut pool),
+                SteerOutcome::Fifo(_)
+            ));
+        }
+        prop_assert_eq!(pool.occupancy(), capacity);
+        prop_assert_eq!(steerer.steer(InstId(9999), &mut pool), SteerOutcome::Stall);
+    }
+
+    /// Draining any interleaving of heads always frees every FIFO.
+    #[test]
+    fn draining_restores_all_free(insts in arb_stream()) {
+        let mut pool = FifoPool::new(PoolConfig { fifos: 4, depth: 16, clusters: 2 });
+        let mut steerer = DependenceSteerer::new();
+        for (i, inst) in insts.iter().enumerate() {
+            let _ = steerer.steer(InstId(i as u64), inst, &mut pool);
+        }
+        while pool.occupancy() > 0 {
+            let (f, id) = pool.heads().next().expect("occupied pool has a head");
+            pool.pop_head(f);
+            steerer.on_issue(id);
+        }
+        prop_assert_eq!(pool.free_count(), 4);
+    }
+}

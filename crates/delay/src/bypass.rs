@@ -1,0 +1,147 @@
+//! Operand bypass (forwarding) delay (paper Section 4.4, Table 1).
+//!
+//! Bypass delay is dominated by the distributed-RC delay of the result
+//! wires that broadcast each functional unit's output to every operand MUX.
+//! The wire length is set by the layout: functional units stacked around
+//! the register file, whose own height grows with the square of its port
+//! count. Because wire RC per λ does not scale, bypass delay is *the same
+//! in all three technologies* and grows quadratically with issue width —
+//! the ×5.7 blow-up from 4-way to 8-way that motivates clustering.
+//!
+//! The module also provides the bypass-path count formula from Ahuja et
+//! al. that the paper quotes: `I² · 2S + I²` paths for issue width `I` and
+//! `S` pipe stages after the first result-producing stage.
+
+use crate::wire::Wire;
+use crate::{calib, Technology};
+
+/// Parameters of the bypass network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BypassParams {
+    /// Machine issue width (functional units stacked along the result bus).
+    pub issue_width: usize,
+    /// Pipe stages after the first result-producing stage (for the path
+    /// count; the paper's single-cycle model uses 1).
+    pub pipestages_after_exec: usize,
+}
+
+impl BypassParams {
+    /// Parameters for a machine of the given issue width with one
+    /// post-execute stage.
+    pub fn new(issue_width: usize) -> BypassParams {
+        BypassParams { issue_width, pipestages_after_exec: 1 }
+    }
+
+    /// Result-wire length in λ: the functional-unit stack plus the
+    /// register file (whose height grows with the square of its ports).
+    pub fn wire_length_lambda(&self) -> f64 {
+        let ports = 3.0 * self.issue_width as f64;
+        calib::FU_HEIGHT_LAMBDA * self.issue_width as f64
+            + calib::REGFILE_BASE_LAMBDA
+            + calib::REGFILE_PER_PORT_SQ_LAMBDA * ports * ports
+    }
+
+    /// Number of bypass paths in a fully bypassed design with two-input
+    /// functional units: `2·S·I² + I²` (Section 4.4).
+    pub fn path_count(&self) -> usize {
+        let i = self.issue_width;
+        2 * self.pipestages_after_exec * i * i + i * i
+    }
+}
+
+/// Bypass delay result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BypassDelay {
+    /// Result-wire length, λ.
+    pub wire_length_lambda: f64,
+    /// Distributed-RC delay of the result wire, picoseconds.
+    pub wire_delay_ps: f64,
+}
+
+impl BypassDelay {
+    /// Computes the bypass delay for the given technology and parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `issue_width` is zero.
+    pub fn compute(tech: &Technology, params: &BypassParams) -> BypassDelay {
+        assert!(params.issue_width > 0, "issue width must be positive");
+        let length = params.wire_length_lambda();
+        BypassDelay {
+            wire_length_lambda: length,
+            wire_delay_ps: Wire::new(length).delay_ps(tech),
+        }
+    }
+
+    /// Total bypass delay, picoseconds.
+    pub fn total_ps(&self) -> f64 {
+        self.wire_delay_ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FeatureSize;
+
+    #[test]
+    fn table1_wire_lengths() {
+        // Paper Table 1: 20 500 λ at 4-way, 49 000 λ at 8-way.
+        let l4 = BypassParams::new(4).wire_length_lambda();
+        let l8 = BypassParams::new(8).wire_length_lambda();
+        assert!((l4 - 20_500.0).abs() / 20_500.0 < 0.01, "4-way length {l4}");
+        assert!((l8 - 49_000.0).abs() / 49_000.0 < 0.01, "8-way length {l8}");
+    }
+
+    #[test]
+    fn table1_delays() {
+        // Paper Table 1: 184.9 ps at 4-way, 1056.4 ps at 8-way.
+        let tech = Technology::new(FeatureSize::U018);
+        let d4 = BypassDelay::compute(&tech, &BypassParams::new(4)).total_ps();
+        let d8 = BypassDelay::compute(&tech, &BypassParams::new(8)).total_ps();
+        assert!((d4 - 184.9).abs() / 184.9 < 0.03, "4-way {d4}");
+        assert!((d8 - 1056.4).abs() / 1056.4 < 0.03, "8-way {d8}");
+        // The headline factor-of-5.7 growth.
+        assert!((d8 / d4 - 5.7).abs() < 0.3);
+    }
+
+    #[test]
+    fn delay_is_identical_across_technologies() {
+        // Table 1's note: wire delays are constant under the scaling model.
+        for iw in [2, 4, 8, 16] {
+            let d: Vec<f64> = Technology::all()
+                .iter()
+                .map(|t| BypassDelay::compute(t, &BypassParams::new(iw)).total_ps())
+                .collect();
+            assert_eq!(d[0], d[1]);
+            assert_eq!(d[1], d[2]);
+        }
+    }
+
+    #[test]
+    fn quadratic_growth_with_issue_width() {
+        let tech = Technology::new(FeatureSize::U018);
+        let d = |iw| BypassDelay::compute(&tech, &BypassParams::new(iw)).total_ps();
+        // Second difference strictly positive: super-linear growth.
+        assert!(d(8) - d(4) > d(4) - d(2));
+        assert!(d(16) - d(8) > d(8) - d(4));
+    }
+
+    #[test]
+    fn path_count_formula() {
+        // Section 4.4: I²·2S + I² paths.
+        assert_eq!(BypassParams { issue_width: 4, pipestages_after_exec: 1 }.path_count(), 48);
+        assert_eq!(BypassParams { issue_width: 8, pipestages_after_exec: 1 }.path_count(), 192);
+        assert_eq!(BypassParams { issue_width: 8, pipestages_after_exec: 3 }.path_count(), 448);
+    }
+
+    #[test]
+    fn clustered_half_width_bypass_is_much_faster() {
+        // Section 5.4's motivation: a 4-way cluster's local bypass is far
+        // cheaper than a flat 8-way bypass.
+        let tech = Technology::new(FeatureSize::U018);
+        let flat8 = BypassDelay::compute(&tech, &BypassParams::new(8)).total_ps();
+        let cluster4 = BypassDelay::compute(&tech, &BypassParams::new(4)).total_ps();
+        assert!(flat8 / cluster4 > 4.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Cache access-time model (after Wada et al. and Wilton & Jouppi, the
+//! paper's references \[18\] and \[21\] for cache timing).
+//!
+//! The paper excludes caches from its own analysis because "the access
+//! time of a cache is a function of the size of the cache and the
+//! associativity of the cache" — already covered by those models — and
+//! because caches *can be pipelined*. This module supplies a CACTI-flavoured
+//! structural model in the same style as the rest of the crate, so whole-
+//! pipeline clock studies (e.g. the `design_space` example) can price the
+//! cache stage too:
+//!
+//! `T_cache = max(data path, tag path) + mux/select`
+//!
+//! * data path — decode + wordline + bitline + sense over the data array,
+//! * tag path — the same over the (narrower) tag array, plus a comparator,
+//! * output — way select / column mux, fan-in = associativity.
+
+use crate::wire::Wire;
+use crate::{calib, gates, Technology};
+
+/// Geometry of a cache being timed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheParams {
+    /// Total capacity in bytes.
+    pub bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Read ports.
+    pub ports: usize,
+}
+
+impl CacheParams {
+    /// The paper's Table 3 data cache: 32 KB, 2-way, 32-byte lines, 4
+    /// load/store ports.
+    pub fn table3_dcache() -> CacheParams {
+        CacheParams { bytes: 32 * 1024, ways: 2, line_bytes: 32, ports: 4 }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.bytes / self.line_bytes / self.ways
+    }
+
+    /// Tag width in bits (32-bit addresses).
+    pub fn tag_bits(&self) -> usize {
+        let offset_bits = self.line_bytes.trailing_zeros() as usize;
+        let index_bits = self.sets().trailing_zeros() as usize;
+        32 - offset_bits - index_bits
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.bytes == 0 || self.ways == 0 || self.line_bytes == 0 || self.ports == 0 {
+            return Err("all cache parameters must be positive".into());
+        }
+        if !self.line_bytes.is_power_of_two() {
+            return Err("line size must be a power of two".into());
+        }
+        let lines = self.bytes / self.line_bytes;
+        if !lines.is_multiple_of(self.ways) || !(lines / self.ways).is_power_of_two() {
+            return Err("sets must be a power of two".into());
+        }
+        Ok(())
+    }
+}
+
+/// Cache access delay breakdown, picoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheDelay {
+    /// Data-array access (decode + wordline + bitline + sense).
+    pub data_path_ps: f64,
+    /// Tag-array access plus comparison.
+    pub tag_path_ps: f64,
+    /// Way-select / output mux.
+    pub select_ps: f64,
+}
+
+impl CacheDelay {
+    /// Computes the access delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry fails [`CacheParams::validate`].
+    pub fn compute(tech: &Technology, params: &CacheParams) -> CacheDelay {
+        if let Err(msg) = params.validate() {
+            panic!("invalid cache geometry: {msg}");
+        }
+        // Multi-ported cells, as in the rename model. Large arrays are
+        // banked into subarrays of at most 256 rows x 256 columns; what a
+        // bigger cache pays is the *global routing* from the banks to the
+        // output, which grows with the square root of the capacity.
+        let cell = calib::RENAME_CELL_BASE_LAMBDA
+            + calib::RENAME_CELL_PER_PORT_LAMBDA * params.ports as f64;
+        let bits = (params.bytes * 8) as f64;
+        let side = bits.sqrt();
+        let rows = side.min(256.0);
+        let cols = side.min(256.0);
+
+        let drive = |w: &Wire| {
+            calib::R_DRIVER_OHM * w.capacitance_ff(tech) * 1e-3 + w.delay_ps(tech)
+        };
+        let bitline = Wire::new(rows * cell);
+        let wordline = Wire::new(cols * cell);
+        // Bank-to-output routing spans the physical array edge.
+        let routing = Wire::new(side * 8.0);
+        let array_stages = calib::RENAME_DECODE_STAGES
+            + calib::RENAME_WORDLINE_STAGES
+            + calib::RENAME_BITLINE_STAGES
+            + calib::RENAME_SENSE_STAGES;
+        let data_path_ps = gates::stages_ps(tech, array_stages)
+            + drive(&bitline) * 2.0 // predecode + bitline, as in rename
+            + drive(&wordline)
+            + drive(&routing);
+
+        // The tag array is narrow (tag_bits per way) but has the same row
+        // count per bank; the compare adds log-depth XOR/NOR stages.
+        let tag_rows = (params.sets() as f64).min(256.0);
+        let tag_bitline = Wire::new(tag_rows * cell);
+        let tag_wordline = Wire::new(params.tag_bits() as f64 * cell);
+        let cmp_stages = 2.0 + gates::tree_height(params.tag_bits().max(2), 4) as f64;
+        let tag_path_ps = gates::stages_ps(tech, array_stages + cmp_stages)
+            + drive(&tag_bitline) * 2.0
+            + drive(&tag_wordline)
+            + drive(&routing);
+
+        // Way select: mux fan-in plus the select-signal drive across the
+        // ways -- the part of the access that associativity makes slower.
+        let select_stages = 1.0
+            + gates::tree_height(params.ways.max(2), 4) as f64
+            + 0.4 * params.ways as f64;
+        let select_ps = gates::stages_ps(tech, select_stages);
+
+        CacheDelay { data_path_ps, tag_path_ps, select_ps }
+    }
+
+    /// Total access time: the slower of the two parallel paths plus the
+    /// output select.
+    pub fn total_ps(&self) -> f64 {
+        self.data_path_ps.max(self.tag_path_ps) + self.select_ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FeatureSize;
+
+    fn tech() -> Technology {
+        Technology::new(FeatureSize::U018)
+    }
+
+    #[test]
+    fn table3_geometry() {
+        let p = CacheParams::table3_dcache();
+        assert_eq!(p.sets(), 512);
+        assert_eq!(p.tag_bits(), 32 - 5 - 9);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn grows_with_size_and_associativity() {
+        let d = |bytes, ways| {
+            CacheDelay::compute(
+                &tech(),
+                &CacheParams { bytes, ways, line_bytes: 32, ports: 4 },
+            )
+            .total_ps()
+        };
+        assert!(d(64 * 1024, 2) > d(32 * 1024, 2), "bigger cache is slower");
+        assert!(d(32 * 1024, 8) > d(32 * 1024, 2), "higher associativity is slower");
+    }
+
+    #[test]
+    fn more_ports_are_slower() {
+        let d = |ports| {
+            CacheDelay::compute(
+                &tech(),
+                &CacheParams { ports, ..CacheParams::table3_dcache() },
+            )
+            .total_ps()
+        };
+        assert!(d(8) > d(4));
+        assert!(d(4) > d(1));
+    }
+
+    #[test]
+    fn tag_compare_costs_beyond_the_array() {
+        let d = CacheDelay::compute(&tech(), &CacheParams::table3_dcache());
+        assert!(d.select_ps > 0.0);
+        assert!(d.total_ps() >= d.data_path_ps.max(d.tag_path_ps));
+        // The tag array is narrower but pays the comparator: at Table 3
+        // geometry the two paths are the same order of magnitude.
+        let ratio = d.tag_path_ps / d.data_path_ps;
+        assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn comparable_to_the_window_logic_scale() {
+        // Sanity: a 32 KB cache access lands in the same order of magnitude
+        // as the other pipeline structures (it is pipelined in practice).
+        let d = CacheDelay::compute(&tech(), &CacheParams::table3_dcache()).total_ps();
+        assert!((200.0..3_000.0).contains(&d), "{d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cache geometry")]
+    fn bad_geometry_panics() {
+        let _ = CacheDelay::compute(
+            &tech(),
+            &CacheParams { bytes: 1000, ways: 3, line_bytes: 24, ports: 1 },
+        );
+    }
+}

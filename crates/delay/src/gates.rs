@@ -1,0 +1,113 @@
+//! Gate-stage (logic) delay model.
+//!
+//! Logic delay is expressed in units of the technology's fan-out-of-4
+//! inverter delay (FO4), the standard technology-independent currency for
+//! comparing pipeline logic depths. Structures specify their depth in
+//! *stages*; a stage is one FO4-equivalent level of static logic. Dynamic
+//! gates (the wakeup comparators) and sense amplifiers are expressed as
+//! fractional stage counts in [`calib`](crate::calib).
+
+use crate::Technology;
+
+/// Delay of `stages` FO4-equivalent logic levels, in picoseconds.
+///
+/// ```
+/// use ce_delay::{FeatureSize, Technology};
+/// use ce_delay::gates::stages_ps;
+///
+/// let t = Technology::new(FeatureSize::U018);
+/// assert_eq!(stages_ps(&t, 2.0), 2.0 * t.tau_fo4_ps());
+/// ```
+pub fn stages_ps(tech: &Technology, stages: f64) -> f64 {
+    debug_assert!(stages >= 0.0);
+    stages * tech.tau_fo4_ps()
+}
+
+/// Delay of an optimally tapered buffer chain driving a load `cap_ratio`
+/// times larger than a minimum inverter input, in picoseconds.
+///
+/// Classical sizing: a fan-out-of-4 chain needs `log4(cap_ratio)` stages,
+/// each costing one FO4 delay. Ratios at or below 1 cost a single stage
+/// (you still need a driver).
+pub fn buffer_chain_ps(tech: &Technology, cap_ratio: f64) -> f64 {
+    debug_assert!(cap_ratio.is_finite() && cap_ratio > 0.0);
+    let stages = if cap_ratio <= 1.0 { 1.0 } else { cap_ratio.log(4.0).max(1.0) };
+    stages * tech.tau_fo4_ps()
+}
+
+/// Effective output resistance of a driver sized `size` times a minimum
+/// inverter, in ohms.
+///
+/// The minimum-inverter resistance is chosen so that `R_min · C_min` equals
+/// one FO4 delay at each technology; larger drivers scale resistance down
+/// linearly.
+pub fn driver_resistance_ohm(tech: &Technology, size: f64) -> f64 {
+    debug_assert!(size >= 1.0);
+    crate::calib::R_MIN_DRIVER_OHM * tech.tau_fo4_ps() / crate::calib::TAU_FO4_018_PS / size
+}
+
+/// Number of arbitration-tree levels needed to select among `n` requesters
+/// with `fanin`-input arbiter cells: `ceil(log_fanin(n))`, minimum 1.
+pub fn tree_height(n: usize, fanin: usize) -> u32 {
+    assert!(fanin >= 2, "arbiter cells need at least two inputs");
+    if n <= 1 {
+        return 1;
+    }
+    let mut height = 0u32;
+    let mut covered = 1usize;
+    while covered < n {
+        covered = covered.saturating_mul(fanin);
+        height += 1;
+    }
+    height
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FeatureSize;
+
+    #[test]
+    fn stage_delay_scales_with_technology() {
+        let [t08, _, t018] = Technology::all();
+        assert!(stages_ps(&t08, 3.0) > stages_ps(&t018, 3.0));
+    }
+
+    #[test]
+    fn buffer_chain_grows_logarithmically() {
+        let t = Technology::new(FeatureSize::U018);
+        let d16 = buffer_chain_ps(&t, 16.0);
+        let d256 = buffer_chain_ps(&t, 256.0);
+        assert!((d256 / d16 - 2.0).abs() < 1e-9, "log4(256)/log4(16) = 2");
+    }
+
+    #[test]
+    fn buffer_chain_minimum_one_stage() {
+        let t = Technology::new(FeatureSize::U018);
+        assert_eq!(buffer_chain_ps(&t, 0.5), t.tau_fo4_ps());
+        assert_eq!(buffer_chain_ps(&t, 2.0), t.tau_fo4_ps());
+    }
+
+    #[test]
+    fn tree_heights_match_paper_base4() {
+        // The paper found 4-input arbiters optimal; selection delay grows
+        // with ceil(log4(window)).
+        assert_eq!(tree_height(16, 4), 2);
+        assert_eq!(tree_height(32, 4), 3);
+        assert_eq!(tree_height(64, 4), 3);
+        assert_eq!(tree_height(128, 4), 4);
+        assert_eq!(tree_height(1, 4), 1);
+    }
+
+    #[test]
+    fn bigger_drivers_have_lower_resistance() {
+        let t = Technology::new(FeatureSize::U018);
+        assert!(driver_resistance_ohm(&t, 8.0) < driver_resistance_ohm(&t, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn tree_height_rejects_unary_fanin() {
+        let _ = tree_height(8, 1);
+    }
+}

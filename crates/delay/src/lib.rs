@@ -1,0 +1,58 @@
+//! # ce-delay — analytical delay models for superscalar pipeline structures
+//!
+//! A Rust reimplementation of the circuit-delay methodology of Palacharla,
+//! Jouppi & Smith, *Complexity-Effective Superscalar Processors* (ISCA 1997)
+//! and its companion technical report *Quantifying the Complexity of
+//! Superscalar Processors* (UW-Madison CS-TR-96-1328).
+//!
+//! The paper measures the complexity of a microarchitecture as the critical
+//! path delay through four structures, each modeled here as a function of
+//! **issue width**, **window size**, and **CMOS feature size**:
+//!
+//! | Module | Structure | Paper artifact |
+//! |---|---|---|
+//! | [`rename`] | register rename map table (RAM & CAM schemes) | Fig. 3 |
+//! | [`wakeup`] | issue-window tag broadcast/match CAM | Figs. 5–6 |
+//! | [`select`] | tree of 4-input arbiters | Fig. 8 |
+//! | [`bypass`] | operand result wires | Table 1 |
+//! | [`restable`] | dependence-based reservation table | Table 4 |
+//! | [`pipeline`] | per-stage roll-up and clock estimation | Table 2 |
+//!
+//! ## Substitution for Hspice
+//!
+//! The original work sized transistors by hand and ran Hspice on extracted
+//! layouts. This crate substitutes a structural-analytical model: wire
+//! lengths are derived from layout geometry expressed in λ (half the feature
+//! size), wires contribute distributed-RC (Elmore) delay, and logic
+//! contributes technology-scaled gate-stage delay. Per-technology constants
+//! live in [`calib`] and are calibrated against the delay values printed in
+//! the paper; the growth *shapes* — linear, quadratic, logarithmic — come
+//! from the structural equations, not from the calibration.
+//!
+//! ## Example
+//!
+//! ```
+//! use ce_delay::{FeatureSize, Technology};
+//! use ce_delay::wakeup::{WakeupDelay, WakeupParams};
+//!
+//! let tech = Technology::new(FeatureSize::U018);
+//! let fast = WakeupDelay::compute(&tech, &WakeupParams::new(4, 32));
+//! let slow = WakeupDelay::compute(&tech, &WakeupParams::new(8, 64));
+//! assert!(slow.total_ps() > fast.total_ps());
+//! ```
+
+pub mod bypass;
+pub mod cache;
+pub mod calib;
+pub mod gates;
+pub mod pipeline;
+pub mod regfile;
+pub mod rename;
+pub mod restable;
+pub mod select;
+pub mod technology;
+pub mod wakeup;
+pub mod wire;
+
+pub use pipeline::{PipelineDelays, StageDelay};
+pub use technology::{FeatureSize, Technology};

@@ -1,0 +1,159 @@
+//! Register-file access-time model (an extension after Farkas, Jouppi &
+//! Chow, whom the paper cites for how access time varies with register and
+//! port count).
+//!
+//! The paper's Section 5.4 lists a third benefit of clustering beyond
+//! window and bypass relief: "using multiple copies of the register file
+//! reduces the number of ports on the register file and will make the
+//! access time of the register file faster." This module makes that claim
+//! computable with the same structural style as the rename model: a
+//! multi-ported RAM whose cells grow with port count in both dimensions.
+//!
+//! No anchor values exist in the paper for this structure, so absolute
+//! numbers are indicative; the *relative* claim (a clustered copy beats
+//! the centralized file) is what the model is for.
+
+use crate::wire::Wire;
+use crate::{calib, gates, Technology};
+
+/// Parameters of a register file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegfileParams {
+    /// Number of physical registers.
+    pub registers: usize,
+    /// Total ports (read + write).
+    pub ports: usize,
+    /// Data width in bits.
+    pub bits: usize,
+}
+
+impl RegfileParams {
+    /// The centralized file of an `issue_width`-wide machine: 2 read and 1
+    /// write port per issue slot, 64-bit registers (the era's Alpha/MIPS
+    /// generation), the paper's 120 physical registers.
+    pub fn centralized(issue_width: usize) -> RegfileParams {
+        RegfileParams { registers: 120, ports: 3 * issue_width, bits: 64 }
+    }
+
+    /// One cluster's copy in a `clusters`-way clustered machine: full port
+    /// complement for the local slots, plus one write port per remote slot
+    /// (every result is written to every copy — Section 5.4's organization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` is zero or does not divide `issue_width`.
+    pub fn clustered_copy(issue_width: usize, clusters: usize) -> RegfileParams {
+        assert!(clusters > 0, "need at least one cluster");
+        assert_eq!(issue_width % clusters, 0, "clusters must divide issue width");
+        let local = issue_width / clusters;
+        let remote_writes = issue_width - local;
+        RegfileParams { registers: 120, ports: 3 * local + remote_writes, bits: 64 }
+    }
+}
+
+/// Register-file access delay breakdown, picoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegfileDelay {
+    /// Address decode.
+    pub decode_ps: f64,
+    /// Wordline drive (spans the 64-bit data width).
+    pub wordline_ps: f64,
+    /// Bitline discharge (spans all registers).
+    pub bitline_ps: f64,
+    /// Sense amplification.
+    pub senseamp_ps: f64,
+}
+
+impl RegfileDelay {
+    /// Computes the access delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero.
+    pub fn compute(tech: &Technology, params: &RegfileParams) -> RegfileDelay {
+        assert!(
+            params.registers > 0 && params.ports > 0 && params.bits > 0,
+            "register file parameters must be positive"
+        );
+        let cell = calib::RENAME_CELL_BASE_LAMBDA
+            + calib::RENAME_CELL_PER_PORT_LAMBDA * params.ports as f64;
+        let wordline = Wire::new(params.bits as f64 * cell);
+        let bitline = Wire::new(params.registers as f64 * cell);
+        let drive = |w: &Wire| {
+            calib::R_DRIVER_OHM * w.capacitance_ff(tech) * 1e-3 + w.delay_ps(tech)
+        };
+        RegfileDelay {
+            decode_ps: gates::stages_ps(tech, calib::RENAME_DECODE_STAGES) + drive(&bitline),
+            wordline_ps: gates::stages_ps(tech, calib::RENAME_WORDLINE_STAGES)
+                + drive(&wordline),
+            bitline_ps: gates::stages_ps(tech, calib::RENAME_BITLINE_STAGES) + drive(&bitline),
+            senseamp_ps: gates::stages_ps(tech, calib::RENAME_SENSE_STAGES)
+                + 0.1 * drive(&bitline),
+        }
+    }
+
+    /// Total access delay, picoseconds.
+    pub fn total_ps(&self) -> f64 {
+        self.decode_ps + self.wordline_ps + self.bitline_ps + self.senseamp_ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FeatureSize;
+
+    fn tech() -> Technology {
+        Technology::new(FeatureSize::U018)
+    }
+
+    #[test]
+    fn port_counts_follow_section_5_4() {
+        assert_eq!(RegfileParams::centralized(8).ports, 24);
+        // 2 clusters of 4-way: 12 local ports + 4 remote write ports.
+        assert_eq!(RegfileParams::clustered_copy(8, 2).ports, 16);
+        // One cluster degenerates to the centralized file.
+        assert_eq!(
+            RegfileParams::clustered_copy(8, 1).ports,
+            RegfileParams::centralized(8).ports
+        );
+    }
+
+    #[test]
+    fn clustered_copy_is_faster_than_centralized() {
+        // Section 5.4's third advantage of clustering.
+        let central =
+            RegfileDelay::compute(&tech(), &RegfileParams::centralized(8)).total_ps();
+        let copy =
+            RegfileDelay::compute(&tech(), &RegfileParams::clustered_copy(8, 2)).total_ps();
+        assert!(copy < central, "copy {copy} vs centralized {central}");
+        assert!(central / copy > 1.05, "the gap should be material");
+    }
+
+    #[test]
+    fn monotone_in_ports_and_registers() {
+        let base = RegfileParams { registers: 120, ports: 12, bits: 64 };
+        let d = |p: RegfileParams| RegfileDelay::compute(&tech(), &p).total_ps();
+        assert!(d(RegfileParams { ports: 24, ..base }) > d(base));
+        assert!(d(RegfileParams { registers: 240, ..base }) > d(base));
+        assert!(d(RegfileParams { bits: 128, ..base }) > d(base));
+    }
+
+    #[test]
+    fn slower_than_rename_table_at_same_width() {
+        // 120 entries × 64 bits dwarfs the 32 × 7 map table.
+        let rf = RegfileDelay::compute(&tech(), &RegfileParams::centralized(8)).total_ps();
+        let rn = crate::rename::RenameDelay::compute(
+            &tech(),
+            &crate::rename::RenameParams::new(8),
+        )
+        .total_ps();
+        assert!(rf > rn);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn bad_cluster_split_panics() {
+        let _ = RegfileParams::clustered_copy(8, 3);
+    }
+}

@@ -1,0 +1,284 @@
+//! Register rename logic delay (paper Section 4.1, Figure 3).
+//!
+//! The RAM scheme (MIPS R10000 style) is modeled as a multi-ported register
+//! map table: 32 logical-register entries of 7-bit physical designators,
+//! with 3 ports per rename slot (two source reads plus one destination
+//! write). Increasing issue width adds ports, which grows every cell in both
+//! dimensions, lengthening the predecode, wordline, and bitline wires — the
+//! paper's "net effect": decode, wordline and bitline delays are effectively
+//! linear in issue width, with small quadratic wire terms.
+//!
+//! The CAM scheme (DEC 21264 / HAL SPARC64 style) is also provided for the
+//! Section 4.1.1 comparison: its array has one entry per *physical* register,
+//! so it scales worse as machines get wider.
+
+use crate::wire::Wire;
+use crate::{calib, gates, Technology};
+
+/// Which rename organization to model (Section 4.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RenameScheme {
+    /// Map-table RAM indexed by logical register (R10000). The paper's
+    /// focus, and the default.
+    #[default]
+    Ram,
+    /// CAM keyed on logical designator with one entry per physical register
+    /// (21264 / SPARC64).
+    Cam,
+}
+
+/// Parameters of the rename logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RenameParams {
+    /// Instructions renamed per cycle.
+    pub issue_width: usize,
+    /// Number of physical registers (sets the CAM size and designator width).
+    pub physical_regs: usize,
+    /// RAM or CAM organization.
+    pub scheme: RenameScheme,
+}
+
+impl RenameParams {
+    /// RAM-scheme parameters for a machine of the given issue width, with
+    /// the paper's 120-physical-register configuration.
+    pub fn new(issue_width: usize) -> RenameParams {
+        RenameParams { issue_width, physical_regs: 120, scheme: RenameScheme::Ram }
+    }
+
+    /// Ports into the map table: two source reads and one destination write
+    /// per rename slot.
+    pub fn ports(&self) -> usize {
+        3 * self.issue_width
+    }
+}
+
+/// Delay breakdown of the rename logic, all in picoseconds.
+///
+/// Mirrors the paper's decomposition:
+/// `T_rename = T_decode + T_wordline + T_bitline + T_senseamp`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RenameDelay {
+    /// Address decoder delay.
+    pub decode_ps: f64,
+    /// Wordline drive delay.
+    pub wordline_ps: f64,
+    /// Bitline discharge delay.
+    pub bitline_ps: f64,
+    /// Sense amplifier delay.
+    pub senseamp_ps: f64,
+}
+
+impl RenameDelay {
+    /// Computes the rename delay for the given technology and parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `issue_width` is zero.
+    pub fn compute(tech: &Technology, params: &RenameParams) -> RenameDelay {
+        assert!(params.issue_width > 0, "issue width must be positive");
+        match params.scheme {
+            RenameScheme::Ram => Self::compute_ram(tech, params),
+            RenameScheme::Cam => Self::compute_cam(tech, params),
+        }
+    }
+
+    fn compute_ram(tech: &Technology, params: &RenameParams) -> RenameDelay {
+        let ports = params.ports() as f64;
+        let cell =
+            calib::RENAME_CELL_BASE_LAMBDA + calib::RENAME_CELL_PER_PORT_LAMBDA * ports;
+        let entries = calib::LOGICAL_REGS as f64;
+        let bits = calib::PHYS_REG_BITS as f64;
+
+        // Predecode lines run the height of the array (same span as the
+        // bitlines); wordlines run across the bits of one entry; bitlines
+        // run the height of the array.
+        let predecode = Wire::new(entries * cell);
+        let wordline = Wire::new(bits * cell);
+        let bitline = Wire::new(entries * cell);
+
+        let drive = |w: &Wire| {
+            calib::R_DRIVER_OHM * w.capacitance_ff(tech) * 1e-3 + w.delay_ps(tech)
+        };
+
+        let decode_ps =
+            gates::stages_ps(tech, calib::RENAME_DECODE_STAGES) + drive(&predecode);
+        let wordline_ps =
+            gates::stages_ps(tech, calib::RENAME_WORDLINE_STAGES) + drive(&wordline);
+        let bitline_ps =
+            gates::stages_ps(tech, calib::RENAME_BITLINE_STAGES) + drive(&bitline);
+        // The sense amp's delay tracks the slope of its bitline input
+        // (Section 4.1.2), which our model folds into a fixed fraction of
+        // the bitline wire term.
+        let senseamp_ps =
+            gates::stages_ps(tech, calib::RENAME_SENSE_STAGES) + 0.1 * drive(&bitline);
+
+        RenameDelay { decode_ps, wordline_ps, bitline_ps, senseamp_ps }
+    }
+
+    fn compute_cam(tech: &Technology, params: &RenameParams) -> RenameDelay {
+        // CAM: one entry per physical register; renaming matches the logical
+        // designator against every entry, so the "bitline" role is played by
+        // the match/tag lines spanning all physical registers.
+        let ports = params.ports() as f64;
+        let cell =
+            calib::RENAME_CELL_BASE_LAMBDA + calib::RENAME_CELL_PER_PORT_LAMBDA * ports;
+        let entries = params.physical_regs as f64;
+        let bits = 5.0; // logical designator width
+
+        let tagline = Wire::new(entries * cell);
+        let matchline = Wire::new(bits * cell);
+
+        let drive = |w: &Wire| {
+            calib::R_DRIVER_OHM * w.capacitance_ff(tech) * 1e-3 + w.delay_ps(tech)
+        };
+
+        // No decoder; the designator is broadcast (decode slot reports 0).
+        let decode_ps = 0.0;
+        let wordline_ps = gates::stages_ps(tech, calib::TAG_DRIVE_STAGES) + drive(&tagline);
+        let bitline_ps =
+            gates::stages_ps(tech, calib::TAG_MATCH_STAGES) + drive(&matchline);
+        // Match resolution + read of the matched entry.
+        let senseamp_ps =
+            gates::stages_ps(tech, calib::RENAME_SENSE_STAGES + 1.0) + 0.1 * drive(&tagline);
+
+        RenameDelay { decode_ps, wordline_ps, bitline_ps, senseamp_ps }
+    }
+
+    /// Total rename delay, picoseconds.
+    pub fn total_ps(&self) -> f64 {
+        self.decode_ps + self.wordline_ps + self.bitline_ps + self.senseamp_ps
+    }
+}
+
+/// Delay of the dependence-check (intra-group) comparison logic.
+///
+/// The paper found this always hides behind the map-table access for issue
+/// widths up to 8; the model preserves that property: a comparator tree over
+/// the current rename group.
+pub fn dependence_check_ps(tech: &Technology, issue_width: usize) -> f64 {
+    assert!(issue_width > 0);
+    // Compare against up to (issue_width - 1) earlier destinations, then
+    // priority-select the youngest: log-depth comparator + mux tree.
+    let levels = gates::tree_height(issue_width.max(2), 2) as f64;
+    gates::stages_ps(tech, 2.0 + 1.5 * levels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FeatureSize;
+
+    fn ram(tech: &Technology, iw: usize) -> RenameDelay {
+        RenameDelay::compute(tech, &RenameParams::new(iw))
+    }
+
+    #[test]
+    fn table2_anchor_4way() {
+        // Paper Table 2 rename, 4-way: 1577.9 / 627.2 / 351.0 ps.
+        let expected = [1577.9, 627.2, 351.0];
+        for (tech, want) in Technology::all().iter().zip(expected) {
+            let got = ram(tech, 4).total_ps();
+            assert!((got - want).abs() / want < 0.05, "{tech}: got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn table2_anchor_8way() {
+        // Paper Table 2 rename, 8-way: 1710.5 / 726.6 / 427.9 ps.
+        let expected = [1710.5, 726.6, 427.9];
+        for (tech, want) in Technology::all().iter().zip(expected) {
+            let got = ram(tech, 8).total_ps();
+            assert!((got - want).abs() / want < 0.15, "{tech}: got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn delay_increases_linearly_with_issue_width() {
+        let tech = Technology::new(FeatureSize::U018);
+        let d2 = ram(&tech, 2).total_ps();
+        let d4 = ram(&tech, 4).total_ps();
+        let d8 = ram(&tech, 8).total_ps();
+        assert!(d2 < d4 && d4 < d8);
+        // Effectively linear: the 4→8 increment is roughly twice the 2→4
+        // increment, inflated a little by the small quadratic wire term
+        // (Section 4.1.2: "the quadratic component is relatively small").
+        let ratio = (d8 - d4) / (d4 - d2);
+        assert!((1.5..=3.0).contains(&ratio), "increment ratio {ratio}");
+    }
+
+    #[test]
+    fn bitline_grows_faster_than_wordline() {
+        // Bitlines span 32 logical registers; wordlines span only ~7 bits.
+        let tech = Technology::new(FeatureSize::U018);
+        let d4 = ram(&tech, 4);
+        let d8 = ram(&tech, 8);
+        let bitline_growth = d8.bitline_ps - d4.bitline_ps;
+        let wordline_growth = d8.wordline_ps - d4.wordline_ps;
+        assert!(bitline_growth > wordline_growth);
+    }
+
+    #[test]
+    fn wire_fraction_grows_as_feature_shrinks() {
+        // Section 4.1.3: wire delays in word/bitline structures become
+        // increasingly important as feature sizes are reduced.
+        let frac = |f: FeatureSize| {
+            let tech = Technology::new(f);
+            let d = ram(&tech, 8);
+            let logic = crate::gates::stages_ps(
+                &tech,
+                calib::RENAME_DECODE_STAGES
+                    + calib::RENAME_WORDLINE_STAGES
+                    + calib::RENAME_BITLINE_STAGES
+                    + calib::RENAME_SENSE_STAGES,
+            );
+            (d.total_ps() - logic) / d.total_ps()
+        };
+        assert!(frac(FeatureSize::U018) > frac(FeatureSize::U035));
+        assert!(frac(FeatureSize::U035) > frac(FeatureSize::U080));
+    }
+
+    #[test]
+    fn cam_scheme_scales_worse_with_physical_registers() {
+        let tech = Technology::new(FeatureSize::U018);
+        let small = RenameDelay::compute(
+            &tech,
+            &RenameParams { issue_width: 4, physical_regs: 80, scheme: RenameScheme::Cam },
+        );
+        let big = RenameDelay::compute(
+            &tech,
+            &RenameParams { issue_width: 4, physical_regs: 160, scheme: RenameScheme::Cam },
+        );
+        assert!(big.total_ps() > small.total_ps());
+        // The RAM scheme is insensitive to physical register count.
+        let ram_small = RenameDelay::compute(
+            &tech,
+            &RenameParams { issue_width: 4, physical_regs: 80, scheme: RenameScheme::Ram },
+        );
+        let ram_big = RenameDelay::compute(
+            &tech,
+            &RenameParams { issue_width: 4, physical_regs: 160, scheme: RenameScheme::Ram },
+        );
+        assert_eq!(ram_small.total_ps(), ram_big.total_ps());
+    }
+
+    #[test]
+    fn dependence_check_hides_behind_map_table() {
+        // Section 4.1.1: for issue widths 2–8 the check is faster than the
+        // map-table access.
+        for tech in Technology::all() {
+            for iw in [2, 4, 8] {
+                assert!(
+                    dependence_check_ps(&tech, iw) < ram(&tech, iw).total_ps(),
+                    "{tech}, {iw}-way"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_issue_width_panics() {
+        let tech = Technology::new(FeatureSize::U018);
+        let _ = ram(&tech, 0);
+    }
+}

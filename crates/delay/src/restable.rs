@@ -1,0 +1,149 @@
+//! Reservation-table delay for the dependence-based microarchitecture
+//! (paper Section 5.3, Table 4).
+//!
+//! In the dependence-based design, wakeup does not broadcast tags across a
+//! CAM; instead the instructions at the FIFO heads interrogate a tiny RAM —
+//! one *reservation bit* per physical register, set at dispatch and cleared
+//! at writeback. The table for 80 physical registers is laid out as a
+//! 10-entry × 8-bit array with a column MUX, so its access time is far
+//! below both the CAM-window wakeup delay and the rename delay — the
+//! quantitative heart of the paper's complexity-effectiveness argument.
+
+use crate::wire::Wire;
+use crate::{calib, gates, Technology};
+
+/// Parameters of the reservation table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResTableParams {
+    /// Machine issue width (sets the port count).
+    pub issue_width: usize,
+    /// Number of physical registers (one reservation bit each).
+    pub physical_regs: usize,
+}
+
+impl ResTableParams {
+    /// Parameters matching the paper's Table 4 rows: 80 physical registers
+    /// at 4-way, 128 at 8-way; other widths interpolate at 20 per slot.
+    pub fn new(issue_width: usize) -> ResTableParams {
+        let physical_regs = match issue_width {
+            4 => 80,
+            8 => 128,
+            w => 20 * w.max(1),
+        };
+        ResTableParams { issue_width, physical_regs }
+    }
+
+    /// Rows in the array (`physical_regs / 8`, rounded up).
+    pub fn entries(&self) -> usize {
+        self.physical_regs.div_ceil(calib::RESTABLE_ROW_BITS)
+    }
+}
+
+/// Reservation-table access delay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResTableDelay {
+    /// Array access logic (decode, bitline, sense, column mux), picoseconds.
+    pub access_ps: f64,
+    /// Wire contribution of the (short) word/bit lines, picoseconds.
+    pub wire_ps: f64,
+}
+
+impl ResTableDelay {
+    /// Computes the reservation-table delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `issue_width` or `physical_regs` is zero.
+    pub fn compute(tech: &Technology, params: &ResTableParams) -> ResTableDelay {
+        assert!(params.issue_width > 0, "issue width must be positive");
+        assert!(params.physical_regs > 0, "physical registers must be positive");
+
+        // Port circuitry, word-select, and column-mux fan-in all grow with
+        // issue width; the array itself is tiny.
+        let stages = calib::RESTABLE_BASE_STAGES
+            + calib::RESTABLE_STAGES_PER_SLOT * params.issue_width as f64;
+        let access_ps = gates::stages_ps(tech, stages);
+
+        let ports = 3.0 * params.issue_width as f64;
+        let cell =
+            calib::RESTABLE_CELL_BASE_LAMBDA + calib::RESTABLE_CELL_PER_PORT_LAMBDA * ports;
+        let bitline = Wire::new(params.entries() as f64 * cell);
+        let wordline = Wire::new(calib::RESTABLE_ROW_BITS as f64 * cell);
+        let wire_ps = calib::R_DRIVER_OHM
+            * (bitline.capacitance_ff(tech) + wordline.capacitance_ff(tech))
+            * 1e-3
+            + bitline.delay_ps(tech)
+            + wordline.delay_ps(tech);
+
+        ResTableDelay { access_ps, wire_ps }
+    }
+
+    /// Total access delay, picoseconds.
+    pub fn total_ps(&self) -> f64 {
+        self.access_ps + self.wire_ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rename::{RenameDelay, RenameParams};
+    use crate::wakeup::{WakeupDelay, WakeupParams};
+    use crate::FeatureSize;
+
+    #[test]
+    fn table4_anchors() {
+        // Paper Table 4 (0.18 µm): 192.1 ps at 4-way, 251.7 ps at 8-way.
+        let tech = Technology::new(FeatureSize::U018);
+        let d4 = ResTableDelay::compute(&tech, &ResTableParams::new(4)).total_ps();
+        let d8 = ResTableDelay::compute(&tech, &ResTableParams::new(8)).total_ps();
+        assert!((d4 - 192.1).abs() / 192.1 < 0.05, "4-way {d4}");
+        assert!((d8 - 251.7).abs() / 251.7 < 0.05, "8-way {d8}");
+    }
+
+    #[test]
+    fn layout_matches_paper_example() {
+        // "For a 4-way machine with 80 physical registers, the reservation
+        // table can be laid out as a 10-entry table with each entry storing
+        // 8 bits."
+        let p = ResTableParams::new(4);
+        assert_eq!(p.physical_regs, 80);
+        assert_eq!(p.entries(), 10);
+        assert_eq!(ResTableParams::new(8).entries(), 16);
+    }
+
+    #[test]
+    fn much_faster_than_cam_window_wakeup() {
+        // Section 5.3: "for both cases, the wakeup delay is much smaller
+        // than the wakeup delay for a 4-way, 32-entry issue window".
+        for tech in Technology::all() {
+            let cam = WakeupDelay::compute(&tech, &WakeupParams::new(4, 32)).total_ps();
+            for iw in [4, 8] {
+                let rt = ResTableDelay::compute(&tech, &ResTableParams::new(iw)).total_ps();
+                assert!(rt < cam, "{tech} {iw}-way: {rt} !< {cam}");
+            }
+        }
+    }
+
+    #[test]
+    fn faster_than_rename() {
+        // Section 5.3: "this delay is smaller than the corresponding
+        // register renaming delay" — which is what makes rename the new
+        // critical stage.
+        for tech in Technology::all() {
+            for iw in [4, 8] {
+                let rt = ResTableDelay::compute(&tech, &ResTableParams::new(iw)).total_ps();
+                let rn = RenameDelay::compute(&tech, &RenameParams::new(iw)).total_ps();
+                assert!(rt < rn, "{tech} {iw}-way");
+            }
+        }
+    }
+
+    #[test]
+    fn grows_with_issue_width() {
+        let tech = Technology::new(FeatureSize::U018);
+        let d = |iw| ResTableDelay::compute(&tech, &ResTableParams::new(iw)).total_ps();
+        assert!(d(2) < d(4));
+        assert!(d(4) < d(8));
+    }
+}

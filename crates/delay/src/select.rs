@@ -1,0 +1,189 @@
+//! Selection logic delay (paper Section 4.3, Figure 8).
+//!
+//! Selection is a tree of 4-input arbiter cells. Request signals propagate
+//! from the window entries up to the root; the root grants one requester;
+//! the grant propagates back down to the selected instruction:
+//!
+//! `T_select = (h−1)·T_req + T_root + (h−1)·T_grant`,  `h = ⌈log₄ W⌉`
+//!
+//! All three components are pure logic (the paper's model deliberately
+//! excludes the request wires), so selection delay scales well with feature
+//! size and grows only logarithmically with window size — the root-cell
+//! term is window-independent, which is why doubling the window raises the
+//! delay by less than 100 %.
+
+use crate::{calib, gates, Technology};
+
+/// Parameters of the selection logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelectParams {
+    /// Number of window entries arbitrated over.
+    pub window_size: usize,
+    /// Arbiter cell fan-in (the paper found 4 optimal).
+    pub arbiter_fanin: usize,
+    /// Simultaneous grants issued by this selection block — the number of
+    /// identical functional units it schedules (the paper's Figure 8
+    /// assumes 1; the companion tech report extends to several via stacked
+    /// arbitration).
+    pub grants: usize,
+}
+
+impl SelectParams {
+    /// Parameters with the paper's 4-input arbiter cells and a single
+    /// functional unit (the Figure 8 configuration).
+    pub fn new(window_size: usize) -> SelectParams {
+        SelectParams { window_size, arbiter_fanin: calib::SELECT_FANIN, grants: 1 }
+    }
+
+    /// The same, scheduling `grants` identical units from one block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grants` is zero.
+    pub fn with_grants(window_size: usize, grants: usize) -> SelectParams {
+        assert!(grants > 0, "need at least one grant");
+        SelectParams { grants, ..SelectParams::new(window_size) }
+    }
+
+    /// Height of the arbitration tree.
+    pub fn tree_height(&self) -> u32 {
+        gates::tree_height(self.window_size, self.arbiter_fanin)
+    }
+}
+
+/// Delay breakdown of the selection logic, all in picoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelectDelay {
+    /// Request (`anyreq`) propagation from the leaves to the root.
+    pub request_prop_ps: f64,
+    /// Root-cell priority arbitration.
+    pub root_ps: f64,
+    /// Grant propagation from the root back to the selected entry.
+    pub grant_prop_ps: f64,
+}
+
+impl SelectDelay {
+    /// Computes the selection delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_size` is zero or `arbiter_fanin < 2`.
+    pub fn compute(tech: &Technology, params: &SelectParams) -> SelectDelay {
+        assert!(params.window_size > 0, "window size must be positive");
+        assert!(params.grants > 0, "need at least one grant");
+        let levels_below_root = (params.tree_height() - 1) as f64;
+        // Extra grants deepen the root arbitration (stacked priority
+        // encoding) but leave the request/grant propagation untouched.
+        let root_stages = calib::SELECT_ROOT_STAGES
+            + calib::SELECT_EXTRA_GRANT_STAGES * (params.grants as f64 - 1.0);
+        SelectDelay {
+            request_prop_ps: gates::stages_ps(
+                tech,
+                calib::SELECT_REQ_STAGES_PER_LEVEL * levels_below_root,
+            ),
+            root_ps: gates::stages_ps(tech, root_stages),
+            grant_prop_ps: gates::stages_ps(
+                tech,
+                calib::SELECT_GRANT_STAGES_PER_LEVEL * levels_below_root,
+            ),
+        }
+    }
+
+    /// Total selection delay, picoseconds.
+    pub fn total_ps(&self) -> f64 {
+        self.request_prop_ps + self.root_ps + self.grant_prop_ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FeatureSize;
+
+    fn select(tech: &Technology, w: usize) -> SelectDelay {
+        SelectDelay::compute(tech, &SelectParams::new(w))
+    }
+
+    #[test]
+    fn grows_logarithmically_with_window_size() {
+        let tech = Technology::new(FeatureSize::U018);
+        let d16 = select(&tech, 16).total_ps();
+        let d32 = select(&tech, 32).total_ps();
+        let d64 = select(&tech, 64).total_ps();
+        let d128 = select(&tech, 128).total_ps();
+        // 32 and 64 share a tree height of 3 with base-4 arbiters.
+        assert!(d16 < d32);
+        assert_eq!(d32, d64);
+        assert!(d64 < d128);
+    }
+
+    #[test]
+    fn doubling_window_increases_delay_less_than_100_percent() {
+        // Section 4.3.3: the root-cell delay is window-independent.
+        let tech = Technology::new(FeatureSize::U035);
+        let d16 = select(&tech, 16).total_ps();
+        let d32 = select(&tech, 32).total_ps();
+        let d64 = select(&tech, 64).total_ps();
+        let d128 = select(&tech, 128).total_ps();
+        assert!(d32 / d16 < 2.0);
+        assert!(d128 / d64 < 2.0);
+    }
+
+    #[test]
+    fn scales_fully_with_feature_size() {
+        // All logic, no wires: delay ratio across technologies equals the
+        // FO4 ratio exactly.
+        let [t080, t035, t018] = Technology::all();
+        let r_delay = select(&t080, 64).total_ps() / select(&t018, 64).total_ps();
+        let r_tau = t080.tau_fo4_ps() / t018.tau_fo4_ps();
+        assert!((r_delay - r_tau).abs() < 1e-9);
+        let r_delay = select(&t035, 64).total_ps() / select(&t018, 64).total_ps();
+        let r_tau = t035.tau_fo4_ps() / t018.tau_fo4_ps();
+        assert!((r_delay - r_tau).abs() < 1e-9);
+    }
+
+    #[test]
+    fn root_delay_is_window_independent() {
+        let tech = Technology::new(FeatureSize::U018);
+        assert_eq!(select(&tech, 16).root_ps, select(&tech, 128).root_ps);
+    }
+
+    #[test]
+    fn component_breakdown_is_consistent() {
+        let tech = Technology::new(FeatureSize::U018);
+        let d = select(&tech, 64);
+        assert!(d.request_prop_ps > 0.0);
+        assert!(d.root_ps > 0.0);
+        assert_eq!(d.request_prop_ps, d.grant_prop_ps);
+        assert!((d.total_ps() - (d.request_prop_ps + d.root_ps + d.grant_prop_ps)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extra_grants_deepen_only_the_root() {
+        let tech = Technology::new(FeatureSize::U018);
+        let one = SelectDelay::compute(&tech, &SelectParams::with_grants(64, 1));
+        let four = SelectDelay::compute(&tech, &SelectParams::with_grants(64, 4));
+        assert!(four.root_ps > one.root_ps);
+        assert_eq!(four.request_prop_ps, one.request_prop_ps);
+        assert_eq!(four.grant_prop_ps, one.grant_prop_ps);
+        assert_eq!(
+            SelectDelay::compute(&tech, &SelectParams::new(64)).total_ps(),
+            one.total_ps(),
+            "Figure 8's single-unit configuration is the default"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one grant")]
+    fn zero_grants_panics() {
+        let _ = SelectParams::with_grants(64, 0);
+    }
+
+    #[test]
+    fn single_entry_window_still_pays_root() {
+        let tech = Technology::new(FeatureSize::U018);
+        let d = select(&tech, 1);
+        assert_eq!(d.request_prop_ps, 0.0);
+        assert!(d.root_ps > 0.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! CMOS technology parameters for the three feature sizes studied in the
+//! paper.
+
+use std::fmt;
+
+/// The three CMOS generations simulated in the paper (Section 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FeatureSize {
+    /// 0.8 µm (the oldest technology in the study; 5 V class).
+    U080,
+    /// 0.35 µm (3.3 V class).
+    U035,
+    /// 0.18 µm (the "future generation" the paper focuses on).
+    U018,
+}
+
+impl FeatureSize {
+    /// Drawn feature size in micrometres.
+    pub fn micrometers(self) -> f64 {
+        match self {
+            FeatureSize::U080 => 0.8,
+            FeatureSize::U035 => 0.35,
+            FeatureSize::U018 => 0.18,
+        }
+    }
+
+    /// λ, half the feature size, in micrometres — the layout length unit.
+    pub fn lambda_um(self) -> f64 {
+        self.micrometers() / 2.0
+    }
+
+    /// All three feature sizes, largest (oldest) first — the order the
+    /// paper's figures use.
+    pub fn all() -> [FeatureSize; 3] {
+        [FeatureSize::U080, FeatureSize::U035, FeatureSize::U018]
+    }
+}
+
+impl fmt::Display for FeatureSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}um", self.micrometers())
+    }
+}
+
+/// Technology parameters used by all delay models.
+///
+/// The scaling model follows the paper's assumptions:
+///
+/// * **logic** delay scales with the per-technology gate-stage delay
+///   [`tau_fo4_ps`](Self::tau_fo4_ps) (fitted per generation — real
+///   generations do not scale perfectly linearly because supply voltage
+///   changes too);
+/// * **wire** delay per λ² is *constant* across generations ("wire delays
+///   are constant according to the scaling model assumed", Section 4.4.3),
+///   so structures dominated by wires stop improving as feature size
+///   shrinks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Technology {
+    feature: FeatureSize,
+    tau_fo4_ps: f64,
+    r_per_lambda_ohm: f64,
+    c_per_lambda_ff: f64,
+}
+
+impl Technology {
+    /// Creates the calibrated technology model for a feature size.
+    pub fn new(feature: FeatureSize) -> Technology {
+        let tau_fo4_ps = match feature {
+            FeatureSize::U080 => crate::calib::TAU_FO4_080_PS,
+            FeatureSize::U035 => crate::calib::TAU_FO4_035_PS,
+            FeatureSize::U018 => crate::calib::TAU_FO4_018_PS,
+        };
+        Technology {
+            feature,
+            tau_fo4_ps,
+            r_per_lambda_ohm: crate::calib::R_PER_LAMBDA_OHM,
+            c_per_lambda_ff: crate::calib::C_PER_LAMBDA_FF,
+        }
+    }
+
+    /// The feature size this model describes.
+    pub fn feature(&self) -> FeatureSize {
+        self.feature
+    }
+
+    /// Fan-out-of-4 inverter stage delay, in picoseconds — the unit of all
+    /// logic delay in the models.
+    pub fn tau_fo4_ps(&self) -> f64 {
+        self.tau_fo4_ps
+    }
+
+    /// Metal wire resistance per λ, in ohms.
+    pub fn r_per_lambda_ohm(&self) -> f64 {
+        self.r_per_lambda_ohm
+    }
+
+    /// Metal wire capacitance per λ, in femtofarads.
+    pub fn c_per_lambda_ff(&self) -> f64 {
+        self.c_per_lambda_ff
+    }
+
+    /// Models for all three feature sizes, oldest first.
+    pub fn all() -> [Technology; 3] {
+        FeatureSize::all().map(Technology::new)
+    }
+}
+
+impl fmt::Display for Technology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} technology", self.feature)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lambda_is_half_feature() {
+        assert_eq!(FeatureSize::U080.lambda_um(), 0.4);
+        assert_eq!(FeatureSize::U035.lambda_um(), 0.175);
+        assert_eq!(FeatureSize::U018.lambda_um(), 0.09);
+    }
+
+    #[test]
+    fn logic_gets_faster_with_scaling() {
+        let [t08, t035, t018] = Technology::all();
+        assert!(t08.tau_fo4_ps() > t035.tau_fo4_ps());
+        assert!(t035.tau_fo4_ps() > t018.tau_fo4_ps());
+    }
+
+    #[test]
+    fn wire_parameters_do_not_scale() {
+        // The paper's scaling model keeps per-λ wire RC constant, which is
+        // exactly what makes wire-dominated structures critical in the future.
+        let [t08, t035, t018] = Technology::all();
+        assert_eq!(t08.r_per_lambda_ohm(), t018.r_per_lambda_ohm());
+        assert_eq!(t08.c_per_lambda_ff(), t035.c_per_lambda_ff());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(FeatureSize::U035.to_string(), "0.35um");
+        assert!(Technology::new(FeatureSize::U018).to_string().contains("0.18"));
+    }
+}

@@ -1,0 +1,207 @@
+//! Issue-window wakeup logic delay (paper Section 4.2, Figures 5 and 6).
+//!
+//! The window is a CAM array with one instruction per entry. Each cycle up
+//! to `issue_width` result tags are broadcast down tag lines that span the
+//! whole window; every entry compares the tags against its two operand tags
+//! and ORs the match lines into its ready flags. The delay decomposes as
+//!
+//! `T_wakeup = T_tag_drive + T_tag_match + T_match_OR`
+//!
+//! * **tag drive** — buffer + tag-line wire. The line's length is
+//!   `window_size × cell_height`, and cell height grows with issue width
+//!   (more match lines per entry), so this term is *quadratic in window
+//!   size* with an issue-width-dependent coefficient — the paper's key
+//!   scaling result.
+//! * **tag match** — the dynamic comparator pulldown; match-line length
+//!   grows linearly with issue width.
+//! * **match OR** — pure logic; fan-in grows with issue width.
+
+use crate::wire::Wire;
+use crate::{calib, gates, Technology};
+
+/// Parameters of the wakeup logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WakeupParams {
+    /// Result tags broadcast per cycle (= issue width).
+    pub issue_width: usize,
+    /// Number of window entries spanned by the tag lines.
+    pub window_size: usize,
+}
+
+impl WakeupParams {
+    /// Creates wakeup parameters.
+    pub fn new(issue_width: usize, window_size: usize) -> WakeupParams {
+        WakeupParams { issue_width, window_size }
+    }
+
+    /// CAM cell height in λ: grows with one match line per broadcast tag.
+    pub fn cell_height_lambda(&self) -> f64 {
+        calib::WAKEUP_CELL_BASE_LAMBDA
+            + calib::WAKEUP_CELL_PER_TAG_LAMBDA * self.issue_width as f64
+    }
+
+    /// Tag-line length in λ.
+    pub fn tag_line_lambda(&self) -> f64 {
+        self.window_size as f64 * self.cell_height_lambda()
+    }
+}
+
+/// Delay breakdown of the wakeup logic, all in picoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WakeupDelay {
+    /// Time for the buffers to drive the result tags down the tag lines.
+    pub tag_drive_ps: f64,
+    /// Time for a mismatching comparator stack to pull its match line low.
+    pub tag_match_ps: f64,
+    /// Time to OR the individual match lines into the ready flags.
+    pub match_or_ps: f64,
+}
+
+impl WakeupDelay {
+    /// Computes the wakeup delay for the given technology and parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn compute(tech: &Technology, params: &WakeupParams) -> WakeupDelay {
+        assert!(params.issue_width > 0, "issue width must be positive");
+        assert!(params.window_size > 0, "window size must be positive");
+
+        let entries = params.window_size as f64;
+        let tag_line = Wire::new(params.tag_line_lambda());
+
+        // Comparator gate capacitance scales with λ (transistors shrink).
+        let cmp_cap_ff = calib::CMP_INPUT_CAP_018_FF * tech.feature().lambda_um() / 0.09;
+        // Each entry hangs two operand comparators on every tag line.
+        let cmp_load_ff = 2.0 * entries * cmp_cap_ff;
+
+        let tag_drive_ps = gates::stages_ps(tech, calib::TAG_DRIVE_STAGES)
+            + calib::R_DRIVER_OHM * (tag_line.capacitance_ff(tech) + cmp_load_ff) * 1e-3
+            + tag_line.delay_ps(tech);
+
+        // Match line spans the comparator stacks for all broadcast tags.
+        let matchline_lambda = calib::TAG_WIDTH_BITS as f64
+            * (calib::MATCHLINE_BASE_LAMBDA
+                + calib::MATCHLINE_PER_TAG_LAMBDA * params.issue_width as f64);
+        let matchline = Wire::new(matchline_lambda);
+        let tag_match_ps = gates::stages_ps(tech, calib::TAG_MATCH_STAGES)
+            + calib::R_PULLDOWN_OHM * matchline.capacitance_ff(tech) * 1e-3
+            + matchline.delay_ps(tech);
+
+        let or_stages = calib::MATCH_OR_BASE_STAGES
+            + calib::MATCH_OR_STAGES_PER_LOG2 * (params.issue_width as f64).log2();
+        let match_or_ps = gates::stages_ps(tech, or_stages);
+
+        WakeupDelay { tag_drive_ps, tag_match_ps, match_or_ps }
+    }
+
+    /// Total wakeup delay, picoseconds.
+    pub fn total_ps(&self) -> f64 {
+        self.tag_drive_ps + self.tag_match_ps + self.match_or_ps
+    }
+
+    /// Fraction of the total contributed by the wire-bound components
+    /// (tag drive + tag match) — the quantity Figure 6 tracks across
+    /// technology generations.
+    pub fn wire_bound_fraction(&self) -> f64 {
+        (self.tag_drive_ps + self.tag_match_ps) / self.total_ps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FeatureSize;
+
+    fn wakeup(tech: &Technology, iw: usize, w: usize) -> WakeupDelay {
+        WakeupDelay::compute(tech, &WakeupParams::new(iw, w))
+    }
+
+    #[test]
+    fn monotonic_in_window_size_and_issue_width() {
+        let tech = Technology::new(FeatureSize::U018);
+        for iw in [2, 4, 8] {
+            let mut last = 0.0;
+            for w in [8, 16, 24, 32, 40, 48, 56, 64] {
+                let d = wakeup(&tech, iw, w).total_ps();
+                assert!(d > last, "{iw}-way, window {w}");
+                last = d;
+            }
+        }
+        for w in [16, 32, 64] {
+            assert!(wakeup(&tech, 2, w).total_ps() < wakeup(&tech, 4, w).total_ps());
+            assert!(wakeup(&tech, 4, w).total_ps() < wakeup(&tech, 8, w).total_ps());
+        }
+    }
+
+    #[test]
+    fn quadratic_window_dependence_visible_at_8_way() {
+        // Figure 5: the delay-vs-window curve bends upward, clearly at
+        // 8-way. Second difference of tag drive must be positive and larger
+        // at 8-way than at 2-way.
+        let tech = Technology::new(FeatureSize::U018);
+        let second_diff = |iw: usize| {
+            let d32 = wakeup(&tech, iw, 32).tag_drive_ps;
+            let d48 = wakeup(&tech, iw, 48).tag_drive_ps;
+            let d64 = wakeup(&tech, iw, 64).tag_drive_ps;
+            (d64 - d48) - (d48 - d32)
+        };
+        assert!(second_diff(8) > 0.0);
+        assert!(second_diff(8) > second_diff(2));
+    }
+
+    #[test]
+    fn issue_width_matters_more_than_window_size() {
+        // Section 4.2.3: issue width increases all three components; window
+        // size only lengthens tag drive (and slightly tag match).
+        let tech = Technology::new(FeatureSize::U018);
+        let base = wakeup(&tech, 4, 32).total_ps();
+        let wider = wakeup(&tech, 8, 32).total_ps();
+        let deeper = wakeup(&tech, 4, 64).total_ps();
+        assert!(wider - base > deeper - base);
+    }
+
+    #[test]
+    fn growth_with_issue_width_at_window_64() {
+        // Paper: +34 % from 2- to 4-way and +46 % from 4- to 8-way at a
+        // 64-entry window. Model shapes must preserve the ordering and
+        // rough scale.
+        let tech = Technology::new(FeatureSize::U018);
+        let d2 = wakeup(&tech, 2, 64).total_ps();
+        let d4 = wakeup(&tech, 4, 64).total_ps();
+        let d8 = wakeup(&tech, 8, 64).total_ps();
+        let g24 = d4 / d2 - 1.0;
+        let g48 = d8 / d4 - 1.0;
+        assert!(g48 > g24, "4→8 growth ({g48:.2}) must exceed 2→4 growth ({g24:.2})");
+        assert!((0.05..0.60).contains(&g24), "2→4 growth {g24:.2}");
+        assert!((0.15..0.70).contains(&g48), "4→8 growth {g48:.2}");
+    }
+
+    #[test]
+    fn wire_fraction_increases_as_feature_shrinks() {
+        // Figure 6: tag drive + tag match go from 52 % to 65 % of the total
+        // as features shrink from 0.8 µm to 0.18 µm (8-way, 64 entries).
+        let frac = |f: FeatureSize| {
+            wakeup(&Technology::new(f), 8, 64).wire_bound_fraction()
+        };
+        let f080 = frac(FeatureSize::U080);
+        let f035 = frac(FeatureSize::U035);
+        let f018 = frac(FeatureSize::U018);
+        assert!(f080 < f035 && f035 < f018, "{f080:.2} {f035:.2} {f018:.2}");
+    }
+
+    #[test]
+    fn all_components_positive() {
+        let tech = Technology::new(FeatureSize::U035);
+        let d = wakeup(&tech, 4, 32);
+        assert!(d.tag_drive_ps > 0.0 && d.tag_match_ps > 0.0 && d.match_or_ps > 0.0);
+        assert!(d.total_ps() > d.tag_drive_ps);
+    }
+
+    #[test]
+    #[should_panic(expected = "window size")]
+    fn zero_window_panics() {
+        let tech = Technology::new(FeatureSize::U018);
+        let _ = wakeup(&tech, 4, 0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Distributed-RC wire delay model.
+//!
+//! Wires are modeled as distributed RC lines (Elmore delay with the 0.38
+//! distributed factor the paper quotes for its bypass analysis), with
+//! resistance and capacitance per λ taken from the [`Technology`].
+
+use crate::Technology;
+
+/// Elmore coefficient for a distributed RC line driven at one end.
+pub const DISTRIBUTED_RC_FACTOR: f64 = 0.38;
+
+/// A metal wire of a given length, in λ.
+///
+/// ```
+/// use ce_delay::{FeatureSize, Technology};
+/// use ce_delay::wire::Wire;
+///
+/// let tech = Technology::new(FeatureSize::U018);
+/// let short = Wire::new(1_000.0).delay_ps(&tech);
+/// let long = Wire::new(2_000.0).delay_ps(&tech);
+/// // Distributed RC delay grows quadratically with length.
+/// assert!((long / short - 4.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Wire {
+    length_lambda: f64,
+}
+
+impl Wire {
+    /// A wire of `length_lambda` λ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is negative or not finite.
+    pub fn new(length_lambda: f64) -> Wire {
+        assert!(
+            length_lambda.is_finite() && length_lambda >= 0.0,
+            "wire length must be a non-negative finite number of λ"
+        );
+        Wire { length_lambda }
+    }
+
+    /// The wire length in λ.
+    pub fn length_lambda(&self) -> f64 {
+        self.length_lambda
+    }
+
+    /// Total wire resistance, in ohms.
+    pub fn resistance_ohm(&self, tech: &Technology) -> f64 {
+        tech.r_per_lambda_ohm() * self.length_lambda
+    }
+
+    /// Total wire capacitance, in femtofarads.
+    pub fn capacitance_ff(&self, tech: &Technology) -> f64 {
+        tech.c_per_lambda_ff() * self.length_lambda
+    }
+
+    /// Intrinsic distributed-RC delay of the wire itself, in picoseconds:
+    /// `0.38 · R · C` with `R`/`C` the total wire resistance/capacitance.
+    ///
+    /// This is the quantity the paper's bypass model uses
+    /// (Section 4.4.2: `T = 0.5 · R_metal · C_metal · L²` up to the
+    /// distributed-line coefficient).
+    pub fn delay_ps(&self, tech: &Technology) -> f64 {
+        // Ω · fF = 1e-15 s = 1e-3 ps.
+        DISTRIBUTED_RC_FACTOR * self.resistance_ohm(tech) * self.capacitance_ff(tech) * 1e-3
+    }
+
+    /// Delay of the wire when broken into optimally repeatered segments,
+    /// in picoseconds: repeaters turn the quadratic distributed-RC delay
+    /// into a linear one at the cost of area and power. The paper's bypass
+    /// model deliberately has *no* repeaters ("alternative layouts alone
+    /// will only decrease constants; the quadratic delay growth … will
+    /// remain") — this method quantifies the best such a constant-factor
+    /// fix could do.
+    ///
+    /// Model: segments of `segment_lambda` λ, each costing its own
+    /// distributed RC plus one repeater stage delay.
+    pub fn repeatered_delay_ps(
+        &self,
+        tech: &Technology,
+        segment_lambda: f64,
+        repeater_stage_ps: f64,
+    ) -> f64 {
+        debug_assert!(segment_lambda > 0.0);
+        let segments = (self.length_lambda / segment_lambda).ceil().max(1.0);
+        let per_segment = Wire::new(self.length_lambda / segments).delay_ps(tech);
+        segments * (per_segment + repeater_stage_ps)
+    }
+
+    /// Delay of the wire when driven by a driver of resistance
+    /// `driver_ohm` and loaded by `load_ff` of lumped capacitance at the far
+    /// end, in picoseconds. This is the Elmore sum:
+    /// `R_drv·(C_wire + C_load) + 0.38·R_wire·C_wire + R_wire·C_load`.
+    pub fn driven_delay_ps(&self, tech: &Technology, driver_ohm: f64, load_ff: f64) -> f64 {
+        let rw = self.resistance_ohm(tech);
+        let cw = self.capacitance_ff(tech);
+        (driver_ohm * (cw + load_ff) + DISTRIBUTED_RC_FACTOR * rw * cw + rw * load_ff) * 1e-3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FeatureSize;
+
+    fn tech() -> Technology {
+        Technology::new(FeatureSize::U018)
+    }
+
+    #[test]
+    fn zero_length_wire_has_zero_delay() {
+        assert_eq!(Wire::new(0.0).delay_ps(&tech()), 0.0);
+    }
+
+    #[test]
+    fn delay_is_technology_independent_per_lambda() {
+        // The paper's Table 1 note: bypass delays are the same for all three
+        // technologies because per-λ wire RC is held constant.
+        let w = Wire::new(20_500.0);
+        let d: Vec<f64> = Technology::all().iter().map(|t| w.delay_ps(t)).collect();
+        assert!((d[0] - d[1]).abs() < 1e-9);
+        assert!((d[1] - d[2]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table1_anchor_4way() {
+        // Paper Table 1: 20500 λ → 184.9 ps.
+        let d = Wire::new(20_500.0).delay_ps(&tech());
+        assert!((d - 184.9).abs() / 184.9 < 0.02, "got {d}");
+    }
+
+    #[test]
+    fn table1_anchor_8way() {
+        // Paper Table 1: 49000 λ → 1056.4 ps.
+        let d = Wire::new(49_000.0).delay_ps(&tech());
+        assert!((d - 1056.4).abs() / 1056.4 < 0.02, "got {d}");
+    }
+
+    #[test]
+    fn driven_delay_exceeds_intrinsic_delay() {
+        let w = Wire::new(5_000.0);
+        let t = tech();
+        assert!(w.driven_delay_ps(&t, 100.0, 10.0) > w.delay_ps(&t));
+    }
+
+    #[test]
+    fn repeaters_linearize_long_wires() {
+        let t = tech();
+        let long = Wire::new(49_000.0);
+        let raw = long.delay_ps(&t);
+        let repeated = long.repeatered_delay_ps(&t, 5_000.0, 20.0);
+        assert!(repeated < raw, "repeaters must help a long wire: {repeated} vs {raw}");
+        // Doubling the length roughly doubles (not quadruples) the
+        // repeatered delay.
+        let half = Wire::new(24_500.0).repeatered_delay_ps(&t, 5_000.0, 20.0);
+        let ratio = repeated / half;
+        assert!((1.6..=2.4).contains(&ratio), "ratio {ratio}");
+        // Short wires are better off without repeaters.
+        let short = Wire::new(1_000.0);
+        assert!(short.repeatered_delay_ps(&t, 5_000.0, 20.0) > short.delay_ps(&t));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_length_panics() {
+        let _ = Wire::new(-1.0);
+    }
+}

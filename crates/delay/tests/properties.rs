@@ -1,0 +1,107 @@
+//! Property-based tests of the delay models: monotonicity, positivity, and
+//! shape invariants over randomly drawn design points.
+
+use ce_delay::bypass::{BypassDelay, BypassParams};
+use ce_delay::rename::{RenameDelay, RenameParams};
+use ce_delay::restable::{ResTableDelay, ResTableParams};
+use ce_delay::select::{SelectDelay, SelectParams};
+use ce_delay::wakeup::{WakeupDelay, WakeupParams};
+use ce_delay::{FeatureSize, Technology};
+use proptest::prelude::*;
+
+fn arb_tech() -> impl Strategy<Value = Technology> {
+    prop_oneof![
+        Just(Technology::new(FeatureSize::U080)),
+        Just(Technology::new(FeatureSize::U035)),
+        Just(Technology::new(FeatureSize::U018)),
+    ]
+}
+
+proptest! {
+    /// All structure delays are strictly positive and finite at every
+    /// plausible design point.
+    #[test]
+    fn delays_positive_and_finite(
+        tech in arb_tech(),
+        iw in 1usize..16,
+        window in 1usize..256,
+    ) {
+        let checks = [
+            RenameDelay::compute(&tech, &RenameParams::new(iw)).total_ps(),
+            WakeupDelay::compute(&tech, &WakeupParams::new(iw, window)).total_ps(),
+            SelectDelay::compute(&tech, &SelectParams::new(window)).total_ps(),
+            BypassDelay::compute(&tech, &BypassParams::new(iw)).total_ps(),
+            ResTableDelay::compute(&tech, &ResTableParams::new(iw)).total_ps(),
+        ];
+        for d in checks {
+            prop_assert!(d.is_finite() && d > 0.0, "delay {d}");
+        }
+    }
+
+    /// Wakeup delay is monotone in both issue width and window size.
+    #[test]
+    fn wakeup_monotone(
+        tech in arb_tech(),
+        iw in 1usize..12,
+        window in 2usize..128,
+    ) {
+        let base = WakeupDelay::compute(&tech, &WakeupParams::new(iw, window)).total_ps();
+        let wider = WakeupDelay::compute(&tech, &WakeupParams::new(iw + 1, window)).total_ps();
+        let deeper = WakeupDelay::compute(&tech, &WakeupParams::new(iw, window + 8)).total_ps();
+        prop_assert!(wider > base);
+        prop_assert!(deeper > base);
+    }
+
+    /// Rename and bypass delays are monotone in issue width.
+    #[test]
+    fn rename_and_bypass_monotone(tech in arb_tech(), iw in 1usize..15) {
+        let r0 = RenameDelay::compute(&tech, &RenameParams::new(iw)).total_ps();
+        let r1 = RenameDelay::compute(&tech, &RenameParams::new(iw + 1)).total_ps();
+        prop_assert!(r1 > r0);
+        let b0 = BypassDelay::compute(&tech, &BypassParams::new(iw)).total_ps();
+        let b1 = BypassDelay::compute(&tech, &BypassParams::new(iw + 1)).total_ps();
+        prop_assert!(b1 > b0);
+    }
+
+    /// Selection delay is non-decreasing in window size and equal for
+    /// windows in the same base-4 tree tier.
+    #[test]
+    fn select_follows_tree_height(tech in arb_tech(), window in 2usize..200) {
+        let d = |w| SelectDelay::compute(&tech, &SelectParams::new(w)).total_ps();
+        prop_assert!(d(window + 1) >= d(window));
+        // Windows 17..=64 share height 3; spot-check tier equality when
+        // both ends land in the same tier.
+        if (17..=63).contains(&window) {
+            prop_assert_eq!(d(window), d(64));
+        }
+    }
+
+    /// Logic-only structures scale exactly with the FO4 ratio; bypass does
+    /// not scale at all.
+    #[test]
+    fn scaling_dichotomy(window in 2usize..128, iw in 1usize..12) {
+        let t080 = Technology::new(FeatureSize::U080);
+        let t018 = Technology::new(FeatureSize::U018);
+        let tau_ratio = t080.tau_fo4_ps() / t018.tau_fo4_ps();
+        let s080 = SelectDelay::compute(&t080, &SelectParams::new(window)).total_ps();
+        let s018 = SelectDelay::compute(&t018, &SelectParams::new(window)).total_ps();
+        prop_assert!((s080 / s018 - tau_ratio).abs() < 1e-9);
+        let b080 = BypassDelay::compute(&t080, &BypassParams::new(iw)).total_ps();
+        let b018 = BypassDelay::compute(&t018, &BypassParams::new(iw)).total_ps();
+        prop_assert!((b080 - b018).abs() < 1e-9);
+    }
+
+    /// Component sums equal totals (no hidden terms).
+    #[test]
+    fn components_sum_to_totals(tech in arb_tech(), iw in 1usize..12, window in 1usize..128) {
+        let r = RenameDelay::compute(&tech, &RenameParams::new(iw));
+        prop_assert!(
+            (r.total_ps() - (r.decode_ps + r.wordline_ps + r.bitline_ps + r.senseamp_ps)).abs()
+                < 1e-9
+        );
+        let w = WakeupDelay::compute(&tech, &WakeupParams::new(iw, window));
+        prop_assert!(
+            (w.total_ps() - (w.tag_drive_ps + w.tag_match_ps + w.match_or_ps)).abs() < 1e-9
+        );
+    }
+}

@@ -1,0 +1,661 @@
+//! The two-pass assembler driver.
+
+use super::error::AsmError;
+use super::operand::{self, MemOffset, Operand};
+use super::Program;
+use crate::{Instruction, Opcode, Reg, DATA_BASE, TEXT_BASE};
+use std::collections::HashMap;
+
+/// Assembles source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] naming the offending line for syntax errors,
+/// unknown mnemonics, undefined or duplicate labels, and out-of-range
+/// immediates.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let statements = parse_lines(source)?;
+    let (items, symbols, data) = first_pass(statements)?;
+    let text = second_pass(&items, &symbols)?;
+    Ok(Program { text, data, text_base: TEXT_BASE, data_base: DATA_BASE, symbols })
+}
+
+/// One source statement carrying its original line number.
+#[derive(Debug)]
+enum Statement {
+    Label(usize, String),
+    Directive(usize, String, String),
+    Instruction(usize, String, String),
+}
+
+/// A text-segment instruction statement after pass 1: operands parsed, word
+/// position fixed.
+#[derive(Debug)]
+struct TextItem {
+    line: usize,
+    mnemonic: String,
+    operands: Vec<Operand>,
+    /// Index of the first emitted word within the text segment.
+    word: u32,
+    /// Number of words this statement expands to.
+    len: u32,
+}
+
+fn parse_lines(source: &str) -> Result<Vec<Statement>, AsmError> {
+    let mut out = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line = idx + 1;
+        let mut text = strip_comment(raw);
+        // Peel off any leading labels.
+        loop {
+            let trimmed = text.trim_start();
+            match label_prefix(trimmed) {
+                Some((label, rest)) => {
+                    if !operand::is_symbol(label) {
+                        return Err(AsmError::new(line, format!("invalid label `{label}`")));
+                    }
+                    out.push(Statement::Label(line, label.to_owned()));
+                    text = rest;
+                }
+                None => break,
+            }
+        }
+        let text = text.trim();
+        if text.is_empty() {
+            continue;
+        }
+        let (head, rest) = match text.find(char::is_whitespace) {
+            Some(pos) => (&text[..pos], text[pos..].trim()),
+            None => (text, ""),
+        };
+        if head.starts_with('.') {
+            out.push(Statement::Directive(line, head.to_owned(), rest.to_owned()));
+        } else {
+            out.push(Statement::Instruction(line, head.to_lowercase(), rest.to_owned()));
+        }
+    }
+    Ok(out)
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut in_char = false;
+    let mut escape = false;
+    for (i, c) in line.char_indices() {
+        if escape {
+            escape = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str || in_char => escape = true,
+            '"' if !in_char => in_str = !in_str,
+            '\'' if !in_str => in_char = !in_char,
+            '#' | ';' if !in_str && !in_char => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Splits a leading `label:` off `s`, if present.
+fn label_prefix(s: &str) -> Option<(&str, &str)> {
+    let colon = s.find(':')?;
+    let label = &s[..colon];
+    // Reject things like `lw r1, 4(r2) : junk` — labels contain no spaces,
+    // and string/char operands never precede a colon in valid code.
+    if label.contains(char::is_whitespace) || label.is_empty() {
+        return None;
+    }
+    Some((label, &s[colon + 1..]))
+}
+
+#[derive(PartialEq)]
+enum Segment {
+    Text,
+    Data,
+}
+
+type Pass1 = (Vec<TextItem>, HashMap<String, u32>, Vec<u8>);
+
+fn first_pass(statements: Vec<Statement>) -> Result<Pass1, AsmError> {
+    let mut items = Vec::new();
+    let mut symbols = HashMap::new();
+    let mut data = Vec::new();
+    let mut segment = Segment::Text;
+    let mut word: u32 = 0;
+
+    let define = |symbols: &mut HashMap<String, u32>, line, name: &str, addr| {
+        if symbols.insert(name.to_owned(), addr).is_some() {
+            return Err(AsmError::new(line, format!("duplicate label `{name}`")));
+        }
+        Ok(())
+    };
+
+    for stmt in statements {
+        match stmt {
+            Statement::Label(line, name) => {
+                let addr = match segment {
+                    Segment::Text => TEXT_BASE + word * 4,
+                    Segment::Data => DATA_BASE + data.len() as u32,
+                };
+                define(&mut symbols, line, &name, addr)?;
+            }
+            Statement::Directive(line, name, args) => match name.as_str() {
+                ".text" => segment = Segment::Text,
+                ".data" => segment = Segment::Data,
+                ".globl" | ".global" | ".ent" | ".end" => {}
+                ".word" | ".half" | ".byte" | ".space" | ".asciiz" | ".ascii" | ".align" => {
+                    if segment != Segment::Data {
+                        return Err(AsmError::new(line, format!("`{name}` outside .data")));
+                    }
+                    emit_data(&mut data, line, &name, &args, &mut symbols)?;
+                }
+                other => {
+                    return Err(AsmError::new(line, format!("unknown directive `{other}`")))
+                }
+            },
+            Statement::Instruction(line, mnemonic, rest) => {
+                if segment != Segment::Text {
+                    return Err(AsmError::new(line, "instruction outside .text"));
+                }
+                let operands = operand::split_operands(&rest)
+                    .iter()
+                    .map(|s| operand::parse_operand(s, line))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let len = expansion_len(&mnemonic, &operands, line)?;
+                items.push(TextItem { line, mnemonic, operands, word, len });
+                word += len;
+            }
+        }
+    }
+    Ok((items, symbols, data))
+}
+
+fn emit_data(
+    data: &mut Vec<u8>,
+    line: usize,
+    directive: &str,
+    args: &str,
+    symbols: &mut HashMap<String, u32>,
+) -> Result<(), AsmError> {
+    match directive {
+        ".word" | ".half" | ".byte" => {
+            // No implicit alignment: padding here would land *after* any
+            // label already recorded for this address. Use `.align` instead.
+            let size = match directive {
+                ".word" => 4usize,
+                ".half" => 2,
+                _ => 1,
+            };
+            for part in operand::split_operands(args) {
+                let value = match operand::parse_literal(&part) {
+                    Some(v) => v,
+                    None if operand::is_symbol(&part) => {
+                        // Address constant: only already-defined symbols are
+                        // supported (forward data references are rare in the
+                        // kernels and easy to reorder around).
+                        *symbols.get(&part).ok_or_else(|| {
+                            AsmError::new(
+                                line,
+                                format!("symbol `{part}` must be defined before use in data"),
+                            )
+                        })? as i64
+                    }
+                    None => {
+                        return Err(AsmError::new(line, format!("bad data value `{part}`")))
+                    }
+                };
+                let bytes = (value as u64).to_le_bytes();
+                data.extend_from_slice(&bytes[..size]);
+            }
+        }
+        ".space" => {
+            let n = operand::parse_literal(args)
+                .filter(|&n| n >= 0)
+                .ok_or_else(|| AsmError::new(line, format!("bad .space size `{args}`")))?;
+            data.extend(std::iter::repeat_n(0, n as usize));
+        }
+        ".asciiz" | ".ascii" => {
+            let mut bytes = operand::parse_string(args, line)?;
+            if directive == ".asciiz" {
+                bytes.push(0);
+            }
+            data.extend_from_slice(&bytes);
+        }
+        ".align" => {
+            let n = operand::parse_literal(args)
+                .filter(|&n| (0..=12).contains(&n))
+                .ok_or_else(|| AsmError::new(line, format!("bad .align argument `{args}`")))?;
+            let align = 1usize << n;
+            while !data.len().is_multiple_of(align) {
+                data.push(0);
+            }
+        }
+        _ => unreachable!("caller filters directives"),
+    }
+    Ok(())
+}
+
+/// Number of machine instructions a statement expands to.
+fn expansion_len(mnemonic: &str, operands: &[Operand], line: usize) -> Result<u32, AsmError> {
+    Ok(match mnemonic {
+        "li" => match operands.get(1) {
+            Some(&Operand::Imm(v)) => li_len(v),
+            _ => return Err(AsmError::new(line, "li needs a register and a literal")),
+        },
+        "la" => 2,
+        "blt" | "bgt" | "ble" | "bge" | "bltu" | "bgeu" => 2,
+        "move" | "not" | "neg" | "b" | "beqz" | "bnez" | "clear" => 1,
+        other => {
+            let canonical = alias(other).unwrap_or(other);
+            if Opcode::from_mnemonic(canonical).is_none() {
+                return Err(AsmError::new(line, format!("unknown mnemonic `{other}`")));
+            }
+            1
+        }
+    })
+}
+
+fn li_len(v: i64) -> u32 {
+    // One instruction when a single addiu (sign-extended 16-bit) or a bare
+    // lui (low halfword zero) suffices; otherwise lui + ori.
+    if i16::try_from(v).is_ok() || v & 0xFFFF == 0 {
+        1
+    } else {
+        2
+    }
+}
+
+/// Convenience aliases for real opcodes.
+fn alias(mnemonic: &str) -> Option<&'static str> {
+    Some(match mnemonic {
+        "add" => "addu",
+        "sub" => "subu",
+        "addi" => "addiu",
+        _ => return None,
+    })
+}
+
+fn second_pass(
+    items: &[TextItem],
+    symbols: &HashMap<String, u32>,
+) -> Result<Vec<Instruction>, AsmError> {
+    let mut text = Vec::new();
+    for item in items {
+        let before = text.len();
+        emit_item(item, symbols, &mut text)?;
+        debug_assert_eq!(text.len() - before, item.len as usize, "pass-1 size mismatch");
+    }
+    Ok(text)
+}
+
+struct Ctx<'a> {
+    line: usize,
+    symbols: &'a HashMap<String, u32>,
+}
+
+impl Ctx<'_> {
+    fn err(&self, msg: impl Into<String>) -> AsmError {
+        AsmError::new(self.line, msg)
+    }
+
+    fn resolve(&self, name: &str) -> Result<u32, AsmError> {
+        self.symbols
+            .get(name)
+            .copied()
+            .ok_or_else(|| self.err(format!("undefined label `{name}`")))
+    }
+
+    fn reg(&self, op: Option<&Operand>) -> Result<Reg, AsmError> {
+        match op {
+            Some(&Operand::Reg(r)) => Ok(r),
+            other => Err(self.err(format!("expected register, got {other:?}"))),
+        }
+    }
+
+    fn imm16(&self, op: Option<&Operand>) -> Result<i32, AsmError> {
+        match op {
+            Some(&Operand::Imm(v)) => {
+                if i16::try_from(v).is_ok() || u16::try_from(v).is_ok() {
+                    Ok(v as i32)
+                } else {
+                    Err(self.err(format!("immediate {v} does not fit in 16 bits")))
+                }
+            }
+            other => Err(self.err(format!("expected immediate, got {other:?}"))),
+        }
+    }
+
+    fn shamt(&self, op: Option<&Operand>) -> Result<u8, AsmError> {
+        match op {
+            Some(&Operand::Imm(v)) if (0..32).contains(&v) => Ok(v as u8),
+            other => Err(self.err(format!("expected shift amount 0–31, got {other:?}"))),
+        }
+    }
+
+    /// Branch displacement (in words, relative to the slot after the branch)
+    /// from the branch's own word index to a label or literal displacement.
+    fn branch_disp(&self, op: Option<&Operand>, branch_word: u32) -> Result<i32, AsmError> {
+        match op {
+            Some(Operand::Symbol(name)) => {
+                let target = self.resolve(name)?;
+                if target < TEXT_BASE || target % 4 != 0 {
+                    return Err(self.err(format!("branch target `{name}` is not code")));
+                }
+                let target_word = (target - TEXT_BASE) / 4;
+                let disp = target_word as i64 - (branch_word as i64 + 1);
+                i32::try_from(disp).map_err(|_| self.err("branch displacement overflow"))
+            }
+            Some(&Operand::Imm(v)) => Ok(v as i32),
+            other => Err(self.err(format!("expected branch target, got {other:?}"))),
+        }
+    }
+
+    fn jump_target(&self, op: Option<&Operand>) -> Result<u32, AsmError> {
+        match op {
+            Some(Operand::Symbol(name)) => Ok(self.resolve(name)? / 4),
+            Some(&Operand::Imm(v)) if v >= 0 => Ok((v as u32) / 4),
+            other => Err(self.err(format!("expected jump target, got {other:?}"))),
+        }
+    }
+
+    fn mem_operand(&self, op: Option<&Operand>) -> Result<(i32, Reg), AsmError> {
+        match op {
+            Some(Operand::Mem { offset, base }) => {
+                let value = match offset {
+                    MemOffset::Literal(v) => *v,
+                    // Data-relative: symbolic offsets are resolved relative to
+                    // the data base so they pair with the `gp` register, which
+                    // the emulator initializes to DATA_BASE (the paper's own
+                    // example uses exactly this `lw $3, -32676($28)` idiom).
+                    MemOffset::Symbol(name) => i64::from(self.resolve(name)?) - i64::from(DATA_BASE),
+                };
+                let value = i32::try_from(value)
+                    .ok()
+                    .filter(|v| i16::try_from(*v).is_ok())
+                    .ok_or_else(|| self.err(format!("memory offset {value} out of range")))?;
+                Ok((value, *base))
+            }
+            other => Err(self.err(format!("expected memory operand, got {other:?}"))),
+        }
+    }
+}
+
+fn emit_item(
+    item: &TextItem,
+    symbols: &HashMap<String, u32>,
+    out: &mut Vec<Instruction>,
+) -> Result<(), AsmError> {
+    use Opcode::*;
+    let ctx = Ctx { line: item.line, symbols };
+    let ops = &item.operands;
+    let get = |i: usize| ops.get(i);
+    let mnemonic = alias(&item.mnemonic).unwrap_or(&item.mnemonic);
+
+    match mnemonic {
+        // ---- pseudo-instructions ----
+        "li" => {
+            let rt = ctx.reg(get(0))?;
+            let v = match get(1) {
+                Some(&Operand::Imm(v)) => v,
+                _ => return Err(ctx.err("li needs a literal")),
+            };
+            if i16::try_from(v).is_ok() {
+                out.push(Instruction::imm(Addiu, rt, Reg::ZERO, v as i32));
+            } else if v & 0xFFFF == 0 {
+                out.push(Instruction::lui(rt, ((v >> 16) & 0xFFFF) as i32));
+            } else {
+                out.push(Instruction::lui(rt, ((v >> 16) & 0xFFFF) as i32));
+                out.push(Instruction::imm(Ori, rt, rt, (v & 0xFFFF) as i32));
+            }
+        }
+        "la" => {
+            let rt = ctx.reg(get(0))?;
+            let addr = match get(1) {
+                Some(Operand::Symbol(name)) => ctx.resolve(name)?,
+                Some(&Operand::Imm(v)) if v >= 0 => v as u32,
+                other => return Err(ctx.err(format!("la needs a label, got {other:?}"))),
+            };
+            out.push(Instruction::lui(rt, ((addr >> 16) & 0xFFFF) as i32));
+            out.push(Instruction::imm(Ori, rt, rt, (addr & 0xFFFF) as i32));
+        }
+        "move" => {
+            let rd = ctx.reg(get(0))?;
+            let rs = ctx.reg(get(1))?;
+            out.push(Instruction::rrr(Addu, rd, rs, Reg::ZERO));
+        }
+        "clear" => {
+            let rd = ctx.reg(get(0))?;
+            out.push(Instruction::rrr(Addu, rd, Reg::ZERO, Reg::ZERO));
+        }
+        "not" => {
+            let rd = ctx.reg(get(0))?;
+            let rs = ctx.reg(get(1))?;
+            out.push(Instruction::rrr(Nor, rd, rs, Reg::ZERO));
+        }
+        "neg" => {
+            let rd = ctx.reg(get(0))?;
+            let rs = ctx.reg(get(1))?;
+            out.push(Instruction::rrr(Subu, rd, Reg::ZERO, rs));
+        }
+        "b" => {
+            let disp = ctx.branch_disp(get(0), item.word)?;
+            out.push(Instruction::branch2(Beq, Reg::ZERO, Reg::ZERO, disp));
+        }
+        "beqz" => {
+            let rs = ctx.reg(get(0))?;
+            let disp = ctx.branch_disp(get(1), item.word)?;
+            out.push(Instruction::branch2(Beq, rs, Reg::ZERO, disp));
+        }
+        "bnez" => {
+            let rs = ctx.reg(get(0))?;
+            let disp = ctx.branch_disp(get(1), item.word)?;
+            out.push(Instruction::branch2(Bne, rs, Reg::ZERO, disp));
+        }
+        "blt" | "bgt" | "ble" | "bge" | "bltu" | "bgeu" => {
+            let rs = ctx.reg(get(0))?;
+            let rt = ctx.reg(get(1))?;
+            // The branch itself is the second emitted instruction.
+            let disp = ctx.branch_disp(get(2), item.word + 1)?;
+            let (cmp_a, cmp_b, branch_op) = match mnemonic {
+                "blt" => (rs, rt, Bne),
+                "bgt" => (rt, rs, Bne),
+                "ble" => (rt, rs, Beq),
+                "bge" => (rs, rt, Beq),
+                "bltu" => (rs, rt, Bne),
+                _ => (rs, rt, Beq), // bgeu
+            };
+            let slt_op = if mnemonic.ends_with('u') { Sltu } else { Slt };
+            out.push(Instruction::rrr(slt_op, Reg::AT, cmp_a, cmp_b));
+            out.push(Instruction::branch2(branch_op, Reg::AT, Reg::ZERO, disp));
+        }
+
+        // ---- real instructions ----
+        other => {
+            let opcode = Opcode::from_mnemonic(other)
+                .ok_or_else(|| ctx.err(format!("unknown mnemonic `{other}`")))?;
+            let inst = match opcode.operand_class() {
+                crate::OperandClass::RdRsRt => {
+                    Instruction::rrr(opcode, ctx.reg(get(0))?, ctx.reg(get(1))?, ctx.reg(get(2))?)
+                }
+                crate::OperandClass::RdRtShamt => {
+                    Instruction::shift(opcode, ctx.reg(get(0))?, ctx.reg(get(1))?, ctx.shamt(get(2))?)
+                }
+                crate::OperandClass::RdRtRs => Instruction::shift_var(
+                    opcode,
+                    ctx.reg(get(0))?,
+                    ctx.reg(get(1))?,
+                    ctx.reg(get(2))?,
+                ),
+                crate::OperandClass::RtRsImm => {
+                    Instruction::imm(opcode, ctx.reg(get(0))?, ctx.reg(get(1))?, ctx.imm16(get(2))?)
+                }
+                crate::OperandClass::RtImm => {
+                    Instruction::lui(ctx.reg(get(0))?, ctx.imm16(get(1))?)
+                }
+                crate::OperandClass::Mem => {
+                    let rt = ctx.reg(get(0))?;
+                    let (imm, base) = ctx.mem_operand(get(1))?;
+                    Instruction::mem(opcode, rt, imm, base)
+                }
+                crate::OperandClass::BranchRsRt => {
+                    let rs = ctx.reg(get(0))?;
+                    let rt = ctx.reg(get(1))?;
+                    let disp = ctx.branch_disp(get(2), item.word)?;
+                    Instruction::branch2(opcode, rs, rt, disp)
+                }
+                crate::OperandClass::BranchRs => {
+                    let rs = ctx.reg(get(0))?;
+                    let disp = ctx.branch_disp(get(1), item.word)?;
+                    Instruction::branch1(opcode, rs, disp)
+                }
+                crate::OperandClass::JumpTarget => {
+                    Instruction::jump(opcode, ctx.jump_target(get(0))?)
+                }
+                crate::OperandClass::JumpReg => Instruction::jr(ctx.reg(get(0))?),
+                crate::OperandClass::JumpRegLink => {
+                    if ops.len() == 1 {
+                        Instruction::jalr(Reg::RA, ctx.reg(get(0))?)
+                    } else {
+                        Instruction::jalr(ctx.reg(get(0))?, ctx.reg(get(1))?)
+                    }
+                }
+                crate::OperandClass::None => Instruction {
+                    opcode,
+                    ..Instruction::NOP
+                },
+            };
+            out.push(inst);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn asm(src: &str) -> Program {
+        assemble(src).unwrap_or_else(|e| panic!("assembly failed: {e}"))
+    }
+
+    #[test]
+    fn minimal_program() {
+        let p = asm("main: addiu r1, r0, 5\n halt\n");
+        assert_eq!(p.text.len(), 2);
+        assert_eq!(p.entry(), TEXT_BASE);
+        assert_eq!(p.text[0], Instruction::imm(Opcode::Addiu, Reg::new(1), Reg::ZERO, 5));
+        assert_eq!(p.text[1], Instruction::HALT);
+    }
+
+    #[test]
+    fn backward_branch_displacement() {
+        let p = asm("loop: addiu r1, r1, -1\n bne r1, r0, loop\n halt\n");
+        // bne at word 1, target word 0: disp = 0 - 2 = -2.
+        assert_eq!(p.text[1], Instruction::branch2(Opcode::Bne, Reg::new(1), Reg::ZERO, -2));
+    }
+
+    #[test]
+    fn forward_branch_displacement() {
+        let p = asm("beq r1, r2, done\n nop\n nop\ndone: halt\n");
+        assert_eq!(p.text[0].imm, 2);
+    }
+
+    #[test]
+    fn li_expansions() {
+        let p = asm("li r1, 5\nli r2, -3\nli r3, 0x10000\nli r4, 0x12345\nhalt\n");
+        assert_eq!(p.text.len(), 6);
+        assert_eq!(p.text[0], Instruction::imm(Opcode::Addiu, Reg::new(1), Reg::ZERO, 5));
+        assert_eq!(p.text[2], Instruction::lui(Reg::new(3), 1));
+        assert_eq!(p.text[3], Instruction::lui(Reg::new(4), 1));
+        assert_eq!(p.text[4], Instruction::imm(Opcode::Ori, Reg::new(4), Reg::new(4), 0x2345));
+    }
+
+    #[test]
+    fn la_resolves_data_labels() {
+        let p = asm(".data\nbuf: .space 16\n.text\nla t0, buf\nhalt\n");
+        assert_eq!(p.symbols["buf"], DATA_BASE);
+        assert_eq!(p.text[0], Instruction::lui(Reg::T0, (DATA_BASE >> 16) as i32));
+        assert_eq!(
+            p.text[1],
+            Instruction::imm(Opcode::Ori, Reg::T0, Reg::T0, (DATA_BASE & 0xFFFF) as i32)
+        );
+    }
+
+    #[test]
+    fn symbolic_mem_offset_is_gp_relative() {
+        let p = asm(".data\nx: .word 7\n.text\nlw t0, x(gp)\nhalt\n");
+        assert_eq!(p.text[0], Instruction::mem(Opcode::Lw, Reg::T0, 0, Reg::GP));
+    }
+
+    #[test]
+    fn data_layout_and_alignment() {
+        let p = asm(".data\na: .byte 1, 2\n.align 2\nb: .word 0x11223344\nc: .asciiz \"ok\"\n.align 2\nd: .word 5\n.text\nhalt\n");
+        assert_eq!(p.symbols["a"], DATA_BASE);
+        assert_eq!(p.symbols["b"], DATA_BASE + 4); // explicitly aligned up from 2
+        assert_eq!(&p.data[4..8], &[0x44, 0x33, 0x22, 0x11]);
+        assert_eq!(p.symbols["c"], DATA_BASE + 8);
+        assert_eq!(&p.data[8..11], b"ok\0");
+        assert_eq!(p.symbols["d"], DATA_BASE + 12);
+    }
+
+    #[test]
+    fn compound_branch_pseudos() {
+        let p = asm("start: blt r4, r5, start\n halt\n");
+        assert_eq!(p.text.len(), 3);
+        assert_eq!(p.text[0], Instruction::rrr(Opcode::Slt, Reg::AT, Reg::A0, Reg::A1));
+        // The bne is at word 1, target word 0: disp = -2.
+        assert_eq!(p.text[1], Instruction::branch2(Opcode::Bne, Reg::AT, Reg::ZERO, -2));
+    }
+
+    #[test]
+    fn jal_and_jr() {
+        let p = asm("main: jal f\n halt\nf: jr ra\n");
+        assert_eq!(p.text[0], Instruction::jump(Opcode::Jal, (TEXT_BASE / 4) + 2));
+        assert_eq!(p.text[2], Instruction::jr(Reg::RA));
+    }
+
+    #[test]
+    fn errors_report_line_numbers() {
+        let err = assemble("nop\nbogus r1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("bogus"));
+
+        let err = assemble("beq r1, r2, nowhere\n").unwrap_err();
+        assert!(err.message.contains("undefined label"));
+
+        let err = assemble("x: nop\nx: nop\n").unwrap_err();
+        assert!(err.message.contains("duplicate"));
+
+        let err = assemble("addiu r1, r0, 99999\n").unwrap_err();
+        assert!(err.message.contains("16 bits"));
+
+        let err = assemble(".text\n.word 1\n").unwrap_err();
+        assert!(err.message.contains("outside .data"));
+
+        let err = assemble(".data\nnop\n").unwrap_err();
+        assert!(err.message.contains("outside .text"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = asm("# leading comment\n\n  nop # trailing\n ; alt comment\n halt\n");
+        assert_eq!(p.text.len(), 2);
+    }
+
+    #[test]
+    fn entry_prefers_main() {
+        let p = asm("helper: nop\nmain: halt\n");
+        assert_eq!(p.entry(), TEXT_BASE + 4);
+    }
+
+    #[test]
+    fn instruction_at_bounds() {
+        let p = asm("nop\nhalt\n");
+        assert!(p.instruction_at(TEXT_BASE).is_some());
+        assert!(p.instruction_at(TEXT_BASE + 4).is_some());
+        assert!(p.instruction_at(TEXT_BASE + 8).is_none());
+        assert!(p.instruction_at(TEXT_BASE + 1).is_none());
+        assert!(p.instruction_at(0).is_none());
+    }
+}

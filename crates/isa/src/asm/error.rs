@@ -1,0 +1,40 @@
+//! Assembler error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while assembling source text.
+///
+/// Carries the 1-based source line and a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl AsmError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> AsmError {
+        AsmError { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line_and_message() {
+        let err = AsmError::new(7, "unknown mnemonic `bogus`");
+        assert_eq!(err.to_string(), "line 7: unknown mnemonic `bogus`");
+    }
+}

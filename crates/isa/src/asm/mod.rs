@@ -1,0 +1,79 @@
+//! Two-pass text assembler.
+//!
+//! The accepted syntax is the familiar MIPS-lite dialect used throughout the
+//! benchmark kernels:
+//!
+//! ```text
+//!         .data
+//! buf:    .space 256
+//! tab:    .word 1, 2, 3
+//! msg:    .asciiz "hi"
+//!         .text
+//! main:   la   t0, tab          # pseudo: lui+ori
+//!         lw   t1, 0(t0)
+//!         li   t2, 42           # pseudo: addiu / lui+ori
+//! loop:   addiu t1, t1, -1
+//!         bne  t1, zero, loop
+//!         halt
+//! ```
+//!
+//! * Comments start with `#` or `;` and run to end of line.
+//! * Labels end with `:` and may share a line with an instruction.
+//! * Registers accept numeric (`r4`, `$4`) and ABI (`a0`, `$a0`) names.
+//! * Immediates may be decimal, hexadecimal (`0x…`), negative, or character
+//!   literals (`'a'`).
+//! * Pseudo-instructions `li`, `la`, `move`, `not`, `neg`, `b`, `blt`,
+//!   `bgt`, `ble`, `bge`, `beqz`, `bnez` expand to real instructions (the
+//!   multi-instruction expansions use the assembler temporary `at`).
+
+mod assembler;
+mod error;
+mod operand;
+
+pub use assembler::assemble;
+pub use error::AsmError;
+
+use crate::Instruction;
+use std::collections::HashMap;
+
+/// An assembled program: text (decoded instructions), initialized data, and
+/// the symbol table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Instructions, in order, starting at [`text_base`](Self::text_base).
+    pub text: Vec<Instruction>,
+    /// Byte image of the data segment, starting at [`data_base`](Self::data_base).
+    pub data: Vec<u8>,
+    /// Address of the first instruction.
+    pub text_base: u32,
+    /// Address of the first data byte.
+    pub data_base: u32,
+    /// Label name → absolute address.
+    pub symbols: HashMap<String, u32>,
+}
+
+impl Program {
+    /// Address of the entry point: the `main` label if present, else the
+    /// first instruction.
+    pub fn entry(&self) -> u32 {
+        self.symbols.get("main").copied().unwrap_or(self.text_base)
+    }
+
+    /// The instruction at an absolute address, if it lies in the text segment.
+    pub fn instruction_at(&self, addr: u32) -> Option<&Instruction> {
+        if addr < self.text_base || !addr.is_multiple_of(4) {
+            return None;
+        }
+        self.text.get(((addr - self.text_base) / 4) as usize)
+    }
+
+    /// Total static instruction count.
+    pub fn len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.text.is_empty()
+    }
+}

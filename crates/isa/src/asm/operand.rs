@@ -1,0 +1,258 @@
+//! Operand tokenization and parsing helpers.
+
+use super::error::AsmError;
+use crate::Reg;
+
+/// A parsed operand token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Operand {
+    /// A register.
+    Reg(Reg),
+    /// A literal immediate.
+    Imm(i64),
+    /// A symbolic reference (label).
+    Symbol(String),
+    /// A memory reference `offset(base)`; the offset may be literal or symbolic.
+    Mem { offset: MemOffset, base: Reg },
+}
+
+/// The displacement part of a memory operand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum MemOffset {
+    Literal(i64),
+    Symbol(String),
+}
+
+/// Splits the operand field of an instruction line on commas that are not
+/// inside quotes, trimming whitespace.
+pub(crate) fn split_operands(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    let mut in_char = false;
+    let mut escape = false;
+    for c in s.chars() {
+        if escape {
+            cur.push(c);
+            escape = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str || in_char => {
+                cur.push(c);
+                escape = true;
+            }
+            '"' if !in_char => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            '\'' if !in_str => {
+                in_char = !in_char;
+                cur.push(c);
+            }
+            ',' if !in_str && !in_char => {
+                parts.push(cur.trim().to_owned());
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    let last = cur.trim();
+    if !last.is_empty() {
+        parts.push(last.to_owned());
+    }
+    parts
+}
+
+/// Parses a literal integer: decimal, `0x…` hex, `0b…` binary, optional
+/// leading `-`, or a character literal.
+pub(crate) fn parse_literal(s: &str) -> Option<i64> {
+    let s = s.trim();
+    if let Some(body) = s.strip_prefix('\'').and_then(|r| r.strip_suffix('\'')) {
+        return parse_char_body(body).map(|c| c as i64);
+    }
+    let (neg, mag) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let value = if let Some(hex) = mag.strip_prefix("0x").or_else(|| mag.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else if let Some(bin) = mag.strip_prefix("0b").or_else(|| mag.strip_prefix("0B")) {
+        i64::from_str_radix(bin, 2).ok()?
+    } else {
+        mag.parse::<i64>().ok()?
+    };
+    Some(if neg { -value } else { value })
+}
+
+fn parse_char_body(body: &str) -> Option<u8> {
+    let mut chars = body.chars();
+    let first = chars.next()?;
+    let c = if first == '\\' {
+        match chars.next()? {
+            'n' => b'\n',
+            't' => b'\t',
+            '0' => 0,
+            'r' => b'\r',
+            '\\' => b'\\',
+            '\'' => b'\'',
+            _ => return None,
+        }
+    } else {
+        u8::try_from(first as u32).ok()?
+    };
+    chars.next().is_none().then_some(c)
+}
+
+/// Parses one operand token into an [`Operand`].
+pub(crate) fn parse_operand(s: &str, line: usize) -> Result<Operand, AsmError> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err(AsmError::new(line, "empty operand"));
+    }
+    // Character literals first — `'('` must not be mistaken for a memory
+    // operand.
+    if s.starts_with('\'') {
+        return parse_literal(s)
+            .map(Operand::Imm)
+            .ok_or_else(|| AsmError::new(line, format!("bad character literal `{s}`")));
+    }
+    // Memory operand: `offset(base)` where offset may be empty, literal, or symbolic.
+    if let Some(open) = s.find('(') {
+        if let Some(stripped) = s.strip_suffix(')') {
+            let (off_str, base_str) = stripped.split_at(open);
+            let base_str = &base_str[1..];
+            let base = Reg::parse(base_str.trim()).ok_or_else(|| {
+                AsmError::new(line, format!("invalid base register `{base_str}`"))
+            })?;
+            let off_str = off_str.trim();
+            let offset = if off_str.is_empty() {
+                MemOffset::Literal(0)
+            } else if let Some(v) = parse_literal(off_str) {
+                MemOffset::Literal(v)
+            } else if is_symbol(off_str) {
+                MemOffset::Symbol(off_str.to_owned())
+            } else {
+                return Err(AsmError::new(line, format!("invalid offset `{off_str}`")));
+            };
+            return Ok(Operand::Mem { offset, base });
+        }
+        return Err(AsmError::new(line, format!("unbalanced parentheses in `{s}`")));
+    }
+    if let Some(reg) = Reg::parse(s) {
+        return Ok(Operand::Reg(reg));
+    }
+    if let Some(v) = parse_literal(s) {
+        return Ok(Operand::Imm(v));
+    }
+    if is_symbol(s) {
+        return Ok(Operand::Symbol(s.to_owned()));
+    }
+    Err(AsmError::new(line, format!("unrecognized operand `{s}`")))
+}
+
+/// Whether `s` is a valid label/symbol name.
+pub(crate) fn is_symbol(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == '.' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+/// Parses a quoted string literal (for `.asciiz`), handling escapes.
+pub(crate) fn parse_string(s: &str, line: usize) -> Result<Vec<u8>, AsmError> {
+    let s = s.trim();
+    let body = s
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| AsmError::new(line, format!("expected quoted string, got `{s}`")))?;
+    let mut out = Vec::new();
+    let mut chars = body.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            let esc = chars
+                .next()
+                .ok_or_else(|| AsmError::new(line, "dangling escape in string"))?;
+            out.push(match esc {
+                'n' => b'\n',
+                't' => b'\t',
+                '0' => 0,
+                'r' => b'\r',
+                '\\' => b'\\',
+                '"' => b'"',
+                other => {
+                    return Err(AsmError::new(line, format!("unknown escape `\\{other}`")))
+                }
+            });
+        } else {
+            let byte = u8::try_from(c as u32)
+                .map_err(|_| AsmError::new(line, format!("non-ASCII character `{c}`")))?;
+            out.push(byte);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_handles_quotes_and_spacing() {
+        assert_eq!(split_operands("r1, r2 ,r3"), vec!["r1", "r2", "r3"]);
+        assert_eq!(split_operands(r#""a,b", 'x'"#), vec![r#""a,b""#, "'x'"]);
+        assert_eq!(split_operands(""), Vec::<String>::new());
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(parse_literal("42"), Some(42));
+        assert_eq!(parse_literal("-17"), Some(-17));
+        assert_eq!(parse_literal("0x10"), Some(16));
+        assert_eq!(parse_literal("-0x10"), Some(-16));
+        assert_eq!(parse_literal("0b101"), Some(5));
+        assert_eq!(parse_literal("'a'"), Some(97));
+        assert_eq!(parse_literal("'\\n'"), Some(10));
+        assert_eq!(parse_literal("xyz"), None);
+    }
+
+    #[test]
+    fn operands() {
+        assert_eq!(parse_operand("t0", 1).unwrap(), Operand::Reg(Reg::T0));
+        assert_eq!(parse_operand("-4", 1).unwrap(), Operand::Imm(-4));
+        assert_eq!(parse_operand("loop", 1).unwrap(), Operand::Symbol("loop".into()));
+        assert_eq!(
+            parse_operand("8(sp)", 1).unwrap(),
+            Operand::Mem { offset: MemOffset::Literal(8), base: Reg::SP }
+        );
+        assert_eq!(
+            parse_operand("buf(t1)", 1).unwrap(),
+            Operand::Mem { offset: MemOffset::Symbol("buf".into()), base: Reg::new(9) }
+        );
+        assert_eq!(
+            parse_operand("(a0)", 1).unwrap(),
+            Operand::Mem { offset: MemOffset::Literal(0), base: Reg::A0 }
+        );
+        assert!(parse_operand("8(nonreg)", 1).is_err());
+        assert!(parse_operand("", 1).is_err());
+        assert!(parse_operand("8(sp", 1).is_err());
+    }
+
+    #[test]
+    fn strings() {
+        assert_eq!(parse_string(r#""hi""#, 1).unwrap(), b"hi".to_vec());
+        assert_eq!(parse_string(r#""a\nb\0""#, 1).unwrap(), vec![b'a', b'\n', b'b', 0]);
+        assert!(parse_string("hi", 1).is_err());
+        assert!(parse_string(r#""bad\q""#, 1).is_err());
+    }
+
+    #[test]
+    fn symbols() {
+        assert!(is_symbol("loop"));
+        assert!(is_symbol("_x.y1"));
+        assert!(!is_symbol("1abc"));
+        assert!(!is_symbol("a-b"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Textual disassembly.
+//!
+//! The output format is accepted back by the assembler whenever the
+//! instruction does not reference a label (branch displacements are printed
+//! as raw numeric offsets, which the assembler also accepts).
+
+use crate::{Instruction, OperandClass};
+
+/// Formats one instruction as assembly text.
+///
+/// ```
+/// use ce_isa::{disasm, Instruction, Opcode, Reg};
+///
+/// let i = Instruction::mem(Opcode::Lw, Reg::new(3), -32676, Reg::new(28));
+/// assert_eq!(disasm::format_instruction(&i), "lw r3, -32676(r28)");
+/// ```
+pub fn format_instruction(inst: &Instruction) -> String {
+    let m = inst.opcode.mnemonic();
+    match inst.opcode.operand_class() {
+        OperandClass::RdRsRt => format!("{m} {}, {}, {}", inst.rd, inst.rs, inst.rt),
+        OperandClass::RdRtShamt => format!("{m} {}, {}, {}", inst.rd, inst.rt, inst.shamt),
+        OperandClass::RdRtRs => format!("{m} {}, {}, {}", inst.rd, inst.rt, inst.rs),
+        OperandClass::RtRsImm => format!("{m} {}, {}, {}", inst.rt, inst.rs, inst.imm),
+        OperandClass::RtImm => format!("{m} {}, {}", inst.rt, inst.imm),
+        OperandClass::Mem => format!("{m} {}, {}({})", inst.rt, inst.imm, inst.rs),
+        OperandClass::BranchRsRt => format!("{m} {}, {}, {}", inst.rs, inst.rt, inst.imm),
+        OperandClass::BranchRs => format!("{m} {}, {}", inst.rs, inst.imm),
+        OperandClass::JumpTarget => format!("{m} {:#x}", (inst.imm as u32) << 2),
+        OperandClass::JumpReg => format!("{m} {}", inst.rs),
+        OperandClass::JumpRegLink => format!("{m} {}, {}", inst.rd, inst.rs),
+        OperandClass::None => m.to_owned(),
+    }
+}
+
+/// Disassembles a sequence of encoded words, one line per instruction.
+/// Words that fail to decode are rendered as `.word 0x…`.
+pub fn disassemble(words: &[u32]) -> String {
+    let mut out = String::new();
+    for &w in words {
+        match crate::decode(w) {
+            Ok(inst) => out.push_str(&format_instruction(&inst)),
+            Err(_) => out.push_str(&format!(".word {w:#010x}")),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Opcode, Reg};
+
+    #[test]
+    fn formats_match_expected_syntax() {
+        let add = Instruction::rrr(Opcode::Addu, Reg::new(18), Reg::ZERO, Reg::new(2));
+        assert_eq!(format_instruction(&add), "addu r18, r0, r2");
+
+        let sllv = Instruction::shift_var(Opcode::Sllv, Reg::new(2), Reg::new(18), Reg::new(20));
+        assert_eq!(format_instruction(&sllv), "sllv r2, r18, r20");
+
+        let addiu = Instruction::imm(Opcode::Addiu, Reg::new(2), Reg::ZERO, -1);
+        assert_eq!(format_instruction(&addiu), "addiu r2, r0, -1");
+
+        let beq = Instruction::branch2(Opcode::Beq, Reg::new(2), Reg::new(17), 7);
+        assert_eq!(format_instruction(&beq), "beq r2, r17, 7");
+
+        let jr = Instruction::jr(Reg::RA);
+        assert_eq!(format_instruction(&jr), "jr r31");
+
+        assert_eq!(format_instruction(&Instruction::NOP), "nop");
+    }
+
+    #[test]
+    fn disassemble_marks_invalid_words() {
+        let text = disassemble(&[crate::encode(&Instruction::NOP), 0x0000_0001]);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines, vec!["nop", ".word 0x00000001"]);
+    }
+}

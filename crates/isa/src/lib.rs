@@ -1,0 +1,52 @@
+//! # ce-isa — the substrate instruction set
+//!
+//! A small MIPS-like 32-bit RISC instruction set used by the
+//! complexity-effective superscalar reproduction. The crate provides:
+//!
+//! * [`Reg`] — architectural register designators (32 integer registers),
+//! * [`Opcode`] and [`Instruction`] — the instruction set with dependence
+//!   accessors ([`Instruction::defs`], [`Instruction::uses`]) that the rename
+//!   and steering logic consume,
+//! * [`encode()`](encode())/[`decode()`](decode()) — a fixed 32-bit binary
+//!   encoding with full round-trip guarantees,
+//! * [`asm`] — a two-pass text assembler (labels, directives,
+//!   pseudo-instructions) used to build the benchmark kernels,
+//! * [`disasm`] — textual disassembly.
+//!
+//! The ISA deliberately mirrors the MIPS subset that appears in the paper's
+//! Figure 12 steering example (`addu`, `addiu`, `sllv`, `xor`, `lw`, `sw`,
+//! `beq`, …) so the paper's examples can be written down verbatim.
+//!
+//! ## Example
+//!
+//! ```
+//! use ce_isa::asm::assemble;
+//!
+//! let program = assemble(
+//!     "        addi r1, r0, 5
+//!      loop:   addi r1, r1, -1
+//!              bne  r1, r0, loop
+//!              halt",
+//! )?;
+//! assert_eq!(program.text.len(), 4);
+//! # Ok::<(), ce_isa::asm::AsmError>(())
+//! ```
+
+pub mod asm;
+pub mod disasm;
+pub mod encode;
+mod inst;
+mod opcode;
+mod reg;
+
+pub use encode::{decode, encode, DecodeError};
+pub use inst::Instruction;
+pub use opcode::{Opcode, OperandClass, OperationKind};
+pub use reg::Reg;
+
+/// Base address at which assembled text (code) is placed.
+pub const TEXT_BASE: u32 = 0x0040_0000;
+/// Base address at which assembled data is placed.
+pub const DATA_BASE: u32 = 0x1001_0000;
+/// Initial stack pointer value used by the emulator.
+pub const STACK_TOP: u32 = 0x7fff_fffc;

@@ -1,0 +1,402 @@
+//! Opcode definitions and classification.
+
+use std::fmt;
+
+/// The operation performed by an [`Instruction`](crate::Instruction).
+///
+/// The set mirrors the MIPS-I integer subset that the paper's workloads
+/// exercise: three-register ALU ops, immediate ALU ops, shifts (constant and
+/// variable), multiply/divide, byte/half/word loads and stores, conditional
+/// branches, jumps, and a `Halt` marker that ends emulation.
+// Deliberately NOT #[non_exhaustive]: downstream emulators and simulators
+// must be forced by the compiler to handle any opcode added to the ISA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    // Three-register ALU.
+    /// `addu rd, rs, rt` — rd = rs + rt (wrapping).
+    Addu,
+    /// `subu rd, rs, rt` — rd = rs - rt (wrapping).
+    Subu,
+    /// `and rd, rs, rt`.
+    And,
+    /// `or rd, rs, rt`.
+    Or,
+    /// `xor rd, rs, rt`.
+    Xor,
+    /// `nor rd, rs, rt`.
+    Nor,
+    /// `slt rd, rs, rt` — signed set-less-than.
+    Slt,
+    /// `sltu rd, rs, rt` — unsigned set-less-than.
+    Sltu,
+    /// `mul rd, rs, rt` — low 32 bits of the product.
+    Mul,
+    /// `div rd, rs, rt` — signed quotient (0 when rt = 0).
+    Div,
+    /// `rem rd, rs, rt` — signed remainder (0 when rt = 0).
+    Rem,
+
+    // Shifts.
+    /// `sll rd, rt, shamt` — shift left by a constant.
+    Sll,
+    /// `srl rd, rt, shamt` — logical shift right by a constant.
+    Srl,
+    /// `sra rd, rt, shamt` — arithmetic shift right by a constant.
+    Sra,
+    /// `sllv rd, rt, rs` — shift left by the low 5 bits of rs.
+    Sllv,
+    /// `srlv rd, rt, rs` — logical shift right by rs.
+    Srlv,
+    /// `srav rd, rt, rs` — arithmetic shift right by rs.
+    Srav,
+
+    // Immediate ALU.
+    /// `addiu rt, rs, imm` — rt = rs + sign-extended imm (wrapping).
+    Addiu,
+    /// `andi rt, rs, imm` — zero-extended immediate AND.
+    Andi,
+    /// `ori rt, rs, imm` — zero-extended immediate OR.
+    Ori,
+    /// `xori rt, rs, imm` — zero-extended immediate XOR.
+    Xori,
+    /// `slti rt, rs, imm` — signed compare against sign-extended imm.
+    Slti,
+    /// `sltiu rt, rs, imm` — unsigned compare against sign-extended imm.
+    Sltiu,
+    /// `lui rt, imm` — load immediate into the upper halfword.
+    Lui,
+
+    // Loads.
+    /// `lb rt, imm(rs)` — sign-extending byte load.
+    Lb,
+    /// `lbu rt, imm(rs)` — zero-extending byte load.
+    Lbu,
+    /// `lh rt, imm(rs)` — sign-extending halfword load.
+    Lh,
+    /// `lhu rt, imm(rs)` — zero-extending halfword load.
+    Lhu,
+    /// `lw rt, imm(rs)` — word load.
+    Lw,
+
+    // Stores.
+    /// `sb rt, imm(rs)` — byte store.
+    Sb,
+    /// `sh rt, imm(rs)` — halfword store.
+    Sh,
+    /// `sw rt, imm(rs)` — word store.
+    Sw,
+
+    // Conditional branches (PC-relative).
+    /// `beq rs, rt, label`.
+    Beq,
+    /// `bne rs, rt, label`.
+    Bne,
+    /// `blez rs, label` — branch if rs <= 0 (signed).
+    Blez,
+    /// `bgtz rs, label` — branch if rs > 0 (signed).
+    Bgtz,
+    /// `bltz rs, label` — branch if rs < 0 (signed).
+    Bltz,
+    /// `bgez rs, label` — branch if rs >= 0 (signed).
+    Bgez,
+
+    // Unconditional control transfer.
+    /// `j target` — absolute jump.
+    J,
+    /// `jal target` — jump and link (writes `ra`).
+    Jal,
+    /// `jr rs` — jump to register.
+    Jr,
+    /// `jalr rd, rs` — jump to register and link into rd.
+    Jalr,
+
+    // Administrative.
+    /// `nop` — no operation.
+    Nop,
+    /// `halt` — stop emulation; never appears in real hardware streams.
+    Halt,
+}
+
+/// How an instruction's operand fields are laid out in assembly and encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperandClass {
+    /// `op rd, rs, rt` — three-register ALU.
+    RdRsRt,
+    /// `op rd, rt, shamt` — constant shift.
+    RdRtShamt,
+    /// `op rd, rt, rs` — variable shift (MIPS operand order).
+    RdRtRs,
+    /// `op rt, rs, imm` — immediate ALU.
+    RtRsImm,
+    /// `op rt, imm` — `lui`.
+    RtImm,
+    /// `op rt, imm(rs)` — load or store.
+    Mem,
+    /// `op rs, rt, label` — two-register compare-and-branch.
+    BranchRsRt,
+    /// `op rs, label` — one-register compare-and-branch.
+    BranchRs,
+    /// `op target` — absolute jump.
+    JumpTarget,
+    /// `op rs` — `jr`.
+    JumpReg,
+    /// `op rd, rs` — `jalr`.
+    JumpRegLink,
+    /// No operands (`nop`, `halt`).
+    None,
+}
+
+/// Broad functional classification, used by the timing simulator to pick
+/// functional units and model latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperationKind {
+    /// Integer ALU operation (including shifts and multiply/divide — the
+    /// paper's machine has 8 symmetrical single-cycle units).
+    Alu,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional branch.
+    Branch,
+    /// Unconditional jump, call, or return.
+    Jump,
+    /// `nop`/`halt` administrative operations.
+    Other,
+}
+
+impl Opcode {
+    /// The assembler mnemonic for this opcode.
+    pub fn mnemonic(self) -> &'static str {
+        use Opcode::*;
+        match self {
+            Addu => "addu",
+            Subu => "subu",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Nor => "nor",
+            Slt => "slt",
+            Sltu => "sltu",
+            Mul => "mul",
+            Div => "div",
+            Rem => "rem",
+            Sll => "sll",
+            Srl => "srl",
+            Sra => "sra",
+            Sllv => "sllv",
+            Srlv => "srlv",
+            Srav => "srav",
+            Addiu => "addiu",
+            Andi => "andi",
+            Ori => "ori",
+            Xori => "xori",
+            Slti => "slti",
+            Sltiu => "sltiu",
+            Lui => "lui",
+            Lb => "lb",
+            Lbu => "lbu",
+            Lh => "lh",
+            Lhu => "lhu",
+            Lw => "lw",
+            Sb => "sb",
+            Sh => "sh",
+            Sw => "sw",
+            Beq => "beq",
+            Bne => "bne",
+            Blez => "blez",
+            Bgtz => "bgtz",
+            Bltz => "bltz",
+            Bgez => "bgez",
+            J => "j",
+            Jal => "jal",
+            Jr => "jr",
+            Jalr => "jalr",
+            Nop => "nop",
+            Halt => "halt",
+        }
+    }
+
+    /// Looks up an opcode by mnemonic (pseudo-instructions are handled by the
+    /// assembler, not here).
+    pub fn from_mnemonic(name: &str) -> Option<Opcode> {
+        use Opcode::*;
+        Some(match name {
+            "addu" => Addu,
+            "subu" => Subu,
+            "and" => And,
+            "or" => Or,
+            "xor" => Xor,
+            "nor" => Nor,
+            "slt" => Slt,
+            "sltu" => Sltu,
+            "mul" => Mul,
+            "div" => Div,
+            "rem" => Rem,
+            "sll" => Sll,
+            "srl" => Srl,
+            "sra" => Sra,
+            "sllv" => Sllv,
+            "srlv" => Srlv,
+            "srav" => Srav,
+            "addiu" => Addiu,
+            "andi" => Andi,
+            "ori" => Ori,
+            "xori" => Xori,
+            "slti" => Slti,
+            "sltiu" => Sltiu,
+            "lui" => Lui,
+            "lb" => Lb,
+            "lbu" => Lbu,
+            "lh" => Lh,
+            "lhu" => Lhu,
+            "lw" => Lw,
+            "sb" => Sb,
+            "sh" => Sh,
+            "sw" => Sw,
+            "beq" => Beq,
+            "bne" => Bne,
+            "blez" => Blez,
+            "bgtz" => Bgtz,
+            "bltz" => Bltz,
+            "bgez" => Bgez,
+            "j" => J,
+            "jal" => Jal,
+            "jr" => Jr,
+            "jalr" => Jalr,
+            "nop" => Nop,
+            "halt" => Halt,
+            _ => return None,
+        })
+    }
+
+    /// The operand layout for this opcode.
+    pub fn operand_class(self) -> OperandClass {
+        use Opcode::*;
+        match self {
+            Addu | Subu | And | Or | Xor | Nor | Slt | Sltu | Mul | Div | Rem => {
+                OperandClass::RdRsRt
+            }
+            Sll | Srl | Sra => OperandClass::RdRtShamt,
+            Sllv | Srlv | Srav => OperandClass::RdRtRs,
+            Addiu | Andi | Ori | Xori | Slti | Sltiu => OperandClass::RtRsImm,
+            Lui => OperandClass::RtImm,
+            Lb | Lbu | Lh | Lhu | Lw | Sb | Sh | Sw => OperandClass::Mem,
+            Beq | Bne => OperandClass::BranchRsRt,
+            Blez | Bgtz | Bltz | Bgez => OperandClass::BranchRs,
+            J | Jal => OperandClass::JumpTarget,
+            Jr => OperandClass::JumpReg,
+            Jalr => OperandClass::JumpRegLink,
+            Nop | Halt => OperandClass::None,
+        }
+    }
+
+    /// The broad functional classification of this opcode.
+    pub fn kind(self) -> OperationKind {
+        use Opcode::*;
+        match self {
+            Lb | Lbu | Lh | Lhu | Lw => OperationKind::Load,
+            Sb | Sh | Sw => OperationKind::Store,
+            Beq | Bne | Blez | Bgtz | Bltz | Bgez => OperationKind::Branch,
+            J | Jal | Jr | Jalr => OperationKind::Jump,
+            Nop | Halt => OperationKind::Other,
+            _ => OperationKind::Alu,
+        }
+    }
+
+    /// Whether this is a load.
+    #[inline]
+    pub fn is_load(self) -> bool {
+        self.kind() == OperationKind::Load
+    }
+
+    /// Whether this is a store.
+    #[inline]
+    pub fn is_store(self) -> bool {
+        self.kind() == OperationKind::Store
+    }
+
+    /// Whether this is a conditional branch.
+    #[inline]
+    pub fn is_conditional_branch(self) -> bool {
+        self.kind() == OperationKind::Branch
+    }
+
+    /// Whether this is any control-transfer instruction (conditional or not).
+    #[inline]
+    pub fn is_control(self) -> bool {
+        matches!(self.kind(), OperationKind::Branch | OperationKind::Jump)
+    }
+
+    /// Memory access width in bytes for loads/stores, `None` otherwise.
+    pub fn access_bytes(self) -> Option<u32> {
+        use Opcode::*;
+        match self {
+            Lb | Lbu | Sb => Some(1),
+            Lh | Lhu | Sh => Some(2),
+            Lw | Sw => Some(4),
+            _ => None,
+        }
+    }
+
+    /// All opcodes, in a fixed order (useful for exhaustive tests).
+    pub fn all() -> &'static [Opcode] {
+        use Opcode::*;
+        &[
+            Addu, Subu, And, Or, Xor, Nor, Slt, Sltu, Mul, Div, Rem, Sll, Srl, Sra, Sllv, Srlv,
+            Srav, Addiu, Andi, Ori, Xori, Slti, Sltiu, Lui, Lb, Lbu, Lh, Lhu, Lw, Sb, Sh, Sw,
+            Beq, Bne, Blez, Bgtz, Bltz, Bgez, J, Jal, Jr, Jalr, Nop, Halt,
+        ]
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonic_roundtrip_all() {
+        for &op in Opcode::all() {
+            assert_eq!(Opcode::from_mnemonic(op.mnemonic()), Some(op));
+        }
+    }
+
+    #[test]
+    fn unknown_mnemonic_is_none() {
+        assert_eq!(Opcode::from_mnemonic("frobnicate"), None);
+    }
+
+    #[test]
+    fn kinds_are_consistent() {
+        assert!(Opcode::Lw.is_load());
+        assert!(Opcode::Sb.is_store());
+        assert!(Opcode::Beq.is_conditional_branch());
+        assert!(Opcode::J.is_control());
+        assert!(!Opcode::Addu.is_control());
+        assert_eq!(Opcode::Mul.kind(), OperationKind::Alu);
+    }
+
+    #[test]
+    fn access_widths() {
+        assert_eq!(Opcode::Lw.access_bytes(), Some(4));
+        assert_eq!(Opcode::Lh.access_bytes(), Some(2));
+        assert_eq!(Opcode::Sb.access_bytes(), Some(1));
+        assert_eq!(Opcode::Addu.access_bytes(), None);
+    }
+
+    #[test]
+    fn all_is_unique() {
+        let ops = Opcode::all();
+        for (i, a) in ops.iter().enumerate() {
+            for b in &ops[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Architectural register designators.
+
+use std::fmt;
+
+/// An architectural (logical) register designator, `r0`–`r31`.
+///
+/// `r0` is hard-wired to zero, as in MIPS: writes to it are discarded and it
+/// never creates a dependence. The conventional MIPS ABI aliases (`sp`, `ra`,
+/// `t0`, …) are accepted by the assembler and produced by the disassembler.
+///
+/// ```
+/// use ce_isa::Reg;
+///
+/// let sp = Reg::parse("sp").unwrap();
+/// assert_eq!(sp, Reg::SP);
+/// assert_eq!(sp.index(), 29);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+/// ABI names for the 32 registers, indexed by register number.
+const ABI_NAMES: [&str; 32] = [
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3", "t4", "t5", "t6",
+    "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9", "k0", "k1", "gp", "sp",
+    "fp", "ra",
+];
+
+impl Reg {
+    /// The hard-wired zero register, `r0`.
+    pub const ZERO: Reg = Reg(0);
+    /// Assembler temporary, `r1`.
+    pub const AT: Reg = Reg(1);
+    /// First return-value register, `r2`.
+    pub const V0: Reg = Reg(2);
+    /// First argument register, `r4`.
+    pub const A0: Reg = Reg(4);
+    /// Second argument register, `r5`.
+    pub const A1: Reg = Reg(5);
+    /// Third argument register, `r6`.
+    pub const A2: Reg = Reg(6);
+    /// First caller-saved temporary, `r8`.
+    pub const T0: Reg = Reg(8);
+    /// First callee-saved register, `r16`.
+    pub const S0: Reg = Reg(16);
+    /// Global pointer, `r28`.
+    pub const GP: Reg = Reg(28);
+    /// Stack pointer, `r29`.
+    pub const SP: Reg = Reg(29);
+    /// Frame pointer, `r30`.
+    pub const FP: Reg = Reg(30);
+    /// Return-address register, `r31`.
+    pub const RA: Reg = Reg(31);
+
+    /// Number of architectural integer registers.
+    pub const COUNT: usize = 32;
+
+    /// Creates a register from its number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[inline]
+    pub fn new(index: u8) -> Reg {
+        assert!(index < 32, "register index {index} out of range");
+        Reg(index)
+    }
+
+    /// Creates a register from its number, returning `None` when out of range.
+    #[inline]
+    pub fn try_new(index: u8) -> Option<Reg> {
+        (index < 32).then_some(Reg(index))
+    }
+
+    /// The register number, `0..32`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hard-wired zero register.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The ABI alias for this register (`"sp"`, `"t0"`, …).
+    pub fn abi_name(self) -> &'static str {
+        ABI_NAMES[self.index()]
+    }
+
+    /// Parses a register name: `r<n>`, `$<n>`, `$r<n>`, or any ABI alias
+    /// with an optional leading `$`. Bare numerals (`5`) are *not* registers
+    /// — they would be ambiguous with immediates in assembly source.
+    pub fn parse(name: &str) -> Option<Reg> {
+        let (had_sigil, name) = match name.strip_prefix('$') {
+            Some(rest) => (true, rest),
+            None => (false, name),
+        };
+        if let Some(rest) = name.strip_prefix('r') {
+            if let Ok(n) = rest.parse::<u8>() {
+                return Reg::try_new(n);
+            }
+        }
+        if had_sigil {
+            if let Ok(n) = name.parse::<u8>() {
+                return Reg::try_new(n);
+            }
+        }
+        ABI_NAMES
+            .iter()
+            .position(|&abi| abi == name)
+            .map(|i| Reg(i as u8))
+    }
+
+    /// Iterates over all 32 registers in numeric order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..32).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(r: Reg) -> u8 {
+        r.0
+    }
+}
+
+impl From<Reg> for usize {
+    fn from(r: Reg) -> usize {
+        r.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_numeric_forms() {
+        assert_eq!(Reg::parse("r7"), Some(Reg::new(7)));
+        assert_eq!(Reg::parse("$r7"), Some(Reg::new(7)));
+        assert_eq!(Reg::parse("$7"), Some(Reg::new(7)));
+        // Bare numerals are immediates, not registers.
+        assert_eq!(Reg::parse("7"), None);
+    }
+
+    #[test]
+    fn parse_abi_aliases() {
+        assert_eq!(Reg::parse("zero"), Some(Reg::ZERO));
+        assert_eq!(Reg::parse("$sp"), Some(Reg::SP));
+        assert_eq!(Reg::parse("ra"), Some(Reg::RA));
+        assert_eq!(Reg::parse("t9"), Some(Reg::new(25)));
+    }
+
+    #[test]
+    fn parse_rejects_out_of_range() {
+        assert_eq!(Reg::parse("r32"), None);
+        assert_eq!(Reg::parse("bogus"), None);
+        assert_eq!(Reg::parse(""), None);
+    }
+
+    #[test]
+    fn display_is_numeric() {
+        assert_eq!(Reg::new(13).to_string(), "r13");
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::RA.is_zero());
+    }
+
+    #[test]
+    fn all_covers_every_register() {
+        let regs: Vec<Reg> = Reg::all().collect();
+        assert_eq!(regs.len(), 32);
+        assert_eq!(regs[0], Reg::ZERO);
+        assert_eq!(regs[31], Reg::RA);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_panics_out_of_range() {
+        let _ = Reg::new(32);
+    }
+}

@@ -1,0 +1,189 @@
+//! `cesim` — command-line driver for the timing simulator.
+//!
+//! ```text
+//! cesim [--machine NAME] [--bench NAME | --asm FILE] [--max-insts N] [--schedule]
+//!
+//!   --machine    window | fifos | clustered-fifos | clustered-windows |
+//!                exec-steer | random          (default: window)
+//!   --bench      compress|gcc|go|li|m88ksim|perl|vortex  (default: compress)
+//!   --asm FILE   assemble and run FILE instead of a bundled benchmark
+//!   --trace FILE replay a saved trace file instead of emulating
+//!   --max-insts  dynamic instruction cap      (default: 2000000)
+//!   --schedule   print the first 32 issue records
+//!   --save-trace FILE  write the dynamic trace to FILE and exit
+//! ```
+
+use ce_sim::{machine, SimConfig, Simulator};
+use ce_workloads::{Benchmark, Emulator, Trace};
+use std::process::ExitCode;
+
+fn machine_by_name(name: &str) -> Option<SimConfig> {
+    Some(match name {
+        "window" => machine::baseline_8way(),
+        "fifos" => machine::dependence_8way(),
+        "clustered-fifos" => machine::clustered_fifos_8way(),
+        "clustered-windows" => machine::clustered_windows_dispatch_8way(),
+        "exec-steer" => machine::clustered_window_exec_8way(),
+        "random" => machine::clustered_windows_random_8way(),
+        _ => return None,
+    })
+}
+
+fn benchmark_by_name(name: &str) -> Option<Benchmark> {
+    Benchmark::all().into_iter().find(|b| b.name() == name)
+}
+
+struct Options {
+    config: SimConfig,
+    machine_name: String,
+    source: Source,
+    max_insts: u64,
+    schedule: bool,
+    save_trace: Option<String>,
+}
+
+enum Source {
+    Bench(Benchmark),
+    Asm(String),
+    TraceFile(String),
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        config: machine::baseline_8way(),
+        machine_name: "window".to_owned(),
+        source: Source::Bench(Benchmark::Compress),
+        max_insts: 2_000_000,
+        schedule: false,
+        save_trace: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next().ok_or_else(|| format!("{what} requires a value"))
+        };
+        match arg.as_str() {
+            "--machine" => {
+                let name = value("--machine")?;
+                opts.config = machine_by_name(&name)
+                    .ok_or_else(|| format!("unknown machine `{name}`"))?;
+                opts.machine_name = name;
+            }
+            "--bench" => {
+                let name = value("--bench")?;
+                let bench = benchmark_by_name(&name)
+                    .ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+                opts.source = Source::Bench(bench);
+            }
+            "--asm" => opts.source = Source::Asm(value("--asm")?),
+            "--trace" => opts.source = Source::TraceFile(value("--trace")?),
+            "--save-trace" => opts.save_trace = Some(value("--save-trace")?),
+            "--max-insts" => {
+                opts.max_insts = value("--max-insts")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-insts: {e}"))?;
+            }
+            "--schedule" => opts.schedule = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn load_trace(source: &Source, max_insts: u64) -> Result<Trace, String> {
+    match source {
+        Source::Bench(b) => ce_workloads::trace_benchmark(*b, max_insts)
+            .map_err(|e| format!("running {b}: {e}")),
+        Source::Asm(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("reading {path}: {e}"))?;
+            let program =
+                ce_isa::asm::assemble(&text).map_err(|e| format!("assembling {path}: {e}"))?;
+            let mut emu = Emulator::new(&program);
+            emu.run(max_insts).map_err(|e| format!("emulating {path}: {e}"))
+        }
+        Source::TraceFile(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("reading {path}: {e}"))?;
+            ce_workloads::trace_io::parse_trace(&text).map_err(|e| e.to_string())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            eprintln!(
+                "usage: cesim [--machine window|fifos|clustered-fifos|clustered-windows|\
+                 exec-steer|random] [--bench NAME | --asm FILE | --trace FILE] \
+                 [--max-insts N] [--schedule] [--save-trace FILE]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = match load_trace(&opts.source, opts.max_insts) {
+        Ok(t) => t,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(path) = &opts.save_trace {
+        if let Err(e) = std::fs::write(path, ce_workloads::trace_io::format_trace(&trace)) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {} instructions to {path}", trace.len());
+        return ExitCode::SUCCESS;
+    }
+
+    let (stats, schedule) = Simulator::new(opts.config).run_traced(&trace);
+    println!("machine: {}", opts.machine_name);
+    println!("instructions: {} ({} cycles)", stats.committed, stats.cycles);
+    println!("IPC: {:.3}", stats.ipc());
+    println!(
+        "branches: {} ({:.1}% predicted)",
+        stats.branches,
+        stats.branch_accuracy() * 100.0
+    );
+    println!(
+        "loads/stores: {}/{} (D-cache miss rate {:.1}%, {} forwarded loads)",
+        stats.loads,
+        stats.stores,
+        stats.dcache_miss_rate() * 100.0,
+        stats.forwarded_loads
+    );
+    if opts.config.clusters > 1 {
+        println!(
+            "inter-cluster bypasses: {:.1}% of instructions",
+            stats.intercluster_bypass_frequency() * 100.0
+        );
+    }
+    println!(
+        "dispatch stalls: {} scheduler, {} in-flight, {} registers",
+        stats.scheduler_stalls, stats.inflight_stalls, stats.preg_stalls
+    );
+    println!("mean scheduler occupancy: {:.1}", stats.mean_occupancy());
+
+    if opts.schedule {
+        println!();
+        println!("{:>6} {:>10} {:>8} {:>8} {:>9} {:>8}", "seq", "pc", "dispatch", "issue", "complete", "cluster");
+        for rec in schedule.iter().take(32) {
+            println!(
+                "{:>6} {:>#10x} {:>8} {:>8} {:>9} {:>8}",
+                rec.seq, rec.pc, rec.dispatched_at, rec.issued_at, rec.completed_at, rec.cluster
+            );
+        }
+        println!();
+        println!("pipeline diagram (first 32 instructions; D=dispatch, .=wait, E/digit=execute):");
+        let head: Vec<_> = schedule.iter().take(32).copied().collect();
+        print!("{}", ce_sim::viz::render_schedule(&head, opts.config.clusters));
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,325 @@
+//! Machine configuration (paper Table 3 defaults).
+
+/// How instructions are assigned to clusters/FIFOs at dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SteeringPolicy {
+    /// The Section 5.1 dependence heuristic (SRC_FIFO table).
+    Dependence,
+    /// Uniformly random placement (Section 5.6.3), with the given seed.
+    Random {
+        /// PRNG seed so runs are repeatable.
+        seed: u64,
+    },
+    /// Dependence-blind round-robin striping: balanced but chain-unaware
+    /// (isolates load balance from dependence awareness).
+    RoundRobin,
+    /// Dependence-aware chaining with occupancy-balanced FIFO acquisition
+    /// (trades bypass locality for issue bandwidth).
+    LoadBalanced,
+}
+
+/// The issue structure being simulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// One flexible window shared by all clusters. With more than one
+    /// cluster this is the Section 5.6.1 organization: instructions pick a
+    /// cluster at *issue* time (execution-driven steering).
+    CentralWindow {
+        /// Total window entries.
+        size: usize,
+    },
+    /// Per-cluster flexible windows filled by dispatch-driven steering
+    /// (Section 5.6.2). The steering heuristic treats each window as
+    /// `fifos_per_cluster` conceptual FIFOs of `fifo_depth` slots, but
+    /// issue may select any waiting instruction.
+    SteeredWindows {
+        /// Conceptual FIFOs per cluster (the Section 5.6.2 evaluation
+        /// uses 8).
+        fifos_per_cluster: usize,
+        /// Slots per conceptual FIFO (the paper uses 4, giving 32-entry
+        /// windows).
+        fifo_depth: usize,
+    },
+    /// Per-cluster real FIFOs: the dependence-based microarchitecture
+    /// (Section 5). Only FIFO heads are eligible for issue.
+    Fifos {
+        /// FIFOs per cluster.
+        fifos_per_cluster: usize,
+        /// Entries per FIFO.
+        depth: usize,
+    },
+}
+
+impl SchedulerKind {
+    /// Total scheduler capacity per cluster.
+    pub fn capacity_per_cluster(&self, clusters: usize) -> usize {
+        match *self {
+            SchedulerKind::CentralWindow { size } => size / clusters,
+            SchedulerKind::SteeredWindows { fifos_per_cluster, fifo_depth } => {
+                fifos_per_cluster * fifo_depth
+            }
+            SchedulerKind::Fifos { fifos_per_cluster, depth } => fifos_per_cluster * depth,
+        }
+    }
+}
+
+/// Which ready instruction the selection logic prefers (Section 4.3; the
+/// paper cites Butler & Patt's finding that overall performance is largely
+/// independent of this choice, and assumes position-based selection like
+/// the HP PA-8000).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionPolicy {
+    /// Oldest ready instruction first (position-based with compaction).
+    #[default]
+    OldestFirst,
+    /// Slot-position order without compaction (freed slots are reused, so
+    /// position no longer tracks age).
+    Position,
+    /// Youngest first — a deliberately bad policy, for the ablation.
+    YoungestFirst,
+}
+
+/// How operand values reach consumers (Section 4.5's discussion of
+/// incomplete bypassing, after Ahuja et al.).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BypassModel {
+    /// Fully bypassed: a dependent may issue the cycle the result appears.
+    #[default]
+    Full,
+    /// No bypass network: consumers wait until the result is readable from
+    /// the register file (`regwrite_delay` extra cycles).
+    None,
+}
+
+/// When loads may issue relative to older stores (Table 3: "loads may
+/// execute when all prior store addresses are known").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemDisambiguation {
+    /// Loads wait until every older store has computed its address (the
+    /// paper's rule).
+    #[default]
+    AddressesKnown,
+    /// Conservative: loads wait until every older store has *completed*.
+    AllStoresComplete,
+    /// Oracle: loads wait only for older stores to the same word (perfect
+    /// disambiguation).
+    Oracle,
+}
+
+/// Functional-unit latency model (Table 3 uses uniform single-cycle
+/// units; `Weighted` is the realistic-latency ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LatencyModel {
+    /// Every operation executes in one cycle (the paper's Table 3).
+    #[default]
+    Uniform,
+    /// Multiply takes 3 cycles, divide/remainder 12, everything else 1
+    /// (fully pipelined units).
+    Weighted,
+}
+
+/// Branch predictor configuration (McFarling gshare, as in Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BpredConfig {
+    /// Number of 2-bit counters (Table 3: 4K).
+    pub counters: usize,
+    /// Global history bits (Table 3: 12).
+    pub history_bits: u32,
+    /// Oracle mode: every conditional branch predicted correctly (an
+    /// ablation bound, not a Table 3 configuration).
+    pub perfect: bool,
+}
+
+impl Default for BpredConfig {
+    fn default() -> BpredConfig {
+        BpredConfig { counters: 4096, history_bits: 12, perfect: false }
+    }
+}
+
+/// Data cache configuration (Table 3: 32 KB, 2-way, 32 B lines, 1-cycle
+/// hit, 6-cycle miss, 4 ports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DcacheConfig {
+    /// Total capacity in bytes.
+    pub bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Extra cycles a load pays on a miss.
+    pub miss_penalty: u64,
+    /// Load/store ports per cycle.
+    pub ports: usize,
+}
+
+impl Default for DcacheConfig {
+    fn default() -> DcacheConfig {
+        DcacheConfig { bytes: 32 * 1024, ways: 2, line_bytes: 32, miss_penalty: 6, ports: 4 }
+    }
+}
+
+/// Full machine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Instructions fetched per cycle ("any 8 instructions").
+    pub fetch_width: usize,
+    /// Maximum instructions issued per cycle, summed over clusters.
+    pub issue_width: usize,
+    /// Instructions retired per cycle (Table 3: 16).
+    pub retire_width: usize,
+    /// Maximum in-flight instructions (Table 3: 128).
+    pub max_inflight: usize,
+    /// Physical registers (Table 3: 120 integer).
+    pub physical_regs: usize,
+    /// Number of execution clusters.
+    pub clusters: usize,
+    /// Extra cycles an operand takes to cross clusters (Section 5.5
+    /// evaluates 1, i.e. 2-cycle inter-cluster vs 1-cycle local bypass).
+    pub intercluster_extra: u64,
+    /// Cycles after a result is produced before it is readable from the
+    /// register file copies in *all* clusters (bypass-free path).
+    pub regwrite_delay: u64,
+    /// Front-end depth in cycles between fetch and earliest dispatch
+    /// (decode + rename).
+    pub frontend_depth: u64,
+    /// The issue structure.
+    pub scheduler: SchedulerKind,
+    /// Dispatch steering policy (ignored by `CentralWindow`).
+    pub steering: SteeringPolicy,
+    /// Selection priority among ready instructions.
+    pub selection: SelectionPolicy,
+    /// Operand delivery model.
+    pub bypass_model: BypassModel,
+    /// Model wakeup+select pipelined over two stages: dependent
+    /// instructions can no longer issue in consecutive cycles (the
+    /// Section 4.5 / Figure 10 atomicity argument, quantified).
+    pub pipelined_wakeup_select: bool,
+    /// Execution latency model.
+    pub latency: LatencyModel,
+    /// Load/store ordering rule.
+    pub mem_disambiguation: MemDisambiguation,
+    /// Split store issue: a store may issue once its *address* register is
+    /// ready (data arriving later), instead of waiting for both operands
+    /// as SimpleScalar — and therefore the paper — does. Off by default
+    /// for fidelity; an ablation in `extensions`.
+    pub split_store_issue: bool,
+    /// Realistic fetch: stop fetching past a taken control transfer in
+    /// the same cycle. Table 3's "any 8 instructions" fetch (the default,
+    /// false) has no such break.
+    pub fetch_breaks_on_taken: bool,
+    /// Model wrong-path fetch after a misprediction: synthetic
+    /// instructions (reading live registers, writing nothing) pollute the
+    /// front end, scheduler, and functional units until the branch
+    /// resolves, then are squashed. Pure trace-driven stall models (the
+    /// default, and the paper's) underestimate this window pollution.
+    pub model_wrong_path: bool,
+    /// Branch predictor.
+    pub bpred: BpredConfig,
+    /// Data cache.
+    pub dcache: DcacheConfig,
+}
+
+impl SimConfig {
+    /// Functional units per cluster (symmetric units, evenly split).
+    pub fn fus_per_cluster(&self) -> usize {
+        self.issue_width / self.clusters
+    }
+
+    /// Execution latency for an opcode (loads add their cache access on
+    /// top of this; see the pipeline).
+    pub fn op_latency(&self, op: ce_isa::Opcode) -> u64 {
+        match self.latency {
+            LatencyModel::Uniform => 1,
+            LatencyModel::Weighted => match op {
+                ce_isa::Opcode::Mul => 3,
+                ce_isa::Opcode::Div | ce_isa::Opcode::Rem => 12,
+                _ => 1,
+            },
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.fetch_width == 0
+            || self.issue_width == 0
+            || self.retire_width == 0
+            || self.max_inflight == 0
+            || self.physical_regs <= ce_isa::Reg::COUNT
+            || self.clusters == 0
+        {
+            return Err("widths, in-flight limit, and cluster count must be positive; \
+                        physical registers must exceed the 32 architectural registers"
+                .into());
+        }
+        if !self.issue_width.is_multiple_of(self.clusters) {
+            return Err(format!(
+                "{} clusters must evenly divide issue width {}",
+                self.clusters, self.issue_width
+            ));
+        }
+        if let SchedulerKind::CentralWindow { size } = self.scheduler {
+            if size == 0 || size % self.clusters != 0 {
+                return Err("central window must be positive and divisible by clusters".into());
+            }
+        }
+        if self.scheduler.capacity_per_cluster(self.clusters) == 0 {
+            return Err("scheduler capacity must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine;
+
+    #[test]
+    fn defaults_match_table3() {
+        let cfg = machine::baseline_8way();
+        assert_eq!(cfg.fetch_width, 8);
+        assert_eq!(cfg.issue_width, 8);
+        assert_eq!(cfg.retire_width, 16);
+        assert_eq!(cfg.max_inflight, 128);
+        assert_eq!(cfg.physical_regs, 120);
+        assert_eq!(cfg.bpred.counters, 4096);
+        assert_eq!(cfg.bpred.history_bits, 12);
+        assert_eq!(cfg.dcache.bytes, 32 * 1024);
+        assert_eq!(cfg.dcache.ports, 4);
+        assert_eq!(cfg.dcache.miss_penalty, 6);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn capacity_per_cluster() {
+        assert_eq!(SchedulerKind::CentralWindow { size: 64 }.capacity_per_cluster(2), 32);
+        assert_eq!(
+            SchedulerKind::SteeredWindows { fifos_per_cluster: 8, fifo_depth: 4 }
+                .capacity_per_cluster(2),
+            32
+        );
+        assert_eq!(
+            SchedulerKind::Fifos { fifos_per_cluster: 8, depth: 8 }.capacity_per_cluster(1),
+            64
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut cfg = machine::baseline_8way();
+        cfg.clusters = 3;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = machine::baseline_8way();
+        cfg.physical_regs = 32;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = machine::baseline_8way();
+        cfg.scheduler = SchedulerKind::Fifos { fifos_per_cluster: 0, depth: 8 };
+        assert!(cfg.validate().is_err());
+    }
+}

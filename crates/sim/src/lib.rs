@@ -1,0 +1,47 @@
+//! # ce-sim — cycle-level out-of-order superscalar timing simulator
+//!
+//! A trace-driven timing model of the paper's baseline superscalar
+//! (Figure 1, Table 3) and of every scheduler organization evaluated in
+//! Section 5:
+//!
+//! * the conventional machine with a central issue window,
+//! * the dependence-based machine (FIFOs + steering, Figure 11),
+//! * the clustered variants of Figure 16 — FIFOs or windows with
+//!   dispatch-driven steering, a central window with execution-driven
+//!   steering, and random steering — with configurable inter-cluster
+//!   bypass latency.
+//!
+//! The functional outcome of every instruction (branch directions,
+//! effective addresses) comes from a [`Trace`](ce_workloads::Trace)
+//! produced by the `ce-workloads` emulator; this crate decides only *when*
+//! things happen: fetch, rename, steer, wake up, select, execute, bypass,
+//! and commit.
+//!
+//! ## Example
+//!
+//! ```
+//! use ce_sim::{machine, Simulator};
+//! use ce_workloads::{trace_benchmark, Benchmark};
+//!
+//! let trace = trace_benchmark(Benchmark::Compress, 20_000)?;
+//! let stats = Simulator::new(machine::baseline_8way()).run(&trace);
+//! assert!(stats.ipc() > 1.0);
+//! # Ok::<(), ce_workloads::WorkloadError>(())
+//! ```
+
+pub mod bpred;
+pub mod config;
+pub mod dcache;
+pub mod machine;
+pub mod pipeline;
+pub mod rename;
+pub mod scheduler;
+pub mod stats;
+pub mod viz;
+
+pub use config::{
+    BypassModel, LatencyModel, MemDisambiguation, SchedulerKind, SelectionPolicy, SimConfig,
+    SteeringPolicy,
+};
+pub use pipeline::{IssueRecord, Simulator};
+pub use stats::SimStats;

@@ -1,0 +1,135 @@
+//! Ready-made machine configurations for every organization the paper
+//! evaluates.
+
+use crate::config::{
+    BpredConfig, BypassModel, DcacheConfig, LatencyModel, MemDisambiguation, SchedulerKind,
+    SelectionPolicy, SimConfig, SteeringPolicy,
+};
+
+fn base() -> SimConfig {
+    SimConfig {
+        fetch_width: 8,
+        issue_width: 8,
+        retire_width: 16,
+        max_inflight: 128,
+        physical_regs: 120,
+        clusters: 1,
+        intercluster_extra: 1,
+        regwrite_delay: 2,
+        frontend_depth: 2,
+        scheduler: SchedulerKind::CentralWindow { size: 64 },
+        steering: SteeringPolicy::Dependence,
+        selection: SelectionPolicy::OldestFirst,
+        bypass_model: BypassModel::Full,
+        pipelined_wakeup_select: false,
+        latency: LatencyModel::Uniform,
+        mem_disambiguation: MemDisambiguation::AddressesKnown,
+        split_store_issue: false,
+        fetch_breaks_on_taken: false,
+        model_wrong_path: false,
+        bpred: BpredConfig::default(),
+        dcache: DcacheConfig::default(),
+    }
+}
+
+/// The conventional baseline (Table 3): 8-way, single 64-entry issue
+/// window, single-cycle bypass between all units. Also the "ideal"
+/// leftmost bar of Figure 17.
+///
+/// ```
+/// use ce_sim::machine;
+///
+/// let cfg = machine::baseline_8way();
+/// assert_eq!(cfg.issue_width, 8);
+/// assert!(cfg.validate().is_ok());
+/// ```
+pub fn baseline_8way() -> SimConfig {
+    base()
+}
+
+/// The dependence-based microarchitecture of Figure 11/13: 8 FIFOs of 8
+/// entries, unclustered, 8-way.
+pub fn dependence_8way() -> SimConfig {
+    SimConfig {
+        scheduler: SchedulerKind::Fifos { fifos_per_cluster: 8, depth: 8 },
+        ..base()
+    }
+}
+
+/// The clustered dependence-based machine of Figures 14/15: two 4-way
+/// clusters of 4 FIFOs × 8 entries, 2-cycle inter-cluster bypass
+/// (`2-cluster.FIFOs.dispatch_steer` in Figure 17).
+pub fn clustered_fifos_8way() -> SimConfig {
+    SimConfig {
+        clusters: 2,
+        scheduler: SchedulerKind::Fifos { fifos_per_cluster: 4, depth: 8 },
+        ..base()
+    }
+}
+
+/// Two 32-entry flexible windows with dispatch-driven steering
+/// (Section 5.6.2, `2-cluster.windows.dispatch_steer`): the steering
+/// heuristic sees each window as 8 conceptual FIFOs of 4 slots.
+pub fn clustered_windows_dispatch_8way() -> SimConfig {
+    SimConfig {
+        clusters: 2,
+        scheduler: SchedulerKind::SteeredWindows { fifos_per_cluster: 8, fifo_depth: 4 },
+        ..base()
+    }
+}
+
+/// A central 64-entry window whose instructions pick a cluster at issue
+/// time (Section 5.6.1, `2-cluster.1window.exec_steer`).
+pub fn clustered_window_exec_8way() -> SimConfig {
+    SimConfig { clusters: 2, scheduler: SchedulerKind::CentralWindow { size: 64 }, ..base() }
+}
+
+/// Two 32-entry windows with random steering (Section 5.6.3,
+/// `2-cluster.windows.random_steer`).
+pub fn clustered_windows_random_8way() -> SimConfig {
+    SimConfig {
+        clusters: 2,
+        scheduler: SchedulerKind::SteeredWindows { fifos_per_cluster: 1, fifo_depth: 32 },
+        steering: SteeringPolicy::Random { seed: 0xce11 },
+        ..base()
+    }
+}
+
+/// All five Figure 17 organizations, in the figure's bar order, with
+/// display labels.
+pub fn figure17_machines() -> [(&'static str, SimConfig); 5] {
+    [
+        ("1-cluster.1window", baseline_8way()),
+        ("2-cluster.FIFOs.dispatch_steer", clustered_fifos_8way()),
+        ("2-cluster.windows.dispatch_steer", clustered_windows_dispatch_8way()),
+        ("2-cluster.1window.exec_steer", clustered_window_exec_8way()),
+        ("2-cluster.windows.random_steer", clustered_windows_random_8way()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_validate() {
+        for (name, cfg) in figure17_machines() {
+            assert!(cfg.validate().is_ok(), "{name}");
+        }
+        assert!(dependence_8way().validate().is_ok());
+    }
+
+    #[test]
+    fn cluster_geometry() {
+        assert_eq!(baseline_8way().fus_per_cluster(), 8);
+        assert_eq!(clustered_fifos_8way().fus_per_cluster(), 4);
+        assert_eq!(
+            clustered_windows_dispatch_8way().scheduler.capacity_per_cluster(2),
+            32
+        );
+        assert_eq!(
+            clustered_windows_random_8way().scheduler.capacity_per_cluster(2),
+            32
+        );
+    }
+}

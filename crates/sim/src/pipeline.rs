@@ -1,0 +1,1101 @@
+//! The cycle loop: fetch → decode/rename/steer → wakeup+select → execute →
+//! bypass → commit (paper Figure 1 / Figure 11).
+//!
+//! The simulator is trace-driven: functional outcomes come from the
+//! emulator, so no wrong-path instructions are modeled — a mispredicted
+//! branch simply stalls fetch until it resolves, which charges the same
+//! refill penalty the paper's SimpleScalar-derived simulator charges.
+//!
+//! ## Timing model
+//!
+//! * An instruction issued at cycle `T` produces its result at `T + 1`
+//!   (single-cycle symmetric FUs, Table 3); a same-cluster dependent can
+//!   issue at `T + 1` (one-cycle local bypass).
+//! * A dependent in *another* cluster can issue at `T + 1 +
+//!   intercluster_extra` (the Section 5.5 two-cycle inter-cluster bypass).
+//! * Loads add a D-cache access: data at `T + 2` on a hit, `T + 2 +
+//!   miss_penalty` on a miss; store-to-load forwarding behaves like a hit.
+//! * A result reaches the (local) register file `regwrite_delay` cycles
+//!   after production; consumers that issue before that moment used a
+//!   bypass path, and if the producer ran in another cluster, an
+//!   *inter-cluster* bypass — the Figure 17 (bottom) statistic.
+
+use crate::bpred::Gshare;
+use crate::config::SimConfig;
+use crate::dcache::{Access, Dcache};
+use crate::rename::{Preg, RenameTable};
+use crate::scheduler::Scheduler;
+use crate::stats::SimStats;
+use ce_core::InstId;
+use ce_isa::OperationKind;
+use ce_workloads::{DynInst, Trace};
+use std::collections::VecDeque;
+
+/// State of one physical register's value.
+#[derive(Debug, Clone, Copy)]
+struct PregInfo {
+    /// First cycle the value is available from its producer's FU outputs
+    /// (`u64::MAX` while the producer has not issued).
+    ready: u64,
+    /// Cluster that produces the value; `None` means it was already in the
+    /// register file before the producer question arises (program start).
+    cluster: Option<usize>,
+}
+
+/// One in-flight instruction (ROB entry).
+#[derive(Debug, Clone)]
+struct Entry {
+    seq: u64,
+    d: DynInst,
+    srcs: [Option<Preg>; 2],
+    dest: Option<Preg>,
+    prev_dest: Option<Preg>,
+    cluster: Option<usize>,
+    dispatched_at: u64,
+    issued_at: Option<u64>,
+    finish_at: Option<u64>,
+    done: bool,
+    mispredicted: bool,
+    used_intercluster: bool,
+    wrong_path: bool,
+}
+
+/// An instruction waiting in the front end (fetched, not yet dispatched).
+#[derive(Debug, Clone, Copy)]
+struct FrontEndSlot {
+    payload: SlotPayload,
+    ready_at: u64,
+    mispredicted: bool,
+}
+
+/// What a front-end slot carries: a real trace instruction or a
+/// synthesized wrong-path one.
+#[derive(Debug, Clone, Copy)]
+enum SlotPayload {
+    /// Index into the trace.
+    Real(usize),
+    /// A fabricated wrong-path instruction.
+    WrongPath(DynInst),
+}
+
+impl SlotPayload {
+    fn is_wrong_path(&self) -> bool {
+        matches!(self, SlotPayload::WrongPath(_))
+    }
+}
+
+/// Per-instruction schedule record produced by [`Simulator::run_traced`] —
+/// enough to reconstruct a cycle-by-cycle pipeline diagram (the paper's
+/// Figure 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IssueRecord {
+    /// Dynamic sequence number.
+    pub seq: u64,
+    /// Instruction address.
+    pub pc: u32,
+    /// Cycle the instruction entered the scheduler.
+    pub dispatched_at: u64,
+    /// Cycle the instruction was selected and began execution.
+    pub issued_at: u64,
+    /// Cycle its result became available.
+    pub completed_at: u64,
+    /// Execution cluster.
+    pub cluster: usize,
+}
+
+/// The timing simulator.
+///
+/// Construct one per run with [`Simulator::new`], then [`run`](Self::run)
+/// a trace to completion.
+#[derive(Debug)]
+pub struct Simulator {
+    cfg: SimConfig,
+    bpred: Gshare,
+    dcache: Dcache,
+    rename: RenameTable,
+    sched: Scheduler,
+    pregs: Vec<PregInfo>,
+    stats: SimStats,
+}
+
+impl Simulator {
+    /// Creates a simulator for a machine configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SimConfig::validate`].
+    pub fn new(cfg: SimConfig) -> Simulator {
+        if let Err(msg) = cfg.validate() {
+            panic!("invalid simulator configuration: {msg}");
+        }
+        Simulator {
+            cfg,
+            bpred: Gshare::new(cfg.bpred),
+            dcache: Dcache::new(cfg.dcache),
+            rename: RenameTable::new(cfg.physical_regs),
+            sched: Scheduler::new(cfg.scheduler, cfg.clusters, cfg.steering),
+            pregs: vec![PregInfo { ready: 0, cluster: None }; cfg.physical_regs],
+            stats: SimStats::default(),
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Runs the trace to completion and returns the statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine deadlocks (a bug in the simulator, surfaced
+    /// rather than hidden).
+    pub fn run(self, trace: &Trace) -> SimStats {
+        self.run_traced(trace).0
+    }
+
+    /// Runs the trace, returning both the statistics and a per-instruction
+    /// schedule (dispatch/issue/complete cycles and cluster), in commit
+    /// order — the raw material for pipeline diagrams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine deadlocks.
+    pub fn run_traced(mut self, trace: &Trace) -> (SimStats, Vec<IssueRecord>) {
+        let insts = trace.as_slice();
+        let mut schedule = Vec::with_capacity(insts.len());
+        if insts.is_empty() {
+            return (self.stats, schedule);
+        }
+
+        let mut rob: VecDeque<Entry> = VecDeque::with_capacity(self.cfg.max_inflight);
+        let mut frontq: VecDeque<FrontEndSlot> = VecDeque::new();
+        let mut fetch_index = 0usize;
+        // Sequence number of an unresolved mispredicted branch, if any.
+        let mut fetch_stalled_on: Option<u64> = None;
+        // Next synthetic sequence number and PC for wrong-path fetch.
+        let mut wrong_seq: u64 = 0;
+        let mut wrong_pc: u32 = 0;
+        let mut wrong_reg: u8 = 8;
+        // Wrong-path loads walk ahead of the most recent real data address,
+        // polluting the cache the way real wrong-path slices do.
+        let mut recent_mem_addr: u32 = ce_isa::DATA_BASE;
+        let mut wrong_mem_offset: u32 = 0;
+        let mut cycle: u64 = 0;
+        let mut committed = 0usize;
+        let deadlock_limit = 1_000 + 60 * insts.len() as u64;
+
+        while committed < insts.len() {
+            cycle += 1;
+            assert!(
+                cycle < deadlock_limit,
+                "deadlock at cycle {cycle}: committed {committed}/{}, rob {}, frontq {}, \
+                 fetch_index {fetch_index}",
+                insts.len(),
+                rob.len(),
+                frontq.len()
+            );
+
+            // ---- commit ------------------------------------------------
+            for _ in 0..self.cfg.retire_width {
+                match rob.front() {
+                    Some(e) if e.done => {
+                        let e = rob.pop_front().expect("checked");
+                        if let Some(prev) = e.prev_dest {
+                            self.rename.release(prev);
+                        }
+                        self.note_commit(&e);
+                        schedule.push(IssueRecord {
+                            seq: e.seq,
+                            pc: e.d.pc,
+                            dispatched_at: e.dispatched_at,
+                            issued_at: e.issued_at.expect("committed implies issued"),
+                            completed_at: e.finish_at.expect("committed implies finished"),
+                            cluster: e.cluster.unwrap_or(0),
+                        });
+                        committed += 1;
+                    }
+                    _ => break,
+                }
+            }
+
+            // ---- complete (results produced this cycle) -----------------
+            let mut resolved_branch: Option<u64> = None;
+            for e in rob.iter_mut() {
+                if !e.done && e.finish_at == Some(cycle) {
+                    e.done = true;
+                    if e.mispredicted && fetch_stalled_on == Some(e.seq) {
+                        fetch_stalled_on = None; // redirect: fetch resumes
+                        resolved_branch = Some(e.seq);
+                    }
+                }
+            }
+            // Squash everything fetched past a resolved mispredicted
+            // branch — with wrong-path modeling those are the synthetic
+            // instructions polluting the machine.
+            if let Some(branch_seq) = resolved_branch {
+                while rob.back().map(|e| e.seq > branch_seq).unwrap_or(false) {
+                    let e = rob.pop_back().expect("checked");
+                    debug_assert!(e.wrong_path, "only wrong-path work follows the branch");
+                    if e.issued_at.is_none() {
+                        self.sched.remove(InstId(e.seq));
+                    }
+                }
+                frontq.retain(|slot| !slot.payload.is_wrong_path());
+            }
+
+            // ---- wakeup + select + execute ------------------------------
+            self.issue_cycle(cycle, &mut rob);
+
+            // ---- dispatch (rename + steer) ------------------------------
+            self.dispatch_cycle(cycle, insts, &mut frontq, &mut rob);
+
+            // ---- fetch ---------------------------------------------------
+            let cap = 2 * self.cfg.fetch_width;
+            if fetch_stalled_on.is_none() {
+                for _ in 0..self.cfg.fetch_width {
+                    if fetch_index >= insts.len() || frontq.len() >= cap {
+                        break;
+                    }
+                    let d = &insts[fetch_index];
+                    if let Some(addr) = d.mem_addr {
+                        recent_mem_addr = addr;
+                    }
+                    let mut mispredicted = false;
+                    if d.is_conditional_branch() {
+                        let predicted = self.bpred.predict_and_update(d.pc, d.taken);
+                        mispredicted = !self.cfg.bpred.perfect && predicted != d.taken;
+                    }
+                    let taken_cti = d.is_control() && d.taken;
+                    frontq.push_back(FrontEndSlot {
+                        payload: SlotPayload::Real(fetch_index),
+                        ready_at: cycle + self.cfg.frontend_depth,
+                        mispredicted,
+                    });
+                    fetch_index += 1;
+                    if self.cfg.fetch_breaks_on_taken && taken_cti && !mispredicted {
+                        break; // realistic fetch: stop at a taken branch
+                    }
+                    if mispredicted {
+                        fetch_stalled_on = Some(d.seq);
+                        // Wrong-path fetch continues from the (wrongly)
+                        // predicted target; the synthetic stream chains
+                        // sequence numbers after the branch.
+                        wrong_seq = d.seq + 1;
+                        wrong_pc = d.pc.wrapping_add(8);
+                        break;
+                    }
+                }
+            } else if self.cfg.model_wrong_path {
+                for _ in 0..self.cfg.fetch_width {
+                    if frontq.len() >= cap {
+                        break;
+                    }
+                    // A wrong-path instruction: reads two live registers
+                    // (so it waits in the window like real work) but writes
+                    // nothing (r0), so no rename state needs recovery.
+                    // Every third one is a load that strides ahead of the
+                    // program's recent data — the cache pollution that makes
+                    // wrong paths expensive on real machines.
+                    let a = ce_isa::Reg::new(wrong_reg);
+                    let b = ce_isa::Reg::new(8 + (wrong_reg + 5) % 16);
+                    wrong_reg = 8 + (wrong_reg + 1) % 16;
+                    let (inst, mem_addr) = if wrong_seq.is_multiple_of(3) {
+                        wrong_mem_offset = wrong_mem_offset.wrapping_add(
+                            self.cfg.dcache.line_bytes as u32 * 2,
+                        );
+                        (
+                            ce_isa::Instruction::mem(ce_isa::Opcode::Lw, ce_isa::Reg::ZERO, 0, a),
+                            Some(recent_mem_addr.wrapping_add(wrong_mem_offset)),
+                        )
+                    } else {
+                        (
+                            ce_isa::Instruction::rrr(
+                                ce_isa::Opcode::Addu,
+                                ce_isa::Reg::ZERO,
+                                a,
+                                b,
+                            ),
+                            None,
+                        )
+                    };
+                    let d = DynInst {
+                        seq: wrong_seq,
+                        pc: wrong_pc,
+                        inst,
+                        next_pc: wrong_pc.wrapping_add(4),
+                        taken: false,
+                        mem_addr,
+                    };
+                    wrong_seq += 1;
+                    wrong_pc = wrong_pc.wrapping_add(4);
+                    self.stats.wrong_path_fetched += 1;
+                    frontq.push_back(FrontEndSlot {
+                        payload: SlotPayload::WrongPath(d),
+                        ready_at: cycle + self.cfg.frontend_depth,
+                        mispredicted: false,
+                    });
+                }
+            }
+
+            self.stats.occupancy_sum += self.sched.occupancy() as u64;
+        }
+
+        self.stats.cycles = cycle;
+        self.stats.committed = committed as u64;
+        self.stats.issued = committed as u64;
+        self.stats.dcache_accesses = self.dcache.hits() + self.dcache.misses();
+        self.stats.dcache_misses = self.dcache.misses();
+        (self.stats, schedule)
+    }
+
+    fn note_commit(&mut self, e: &Entry) {
+        match e.d.inst.opcode.kind() {
+            OperationKind::Branch => {
+                self.stats.branches += 1;
+                if e.mispredicted {
+                    self.stats.mispredictions += 1;
+                }
+            }
+            OperationKind::Load => self.stats.loads += 1,
+            OperationKind::Store => self.stats.stores += 1,
+            _ => {}
+        }
+        if e.used_intercluster {
+            self.stats.intercluster_bypasses += 1;
+        }
+    }
+
+    /// First cycle the value in `preg` can feed an FU in `cluster`.
+    fn avail_in(&self, preg: Preg, cluster: usize) -> u64 {
+        let info = self.pregs[preg as usize];
+        if info.ready == u64::MAX {
+            return u64::MAX;
+        }
+        let Some(producer) = info.cluster else {
+            // Architectural value present before the program started.
+            return info.ready;
+        };
+        let cross_penalty =
+            if producer != cluster { self.cfg.intercluster_extra } else { 0 };
+        let mut avail = match self.cfg.bypass_model {
+            crate::config::BypassModel::Full => info.ready + cross_penalty,
+            crate::config::BypassModel::None => {
+                info.ready + self.cfg.regwrite_delay + cross_penalty
+            }
+        };
+        if self.cfg.pipelined_wakeup_select {
+            // Wakeup and select in separate stages: the earliest a
+            // dependent can be selected slips by one cycle (Figure 10).
+            avail += 1;
+        }
+        avail
+    }
+
+    /// Whether the consumer grabbed `preg` off a bypass path (rather than
+    /// the local register file), and from which cluster it came.
+    fn bypass_source(&self, preg: Preg, consumer_cluster: usize, at: u64) -> Option<usize> {
+        if self.cfg.bypass_model == crate::config::BypassModel::None {
+            return None; // everything comes from the register file
+        }
+        let info = self.pregs[preg as usize];
+        let producer = info.cluster?;
+        let regfile_at = info.ready
+            + self.cfg.regwrite_delay
+            + if producer != consumer_cluster { self.cfg.intercluster_extra } else { 0 };
+        (at < regfile_at).then_some(producer)
+    }
+
+    fn issue_cycle(&mut self, cycle: u64, rob: &mut VecDeque<Entry>) {
+        let mut candidates = self.sched.candidates();
+        match self.cfg.selection {
+            crate::config::SelectionPolicy::OldestFirst => {
+                candidates.sort_unstable_by_key(|c| c.id);
+            }
+            crate::config::SelectionPolicy::Position => {
+                // Keep the scheduler's slot order: physical position, not
+                // age (the HP PA-8000-style policy the paper assumes).
+            }
+            crate::config::SelectionPolicy::YoungestFirst => {
+                candidates.sort_unstable_by_key(|c| std::cmp::Reverse(c.id));
+            }
+        }
+        if candidates.is_empty() {
+            self.stats.issue_histogram[0] += 1;
+            return;
+        }
+        let rob_base = rob.front().map(|e| e.seq).unwrap_or(0);
+        let clusters = self.cfg.clusters;
+        let fus_per_cluster = self.cfg.fus_per_cluster();
+        let mut fu_used = vec![0usize; clusters];
+        let mut ports_used = 0usize;
+        let mut issued = 0usize;
+
+        for cand in candidates {
+            if issued >= self.cfg.issue_width {
+                break;
+            }
+            let idx = (cand.id.0 - rob_base) as usize;
+            debug_assert!(idx < rob.len());
+            let entry = &rob[idx];
+            debug_assert!(entry.issued_at.is_none());
+
+            // Stores split address generation from data: they issue once
+            // the address register is ready (making their address known,
+            // the Table 3 rule) and complete when the data arrives — which
+            // requires the data producer to at least have issued, so the
+            // arrival time is known.
+            let is_store = entry.d.inst.opcode.kind() == OperationKind::Store;
+            let split_store = is_store && self.cfg.split_store_issue;
+            let required_srcs: &[Option<Preg>] =
+                if split_store { &entry.srcs[..1] } else { &entry.srcs[..] };
+            if split_store {
+                let data_unknown = entry.srcs[1]
+                    .map(|preg| self.pregs[preg as usize].ready == u64::MAX)
+                    .unwrap_or(false);
+                if data_unknown {
+                    continue;
+                }
+            }
+
+            // Pick the execution cluster and check operand readiness.
+            let cluster = match cand.cluster {
+                Some(c) => {
+                    if fu_used[c] >= fus_per_cluster {
+                        continue;
+                    }
+                    let ready = required_srcs
+                        .iter()
+                        .flatten()
+                        .all(|&p| self.avail_in(p, c) <= cycle);
+                    if !ready {
+                        continue;
+                    }
+                    c
+                }
+                None => {
+                    // Execution-driven steering: choose the cluster whose
+                    // operands arrive first, preferring cluster 0 on ties
+                    // (Section 5.6.1).
+                    match self.pick_cluster(required_srcs, cycle, &fu_used, fus_per_cluster) {
+                        Some(c) => c,
+                        None => continue,
+                    }
+                }
+            };
+
+            // Memory structural and ordering constraints.
+            let kind = entry.d.inst.opcode.kind();
+            let is_mem = matches!(kind, OperationKind::Load | OperationKind::Store);
+            if is_mem && ports_used >= self.cfg.dcache.ports {
+                continue;
+            }
+            if kind == OperationKind::Load
+                && !Self::load_may_issue(rob, idx, self.cfg.mem_disambiguation)
+            {
+                continue;
+            }
+
+            // Latency: ALU/branch/jump 1 cycle; stores complete on issue;
+            // loads add the D-cache access.
+            let latency = match kind {
+                OperationKind::Load => {
+                    if Self::forwarding_store(rob, idx).is_some() {
+                        self.stats.forwarded_loads += 1;
+                        2
+                    } else {
+                        let addr = rob[idx].d.mem_addr.expect("loads carry addresses");
+                        match self.dcache.access(addr, false) {
+                            Access::Hit => 2,
+                            Access::Miss { .. } => 2 + self.cfg.dcache.miss_penalty,
+                        }
+                    }
+                }
+                OperationKind::Store => {
+                    let addr = rob[idx].d.mem_addr.expect("stores carry addresses");
+                    let _ = self.dcache.access(addr, true);
+                    // The store completes when its data arrives (it may
+                    // issue address-first, before the data is ready).
+                    let data_wait = rob[idx]
+                        .srcs
+                        .get(1)
+                        .copied()
+                        .flatten()
+                        .map(|p| self.avail_in(p, cluster).saturating_sub(cycle))
+                        .unwrap_or(0);
+                    1 + data_wait
+                }
+                _ => self.cfg.op_latency(entry.d.inst.opcode),
+            };
+
+            // Record inter-cluster bypass usage before mutating preg state.
+            let entry = &mut rob[idx];
+            let mut used_intercluster = false;
+            for &src in entry.srcs.iter().flatten() {
+                if let Some(producer) = self.bypass_source(src, cluster, cycle) {
+                    if producer != cluster {
+                        used_intercluster = true;
+                    }
+                }
+            }
+            entry.used_intercluster = used_intercluster;
+            entry.cluster = Some(cluster);
+            entry.issued_at = Some(cycle);
+            entry.finish_at = Some(cycle + latency);
+            if let Some(dest) = entry.dest {
+                self.pregs[dest as usize] =
+                    PregInfo { ready: cycle + latency, cluster: Some(cluster) };
+            }
+
+            if rob[idx].wrong_path {
+                self.stats.wrong_path_issued += 1;
+            }
+            self.sched.remove(cand.id);
+            fu_used[cluster] += 1;
+            if is_mem {
+                ports_used += 1;
+            }
+            issued += 1;
+        }
+        self.stats.issue_histogram[issued.min(16)] += 1;
+    }
+
+    fn pick_cluster(
+        &self,
+        srcs: &[Option<Preg>],
+        cycle: u64,
+        fu_used: &[usize],
+        fus_per_cluster: usize,
+    ) -> Option<usize> {
+        let mut best: Option<(u64, usize)> = None;
+        for (c, used) in fu_used.iter().enumerate().take(self.cfg.clusters) {
+            if *used >= fus_per_cluster {
+                continue;
+            }
+            let avail = srcs
+                .iter()
+                .flatten()
+                .map(|&p| self.avail_in(p, c))
+                .max()
+                .unwrap_or(0);
+            if avail > cycle {
+                continue;
+            }
+            // Lower availability time wins; cluster 0 wins ties because it
+            // is scanned first.
+            if best.map(|(a, _)| avail < a).unwrap_or(true) {
+                best = Some((avail, c));
+            }
+        }
+        best.map(|(_, c)| c)
+    }
+
+    /// Whether the load at `rob[idx]` may issue under the configured
+    /// load/store ordering rule.
+    fn load_may_issue(
+        rob: &VecDeque<Entry>,
+        idx: usize,
+        rule: crate::config::MemDisambiguation,
+    ) -> bool {
+        use crate::config::MemDisambiguation as M;
+        let load_word = rob[idx].d.mem_addr.map(|a| a & !3);
+        rob.iter().take(idx).all(|e| {
+            if e.d.inst.opcode.kind() != OperationKind::Store {
+                return true;
+            }
+            match rule {
+                // Table 3: older stores need only have computed their
+                // addresses, i.e. issued.
+                M::AddressesKnown => e.issued_at.is_some(),
+                M::AllStoresComplete => e.done,
+                M::Oracle => {
+                    e.d.mem_addr.map(|a| a & !3) != load_word || e.issued_at.is_some()
+                }
+            }
+        })
+    }
+
+    /// The youngest older store writing the same word, if any
+    /// (store-to-load forwarding).
+    fn forwarding_store(rob: &VecDeque<Entry>, idx: usize) -> Option<u64> {
+        let addr = rob[idx].d.mem_addr? & !3;
+        rob.iter()
+            .take(idx)
+            .rev()
+            .find(|e| {
+                e.d.inst.opcode.kind() == OperationKind::Store
+                    && e.d.mem_addr.map(|a| a & !3) == Some(addr)
+            })
+            .map(|e| e.seq)
+    }
+
+    fn dispatch_cycle(
+        &mut self,
+        cycle: u64,
+        insts: &[DynInst],
+        frontq: &mut VecDeque<FrontEndSlot>,
+        rob: &mut VecDeque<Entry>,
+    ) {
+        let mut dispatched = 0usize;
+        let mut had_candidate = false;
+        while dispatched < self.cfg.fetch_width {
+            let Some(&slot) = frontq.front() else { break };
+            if slot.ready_at > cycle {
+                break;
+            }
+            had_candidate = true;
+            let wrong_path = slot.payload.is_wrong_path();
+            let synthesized;
+            let d = match slot.payload {
+                SlotPayload::Real(index) => &insts[index],
+                SlotPayload::WrongPath(d) => {
+                    synthesized = d;
+                    &synthesized
+                }
+            };
+
+            if rob.len() >= self.cfg.max_inflight {
+                self.stats.inflight_stalls += 1;
+                break;
+            }
+            if d.inst.defs().is_some() && !self.rename.has_free() {
+                self.stats.preg_stalls += 1;
+                break;
+            }
+            // Steer/insert before renaming so a scheduler stall leaves the
+            // rename state untouched.
+            let cluster = match self.sched.try_insert(InstId(d.seq), &d.inst) {
+                Ok(c) => c,
+                Err(()) => {
+                    self.stats.scheduler_stalls += 1;
+                    break;
+                }
+            };
+
+            let srcs = d.inst.uses().map(|u| u.map(|r| self.rename.lookup(r)));
+            let (dest, prev_dest) = match d.inst.defs() {
+                Some(r) => {
+                    let (new, prev) = self.rename.rename_dest(r).expect("checked has_free");
+                    self.pregs[new as usize] = PregInfo { ready: u64::MAX, cluster: None };
+                    (Some(new), Some(prev))
+                }
+                None => (None, None),
+            };
+
+            rob.push_back(Entry {
+                seq: d.seq,
+                d: *d,
+                srcs,
+                dest,
+                prev_dest,
+                cluster,
+                dispatched_at: cycle,
+                issued_at: None,
+                finish_at: None,
+                done: false,
+                mispredicted: slot.mispredicted,
+                used_intercluster: false,
+                wrong_path,
+            });
+            frontq.pop_front();
+            dispatched += 1;
+        }
+        if dispatched == 0 && had_candidate {
+            self.stats.dispatch_stall_cycles += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine;
+    use ce_isa::asm::assemble;
+    use ce_workloads::Emulator;
+
+    fn trace_of(src: &str) -> Trace {
+        let program = assemble(src).expect("assembles");
+        Emulator::new(&program).run_to_completion(1_000_000).expect("halts")
+    }
+
+    fn run(cfg: SimConfig, src: &str) -> SimStats {
+        Simulator::new(cfg).run(&trace_of(src))
+    }
+
+    /// A long chain of dependent ALU ops: IPC must approach 1 (one per
+    /// cycle through the local bypass), never exceed it.
+    #[test]
+    fn dependent_chain_has_ipc_near_one() {
+        let src = "
+            li t0, 1
+            addu t1, t0, t0\n".to_owned()
+            + &"            addu t1, t1, t1\n".repeat(200)
+            + "            halt\n";
+        let stats = run(machine::baseline_8way(), &src);
+        assert!(stats.ipc() <= 1.05, "chain cannot beat 1 IPC, got {}", stats.ipc());
+        assert!(stats.ipc() > 0.7, "chain should approach 1 IPC, got {}", stats.ipc());
+    }
+
+    /// Independent ALU ops: an 8-wide machine should sustain well over
+    /// 2 IPC even with front-end effects.
+    #[test]
+    fn independent_ops_exploit_width() {
+        let mut src = String::from("li t0, 1\nli t1, 1\nli t2, 1\nli t3, 1\n");
+        for _ in 0..100 {
+            src.push_str("addu t4, t0, t1\naddu t5, t0, t1\naddu t6, t0, t1\naddu t7, t0, t1\n");
+        }
+        src.push_str("halt\n");
+        let stats = run(machine::baseline_8way(), &src);
+        assert!(stats.ipc() > 3.0, "independent stream too slow: {}", stats.ipc());
+    }
+
+    #[test]
+    fn commits_every_instruction_exactly_once() {
+        let stats = run(
+            machine::baseline_8way(),
+            "li t0, 50\nloop: addiu t0, t0, -1\nbnez t0, loop\nhalt\n",
+        );
+        // li + 50×(addiu,bne) + halt.
+        assert_eq!(stats.committed, 102);
+        assert_eq!(stats.branches, 50);
+    }
+
+    #[test]
+    fn mispredictions_cost_cycles() {
+        // A data-dependent unpredictable branch pattern (LCG parity) vs a
+        // monotone loop of the same instruction count.
+        let unpredictable = "
+            li s0, 12345
+            li s1, 400
+        loop:
+            li t1, 1103515245
+            mul s0, s0, t1
+            addiu s0, s0, 12345
+            srl t2, s0, 16
+            andi t2, t2, 1
+            beqz t2, skip
+            addu s2, s2, t2
+        skip:
+            addiu s1, s1, -1
+            bnez s1, loop
+            halt
+        ";
+        let predictable = "
+            li s0, 12345
+            li s1, 400
+        loop:
+            li t1, 1103515245
+            mul s0, s0, t1
+            addiu s0, s0, 12345
+            srl t2, s0, 16
+            andi t2, t2, 0
+            beqz t2, skip
+            addu s2, s2, t2
+        skip:
+            addiu s1, s1, -1
+            bnez s1, loop
+            halt
+        ";
+        let a = run(machine::baseline_8way(), unpredictable);
+        let b = run(machine::baseline_8way(), predictable);
+        assert!(a.mispredictions > b.mispredictions + 50);
+        assert!(a.ipc() < b.ipc(), "mispredictions must cost IPC");
+    }
+
+    #[test]
+    fn cache_misses_slow_loads() {
+        // Stream over 256 KB (thrashes 32 KB cache) vs re-reading one word.
+        let thrash = "
+            li s1, 2000
+            move s2, gp
+        loop:
+            lw t0, 0(s2)
+            addiu s2, s2, 128
+            addiu s1, s1, -1
+            bnez s1, loop
+            halt
+        ";
+        let friendly = "
+            li s1, 2000
+        loop:
+            lw t0, 0(gp)
+            addiu s1, s1, -1
+            bnez s1, loop
+            halt
+        ";
+        let a = run(machine::baseline_8way(), thrash);
+        let b = run(machine::baseline_8way(), friendly);
+        assert!(a.dcache_miss_rate() > 0.9, "miss rate {}", a.dcache_miss_rate());
+        assert!(b.dcache_miss_rate() < 0.05, "miss rate {}", b.dcache_miss_rate());
+        assert!(a.cycles > b.cycles);
+    }
+
+    #[test]
+    fn store_load_forwarding_detected() {
+        let stats = run(
+            machine::baseline_8way(),
+            "
+            li s1, 100
+        loop:
+            sw s1, 0(gp)
+            lw t0, 0(gp)
+            addiu s1, s1, -1
+            bnez s1, loop
+            halt
+        ",
+        );
+        assert!(stats.forwarded_loads >= 90, "forwarded {}", stats.forwarded_loads);
+    }
+
+    #[test]
+    fn single_cluster_never_reports_intercluster_bypasses() {
+        let stats = run(
+            machine::baseline_8way(),
+            "li t0, 7\nloop: addiu t0, t0, -1\nbnez t0, loop\nhalt\n",
+        );
+        assert_eq!(stats.intercluster_bypasses, 0);
+    }
+
+    #[test]
+    fn clustered_machine_uses_intercluster_bypasses() {
+        // Interleave two chains that cross-couple, forcing communication.
+        let mut src = String::from("li t0, 1\nli t1, 2\n");
+        for _ in 0..100 {
+            src.push_str("addu t0, t0, t1\naddu t1, t1, t0\n");
+        }
+        src.push_str("halt\n");
+        let stats = run(machine::clustered_fifos_8way(), &src);
+        assert!(
+            stats.intercluster_bypasses > 0,
+            "cross-coupled chains must communicate across clusters"
+        );
+    }
+
+    #[test]
+    fn pipelined_wakeup_select_halves_chain_throughput() {
+        // A pure dependence chain: atomic wakeup+select sustains 1 IPC,
+        // the pipelined version at most 0.5 (one issue every two cycles) —
+        // the Figure 10 bubble.
+        let src = "li t0, 1\n".to_owned() + &"addu t0, t0, t0\n".repeat(300) + "halt\n";
+        let atomic = run(machine::baseline_8way(), &src);
+        let mut cfg = machine::baseline_8way();
+        cfg.pipelined_wakeup_select = true;
+        let pipelined = run(cfg, &src);
+        assert!(pipelined.ipc() < 0.55, "pipelined chain IPC {}", pipelined.ipc());
+        assert!(atomic.ipc() > 0.8, "atomic chain IPC {}", atomic.ipc());
+    }
+
+    #[test]
+    fn no_bypass_model_waits_for_the_register_file() {
+        let src = "li t0, 1\n".to_owned() + &"addu t0, t0, t0\n".repeat(200) + "halt\n";
+        let full = run(machine::baseline_8way(), &src);
+        let mut cfg = machine::baseline_8way();
+        cfg.bypass_model = crate::config::BypassModel::None;
+        let none = run(cfg, &src);
+        // Chain step becomes 1 + regwrite_delay cycles.
+        assert!(none.ipc() < full.ipc() / 2.0, "{} vs {}", none.ipc(), full.ipc());
+        assert_eq!(none.intercluster_bypasses, 0);
+    }
+
+    #[test]
+    fn selection_policies_agree_on_committed_work() {
+        let src = "li t0, 50\nloop: addiu t0, t0, -1\nbnez t0, loop\nhalt\n";
+        for policy in [
+            crate::config::SelectionPolicy::OldestFirst,
+            crate::config::SelectionPolicy::Position,
+            crate::config::SelectionPolicy::YoungestFirst,
+        ] {
+            let mut cfg = machine::baseline_8way();
+            cfg.selection = policy;
+            let stats = run(cfg, src);
+            assert_eq!(stats.committed, 102, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn weighted_latency_slows_multiply_chains() {
+        let src = "li t0, 3\n".to_owned() + &"mul t0, t0, t0\n".repeat(100) + "halt\n";
+        let uniform = run(machine::baseline_8way(), &src);
+        let mut cfg = machine::baseline_8way();
+        cfg.latency = crate::config::LatencyModel::Weighted;
+        let weighted = run(cfg, &src);
+        // A mul chain steps 3 cycles instead of 1.
+        assert!(weighted.cycles > 2 * uniform.cycles, "{} vs {}", weighted.cycles, uniform.cycles);
+        assert_eq!(weighted.committed, uniform.committed);
+    }
+
+    #[test]
+    fn wrong_path_modeling_costs_cycles_but_not_correctness() {
+        // Unpredictable branches: wrong-path pollution must slow the
+        // machine down without changing what commits.
+        let src = "
+            li s0, 12345
+            li s1, 300
+        loop:
+            li t1, 1103515245
+            mul s0, s0, t1
+            addiu s0, s0, 12345
+            srl t2, s0, 16
+            andi t2, t2, 1
+            beqz t2, skip
+            addu s2, s2, t2
+        skip:
+            addiu s1, s1, -1
+            bnez s1, loop
+            halt
+        ";
+        let stall_model = run(machine::baseline_8way(), src);
+        let mut cfg = machine::baseline_8way();
+        cfg.model_wrong_path = true;
+        let polluted = run(cfg, src);
+        assert_eq!(polluted.committed, stall_model.committed);
+        assert_eq!(polluted.mispredictions, stall_model.mispredictions);
+        assert!(polluted.wrong_path_fetched > 0);
+        assert!(polluted.wrong_path_issued <= polluted.wrong_path_fetched);
+        assert!(
+            polluted.cycles >= stall_model.cycles,
+            "pollution cannot speed the machine up: {} vs {}",
+            polluted.cycles,
+            stall_model.cycles
+        );
+    }
+
+    #[test]
+    fn wrong_path_modeling_is_inert_without_mispredictions() {
+        let src = "li t0, 100\nloop: addiu t0, t0, -1\nbgtz t0, loop\nhalt\n";
+        let mut cfg = machine::baseline_8way();
+        cfg.model_wrong_path = true;
+        let stats = run(cfg, src);
+        // The loop branch trains after the 12-bit history saturates
+        // (~13 mispredictions); each one injects a bounded burst of
+        // wrong-path work, far less than an unpredictable branch would.
+        assert!(stats.mispredictions < 20, "{}", stats.mispredictions);
+        assert!(stats.wrong_path_fetched < 80 * stats.mispredictions, "{}", stats.wrong_path_fetched);
+        assert_eq!(stats.committed, 202);
+    }
+
+    #[test]
+    fn perfect_prediction_is_an_upper_bound() {
+        let src = "
+            li s0, 12345
+            li s1, 300
+        loop:
+            li t1, 1103515245
+            mul s0, s0, t1
+            addiu s0, s0, 12345
+            srl t2, s0, 16
+            andi t2, t2, 1
+            beqz t2, skip
+            addu s2, s2, t2
+        skip:
+            addiu s1, s1, -1
+            bnez s1, loop
+            halt
+        ";
+        let real = run(machine::baseline_8way(), src);
+        let mut cfg = machine::baseline_8way();
+        cfg.bpred.perfect = true;
+        let oracle = run(cfg, src);
+        assert_eq!(oracle.mispredictions, 0);
+        assert!(oracle.ipc() > real.ipc(), "{} vs {}", oracle.ipc(), real.ipc());
+        assert_eq!(oracle.committed, real.committed);
+    }
+
+    #[test]
+    fn memory_disambiguation_rules_order_correctly() {
+        use crate::config::MemDisambiguation as M;
+        // A store whose data hangs off a 12-cycle divide (weighted
+        // latencies), followed by loads to *different* addresses: the
+        // oracle knows they cannot conflict, the conservative rule makes
+        // them wait for the store to finish.
+        let src = "
+            li s0, 1000000
+            li s2, 3
+            li s1, 200
+        loop:
+            div t0, s0, s2
+            sw t0, 0(gp)
+            lw t1, 64(gp)
+            lw t2, 128(gp)
+            addu s0, t0, s1
+            addiu s1, s1, -1
+            bnez s1, loop
+            halt
+        ";
+        let ipc = |rule| {
+            let mut cfg = machine::baseline_8way();
+            cfg.latency = crate::config::LatencyModel::Weighted;
+            cfg.mem_disambiguation = rule;
+            run(cfg, src).ipc()
+        };
+        let table3 = ipc(M::AddressesKnown);
+        let conservative = ipc(M::AllStoresComplete);
+        let oracle = ipc(M::Oracle);
+        assert!(conservative <= table3 + 1e-9, "{conservative} vs {table3}");
+        assert!(table3 <= oracle + 1e-9, "{table3} vs {oracle}");
+        assert!(oracle > conservative, "the rules must actually differ here");
+    }
+
+    #[test]
+    fn issue_histogram_accounts_every_cycle() {
+        let src = "li t0, 50\nloop: addiu t0, t0, -1\nbnez t0, loop\nhalt\n";
+        let stats = run(machine::baseline_8way(), src);
+        let total: u64 = stats.issue_histogram.iter().sum();
+        assert_eq!(total, stats.cycles, "every cycle lands in one bucket");
+        let issued: u64 = stats
+            .issue_histogram
+            .iter()
+            .enumerate()
+            .map(|(n, &count)| n as u64 * count)
+            .sum();
+        assert_eq!(issued, stats.committed, "histogram mass equals instructions");
+        assert!(stats.idle_issue_fraction() > 0.0, "front-end fill leaves idle cycles");
+    }
+
+    #[test]
+    fn taken_branch_fetch_breaks_cost_throughput() {
+        // A chain of taken jumps: the aggressive Table 3 fetch unit takes
+        // eight per cycle, a realistic one takes one.
+        let mut src = String::new();
+        for i in 0..300 {
+            src.push_str(&format!("L{i}: j L{}\n", i + 1));
+        }
+        src.push_str("L300: halt\n");
+        let src = &src;
+        let aggressive = run(machine::baseline_8way(), src);
+        let mut cfg = machine::baseline_8way();
+        cfg.fetch_breaks_on_taken = true;
+        let realistic = run(cfg, src);
+        assert!(
+            realistic.cycles > 2 * aggressive.cycles,
+            "{} vs {}",
+            realistic.cycles,
+            aggressive.cycles
+        );
+        assert_eq!(realistic.committed, aggressive.committed);
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let stats = Simulator::new(machine::baseline_8way()).run(&Trace::new());
+        assert_eq!(stats.cycles, 0);
+        assert_eq!(stats.committed, 0);
+    }
+
+    #[test]
+    fn fifo_machine_close_to_window_on_chains() {
+        // On a pure dependence chain the FIFO machine loses nothing: the
+        // chain sits in one FIFO and issues head-to-head.
+        let src = "li t0, 1\n".to_owned()
+            + &"addu t0, t0, t0\n".repeat(300)
+            + "halt\n";
+        let win = run(machine::baseline_8way(), &src);
+        let dep = run(machine::dependence_8way(), &src);
+        assert!(
+            (win.ipc() - dep.ipc()).abs() / win.ipc() < 0.02,
+            "window {} vs fifos {}",
+            win.ipc(),
+            dep.ipc()
+        );
+    }
+}

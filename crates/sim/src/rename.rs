@@ -1,0 +1,144 @@
+//! Register rename: logical→physical map table and physical register free
+//! list (Table 3: 120 physical registers).
+//!
+//! Because the simulator is trace-driven it never fetches a wrong path, so
+//! no checkpoint/restore machinery is needed: a physical register is
+//! allocated at dispatch and the *previous* mapping of the destination is
+//! freed when the instruction commits.
+
+use ce_isa::Reg;
+
+/// A physical register designator.
+pub type Preg = u16;
+
+/// The rename map and free list.
+///
+/// ```
+/// use ce_isa::Reg;
+/// use ce_sim::rename::RenameTable;
+///
+/// let mut table = RenameTable::new(120);
+/// let r5 = Reg::new(5);
+/// let (fresh, previous) = table.rename_dest(r5).expect("registers free");
+/// assert_eq!(table.lookup(r5), fresh);
+/// table.release(previous); // at commit
+/// ```
+#[derive(Debug, Clone)]
+pub struct RenameTable {
+    map: [Preg; Reg::COUNT],
+    free: Vec<Preg>,
+}
+
+impl RenameTable {
+    /// Creates a rename table with the 32 architectural registers mapped
+    /// to physical registers 0–31 and the rest free.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `physical_regs > 32`.
+    pub fn new(physical_regs: usize) -> RenameTable {
+        assert!(
+            physical_regs > Reg::COUNT,
+            "need more physical than architectural registers"
+        );
+        let mut map = [0; Reg::COUNT];
+        for (i, m) in map.iter_mut().enumerate() {
+            *m = i as Preg;
+        }
+        // Pop from the end: lowest-numbered free register first.
+        let free = (Reg::COUNT as Preg..physical_regs as Preg).rev().collect();
+        RenameTable { map, free }
+    }
+
+    /// The current physical mapping of a logical register.
+    pub fn lookup(&self, reg: Reg) -> Preg {
+        self.map[reg.index()]
+    }
+
+    /// Whether a destination can be allocated right now.
+    pub fn has_free(&self) -> bool {
+        !self.free.is_empty()
+    }
+
+    /// Number of free physical registers.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Renames a destination register: allocates a new physical register,
+    /// updates the map, and returns `(new, previous)` — the previous
+    /// mapping must be freed when the instruction commits.
+    ///
+    /// Returns `None` when no physical register is free (dispatch stalls).
+    pub fn rename_dest(&mut self, dest: Reg) -> Option<(Preg, Preg)> {
+        let new = self.free.pop()?;
+        let prev = self.map[dest.index()];
+        self.map[dest.index()] = new;
+        Some((new, prev))
+    }
+
+    /// Returns a physical register to the free list (called at commit with
+    /// the displaced previous mapping).
+    pub fn release(&mut self, preg: Preg) {
+        debug_assert!(!self.free.contains(&preg), "double free of p{preg}");
+        self.free.push(preg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_identity_mapping() {
+        let t = RenameTable::new(120);
+        for r in Reg::all() {
+            assert_eq!(t.lookup(r), r.index() as Preg);
+        }
+        assert_eq!(t.free_count(), 120 - 32);
+    }
+
+    #[test]
+    fn rename_allocates_and_remaps() {
+        let mut t = RenameTable::new(40);
+        let r5 = Reg::new(5);
+        let (new, prev) = t.rename_dest(r5).unwrap();
+        assert_eq!(prev, 5);
+        assert_eq!(new, 32, "lowest free register first");
+        assert_eq!(t.lookup(r5), new);
+        assert_eq!(t.free_count(), 7);
+    }
+
+    #[test]
+    fn exhaustion_then_release() {
+        let mut t = RenameTable::new(34);
+        let r1 = Reg::new(1);
+        assert!(t.rename_dest(r1).is_some());
+        assert!(t.rename_dest(r1).is_some());
+        assert!(!t.has_free());
+        assert_eq!(t.rename_dest(r1), None);
+        t.release(1); // the original p1 was displaced twice ago
+        assert!(t.has_free());
+        let (new, _) = t.rename_dest(r1).unwrap();
+        assert_eq!(new, 1);
+    }
+
+    #[test]
+    fn commit_chain_recycles_registers() {
+        // Repeatedly rename the same logical register and free the
+        // displaced mapping, as commit would: the pool never shrinks.
+        let mut t = RenameTable::new(36);
+        let r7 = Reg::new(7);
+        for _ in 0..100 {
+            let (_, prev) = t.rename_dest(r7).expect("never exhausts");
+            t.release(prev);
+        }
+        assert_eq!(t.free_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "more physical")]
+    fn too_few_physical_registers_panics() {
+        let _ = RenameTable::new(32);
+    }
+}

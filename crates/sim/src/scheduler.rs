@@ -1,0 +1,318 @@
+//! The issue structure: central window, steered per-cluster windows, or
+//! the dependence-based FIFOs.
+//!
+//! One type models all five of the paper's organizations; the
+//! [`SchedulerKind`] and [`SteeringPolicy`] pick the behaviour:
+//!
+//! * `CentralWindow` — one flexible pool of entries; with multiple
+//!   clusters, the cluster is chosen at issue time (Section 5.6.1).
+//! * `SteeredWindows` — dispatch-steered conceptual FIFOs; issue may pick
+//!   any waiting instruction (Section 5.6.2).
+//! * `Fifos` — the dependence-based design; only FIFO heads are issue
+//!   candidates (Section 5).
+
+use crate::config::{SchedulerKind, SteeringPolicy};
+use ce_core::fifos::{FifoPool, PoolConfig};
+use ce_core::steering::{DependenceSteerer, RandomSteerer, SteerOutcome};
+use ce_core::steering_variants::{LoadBalancedSteerer, RoundRobinSteerer};
+use ce_core::{FifoId, InstId};
+use ce_isa::Instruction;
+use std::collections::HashMap;
+
+/// An issue candidate: a waiting instruction and the cluster it is bound
+/// to (`None` = unbound; the pipeline picks a cluster at issue time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// The instruction's dynamic sequence number.
+    pub id: InstId,
+    /// Dispatch-assigned cluster, if the organization binds one.
+    pub cluster: Option<usize>,
+}
+
+/// The issue structure.
+#[derive(Debug)]
+pub struct Scheduler {
+    kind: SchedulerKind,
+    clusters: usize,
+    /// Pool backing the FIFO-shaped organizations (`None` for the central
+    /// window).
+    pool: Option<FifoPool>,
+    dependence: DependenceSteerer,
+    random: Option<RandomSteerer>,
+    round_robin: Option<RoundRobinSteerer>,
+    load_balanced: Option<LoadBalancedSteerer>,
+    /// Which FIFO each pooled instruction sits in (for O(1) removal).
+    placement: HashMap<InstId, FifoId>,
+    /// Central-window slots: new instructions take the first free slot, so
+    /// slot order models physical window position (no compaction).
+    window: Vec<Option<InstId>>,
+    central_capacity: usize,
+}
+
+impl Scheduler {
+    /// Builds the scheduler for a machine configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent geometry (zero sizes, clusters not dividing
+    /// the window).
+    pub fn new(kind: SchedulerKind, clusters: usize, steering: SteeringPolicy) -> Scheduler {
+        let pool = match kind {
+            SchedulerKind::CentralWindow { .. } => None,
+            SchedulerKind::SteeredWindows { fifos_per_cluster, fifo_depth } => {
+                Some(FifoPool::new(PoolConfig {
+                    fifos: fifos_per_cluster * clusters,
+                    depth: fifo_depth,
+                    clusters,
+                }))
+            }
+            SchedulerKind::Fifos { fifos_per_cluster, depth } => Some(FifoPool::new(PoolConfig {
+                fifos: fifos_per_cluster * clusters,
+                depth,
+                clusters,
+            })),
+        };
+        let central_capacity = match kind {
+            SchedulerKind::CentralWindow { size } => size,
+            _ => 0,
+        };
+        let random = match steering {
+            SteeringPolicy::Random { seed } => Some(RandomSteerer::new(seed)),
+            _ => None,
+        };
+        let round_robin = matches!(steering, SteeringPolicy::RoundRobin)
+            .then(RoundRobinSteerer::new);
+        let load_balanced = matches!(steering, SteeringPolicy::LoadBalanced)
+            .then(LoadBalancedSteerer::new);
+        Scheduler {
+            kind,
+            clusters,
+            pool,
+            dependence: DependenceSteerer::new(),
+            random,
+            round_robin,
+            load_balanced,
+            placement: HashMap::new(),
+            window: Vec::new(),
+            central_capacity,
+        }
+    }
+
+    /// Whether only FIFO heads may issue.
+    pub fn head_only(&self) -> bool {
+        matches!(self.kind, SchedulerKind::Fifos { .. })
+    }
+
+    /// Inserts an instruction at dispatch. Returns its bound cluster
+    /// (`None` for the central window), or `Err(())` when the structure
+    /// has no suitable slot and dispatch must stall.
+    #[allow(clippy::result_unit_err)]
+    pub fn try_insert(&mut self, id: InstId, inst: &Instruction) -> Result<Option<usize>, ()> {
+        match &mut self.pool {
+            None => {
+                if self.window.len() < self.central_capacity {
+                    self.window.push(Some(id));
+                    return Ok(None);
+                }
+                match self.window.iter_mut().find(|slot| slot.is_none()) {
+                    Some(slot) => {
+                        *slot = Some(id);
+                        Ok(None)
+                    }
+                    None => Err(()),
+                }
+            }
+            Some(pool) => {
+                let outcome = if let Some(r) = &mut self.random {
+                    r.steer(id, pool)
+                } else if let Some(r) = &mut self.round_robin {
+                    r.steer(id, pool)
+                } else if let Some(l) = &mut self.load_balanced {
+                    l.steer(id, inst, pool)
+                } else {
+                    self.dependence.steer(id, inst, pool)
+                };
+                match outcome {
+                    SteerOutcome::Fifo(fifo) => {
+                        self.placement.insert(id, fifo);
+                        Ok(Some(pool.cluster_of(fifo)))
+                    }
+                    SteerOutcome::Stall => Err(()),
+                }
+            }
+        }
+    }
+
+    /// The instructions eligible for selection this cycle, in an arbitrary
+    /// order (the pipeline sorts by age).
+    pub fn candidates(&self) -> Vec<Candidate> {
+        match &self.pool {
+            None => self
+                .window
+                .iter()
+                .flatten()
+                .map(|&id| Candidate { id, cluster: None })
+                .collect(),
+            Some(pool) => {
+                if self.head_only() {
+                    pool.heads()
+                        .map(|(f, id)| Candidate { id, cluster: Some(pool.cluster_of(f)) })
+                        .collect()
+                } else {
+                    pool.entries()
+                        .map(|(f, _, id)| Candidate { id, cluster: Some(pool.cluster_of(f)) })
+                        .collect()
+                }
+            }
+        }
+    }
+
+    /// Removes an instruction at issue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instruction is not present (a pipeline bug).
+    pub fn remove(&mut self, id: InstId) {
+        let head_only = self.head_only();
+        match &mut self.pool {
+            None => {
+                let slot = self
+                    .window
+                    .iter_mut()
+                    .find(|w| **w == Some(id))
+                    .expect("issued instruction must be in the window");
+                *slot = None;
+            }
+            Some(pool) => {
+                let fifo = self.placement.remove(&id).expect("issued instruction placed");
+                if head_only {
+                    let popped = pool.pop_head(fifo);
+                    assert_eq!(popped, Some(id), "head-only issue must pop the head");
+                } else {
+                    assert!(pool.remove(fifo, id), "instruction must be in its FIFO");
+                }
+                // NOTE: the SRC_FIFO table is deliberately NOT cleared at
+                // issue. The paper invalidates entries only at *completion*;
+                // keeping them lets later dependents inherit the producer's
+                // cluster (FIFO→cluster is static), and the steerer already
+                // validates staleness against the pool contents.
+                let _ = id;
+            }
+        }
+    }
+
+    /// Instructions currently waiting.
+    pub fn occupancy(&self) -> usize {
+        match &self.pool {
+            None => self.window.iter().flatten().count(),
+            Some(pool) => pool.occupancy(),
+        }
+    }
+
+    /// Number of clusters.
+    pub fn clusters(&self) -> usize {
+        self.clusters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_isa::{Opcode, Reg};
+
+    fn alu(dst: u8, a: u8, b: u8) -> Instruction {
+        Instruction::rrr(Opcode::Addu, Reg::new(dst), Reg::new(a), Reg::new(b))
+    }
+
+    #[test]
+    fn central_window_capacity() {
+        let mut s = Scheduler::new(
+            SchedulerKind::CentralWindow { size: 2 },
+            1,
+            SteeringPolicy::Dependence,
+        );
+        assert!(s.try_insert(InstId(0), &alu(10, 1, 2)).is_ok());
+        assert!(s.try_insert(InstId(1), &alu(11, 1, 2)).is_ok());
+        assert!(s.try_insert(InstId(2), &alu(12, 1, 2)).is_err());
+        assert_eq!(s.occupancy(), 2);
+        s.remove(InstId(0));
+        assert!(s.try_insert(InstId(2), &alu(12, 1, 2)).is_ok());
+    }
+
+    #[test]
+    fn fifo_candidates_are_heads_only() {
+        let mut s = Scheduler::new(
+            SchedulerKind::Fifos { fifos_per_cluster: 2, depth: 4 },
+            1,
+            SteeringPolicy::Dependence,
+        );
+        // A chain of three dependent instructions lands in one FIFO.
+        s.try_insert(InstId(0), &alu(10, 1, 2)).unwrap();
+        s.try_insert(InstId(1), &alu(11, 10, 2)).unwrap();
+        s.try_insert(InstId(2), &alu(12, 11, 2)).unwrap();
+        let cands = s.candidates();
+        assert_eq!(cands.len(), 1, "only the head is visible");
+        assert_eq!(cands[0].id, InstId(0));
+        assert!(s.head_only());
+        s.remove(InstId(0));
+        assert_eq!(s.candidates()[0].id, InstId(1));
+    }
+
+    #[test]
+    fn steered_windows_expose_every_entry() {
+        let mut s = Scheduler::new(
+            SchedulerKind::SteeredWindows { fifos_per_cluster: 2, fifo_depth: 4 },
+            1,
+            SteeringPolicy::Dependence,
+        );
+        s.try_insert(InstId(0), &alu(10, 1, 2)).unwrap();
+        s.try_insert(InstId(1), &alu(11, 10, 2)).unwrap();
+        assert_eq!(s.candidates().len(), 2, "flexible window sees all entries");
+        assert!(!s.head_only());
+        // Out-of-order removal works (issue from the middle of a chain).
+        s.remove(InstId(1));
+        assert_eq!(s.candidates().len(), 1);
+    }
+
+    #[test]
+    fn clustered_fifos_report_cluster() {
+        let mut s = Scheduler::new(
+            SchedulerKind::Fifos { fifos_per_cluster: 2, depth: 2 },
+            2,
+            SteeringPolicy::Dependence,
+        );
+        // Independent instructions spread across FIFOs; clusters 0 then 1.
+        for i in 0..4u64 {
+            s.try_insert(InstId(i), &alu(10 + i as u8, 1, 2)).unwrap();
+        }
+        let mut clusters: Vec<usize> =
+            s.candidates().iter().filter_map(|c| c.cluster).collect();
+        clusters.sort_unstable();
+        assert_eq!(clusters, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn random_steering_fills_everything() {
+        let mut s = Scheduler::new(
+            SchedulerKind::SteeredWindows { fifos_per_cluster: 2, fifo_depth: 2 },
+            2,
+            SteeringPolicy::Random { seed: 3 },
+        );
+        for i in 0..8u64 {
+            assert!(s.try_insert(InstId(i), &alu(10, 1, 2)).is_ok(), "slot {i}");
+        }
+        assert!(s.try_insert(InstId(8), &alu(10, 1, 2)).is_err());
+        assert_eq!(s.occupancy(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in the window")]
+    fn removing_absent_instruction_panics() {
+        let mut s = Scheduler::new(
+            SchedulerKind::CentralWindow { size: 4 },
+            1,
+            SteeringPolicy::Dependence,
+        );
+        s.remove(InstId(42));
+    }
+}

@@ -1,0 +1,140 @@
+//! Simulation statistics.
+
+/// Counters collected over one simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimStats {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Instructions issued (= committed here; no wrong path is simulated).
+    pub issued: u64,
+    /// Conditional branches committed.
+    pub branches: u64,
+    /// Mispredicted conditional branches.
+    pub mispredictions: u64,
+    /// Loads committed.
+    pub loads: u64,
+    /// Stores committed.
+    pub stores: u64,
+    /// Data-cache misses (loads and stores).
+    pub dcache_misses: u64,
+    /// Data-cache accesses.
+    pub dcache_accesses: u64,
+    /// Loads satisfied by store-to-load forwarding.
+    pub forwarded_loads: u64,
+    /// Instructions that consumed at least one operand over an
+    /// inter-cluster bypass (the Figure 17 bottom-graph metric: operands
+    /// already waiting in the local register file do not count).
+    pub intercluster_bypasses: u64,
+    /// Cycles dispatch stalled with instructions available (any reason).
+    pub dispatch_stall_cycles: u64,
+    /// Dispatch stalls because no suitable FIFO/window slot existed.
+    pub scheduler_stalls: u64,
+    /// Dispatch stalls because the in-flight limit was reached.
+    pub inflight_stalls: u64,
+    /// Dispatch stalls because no physical register was free.
+    pub preg_stalls: u64,
+    /// Sum over cycles of scheduler occupancy (for mean occupancy).
+    pub occupancy_sum: u64,
+    /// Wrong-path instructions fetched (only with wrong-path modeling).
+    pub wrong_path_fetched: u64,
+    /// Wrong-path instructions that reached execution before the squash.
+    pub wrong_path_issued: u64,
+    /// Histogram of instructions issued per cycle: `issue_histogram[n]` is
+    /// the number of cycles on which exactly `n` instructions issued
+    /// (index capped at 16).
+    pub issue_histogram: [u64; 17],
+}
+
+impl SimStats {
+    /// Instructions per cycle — the paper's primary metric.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branch prediction accuracy in [0, 1].
+    pub fn branch_accuracy(&self) -> f64 {
+        if self.branches == 0 {
+            1.0
+        } else {
+            1.0 - self.mispredictions as f64 / self.branches as f64
+        }
+    }
+
+    /// Data-cache miss rate in [0, 1].
+    pub fn dcache_miss_rate(&self) -> f64 {
+        if self.dcache_accesses == 0 {
+            0.0
+        } else {
+            self.dcache_misses as f64 / self.dcache_accesses as f64
+        }
+    }
+
+    /// Fraction of committed instructions that exercised an inter-cluster
+    /// bypass — the paper's Figure 17 (bottom) metric.
+    pub fn intercluster_bypass_frequency(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.intercluster_bypasses as f64 / self.committed as f64
+        }
+    }
+
+    /// Fraction of cycles on which nothing issued (the machine's idle
+    /// fraction from the issue logic's point of view).
+    pub fn idle_issue_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.issue_histogram[0] as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean scheduler occupancy over the run.
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.occupancy_sum as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let stats = SimStats {
+            cycles: 100,
+            committed: 250,
+            branches: 50,
+            mispredictions: 5,
+            dcache_accesses: 40,
+            dcache_misses: 4,
+            intercluster_bypasses: 25,
+            occupancy_sum: 3200,
+            ..SimStats::default()
+        };
+        assert!((stats.ipc() - 2.5).abs() < 1e-12);
+        assert!((stats.branch_accuracy() - 0.9).abs() < 1e-12);
+        assert!((stats.dcache_miss_rate() - 0.1).abs() < 1e-12);
+        assert!((stats.intercluster_bypass_frequency() - 0.1).abs() < 1e-12);
+        assert!((stats.mean_occupancy() - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_is_all_zero_or_one() {
+        let stats = SimStats::default();
+        assert_eq!(stats.ipc(), 0.0);
+        assert_eq!(stats.branch_accuracy(), 1.0);
+        assert_eq!(stats.dcache_miss_rate(), 0.0);
+        assert_eq!(stats.intercluster_bypass_frequency(), 0.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! ASCII pipeline diagrams from [`IssueRecord`]s — a textual version of
+//! the paper's Figure 12 timeline.
+//!
+//! Each instruction gets a row; columns are cycles. Markers:
+//!
+//! * `D` — dispatched into the scheduler,
+//! * `.` — waiting in the scheduler,
+//! * `E` — executing (issue to completion),
+//! * digits `0`/`1`/… in place of `E` — executing in that cluster (only
+//!   when the machine has more than one cluster).
+
+use crate::pipeline::IssueRecord;
+use std::fmt::Write as _;
+
+/// Renders a pipeline diagram for `records` (typically a slice of the
+/// schedule from [`Simulator::run_traced`](crate::Simulator::run_traced)).
+///
+/// `clusters` controls the execute marker: pass the machine's cluster
+/// count. Returns an empty string for an empty slice.
+///
+/// ```
+/// use ce_sim::pipeline::IssueRecord;
+/// use ce_sim::viz::render_schedule;
+///
+/// let records = [
+///     IssueRecord { seq: 0, pc: 0x400000, dispatched_at: 1, issued_at: 2, completed_at: 3, cluster: 0 },
+///     IssueRecord { seq: 1, pc: 0x400004, dispatched_at: 1, issued_at: 3, completed_at: 4, cluster: 0 },
+/// ];
+/// let diagram = render_schedule(&records, 1);
+/// assert!(diagram.contains("i0"));
+/// assert!(diagram.contains('E'));
+/// ```
+pub fn render_schedule(records: &[IssueRecord], clusters: usize) -> String {
+    let Some(first_cycle) = records.iter().map(|r| r.dispatched_at).min() else {
+        return String::new();
+    };
+    let last_cycle = records.iter().map(|r| r.completed_at).max().expect("nonempty");
+    let span = (last_cycle - first_cycle + 1) as usize;
+    let label_width = records
+        .iter()
+        .map(|r| format!("i{}", r.seq).len())
+        .max()
+        .expect("nonempty")
+        .max(4);
+
+    let mut out = String::new();
+    // Header: cycle ruler, one tick each 5 columns.
+    let _ = write!(out, "{:>label_width$} ", "");
+    for c in 0..span {
+        let cycle = first_cycle + c as u64;
+        if cycle.is_multiple_of(5) {
+            let digit = (cycle / 5) % 10;
+            let _ = write!(out, "{digit}");
+        } else {
+            out.push(' ');
+        }
+    }
+    out.push('\n');
+
+    for r in records {
+        let _ = write!(out, "{:>label_width$} ", format!("i{}", r.seq));
+        for c in 0..span {
+            let cycle = first_cycle + c as u64;
+            let ch = if cycle < r.dispatched_at {
+                ' '
+            } else if cycle == r.dispatched_at {
+                'D'
+            } else if cycle < r.issued_at {
+                '.'
+            } else if cycle < r.completed_at {
+                if clusters > 1 {
+                    char::from_digit(r.cluster as u32 % 10, 10).unwrap_or('E')
+                } else {
+                    'E'
+                }
+            } else {
+                ' '
+            };
+            out.push(ch);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64, d: u64, i: u64, c: u64, cluster: usize) -> IssueRecord {
+        IssueRecord {
+            seq,
+            pc: 0x40_0000 + seq as u32 * 4,
+            dispatched_at: d,
+            issued_at: i,
+            completed_at: c,
+            cluster,
+        }
+    }
+
+    #[test]
+    fn empty_schedule_renders_nothing() {
+        assert_eq!(render_schedule(&[], 1), "");
+    }
+
+    #[test]
+    fn single_cluster_uses_e_markers() {
+        let diagram = render_schedule(&[rec(0, 1, 3, 5, 0)], 1);
+        let row = diagram.lines().nth(1).expect("one row");
+        assert!(row.contains('D'));
+        assert!(row.contains('.'));
+        assert_eq!(row.matches('E').count(), 2, "executes cycles 3 and 4: {row}");
+    }
+
+    #[test]
+    fn multi_cluster_marks_cluster_digits() {
+        let diagram = render_schedule(&[rec(0, 1, 2, 3, 0), rec(1, 1, 2, 3, 1)], 2);
+        assert!(diagram.contains('0'));
+        assert!(diagram.contains('1'));
+    }
+
+    #[test]
+    fn rows_align_to_a_common_origin() {
+        let records = [rec(0, 1, 2, 3, 0), rec(1, 4, 5, 6, 0)];
+        let diagram = render_schedule(&records, 1);
+        let lines: Vec<&str> = diagram.lines().collect();
+        assert_eq!(lines.len(), 3, "ruler + two rows");
+        // The second instruction's D appears later in its row than the
+        // first instruction's D does in its row.
+        let d0 = lines[1].find('D').unwrap();
+        let d1 = lines[2].find('D').unwrap();
+        assert!(d1 > d0);
+    }
+
+    #[test]
+    fn back_to_back_chain_reads_as_a_staircase() {
+        let records = [rec(0, 1, 2, 3, 0), rec(1, 1, 3, 4, 0), rec(2, 1, 4, 5, 0)];
+        let diagram = render_schedule(&records, 1);
+        let positions: Vec<usize> = diagram
+            .lines()
+            .skip(1)
+            .map(|l| l.find('E').expect("each row executes"))
+            .collect();
+        assert!(positions.windows(2).all(|w| w[1] == w[0] + 1), "{diagram}");
+    }
+}

@@ -1,0 +1,96 @@
+//! End-to-end tests of the `cesim` command-line driver.
+
+use std::process::Command;
+
+fn cesim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cesim"))
+}
+
+#[test]
+fn runs_a_benchmark_and_reports_ipc() {
+    let out = cesim()
+        .args(["--machine", "fifos", "--bench", "compress", "--max-insts", "20000"])
+        .output()
+        .expect("cesim runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("machine: fifos"), "{stdout}");
+    assert!(stdout.contains("IPC:"), "{stdout}");
+    assert!(stdout.contains("instructions: 20000"), "{stdout}");
+}
+
+#[test]
+fn clustered_machine_reports_intercluster_traffic() {
+    let out = cesim()
+        .args(["--machine", "clustered-fifos", "--bench", "li", "--max-insts", "20000"])
+        .output()
+        .expect("cesim runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("inter-cluster bypasses"), "{stdout}");
+}
+
+#[test]
+fn schedule_flag_prints_records_and_diagram() {
+    let out = cesim()
+        .args(["--bench", "go", "--max-insts", "200", "--schedule"])
+        .output()
+        .expect("cesim runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("dispatch"), "{stdout}");
+    assert!(stdout.contains("pipeline diagram"), "{stdout}");
+}
+
+#[test]
+fn trace_save_and_replay_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("cesim-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace_path = dir.join("t.trace");
+
+    let save = cesim()
+        .args(["--bench", "m88ksim", "--max-insts", "5000"])
+        .arg("--save-trace")
+        .arg(&trace_path)
+        .output()
+        .expect("save runs");
+    assert!(save.status.success());
+    assert!(trace_path.exists());
+
+    let replay = cesim()
+        .args(["--machine", "window"])
+        .arg("--trace")
+        .arg(&trace_path)
+        .output()
+        .expect("replay runs");
+    assert!(replay.status.success());
+    let stdout = String::from_utf8_lossy(&replay.stdout);
+    assert!(stdout.contains("instructions: 5000"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn assembles_and_runs_a_user_program() {
+    let dir = std::env::temp_dir().join(format!("cesim-asm-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let asm_path = dir.join("p.s");
+    std::fs::write(&asm_path, "li t0, 64\nloop: addiu t0, t0, -1\nbnez t0, loop\nhalt\n")
+        .expect("write asm");
+
+    let out = cesim().arg("--asm").arg(&asm_path).output().expect("cesim runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("instructions: 130"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_arguments_fail_with_usage() {
+    let out = cesim().args(["--machine", "bogus"]).output().expect("cesim runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "{stderr}");
+
+    let out = cesim().args(["--max-insts", "not-a-number"]).output().expect("cesim runs");
+    assert!(!out.status.success());
+}

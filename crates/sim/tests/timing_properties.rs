@@ -1,0 +1,161 @@
+//! Timing-model invariants exercised through full simulations: port
+//! limits, load/store ordering, front-end depth, and schedule-record
+//! consistency.
+
+use ce_isa::asm::assemble;
+use ce_sim::{machine, Simulator};
+use ce_workloads::synthetic::{generate, SyntheticConfig};
+use ce_workloads::{Emulator, Trace};
+use proptest::prelude::*;
+
+fn trace_of(src: &str) -> Trace {
+    let program = assemble(src).expect("assembles");
+    Emulator::new(&program).run_to_completion(1_000_000).expect("halts")
+}
+
+#[test]
+fn dcache_ports_throttle_parallel_loads() {
+    // 8 independent loads per iteration; 4 ports mean ≥ 2 cycles of memory
+    // issue per iteration.
+    let mut body = String::from("li s0, 200\nloop:\n");
+    for i in 0..8 {
+        body.push_str(&format!("lw t{i}, {}(gp)\n", i * 4));
+    }
+    body.push_str("addiu s0, s0, -1\nbnez s0, loop\nhalt\n");
+    let t = trace_of(&body);
+
+    let four_ports = Simulator::new(machine::baseline_8way()).run(&t);
+    let mut cfg = machine::baseline_8way();
+    cfg.dcache.ports = 8;
+    let eight_ports = Simulator::new(cfg).run(&t);
+    let mut cfg = machine::baseline_8way();
+    cfg.dcache.ports = 1;
+    let one_port = Simulator::new(cfg).run(&t);
+
+    assert!(eight_ports.cycles < four_ports.cycles);
+    assert!(four_ports.cycles < one_port.cycles);
+    // With one port, ≥ 8 cycles per iteration are forced by loads alone.
+    assert!(one_port.ipc() < 11.0 / 8.0 + 0.1, "one-port IPC {}", one_port.ipc());
+}
+
+#[test]
+fn loads_wait_for_prior_store_addresses() {
+    // A store followed by many independent loads: the loads cannot issue
+    // before the store's address is known (Table 3's ordering rule), so
+    // delaying the store's operands delays everything.
+    let quick_store = "
+        li t0, 1
+        sw t0, 0(gp)
+        lw t1, 64(gp)
+        lw t2, 128(gp)
+        halt
+    ";
+    let slow_store = "
+        li t0, 1
+        mul t0, t0, t0
+        mul t0, t0, t0
+        mul t0, t0, t0
+        mul t0, t0, t0
+        sw t0, 0(gp)
+        lw t1, 64(gp)
+        lw t2, 128(gp)
+        halt
+    ";
+    let quick = Simulator::new(machine::baseline_8way()).run(&trace_of(quick_store));
+    let slow = Simulator::new(machine::baseline_8way()).run(&trace_of(slow_store));
+    // The four dependent muls add 4 cycles to the store, and the loads
+    // must trail it: total cycle growth exceeds the 4 added instructions'
+    // own cost on an 8-wide machine.
+    assert!(slow.cycles >= quick.cycles + 4, "{} vs {}", slow.cycles, quick.cycles);
+}
+
+#[test]
+fn deeper_frontend_costs_cycles_on_mispredictions() {
+    // Unpredictable branches make the front-end depth visible in the
+    // misprediction penalty.
+    let src = "
+        li s0, 12345
+        li s1, 500
+    loop:
+        li t1, 1103515245
+        mul s0, s0, t1
+        addiu s0, s0, 12345
+        srl t2, s0, 16
+        andi t2, t2, 1
+        beqz t2, skip
+        nop
+    skip:
+        addiu s1, s1, -1
+        bnez s1, loop
+        halt
+    ";
+    let t = trace_of(src);
+    let mut shallow_cfg = machine::baseline_8way();
+    shallow_cfg.frontend_depth = 1;
+    let mut deep_cfg = machine::baseline_8way();
+    deep_cfg.frontend_depth = 6;
+    let shallow = Simulator::new(shallow_cfg).run(&t);
+    let deep = Simulator::new(deep_cfg).run(&t);
+    assert!(deep.cycles > shallow.cycles);
+    assert_eq!(deep.mispredictions, shallow.mispredictions, "same predictor behaviour");
+}
+
+#[test]
+fn schedule_records_are_causally_ordered() {
+    let t = trace_of(
+        "li t0, 40\nloop: lw t1, 0(gp)\naddu t2, t1, t0\naddiu t0, t0, -1\nbnez t0, loop\nhalt\n",
+    );
+    for cfg in [machine::baseline_8way(), machine::clustered_fifos_8way()] {
+        let (stats, schedule) = Simulator::new(cfg).run_traced(&t);
+        assert_eq!(schedule.len() as u64, stats.committed);
+        for (i, rec) in schedule.iter().enumerate() {
+            assert_eq!(rec.seq, i as u64, "commit order is program order");
+            assert!(rec.dispatched_at < rec.issued_at, "dispatch strictly precedes issue");
+            assert!(rec.issued_at < rec.completed_at);
+            assert!(rec.cluster < cfg.clusters);
+        }
+    }
+}
+
+proptest! {
+    /// Per-cycle issue never exceeds the configured width, reconstructed
+    /// from the schedule records of random synthetic workloads.
+    #[test]
+    fn issue_width_is_respected(seed in 0u64..200, width_sel in 0usize..3) {
+        let widths = [2usize, 4, 8];
+        let width = widths[width_sel];
+        let config = SyntheticConfig { seed, ..SyntheticConfig::default() };
+        let trace = generate(&config, 2_000);
+        let mut cfg = machine::baseline_8way();
+        cfg.issue_width = width;
+        cfg.fetch_width = width;
+        let (_, schedule) = Simulator::new(cfg).run_traced(&trace);
+        let mut per_cycle = std::collections::HashMap::new();
+        for rec in &schedule {
+            *per_cycle.entry(rec.issued_at).or_insert(0usize) += 1;
+        }
+        for (cycle, n) in per_cycle {
+            prop_assert!(n <= width, "cycle {cycle} issued {n} > width {width}");
+        }
+    }
+
+    /// Per-cluster FU limits hold for the clustered machines.
+    #[test]
+    fn cluster_fu_limits_are_respected(seed in 0u64..200) {
+        let config = SyntheticConfig { seed, ..SyntheticConfig::default() };
+        let trace = generate(&config, 2_000);
+        let cfg = machine::clustered_fifos_8way();
+        let per_cluster = cfg.fus_per_cluster();
+        let (_, schedule) = Simulator::new(cfg).run_traced(&trace);
+        let mut use_map = std::collections::HashMap::new();
+        for rec in &schedule {
+            *use_map.entry((rec.issued_at, rec.cluster)).or_insert(0usize) += 1;
+        }
+        for ((cycle, cluster), n) in use_map {
+            prop_assert!(
+                n <= per_cluster,
+                "cycle {cycle} cluster {cluster} ran {n} > {per_cluster}"
+            );
+        }
+    }
+}

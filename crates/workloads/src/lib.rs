@@ -1,0 +1,99 @@
+//! # ce-workloads — benchmark kernels, functional emulation, and traces
+//!
+//! The paper evaluates its microarchitectures on seven SPEC'95 integer
+//! benchmarks (compress, gcc, go, li, m88ksim, perl, vortex) run under a
+//! modified SimpleScalar. Neither the binaries nor the toolchain are
+//! available, so this crate substitutes **seven hand-written assembly
+//! kernels** with the same behavioural character as their namesakes —
+//! run-length encoding, an expression-evaluator state machine, 2-D board
+//! scanning, cons-cell list processing, an instruction-set interpreter,
+//! string hashing, and a record-store with a search tree — each executed by
+//! an [`Emulator`] to produce the dynamic instruction
+//! [`Trace`] that drives the timing simulator.
+//!
+//! A [`synthetic`] generator is also provided for stress tests and property
+//! tests: it fabricates statistically-shaped instruction streams
+//! (operation mix, dependence distances, branch bias) without needing a
+//! program at all.
+//!
+//! ## Example
+//!
+//! ```
+//! use ce_workloads::{Benchmark, trace_benchmark};
+//!
+//! let trace = trace_benchmark(Benchmark::Compress, 10_000)?;
+//! assert!(trace.len() > 1_000);
+//! # Ok::<(), ce_workloads::WorkloadError>(())
+//! ```
+
+pub mod emulator;
+pub mod memory;
+pub mod programs;
+pub mod stats;
+pub mod synthetic;
+pub mod trace;
+pub mod trace_io;
+
+pub use emulator::{EmuError, Emulator};
+pub use memory::Memory;
+pub use programs::Benchmark;
+pub use trace::{DynInst, Trace};
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when building or running a workload.
+#[derive(Debug)]
+pub enum WorkloadError {
+    /// The kernel source failed to assemble (a bug in this crate).
+    Asm(ce_isa::asm::AsmError),
+    /// The kernel faulted while executing.
+    Emu(EmuError),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Asm(e) => write!(f, "kernel failed to assemble: {e}"),
+            WorkloadError::Emu(e) => write!(f, "kernel faulted: {e}"),
+        }
+    }
+}
+
+impl Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WorkloadError::Asm(e) => Some(e),
+            WorkloadError::Emu(e) => Some(e),
+        }
+    }
+}
+
+impl From<ce_isa::asm::AsmError> for WorkloadError {
+    fn from(e: ce_isa::asm::AsmError) -> WorkloadError {
+        WorkloadError::Asm(e)
+    }
+}
+
+impl From<EmuError> for WorkloadError {
+    fn from(e: EmuError) -> WorkloadError {
+        WorkloadError::Emu(e)
+    }
+}
+
+/// Assembles and executes a benchmark kernel, returning up to `max_insts`
+/// dynamic instructions of trace.
+///
+/// This is the one-call path from a [`Benchmark`] name to the input the
+/// timing simulator consumes (the paper ran each benchmark for at most
+/// 0.5 B instructions; the kernels here complete in far fewer).
+///
+/// # Errors
+///
+/// Returns [`WorkloadError`] if the kernel fails to assemble or faults —
+/// either indicates a bug in the bundled kernels.
+pub fn trace_benchmark(benchmark: Benchmark, max_insts: u64) -> Result<Trace, WorkloadError> {
+    let program = benchmark.program()?;
+    let mut emu = Emulator::new(&program);
+    Ok(emu.run(max_insts)?)
+}

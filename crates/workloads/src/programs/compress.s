@@ -1,0 +1,117 @@
+# compress — 129.compress analogue.
+#
+# Fills a 2 KiB buffer with pseudo-random runs of bytes (LCG-driven run
+# lengths), run-length encodes it, decodes the encoding into a second
+# buffer, and verifies the round trip byte-for-byte. Stores 1 into `result`
+# on success, plus the compressed length into `clen` for inspection.
+#
+# Character: tight byte loops with data-dependent trip counts, byte loads
+# and stores, highly-biased inner branches — like the LZW loops of the
+# original.
+
+        .text
+main:
+        # ---- fill src with runs --------------------------------------
+        la   s0, src            # write pointer
+        li   s1, 2048           # bytes remaining
+        li   t0, 12345          # LCG state
+fill_outer:
+        blez s1, fill_done
+        li   t1, 1103515245
+        mul  t0, t0, t1
+        addiu t0, t0, 12345
+        srl  t2, t0, 16
+        andi t3, t2, 15         # run length 0..15
+        addiu t3, t3, 1         # 1..16
+        srl  t4, t2, 4
+        andi t4, t4, 255        # run byte value
+        slt  t5, s1, t3         # clamp run to remaining bytes
+        beqz t5, fill_run
+        move t3, s1
+fill_run:
+        subu s1, s1, t3
+fill_inner:
+        sb   t4, 0(s0)
+        addiu s0, s0, 1
+        addiu t3, t3, -1
+        bgtz t3, fill_inner
+        b    fill_outer
+fill_done:
+
+        # ---- RLE encode src -> dst -----------------------------------
+        la   s0, src
+        la   s1, dst
+        li   s2, 0              # source index
+        li   s7, 2048           # source length
+enc_loop:
+        bge  s2, s7, enc_done
+        addu t0, s0, s2
+        lbu  t1, 0(t0)          # current byte
+        li   t2, 1              # run count
+count_loop:
+        addu t3, s2, t2
+        bge  t3, s7, count_done
+        addu t4, s0, t3
+        lbu  t5, 0(t4)
+        bne  t5, t1, count_done
+        li   t6, 255
+        bge  t2, t6, count_done
+        addiu t2, t2, 1
+        b    count_loop
+count_done:
+        sb   t2, 0(s1)          # (count, value) pair
+        sb   t1, 1(s1)
+        addiu s1, s1, 2
+        addu s2, s2, t2
+        b    enc_loop
+enc_done:
+        la   t0, dst
+        subu s3, s1, t0         # compressed size in bytes
+        sw   s3, clen(gp)
+
+        # ---- decode dst -> chk ---------------------------------------
+        la   s0, dst
+        la   s1, chk
+        la   s4, chk
+        addiu s5, s4, 2048      # end of check buffer
+dec_loop:
+        bge  s1, s5, dec_done
+        lbu  t0, 0(s0)          # run count
+        lbu  t1, 1(s0)          # run value
+        addiu s0, s0, 2
+dec_inner:
+        sb   t1, 0(s1)
+        addiu s1, s1, 1
+        addiu t0, t0, -1
+        bgtz t0, dec_inner
+        b    dec_loop
+dec_done:
+
+        # ---- verify round trip ---------------------------------------
+        la   s0, src
+        la   s1, chk
+        li   s2, 2048
+        li   v0, 1
+cmp_loop:
+        blez s2, cmp_done
+        lbu  t0, 0(s0)
+        lbu  t1, 0(s1)
+        beq  t0, t1, cmp_ok
+        li   v0, 0
+        b    cmp_done
+cmp_ok:
+        addiu s0, s0, 1
+        addiu s1, s1, 1
+        addiu s2, s2, -1
+        b    cmp_loop
+cmp_done:
+        sw   v0, result(gp)
+        halt
+
+        .data
+src:    .space 2048
+dst:    .space 4096
+chk:    .space 2048
+        .align 2
+clen:   .word 0
+result: .word 0

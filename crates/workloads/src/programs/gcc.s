@@ -1,0 +1,148 @@
+# gcc — 126.gcc analogue.
+#
+# A recursive-descent expression evaluator: grammar
+#     expr   := term  (('+'|'-') term)*
+#     term   := factor ('*' factor)*
+#     factor := '(' expr ')' | number
+# evaluated over two constant expressions, 300 rounds. The call-heavy,
+# branch-dense parsing loop mirrors gcc's front-end character. Self-check:
+# the accumulated total must equal 300 × (175 + 55).
+
+        .text
+main:
+        li   s6, 0              # accumulated total
+        li   s5, 300            # rounds
+main_loop:
+        blez s5, main_done
+        sw   zero, pos(gp)
+        la   t0, expr1
+        sw   t0, exprp(gp)
+        jal  parse_expr
+        addu s6, s6, v0
+        sw   zero, pos(gp)
+        la   t0, expr2
+        sw   t0, exprp(gp)
+        jal  parse_expr
+        addu s6, s6, v0
+        addiu s5, s5, -1
+        b    main_loop
+main_done:
+        li   t0, 69000          # 300 * (175 + 55)
+        li   v0, 0
+        bne  s6, t0, main_store
+        li   v0, 1
+main_store:
+        sw   v0, result(gp)
+        halt
+
+# peek: v0 = current character (0 at end of string).
+peek:
+        lw   t0, exprp(gp)
+        lw   t1, pos(gp)
+        addu t0, t0, t1
+        lbu  v0, 0(t0)
+        jr   ra
+
+# advance: consume one character.
+advance:
+        lw   t0, pos(gp)
+        addiu t0, t0, 1
+        sw   t0, pos(gp)
+        jr   ra
+
+# parse_expr: v0 = value of expr at pos.
+parse_expr:
+        addiu sp, sp, -8
+        sw   ra, 0(sp)
+        sw   s0, 4(sp)
+        jal  parse_term
+        move s0, v0
+pe_loop:
+        jal  peek
+        li   t0, '+'
+        beq  v0, t0, pe_plus
+        li   t0, '-'
+        beq  v0, t0, pe_minus
+        b    pe_done
+pe_plus:
+        jal  advance
+        jal  parse_term
+        addu s0, s0, v0
+        b    pe_loop
+pe_minus:
+        jal  advance
+        jal  parse_term
+        subu s0, s0, v0
+        b    pe_loop
+pe_done:
+        move v0, s0
+        lw   ra, 0(sp)
+        lw   s0, 4(sp)
+        addiu sp, sp, 8
+        jr   ra
+
+# parse_term: v0 = value of term at pos.
+parse_term:
+        addiu sp, sp, -8
+        sw   ra, 0(sp)
+        sw   s0, 4(sp)
+        jal  parse_factor
+        move s0, v0
+pt_loop:
+        jal  peek
+        li   t0, '*'
+        bne  v0, t0, pt_done
+        jal  advance
+        jal  parse_factor
+        mul  s0, s0, v0
+        b    pt_loop
+pt_done:
+        move v0, s0
+        lw   ra, 0(sp)
+        lw   s0, 4(sp)
+        addiu sp, sp, 8
+        jr   ra
+
+# parse_factor: parenthesized expr or multi-digit number.
+parse_factor:
+        addiu sp, sp, -8
+        sw   ra, 0(sp)
+        sw   s0, 4(sp)
+        jal  peek
+        li   t0, '('
+        bne  v0, t0, pf_number
+        jal  advance            # consume '('
+        jal  parse_expr
+        move s0, v0
+        jal  advance            # consume ')'
+        move v0, s0
+        b    pf_ret
+pf_number:
+        li   s0, 0
+pf_digit:
+        jal  peek
+        li   t0, '0'
+        blt  v0, t0, pf_numdone
+        li   t0, '9'
+        bgt  v0, t0, pf_numdone
+        li   t1, 10
+        mul  s0, s0, t1
+        addiu v0, v0, -48
+        addu s0, s0, v0
+        jal  advance
+        b    pf_digit
+pf_numdone:
+        move v0, s0
+pf_ret:
+        lw   ra, 0(sp)
+        lw   s0, 4(sp)
+        addiu sp, sp, 8
+        jr   ra
+
+        .data
+pos:    .word 0
+exprp:  .word 0
+expr1:  .asciiz "((1+2)*3+(4+5)*2)*2+(6*6-5)*3+(9-(2+3))*7"
+expr2:  .asciiz "10+20*3-15"
+        .align 2
+result: .word 0

@@ -1,0 +1,170 @@
+# go — 099.go analogue.
+#
+# Scans a 19×19 board of three-valued cells, counting same-coloured
+# neighbours and "atari" patterns (non-empty cell with exactly one empty
+# neighbour), over 8 generations with a deterministic mutation between
+# generations. Self-check: each generation is scanned twice — row-major and
+# column-major — and both orders must produce identical counts (they visit
+# the same cells). The irregular bounds checks and value-dependent branches
+# mirror go's pattern-matching character.
+
+        .text
+main:
+        # ---- fill board with LCG values mod 3 ------------------------
+        la   s0, board
+        li   s1, 361
+        li   t0, 777
+fill:
+        blez s1, fill_done
+        li   t1, 1103515245
+        mul  t0, t0, t1
+        addiu t0, t0, 12345
+        srl  t2, t0, 16
+        li   t3, 3
+        rem  t4, t2, t3
+        sb   t4, 0(s0)
+        addiu s0, s0, 1
+        addiu s1, s1, -1
+        b    fill
+fill_done:
+        li   s5, 8              # generations
+        li   s6, 1              # result flag (ANDed across checks)
+        li   s7, 0              # checksum accumulator
+gen_loop:
+        blez s5, gen_done
+        li   a0, 0              # row-major scan
+        jal  scan
+        move s2, v0             # neighbour score
+        move s3, v1             # atari count
+        li   a0, 1              # column-major scan
+        jal  scan
+        bne  v0, s2, gen_fail
+        bne  v1, s3, gen_fail
+        addu s7, s7, s2
+        addu s7, s7, s3
+        b    gen_mutate
+gen_fail:
+        li   s6, 0
+gen_mutate:
+        # board[i] = (board[i] + i) mod 3 — purely cell-local, so the
+        # row/column scan equivalence still holds next generation.
+        la   t0, board
+        li   t1, 0
+mut_loop:
+        li   t8, 361
+        bge  t1, t8, mut_done
+        addu t2, t0, t1
+        lbu  t3, 0(t2)
+        addu t3, t3, t1
+        li   t4, 3
+        rem  t5, t3, t4
+        sb   t5, 0(t2)
+        addiu t1, t1, 1
+        b    mut_loop
+mut_done:
+        addiu s5, s5, -1
+        b    gen_loop
+gen_done:
+        bgtz s7, have_work      # a zero checksum means the scan is broken
+        li   s6, 0
+have_work:
+        sw   s7, checksum(gp)
+        sw   s6, result(gp)
+        halt
+
+# scan(a0 = 0 row-major / 1 column-major):
+#   v0 = Σ over cells of (same-neighbour-count + 1) * (value + 1)
+#   v1 = number of atari cells (value != 0, exactly one empty neighbour)
+# Uses only t/a registers; makes no calls.
+scan:
+        la   a3, board
+        li   v0, 0
+        li   v1, 0
+        li   a1, 0              # outer coordinate
+scan_outer:
+        li   t8, 19
+        bge  a1, t8, scan_done
+        li   a2, 0              # inner coordinate
+scan_inner:
+        li   t8, 19
+        bge  a2, t8, scan_inner_done
+        beqz a0, idx_rm
+        move t9, a2             # column-major: row = inner
+        move t7, a1             #               col = outer
+        b    idx_done
+idx_rm:
+        move t9, a1             # row-major: row = outer
+        move t7, a2             #            col = inner
+idx_done:
+        li   t8, 19
+        mul  t3, t9, t8
+        addu t3, t3, t7         # idx = row*19 + col
+        addu t4, a3, t3
+        lbu  t0, 0(t4)          # cell value
+        li   t1, 0              # same-neighbour count
+        li   t2, 0              # empty-neighbour count
+        # up
+        blez t9, n_down
+        addiu t5, t3, -19
+        addu t5, a3, t5
+        lbu  t6, 0(t5)
+        bne  t6, t0, up_notsame
+        addiu t1, t1, 1
+up_notsame:
+        bnez t6, n_down
+        addiu t2, t2, 1
+n_down:
+        li   t8, 18
+        bge  t9, t8, n_left
+        addiu t5, t3, 19
+        addu t5, a3, t5
+        lbu  t6, 0(t5)
+        bne  t6, t0, down_notsame
+        addiu t1, t1, 1
+down_notsame:
+        bnez t6, n_left
+        addiu t2, t2, 1
+n_left:
+        blez t7, n_right
+        addiu t5, t3, -1
+        addu t5, a3, t5
+        lbu  t6, 0(t5)
+        bne  t6, t0, left_notsame
+        addiu t1, t1, 1
+left_notsame:
+        bnez t6, n_right
+        addiu t2, t2, 1
+n_right:
+        li   t8, 18
+        bge  t7, t8, n_done
+        addiu t5, t3, 1
+        addu t5, a3, t5
+        lbu  t6, 0(t5)
+        bne  t6, t0, right_notsame
+        addiu t1, t1, 1
+right_notsame:
+        bnez t6, n_done
+        addiu t2, t2, 1
+n_done:
+        addiu t5, t1, 1
+        addiu t6, t0, 1
+        mul  t5, t5, t6
+        addu v0, v0, t5
+        beqz t0, cell_next      # empty cells cannot be in atari
+        li   t8, 1
+        bne  t2, t8, cell_next
+        addiu v1, v1, 1
+cell_next:
+        addiu a2, a2, 1
+        b    scan_inner
+scan_inner_done:
+        addiu a1, a1, 1
+        b    scan_outer
+scan_done:
+        jr   ra
+
+        .data
+board:  .space 361
+        .align 2
+checksum: .word 0
+result: .word 0

@@ -1,0 +1,133 @@
+# li — 130.li analogue.
+#
+# Cons-cell list processing from a free-list allocator: 24 iterations of
+# build a 300-element list, sum it by pointer chasing, reverse it in place,
+# sum again, and return the cells. Self-check: both sums must equal
+# 300·301/2 = 45150 on every iteration. Almost every instruction depends on
+# a just-loaded pointer — the lisp-interpreter character that makes li the
+# paper's worst case for the dependence-based design.
+
+        .text
+main:
+        jal  init_pool
+        li   s5, 24             # iterations
+        li   s6, 1              # result flag
+li_loop:
+        blez s5, li_done
+        li   a0, 300
+        jal  build_list
+        move s0, v0             # head
+        move a0, s0
+        jal  sum_list
+        move s1, v0             # first sum
+        move a0, s0
+        jal  reverse_list
+        move s0, v0
+        move a0, s0
+        jal  sum_list
+        bne  v0, s1, li_fail    # reversal must not change the sum
+        li   t0, 45150
+        bne  v0, t0, li_fail
+        move a0, s0
+        jal  free_list
+        addiu s5, s5, -1
+        b    li_loop
+li_fail:
+        li   s6, 0
+li_done:
+        sw   s6, result(gp)
+        halt
+
+# Link all 1024 pool cells into the free list.
+init_pool:
+        la   t0, pool
+        li   t1, 0
+        li   t2, 1023
+ip_loop:
+        bge  t1, t2, ip_last
+        sll  t3, t1, 3
+        addu t4, t0, t3
+        addiu t5, t4, 8
+        sw   t5, 4(t4)          # cell[i].cdr = &cell[i+1]
+        addiu t1, t1, 1
+        b    ip_loop
+ip_last:
+        sll  t3, t1, 3
+        addu t4, t0, t3
+        sw   zero, 4(t4)        # last cdr = nil
+        sw   t0, freep(gp)
+        jr   ra
+
+# alloc_cell: v0 = fresh cell popped from the free list.
+alloc_cell:
+        lw   v0, freep(gp)
+        lw   t0, 4(v0)
+        sw   t0, freep(gp)
+        jr   ra
+
+# build_list(a0 = n): v0 = list (1 2 … n) built by consing n, n-1, …, 1.
+build_list:
+        addiu sp, sp, -12
+        sw   ra, 0(sp)
+        sw   s0, 4(sp)
+        sw   s1, 8(sp)
+        move s0, a0             # countdown
+        li   s1, 0              # head = nil
+bl_loop:
+        blez s0, bl_done
+        jal  alloc_cell
+        sw   s0, 0(v0)          # car = i
+        sw   s1, 4(v0)          # cdr = head
+        move s1, v0
+        addiu s0, s0, -1
+        b    bl_loop
+bl_done:
+        move v0, s1
+        lw   ra, 0(sp)
+        lw   s0, 4(sp)
+        lw   s1, 8(sp)
+        addiu sp, sp, 12
+        jr   ra
+
+# sum_list(a0 = head): v0 = Σ car, chasing cdr pointers.
+sum_list:
+        li   v0, 0
+sl_loop:
+        beqz a0, sl_done
+        lw   t0, 0(a0)
+        addu v0, v0, t0
+        lw   a0, 4(a0)
+        b    sl_loop
+sl_done:
+        jr   ra
+
+# reverse_list(a0 = head): v0 = reversed list (in place).
+reverse_list:
+        li   v0, 0              # prev
+rl_loop:
+        beqz a0, rl_done
+        lw   t0, 4(a0)          # next
+        sw   v0, 4(a0)          # cur.cdr = prev
+        move v0, a0
+        move a0, t0
+        b    rl_loop
+rl_done:
+        jr   ra
+
+# free_list(a0 = head): push every cell back onto the free list.
+free_list:
+fl_loop:
+        beqz a0, fl_done
+        lw   t0, 4(a0)          # next
+        lw   t1, freep(gp)
+        sw   t1, 4(a0)
+        sw   a0, freep(gp)
+        move a0, t0
+        b    fl_loop
+fl_done:
+        jr   ra
+
+        .data
+freep:  .word 0
+pool:   .space 8192
+result: .word 0

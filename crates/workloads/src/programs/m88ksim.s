@@ -1,0 +1,162 @@
+# m88ksim — 124.m88ksim analogue.
+#
+# An instruction-set interpreter interpreting a tiny guest program — a
+# simulator inside the simulator, just like m88ksim itself. Guest words are
+# op:4 | rd:4 | rs:4 | rt:4 | imm:16; dispatch goes through a jump table
+# (`jr`), the classic interpreter indirect-branch pattern. The guest program
+# sums 1..100; the interpreter reruns it 80 times and self-checks the guest
+# register against 5050 every run.
+#
+# Guest ISA: 0=halt  1=li rd,imm  2=add rd,rs,rt  3=sub rd,rs,rt
+#            4=bne rs,rt,imm  5=addi rd,rs,imm  6=blt rs,rt,imm  7=mul
+
+        .text
+main:
+        li   s5, 80             # interpreter runs
+        li   s6, 1              # result flag
+run_loop:
+        blez s5, run_done
+        jal  interp
+        la   t1, gregs
+        lw   t0, 4(t1)          # guest r1 = the sum
+        li   t2, 5050
+        beq  t0, t2, run_ok
+        li   s6, 0
+run_ok:
+        addiu s5, s5, -1
+        b    run_loop
+run_done:
+        sw   s6, result(gp)
+        halt
+
+# interp: reset guest state and interpret until the guest halts.
+# t9 = guest PC (word index), t8 = guest text base, t7 = guest regfile.
+interp:
+        la   t0, gregs
+        li   t1, 16
+ci_loop:
+        blez t1, ci_done
+        sw   zero, 0(t0)
+        addiu t0, t0, 4
+        addiu t1, t1, -1
+        b    ci_loop
+ci_done:
+        li   t9, 0
+        la   t8, gprog
+        la   t7, gregs
+fetch:
+        sll  t0, t9, 2
+        addu t0, t8, t0
+        lw   t1, 0(t0)          # guest instruction word
+        addiu t9, t9, 1
+        srl  t2, t1, 28
+        andi t2, t2, 15         # op
+        srl  t3, t1, 24
+        andi t3, t3, 15         # rd
+        srl  t4, t1, 20
+        andi t4, t4, 15         # rs
+        srl  t5, t1, 16
+        andi t5, t5, 15         # rt
+        andi t6, t1, 0xffff    # imm
+        la   t0, optable
+        sll  t2, t2, 2
+        addu t0, t0, t2
+        lw   t0, 0(t0)
+        jr   t0                 # dispatch
+
+op_halt:
+        jr   ra
+
+op_li:
+        sll  t3, t3, 2
+        addu t3, t7, t3
+        sw   t6, 0(t3)
+        b    fetch
+
+op_add:
+        sll  t4, t4, 2
+        addu t4, t7, t4
+        lw   t4, 0(t4)
+        sll  t5, t5, 2
+        addu t5, t7, t5
+        lw   t5, 0(t5)
+        addu t4, t4, t5
+        sll  t3, t3, 2
+        addu t3, t7, t3
+        sw   t4, 0(t3)
+        b    fetch
+
+op_sub:
+        sll  t4, t4, 2
+        addu t4, t7, t4
+        lw   t4, 0(t4)
+        sll  t5, t5, 2
+        addu t5, t7, t5
+        lw   t5, 0(t5)
+        subu t4, t4, t5
+        sll  t3, t3, 2
+        addu t3, t7, t3
+        sw   t4, 0(t3)
+        b    fetch
+
+op_bne:
+        sll  t4, t4, 2
+        addu t4, t7, t4
+        lw   t4, 0(t4)
+        sll  t5, t5, 2
+        addu t5, t7, t5
+        lw   t5, 0(t5)
+        beq  t4, t5, fetch
+        move t9, t6             # taken: guest PC = imm
+        b    fetch
+
+op_addi:
+        sll  t4, t4, 2
+        addu t4, t7, t4
+        lw   t4, 0(t4)
+        addu t4, t4, t6
+        sll  t3, t3, 2
+        addu t3, t7, t3
+        sw   t4, 0(t3)
+        b    fetch
+
+op_blt:
+        sll  t4, t4, 2
+        addu t4, t7, t4
+        lw   t4, 0(t4)
+        sll  t5, t5, 2
+        addu t5, t7, t5
+        lw   t5, 0(t5)
+        bge  t4, t5, fetch
+        move t9, t6             # taken: guest PC = imm
+        b    fetch
+
+op_mul:
+        sll  t4, t4, 2
+        addu t4, t7, t4
+        lw   t4, 0(t4)
+        sll  t5, t5, 2
+        addu t5, t7, t5
+        lw   t5, 0(t5)
+        mul  t4, t4, t5
+        sll  t3, t3, 2
+        addu t3, t7, t3
+        sw   t4, 0(t3)
+        b    fetch
+
+        .data
+gregs:  .space 64
+# Guest program (sums 1..100 into guest r1):
+#   0: li   r1, 0
+#   1: li   r2, 0
+#   2: li   r3, 100
+#   3: addi r2, r2, 1
+#   4: add  r1, r1, r2
+#   5: blt  r2, r3, 3
+#   6: halt
+gprog:  .word 0x11000000, 0x12000000, 0x13000064, 0x52200001
+        .word 0x21120000, 0x60230003, 0x00000000
+# Jump table indexed by guest opcode (text labels, defined above).
+optable: .word op_halt, op_li, op_add, op_sub, op_bne, op_addi, op_blt, op_mul
+        .align 2
+result: .word 0

@@ -1,0 +1,194 @@
+//! The seven SPEC'95-analogue benchmark kernels.
+//!
+//! Each kernel is a hand-written assembly program whose control-flow,
+//! dependence, and memory behaviour mirrors the character of its SPEC
+//! namesake (the suite the paper uses in Section 5.2):
+//!
+//! | Kernel | SPEC analogue | Character |
+//! |---|---|---|
+//! | `compress` | 129.compress | byte-stream run-length coding, tight data-dependent loops |
+//! | `gcc` | 126.gcc | recursive-descent expression parsing, call-heavy, branchy |
+//! | `go` | 099.go | 2-D board scanning, irregular data-dependent branches |
+//! | `li` | 130.li | cons-cell allocation, pointer chasing, list reversal |
+//! | `m88ksim` | 124.m88ksim | instruction interpreter: fetch/decode/dispatch via jump table |
+//! | `perl` | 134.perl | string hashing and associative lookup with chaining |
+//! | `vortex` | 147.vortex | record store with binary-search-tree index |
+//!
+//! Every kernel is **self-checking**: it computes its answer two independent
+//! ways (or validates a round-trip) and stores 1 into its `result` word on
+//! success. [`Benchmark::verify`] reads that word back after emulation.
+
+use crate::emulator::Emulator;
+use ce_isa::asm::{assemble, AsmError, Program};
+use std::fmt;
+
+/// A named benchmark kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Benchmark {
+    /// Run-length byte compressor (129.compress analogue).
+    Compress,
+    /// Recursive-descent expression evaluator (126.gcc analogue).
+    Gcc,
+    /// Board pattern scanner (099.go analogue).
+    Go,
+    /// Cons-cell list processor (130.li analogue).
+    Li,
+    /// Instruction-set interpreter (124.m88ksim analogue).
+    M88ksim,
+    /// String hash table (134.perl analogue).
+    Perl,
+    /// Record store with tree index (147.vortex analogue).
+    Vortex,
+}
+
+impl Benchmark {
+    /// All seven benchmarks in the order the paper's figures list them.
+    pub fn all() -> [Benchmark; 7] {
+        [
+            Benchmark::Compress,
+            Benchmark::Gcc,
+            Benchmark::Go,
+            Benchmark::Li,
+            Benchmark::M88ksim,
+            Benchmark::Perl,
+            Benchmark::Vortex,
+        ]
+    }
+
+    /// The benchmark's display name (lowercase, as in the paper's figures).
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Compress => "compress",
+            Benchmark::Gcc => "gcc",
+            Benchmark::Go => "go",
+            Benchmark::Li => "li",
+            Benchmark::M88ksim => "m88ksim",
+            Benchmark::Perl => "perl",
+            Benchmark::Vortex => "vortex",
+        }
+    }
+
+    /// The kernel's assembly source text.
+    pub fn source(self) -> &'static str {
+        match self {
+            Benchmark::Compress => include_str!("compress.s"),
+            Benchmark::Gcc => include_str!("gcc.s"),
+            Benchmark::Go => include_str!("go.s"),
+            Benchmark::Li => include_str!("li.s"),
+            Benchmark::M88ksim => include_str!("m88ksim.s"),
+            Benchmark::Perl => include_str!("perl.s"),
+            Benchmark::Vortex => include_str!("vortex.s"),
+        }
+    }
+
+    /// Assembles the kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns the assembler error (which would indicate a bug in the
+    /// bundled kernel source).
+    pub fn program(self) -> Result<Program, AsmError> {
+        assemble(self.source())
+    }
+
+    /// Checks the kernel's self-test result in a finished emulator: reads
+    /// the `result` word and returns whether it is 1.
+    ///
+    /// Returns `false` if the program has no `result` symbol or has not
+    /// halted.
+    pub fn verify(self, emulator: &Emulator, program: &Program) -> bool {
+        if !emulator.is_halted() {
+            return false;
+        }
+        match program.symbols.get("result") {
+            Some(&addr) => emulator.memory().read_word(addr) == 1,
+            None => false,
+        }
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Upper bound on any kernel's dynamic length; they are sized to finish
+    /// in a few hundred thousand instructions.
+    const BUDGET: u64 = 5_000_000;
+
+    fn run_and_verify(bench: Benchmark) {
+        let program = bench.program().unwrap_or_else(|e| panic!("{bench}: {e}"));
+        let mut emu = Emulator::new(&program);
+        let trace = emu
+            .run_to_completion(BUDGET)
+            .unwrap_or_else(|e| panic!("{bench}: {e}"));
+        assert!(trace.is_completed(), "{bench} did not complete");
+        assert!(
+            bench.verify(&emu, &program),
+            "{bench} self-check failed (result != 1); executed {}",
+            emu.executed()
+        );
+        // Every kernel should be a non-trivial workload.
+        assert!(
+            trace.len() > 10_000,
+            "{bench} is too short to be a meaningful workload: {} insts",
+            trace.len()
+        );
+    }
+
+    #[test]
+    fn compress_self_checks() {
+        run_and_verify(Benchmark::Compress);
+    }
+
+    #[test]
+    fn gcc_self_checks() {
+        run_and_verify(Benchmark::Gcc);
+    }
+
+    #[test]
+    fn go_self_checks() {
+        run_and_verify(Benchmark::Go);
+    }
+
+    #[test]
+    fn li_self_checks() {
+        run_and_verify(Benchmark::Li);
+    }
+
+    #[test]
+    fn m88ksim_self_checks() {
+        run_and_verify(Benchmark::M88ksim);
+    }
+
+    #[test]
+    fn perl_self_checks() {
+        run_and_verify(Benchmark::Perl);
+    }
+
+    #[test]
+    fn vortex_self_checks() {
+        run_and_verify(Benchmark::Vortex);
+    }
+
+    #[test]
+    fn names_are_unique_and_ordered() {
+        let names: Vec<&str> = Benchmark::all().iter().map(|b| b.name()).collect();
+        assert_eq!(
+            names,
+            vec!["compress", "gcc", "go", "li", "m88ksim", "perl", "vortex"]
+        );
+    }
+
+    #[test]
+    fn verify_rejects_unhalted_emulator() {
+        let program = Benchmark::Compress.program().unwrap();
+        let emu = Emulator::new(&program);
+        assert!(!Benchmark::Compress.verify(&emu, &program));
+    }
+}

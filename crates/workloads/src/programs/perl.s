@@ -1,0 +1,183 @@
+# perl — 134.perl analogue.
+#
+# String hashing and associative lookup: generates 150 four-character keys,
+# inserts them into a 64-bucket chained hash table (djb2 hash), then runs 6
+# rounds of positive lookups (every key must hit) and negative lookups
+# (every mutated key must miss). The hash/strcmp inner loops and chain
+# walking mirror perl's associative-array character. Self-check: hit and
+# miss counts must both equal 6 × 150.
+
+        .text
+main:
+        # ---- generate keys "kDDD\0" at strbuf + 8*i ------------------
+        li   s0, 0
+        li   s7, 150
+gen_loop:
+        bge  s0, s7, gen_done
+        sll  t0, s0, 3
+        la   t1, strbuf
+        addu t0, t1, t0
+        li   t2, 'k'
+        sb   t2, 0(t0)
+        li   t3, 100
+        div  t4, s0, t3
+        addiu t5, t4, 48
+        sb   t5, 1(t0)          # hundreds digit
+        rem  t4, s0, t3
+        li   t3, 10
+        div  t6, t4, t3
+        addiu t5, t6, 48
+        sb   t5, 2(t0)          # tens digit
+        rem  t6, t4, t3
+        addiu t5, t6, 48
+        sb   t5, 3(t0)          # ones digit
+        sb   zero, 4(t0)
+        addiu s0, s0, 1
+        b    gen_loop
+gen_done:
+
+        # ---- insert every key ----------------------------------------
+        li   s0, 0
+ins_loop:
+        bge  s0, s7, ins_done
+        sll  t0, s0, 3
+        la   t1, strbuf
+        addu a0, t1, t0
+        jal  hash_str           # v0 = hash
+        li   t0, 12
+        mul  t1, s0, t0
+        la   t2, nodepool
+        addu t2, t2, t1         # node = nodepool + 12*i
+        sll  t0, s0, 3
+        la   t1, strbuf
+        addu t1, t1, t0
+        sw   t1, 0(t2)          # node.key
+        sw   v0, 4(t2)          # node.hash
+        andi t3, v0, 63
+        sll  t3, t3, 2
+        la   t4, buckets
+        addu t4, t4, t3
+        lw   t5, 0(t4)
+        sw   t5, 8(t2)          # node.next = bucket head
+        sw   t2, 0(t4)          # bucket head = node
+        addiu s0, s0, 1
+        b    ins_loop
+ins_done:
+
+        # ---- 6 rounds of positive + negative lookups -----------------
+        li   s4, 6              # rounds
+        li   s1, 0              # hit count
+        li   s2, 0              # miss count
+round_loop:
+        blez s4, round_done
+        li   s0, 0
+look_loop:
+        bge  s0, s7, look_done
+        sll  t0, s0, 3
+        la   t1, strbuf
+        addu a0, t1, t0
+        jal  lookup
+        addu s1, s1, v0
+        addiu s0, s0, 1
+        b    look_loop
+look_done:
+        li   s0, 0
+neg_loop:
+        bge  s0, s7, neg_done
+        sll  t0, s0, 3
+        la   t1, strbuf
+        addu t1, t1, t0
+        la   t2, tmpkey
+        li   t3, 'q'            # mutate the first character
+        sb   t3, 0(t2)
+        lbu  t3, 1(t1)
+        sb   t3, 1(t2)
+        lbu  t3, 2(t1)
+        sb   t3, 2(t2)
+        lbu  t3, 3(t1)
+        sb   t3, 3(t2)
+        sb   zero, 4(t2)
+        move a0, t2
+        jal  lookup
+        bnez v0, neg_next       # a hit here is a failure
+        addiu s2, s2, 1
+neg_next:
+        addiu s0, s0, 1
+        b    neg_loop
+neg_done:
+        addiu s4, s4, -1
+        b    round_loop
+round_loop_end:
+round_done:
+        li   t0, 900            # 6 rounds × 150 keys
+        li   v0, 0
+        bne  s1, t0, store
+        bne  s2, t0, store
+        li   v0, 1
+store:
+        sw   v0, result(gp)
+        halt
+
+# hash_str(a0 = nul-terminated string): v0 = djb2 hash. No calls.
+hash_str:
+        li   v0, 5381
+hs_loop:
+        lbu  t0, 0(a0)
+        beqz t0, hs_done
+        li   t1, 33
+        mul  v0, v0, t1
+        addu v0, v0, t0
+        addiu a0, a0, 1
+        b    hs_loop
+hs_done:
+        jr   ra
+
+# lookup(a0 = string): v0 = 1 if present in the table, else 0.
+lookup:
+        addiu sp, sp, -12
+        sw   ra, 0(sp)
+        sw   s0, 4(sp)
+        sw   s1, 8(sp)
+        move s0, a0
+        jal  hash_str
+        move s1, v0
+        andi t0, s1, 63
+        sll  t0, t0, 2
+        la   t1, buckets
+        addu t1, t1, t0
+        lw   t2, 0(t1)          # chain head
+lk_loop:
+        beqz t2, lk_notfound
+        lw   t3, 4(t2)
+        bne  t3, s1, lk_next    # hash mismatch: skip strcmp
+        lw   t4, 0(t2)          # candidate key
+        move t5, s0
+sc_loop:
+        lbu  t6, 0(t4)
+        lbu  t7, 0(t5)
+        bne  t6, t7, lk_next
+        beqz t6, lk_found       # both strings ended together
+        addiu t4, t4, 1
+        addiu t5, t5, 1
+        b    sc_loop
+lk_next:
+        lw   t2, 8(t2)
+        b    lk_loop
+lk_found:
+        li   v0, 1
+        b    lk_ret
+lk_notfound:
+        li   v0, 0
+lk_ret:
+        lw   ra, 0(sp)
+        lw   s0, 4(sp)
+        lw   s1, 8(sp)
+        addiu sp, sp, 12
+        jr   ra
+
+        .data
+strbuf: .space 1280
+tmpkey: .space 8
+buckets: .space 256
+nodepool: .space 2048
+result: .word 0

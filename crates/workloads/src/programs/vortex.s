@@ -1,0 +1,178 @@
+# vortex — 147.vortex analogue.
+#
+# An in-memory record store indexed by a binary search tree. 250 records
+# with LCG-drawn 14-bit ids are inserted (duplicates rejected); the payload
+# sum is accumulated at insert time. The store is then validated two
+# independent ways: 8 rounds of per-id lookups through the tree, and one
+# recursive in-order traversal. Self-check: both must reproduce the insert-
+# time sum (lookups ×8), and at least 200 inserts must have succeeded.
+#
+# Node layout: [id, payload, left, right], 16 bytes.
+
+        .text
+main:
+        sw   zero, root(gp)
+        sw   zero, ncount(gp)
+        li   s0, 0              # draw index
+        li   s1, 0              # inserted count
+        li   s2, 0              # payload sum at insert
+        li   s3, 424243         # LCG state
+        li   s7, 250
+ins_loop:
+        bge  s0, s7, ins_done
+        li   t0, 1103515245
+        mul  s3, s3, t0
+        addiu s3, s3, 12345
+        srl  t1, s3, 8
+        andi t1, t1, 0x3fff    # id: 14 bits (collisions expected)
+        xori t2, t1, 0x5a5a
+        addu t2, t2, s0         # payload
+        move a0, t1
+        move a1, t2
+        jal  insert             # v0 = 1 if inserted
+        beqz v0, ins_next
+        sll  t0, s1, 2
+        la   t3, idlist
+        addu t0, t3, t0
+        sw   a0, 0(t0)          # remember the id for the lookup phase
+        addiu s1, s1, 1
+        addu s2, s2, a1
+ins_next:
+        addiu s0, s0, 1
+        b    ins_loop
+ins_done:
+
+        # ---- 8 rounds of per-id tree lookups -------------------------
+        li   s6, 8              # rounds
+        li   s5, 0              # lookup payload sum
+lk_round:
+        blez s6, lk_done
+        li   s4, 0
+lk_loop:
+        bge  s4, s1, lk_next_round
+        sll  t0, s4, 2
+        la   t1, idlist
+        addu t0, t1, t0
+        lw   a0, 0(t0)
+        jal  find               # v0 = payload (0 if missing)
+        addu s5, s5, v0
+        addiu s4, s4, 1
+        b    lk_loop
+lk_next_round:
+        addiu s6, s6, -1
+        b    lk_round
+lk_done:
+
+        # ---- recursive in-order traversal ----------------------------
+        lw   a0, root(gp)
+        jal  sumtree
+        move s6, v0
+
+        # ---- verdict --------------------------------------------------
+        sll  t1, s2, 3          # insert sum × 8
+        li   v0, 0
+        bne  s5, t1, verdict
+        bne  s6, s2, verdict
+        li   t0, 200
+        blt  s1, t0, verdict
+        li   v0, 1
+verdict:
+        sw   v0, result(gp)
+        halt
+
+# insert(a0 = id, a1 = payload): v0 = 1 if inserted, 0 on duplicate.
+# Iterative walk; a0/a1 are preserved. t6 ends up holding the address of
+# the parent link to fill.
+insert:
+        lw   t0, root(gp)
+        beqz t0, ins_at_root
+walk:
+        lw   t1, 0(t0)
+        beq  t1, a0, ins_dup
+        blt  a0, t1, go_left
+        lw   t2, 12(t0)         # right child
+        beqz t2, ins_at_right
+        move t0, t2
+        b    walk
+go_left:
+        lw   t2, 8(t0)          # left child
+        beqz t2, ins_at_left
+        move t0, t2
+        b    walk
+ins_at_root:
+        la   t6, root
+        b    do_alloc
+ins_at_left:
+        addiu t6, t0, 8
+        b    do_alloc
+ins_at_right:
+        addiu t6, t0, 12
+do_alloc:
+        lw   t3, ncount(gp)
+        sll  t4, t3, 4
+        la   t5, nodepool
+        addu t4, t5, t4         # node = nodepool + 16*ncount
+        addiu t3, t3, 1
+        sw   t3, ncount(gp)
+        sw   a0, 0(t4)
+        sw   a1, 4(t4)
+        sw   zero, 8(t4)
+        sw   zero, 12(t4)
+        sw   t4, 0(t6)          # link into parent (or root)
+        li   v0, 1
+        jr   ra
+ins_dup:
+        li   v0, 0
+        jr   ra
+
+# find(a0 = id): v0 = payload, or 0 if the id is not in the tree.
+find:
+        lw   t0, root(gp)
+f_walk:
+        beqz t0, f_miss
+        lw   t1, 0(t0)
+        beq  t1, a0, f_found
+        blt  a0, t1, f_left
+        lw   t0, 12(t0)
+        b    f_walk
+f_left:
+        lw   t0, 8(t0)
+        b    f_walk
+f_found:
+        lw   v0, 4(t0)
+        jr   ra
+f_miss:
+        li   v0, 0
+        jr   ra
+
+# sumtree(a0 = node): v0 = Σ payloads, by recursion (left, self, right).
+sumtree:
+        beqz a0, st_zero
+        addiu sp, sp, -12
+        sw   ra, 0(sp)
+        sw   s0, 4(sp)
+        sw   s1, 8(sp)
+        move s0, a0
+        lw   a0, 8(s0)
+        jal  sumtree
+        move s1, v0
+        lw   t0, 4(s0)
+        addu s1, s1, t0
+        lw   a0, 12(s0)
+        jal  sumtree
+        addu v0, v0, s1
+        lw   ra, 0(sp)
+        lw   s0, 4(sp)
+        lw   s1, 8(sp)
+        addiu sp, sp, 12
+        jr   ra
+st_zero:
+        li   v0, 0
+        jr   ra
+
+        .data
+root:   .word 0
+ncount: .word 0
+idlist: .space 1024
+nodepool: .space 4096
+result: .word 0

@@ -1,0 +1,201 @@
+//! Trace statistics: operation mix, branch behaviour, dependence distances.
+//!
+//! These summaries serve two purposes: characterization tests that verify
+//! each kernel behaves like its SPEC namesake (li is pointer-chasing and
+//! load-heavy, go is branchy, …), and inputs for tuning the synthetic trace
+//! generator.
+
+use crate::trace::Trace;
+use ce_isa::{OperationKind, Reg};
+
+/// Aggregate statistics over a trace.
+///
+/// ```
+/// use ce_workloads::stats::TraceStats;
+/// use ce_workloads::{trace_benchmark, Benchmark};
+///
+/// let trace = trace_benchmark(Benchmark::Li, 60_000)?;
+/// let stats = TraceStats::compute(&trace);
+/// // li is the pointer-chasing, load-heavy kernel.
+/// assert!(stats.load_fraction() > 0.15);
+/// # Ok::<(), ce_workloads::WorkloadError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Total dynamic instructions.
+    pub total: u64,
+    /// Integer ALU operations (including shifts, mul/div).
+    pub alu: u64,
+    /// Loads.
+    pub loads: u64,
+    /// Stores.
+    pub stores: u64,
+    /// Conditional branches.
+    pub branches: u64,
+    /// Taken conditional branches.
+    pub branches_taken: u64,
+    /// Unconditional control transfers (jumps, calls, returns).
+    pub jumps: u64,
+    /// `nop`/`halt`.
+    pub other: u64,
+    /// Mean distance (in dynamic instructions) from a register's producer
+    /// to its first consumer.
+    pub mean_dep_distance: f64,
+}
+
+impl TraceStats {
+    /// Computes statistics over `trace`.
+    pub fn compute(trace: &Trace) -> TraceStats {
+        let mut stats = TraceStats {
+            total: trace.len() as u64,
+            alu: 0,
+            loads: 0,
+            stores: 0,
+            branches: 0,
+            branches_taken: 0,
+            jumps: 0,
+            other: 0,
+            mean_dep_distance: 0.0,
+        };
+
+        // seq of the most recent writer of each architectural register.
+        let mut last_writer: [Option<u64>; Reg::COUNT] = [None; Reg::COUNT];
+        // Producers whose first use we have already credited.
+        let mut credited: [bool; Reg::COUNT] = [false; Reg::COUNT];
+        let mut dist_sum = 0u64;
+        let mut dist_count = 0u64;
+
+        for d in trace {
+            match d.inst.opcode.kind() {
+                OperationKind::Alu => stats.alu += 1,
+                OperationKind::Load => stats.loads += 1,
+                OperationKind::Store => stats.stores += 1,
+                OperationKind::Branch => {
+                    stats.branches += 1;
+                    if d.taken {
+                        stats.branches_taken += 1;
+                    }
+                }
+                OperationKind::Jump => stats.jumps += 1,
+                OperationKind::Other => stats.other += 1,
+            }
+
+            for src in d.inst.uses().into_iter().flatten() {
+                if let Some(writer_seq) = last_writer[src.index()] {
+                    if !credited[src.index()] {
+                        dist_sum += d.seq - writer_seq;
+                        dist_count += 1;
+                        credited[src.index()] = true;
+                    }
+                }
+            }
+            if let Some(dst) = d.inst.defs() {
+                last_writer[dst.index()] = Some(d.seq);
+                credited[dst.index()] = false;
+            }
+        }
+
+        if dist_count > 0 {
+            stats.mean_dep_distance = dist_sum as f64 / dist_count as f64;
+        }
+        stats
+    }
+
+    /// Fraction of instructions that are loads.
+    pub fn load_fraction(&self) -> f64 {
+        self.frac(self.loads)
+    }
+
+    /// Fraction of instructions that are stores.
+    pub fn store_fraction(&self) -> f64 {
+        self.frac(self.stores)
+    }
+
+    /// Fraction of instructions that are conditional branches.
+    pub fn branch_fraction(&self) -> f64 {
+        self.frac(self.branches)
+    }
+
+    /// Fraction of instructions that transfer control (cond. + uncond.).
+    pub fn control_fraction(&self) -> f64 {
+        self.frac(self.branches + self.jumps)
+    }
+
+    /// Taken rate among conditional branches.
+    pub fn taken_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.branches_taken as f64 / self.branches as f64
+        }
+    }
+
+    fn frac(&self, n: u64) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            n as f64 / self.total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emulator::Emulator;
+    use ce_isa::asm::assemble;
+
+    #[test]
+    fn counts_classify_correctly() {
+        let program = assemble(
+            "
+            li t0, 4
+        loop:
+            lw t1, 0(gp)
+            addu t2, t1, t0
+            sw t2, 4(gp)
+            addiu t0, t0, -1
+            bnez t0, loop
+            halt
+        ",
+        )
+        .unwrap();
+        let mut emu = Emulator::new(&program);
+        let trace = emu.run_to_completion(1_000).unwrap();
+        let stats = TraceStats::compute(&trace);
+        assert_eq!(stats.total, trace.len() as u64);
+        assert_eq!(stats.loads, 4);
+        assert_eq!(stats.stores, 4);
+        assert_eq!(stats.branches, 4);
+        assert_eq!(stats.branches_taken, 3);
+        assert!((stats.taken_rate() - 0.75).abs() < 1e-12);
+        assert!(stats.alu > 0);
+        assert_eq!(stats.other, 1); // halt
+    }
+
+    #[test]
+    fn dependence_distance_of_a_chain_is_one() {
+        let program = assemble(
+            "
+            li t0, 1
+            addu t1, t0, t0
+            addu t2, t1, t1
+            addu t3, t2, t2
+            halt
+        ",
+        )
+        .unwrap();
+        let mut emu = Emulator::new(&program);
+        let trace = emu.run_to_completion(100).unwrap();
+        let stats = TraceStats::compute(&trace);
+        assert!((stats.mean_dep_distance - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_is_all_zeroes() {
+        let stats = TraceStats::compute(&Trace::new());
+        assert_eq!(stats.total, 0);
+        assert_eq!(stats.load_fraction(), 0.0);
+        assert_eq!(stats.taken_rate(), 0.0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Statistical synthetic trace generation.
+//!
+//! Fabricates instruction streams with a configurable operation mix,
+//! geometric dependence-distance distribution, and biased branch outcomes.
+//! Synthetic traces stress the schedulers in ways the structured kernels
+//! cannot (e.g. fully random branch outcomes defeat the predictor), and
+//! give property tests an unlimited supply of valid inputs.
+
+use crate::trace::{DynInst, Trace};
+use ce_isa::{Instruction, Opcode, Reg, TEXT_BASE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the synthetic generator.
+///
+/// The fractions must sum to at most 1; the remainder becomes ALU
+/// operations.
+///
+/// ```
+/// use ce_workloads::synthetic::{generate, SyntheticConfig};
+///
+/// let config = SyntheticConfig { branch_frac: 0.0, ..SyntheticConfig::default() };
+/// let trace = generate(&config, 1_000);
+/// assert!(trace.iter().all(|d| !d.is_conditional_branch()));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticConfig {
+    /// Fraction of loads.
+    pub load_frac: f64,
+    /// Fraction of stores.
+    pub store_frac: f64,
+    /// Fraction of conditional branches.
+    pub branch_frac: f64,
+    /// Probability a conditional branch is taken.
+    pub taken_prob: f64,
+    /// Probability a branch outcome is *predictable* (repeats its last
+    /// outcome); 1.0 makes every branch monotone, 0.0 makes outcomes i.i.d.
+    pub predictability: f64,
+    /// Geometric parameter for dependence distance: each source register is
+    /// drawn from the last `1/dep_locality` destinations on average.
+    /// Must be in `(0, 1]`; larger means tighter chains.
+    pub dep_locality: f64,
+    /// Number of distinct data words the loads/stores touch.
+    pub working_set_words: u32,
+    /// PRNG seed, for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    /// A SPEC-int-flavoured default: ~25 % loads, 10 % stores, 15 %
+    /// branches with 60 % taken and high predictability.
+    fn default() -> SyntheticConfig {
+        SyntheticConfig {
+            load_frac: 0.25,
+            store_frac: 0.10,
+            branch_frac: 0.15,
+            taken_prob: 0.6,
+            predictability: 0.9,
+            dep_locality: 0.4,
+            working_set_words: 4096,
+            seed: 0x5ca1ab1e,
+        }
+    }
+}
+
+impl SyntheticConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        let sum = self.load_frac + self.store_frac + self.branch_frac;
+        if !(0.0..=1.0).contains(&sum) {
+            return Err(format!("operation fractions sum to {sum}, must be within [0, 1]"));
+        }
+        for (name, v) in [
+            ("load_frac", self.load_frac),
+            ("store_frac", self.store_frac),
+            ("branch_frac", self.branch_frac),
+            ("taken_prob", self.taken_prob),
+            ("predictability", self.predictability),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} = {v}, must be within [0, 1]"));
+            }
+        }
+        if !(self.dep_locality > 0.0 && self.dep_locality <= 1.0) {
+            return Err(format!("dep_locality = {}, must be in (0, 1]", self.dep_locality));
+        }
+        if self.working_set_words == 0 {
+            return Err("working_set_words must be positive".to_owned());
+        }
+        Ok(())
+    }
+}
+
+/// Generates a synthetic trace of `len` instructions.
+///
+/// The generated stream is register-consistent (sources refer to previously
+/// written registers) and ends with a `halt`, but it does not correspond to
+/// any real program — PCs advance linearly except at taken branches, which
+/// jump a short random distance.
+///
+/// # Panics
+///
+/// Panics if the configuration fails [`SyntheticConfig::validate`].
+pub fn generate(config: &SyntheticConfig, len: usize) -> Trace {
+    if let Err(msg) = config.validate() {
+        panic!("invalid synthetic configuration: {msg}");
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut trace = Trace::new();
+    // Pool of general-purpose destinations (avoid r0, at, sp, gp, ra).
+    let dests: Vec<Reg> = (8..26).map(Reg::new).collect();
+    // Ring of recent destination registers, newest first.
+    let mut recent: Vec<Reg> = vec![Reg::new(8)];
+    let mut pc = TEXT_BASE;
+    let mut last_taken = false;
+
+    let pick_src = |rng: &mut StdRng, recent: &[Reg]| -> Reg {
+        // Geometric walk down the recent-producers list.
+        let mut idx = 0usize;
+        while idx + 1 < recent.len() && rng.gen::<f64>() > config.dep_locality {
+            idx += 1;
+        }
+        recent[idx]
+    };
+
+    for i in 0..len {
+        let roll: f64 = rng.gen();
+        let dest = dests[rng.gen_range(0..dests.len())];
+        let (inst, taken, mem_addr) = if roll < config.load_frac {
+            let base = pick_src(&mut rng, &recent);
+            let addr = ce_isa::DATA_BASE
+                + 4 * rng.gen_range(0..config.working_set_words);
+            (Instruction::mem(Opcode::Lw, dest, 0, base), false, Some(addr))
+        } else if roll < config.load_frac + config.store_frac {
+            let base = pick_src(&mut rng, &recent);
+            let data = pick_src(&mut rng, &recent);
+            let addr = ce_isa::DATA_BASE
+                + 4 * rng.gen_range(0..config.working_set_words);
+            (Instruction::mem(Opcode::Sw, data, 0, base), false, Some(addr))
+        } else if roll < config.load_frac + config.store_frac + config.branch_frac {
+            let a = pick_src(&mut rng, &recent);
+            let b = pick_src(&mut rng, &recent);
+            let taken = if rng.gen::<f64>() < config.predictability {
+                last_taken
+            } else {
+                rng.gen::<f64>() < config.taken_prob
+            };
+            last_taken = taken;
+            (Instruction::branch2(Opcode::Beq, a, b, rng.gen_range(-16..16)), taken, None)
+        } else {
+            let a = pick_src(&mut rng, &recent);
+            let b = pick_src(&mut rng, &recent);
+            let op = [Opcode::Addu, Opcode::Subu, Opcode::Xor, Opcode::And, Opcode::Or]
+                [rng.gen_range(0..5)];
+            (Instruction::rrr(op, dest, a, b), false, None)
+        };
+
+        if let Some(d) = inst.defs() {
+            recent.insert(0, d);
+            recent.truncate(16);
+        }
+
+        let next_pc = if taken {
+            let disp = inst.imm;
+            pc.wrapping_add(4).wrapping_add((disp as i64 * 4) as u32)
+        } else {
+            pc.wrapping_add(4)
+        };
+        trace.push(DynInst { seq: i as u64, pc, inst, next_pc, taken, mem_addr });
+        pc = next_pc;
+    }
+
+    // Terminate cleanly so consumers can treat synthetic and real traces
+    // alike.
+    let halt_pc = pc;
+    trace.push(DynInst {
+        seq: len as u64,
+        pc: halt_pc,
+        inst: Instruction::HALT,
+        next_pc: halt_pc.wrapping_add(4),
+        taken: false,
+        mem_addr: None,
+    });
+    trace.mark_completed();
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TraceStats;
+
+    #[test]
+    fn respects_requested_mix() {
+        let config = SyntheticConfig::default();
+        let trace = generate(&config, 50_000);
+        let stats = TraceStats::compute(&trace);
+        assert!((stats.load_fraction() - config.load_frac).abs() < 0.02);
+        assert!((stats.store_fraction() - config.store_frac).abs() < 0.02);
+        assert!((stats.branch_fraction() - config.branch_frac).abs() < 0.02);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let config = SyntheticConfig::default();
+        let a = generate(&config, 1_000);
+        let b = generate(&config, 1_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&SyntheticConfig::default(), 1_000);
+        let b = generate(&SyntheticConfig { seed: 42, ..SyntheticConfig::default() }, 1_000);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn tight_locality_shortens_dependences() {
+        let tight = generate(
+            &SyntheticConfig { dep_locality: 0.95, ..SyntheticConfig::default() },
+            20_000,
+        );
+        let loose = generate(
+            &SyntheticConfig { dep_locality: 0.05, ..SyntheticConfig::default() },
+            20_000,
+        );
+        let tight_stats = TraceStats::compute(&tight);
+        let loose_stats = TraceStats::compute(&loose);
+        assert!(tight_stats.mean_dep_distance < loose_stats.mean_dep_distance);
+    }
+
+    #[test]
+    fn ends_with_halt_and_is_completed() {
+        let trace = generate(&SyntheticConfig::default(), 10);
+        assert_eq!(trace.len(), 11);
+        assert!(trace.is_completed());
+        assert_eq!(trace.get(10).unwrap().inst, Instruction::HALT);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let bad = SyntheticConfig { load_frac: 0.9, store_frac: 0.9, ..Default::default() };
+        assert!(bad.validate().is_err());
+        let bad = SyntheticConfig { dep_locality: 0.0, ..Default::default() };
+        assert!(bad.validate().is_err());
+        let bad = SyntheticConfig { working_set_words: 0, ..Default::default() };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid synthetic configuration")]
+    fn generate_panics_on_invalid_config() {
+        let bad = SyntheticConfig { taken_prob: 2.0, ..Default::default() };
+        let _ = generate(&bad, 10);
+    }
+}

@@ -1,0 +1,171 @@
+//! Dynamic instruction traces — the interface between functional emulation
+//! and timing simulation.
+
+use ce_isa::Instruction;
+
+/// One dynamically executed instruction, with everything the timing
+/// simulator needs: the decoded instruction, its control-flow outcome, and
+/// its effective address if it touches memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynInst {
+    /// Position in the dynamic stream (0-based).
+    pub seq: u64,
+    /// Address of the instruction.
+    pub pc: u32,
+    /// The decoded instruction.
+    pub inst: Instruction,
+    /// Address of the instruction executed next (branch/jump outcome).
+    pub next_pc: u32,
+    /// For control transfers: whether the transfer was taken.
+    pub taken: bool,
+    /// For loads/stores: the effective byte address.
+    pub mem_addr: Option<u32>,
+}
+
+impl DynInst {
+    /// Whether this instruction is a conditional branch.
+    pub fn is_conditional_branch(&self) -> bool {
+        self.inst.opcode.is_conditional_branch()
+    }
+
+    /// Whether this instruction transfers control at all.
+    pub fn is_control(&self) -> bool {
+        self.inst.opcode.is_control()
+    }
+}
+
+/// An in-memory dynamic instruction trace.
+///
+/// ```
+/// use ce_workloads::{trace_benchmark, Benchmark};
+///
+/// let trace = trace_benchmark(Benchmark::Li, 5_000)?;
+/// // Sequence numbers are dense and ordered.
+/// for (i, d) in trace.iter().enumerate() {
+///     assert_eq!(d.seq, i as u64);
+/// }
+/// # Ok::<(), ce_workloads::WorkloadError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    insts: Vec<DynInst>,
+    completed: bool,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Appends one instruction, assigning its sequence number.
+    pub fn push(&mut self, mut inst: DynInst) {
+        inst.seq = self.insts.len() as u64;
+        self.insts.push(inst);
+    }
+
+    /// Marks the trace as having reached the program's `halt` (rather than
+    /// being truncated at an instruction budget).
+    pub fn mark_completed(&mut self) {
+        self.completed = true;
+    }
+
+    /// Whether the traced program ran to completion.
+    pub fn is_completed(&self) -> bool {
+        self.completed
+    }
+
+    /// Number of dynamic instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Iterates over the instructions in dynamic order.
+    pub fn iter(&self) -> std::slice::Iter<'_, DynInst> {
+        self.insts.iter()
+    }
+
+    /// The instructions as a slice.
+    pub fn as_slice(&self) -> &[DynInst] {
+        &self.insts
+    }
+
+    /// The instruction at a dynamic index.
+    pub fn get(&self, index: usize) -> Option<&DynInst> {
+        self.insts.get(index)
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a DynInst;
+    type IntoIter = std::slice::Iter<'a, DynInst>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.insts.iter()
+    }
+}
+
+impl FromIterator<DynInst> for Trace {
+    fn from_iter<I: IntoIterator<Item = DynInst>>(iter: I) -> Trace {
+        let mut trace = Trace::new();
+        for inst in iter {
+            trace.push(inst);
+        }
+        trace
+    }
+}
+
+impl Extend<DynInst> for Trace {
+    fn extend<I: IntoIterator<Item = DynInst>>(&mut self, iter: I) {
+        for inst in iter {
+            self.push(inst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_isa::Instruction;
+
+    fn dummy(pc: u32) -> DynInst {
+        DynInst {
+            seq: 999, // overwritten by push
+            pc,
+            inst: Instruction::NOP,
+            next_pc: pc + 4,
+            taken: false,
+            mem_addr: None,
+        }
+    }
+
+    #[test]
+    fn push_assigns_dense_sequence_numbers() {
+        let mut t = Trace::new();
+        t.push(dummy(0x400000));
+        t.push(dummy(0x400004));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(0).unwrap().seq, 0);
+        assert_eq!(t.get(1).unwrap().seq, 1);
+    }
+
+    #[test]
+    fn completion_flag() {
+        let mut t = Trace::new();
+        assert!(!t.is_completed());
+        t.mark_completed();
+        assert!(t.is_completed());
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let t: Trace = (0..5).map(|i| dummy(0x400000 + i * 4)).collect();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.iter().count(), 5);
+    }
+}

@@ -1,0 +1,168 @@
+//! Trace serialization: a simple line-oriented text format so traces can
+//! be generated once (emulation is cheap but not free) and replayed into
+//! many simulator configurations, or exchanged with other tools.
+//!
+//! Format:
+//!
+//! ```text
+//! ce-trace v1 completed=true
+//! <pc> <word> <next_pc> <taken> [<mem_addr>]
+//! …
+//! ```
+//!
+//! with all numeric fields in lowercase hex. The instruction is stored as
+//! its 32-bit encoding, so the file is self-contained and the decoder
+//! validates it on load.
+
+use crate::trace::{DynInst, Trace};
+use ce_isa::{decode, encode};
+use std::error::Error;
+use std::fmt;
+
+/// Error from [`parse_trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for TraceParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> TraceParseError {
+    TraceParseError { line, message: message.into() }
+}
+
+/// Serializes a trace to the text format.
+pub fn format_trace(trace: &Trace) -> String {
+    let mut out = String::with_capacity(trace.len() * 32);
+    out.push_str(&format!("ce-trace v1 completed={}\n", trace.is_completed()));
+    for d in trace {
+        out.push_str(&format!(
+            "{:x} {:x} {:x} {}",
+            d.pc,
+            encode(&d.inst),
+            d.next_pc,
+            u8::from(d.taken)
+        ));
+        if let Some(addr) = d.mem_addr {
+            out.push_str(&format!(" {addr:x}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the text format back into a [`Trace`].
+///
+/// # Errors
+///
+/// Returns [`TraceParseError`] naming the offending line for format,
+/// encoding, or field errors.
+pub fn parse_trace(text: &str) -> Result<Trace, TraceParseError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or_else(|| err(1, "empty input"))?;
+    let completed = match header.trim() {
+        "ce-trace v1 completed=true" => true,
+        "ce-trace v1 completed=false" => false,
+        other => return Err(err(1, format!("bad header `{other}`"))),
+    };
+
+    let mut trace = Trace::new();
+    for (idx, raw) in lines {
+        let line = idx + 1;
+        let l = raw.trim();
+        if l.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = l.split_ascii_whitespace().collect();
+        if !(4..=5).contains(&fields.len()) {
+            return Err(err(line, format!("expected 4–5 fields, got {}", fields.len())));
+        }
+        let hex = |s: &str, what: &str| {
+            u32::from_str_radix(s, 16).map_err(|_| err(line, format!("bad {what} `{s}`")))
+        };
+        let pc = hex(fields[0], "pc")?;
+        let word = hex(fields[1], "instruction word")?;
+        let next_pc = hex(fields[2], "next pc")?;
+        let taken = match fields[3] {
+            "0" => false,
+            "1" => true,
+            other => return Err(err(line, format!("bad taken flag `{other}`"))),
+        };
+        let mem_addr = match fields.get(4) {
+            Some(s) => Some(hex(s, "memory address")?),
+            None => None,
+        };
+        let inst = decode(word).map_err(|e| err(line, e.to_string()))?;
+        trace.push(DynInst { seq: 0, pc, inst, next_pc, taken, mem_addr });
+    }
+    if completed {
+        trace.mark_completed();
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace_benchmark;
+    use crate::Benchmark;
+
+    #[test]
+    fn roundtrips_a_real_trace() {
+        let original = trace_benchmark(Benchmark::Compress, 5_000).unwrap();
+        let text = format_trace(&original);
+        let back = parse_trace(&text).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn roundtrips_completion_flag() {
+        let truncated = trace_benchmark(Benchmark::Li, 100).unwrap();
+        assert!(!truncated.is_completed());
+        let back = parse_trace(&format_trace(&truncated)).unwrap();
+        assert!(!back.is_completed());
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let back = parse_trace(&format_trace(&Trace::new())).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let e = parse_trace("ce-trace v2 completed=true\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(parse_trace("").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let header = "ce-trace v1 completed=true\n";
+        let e = parse_trace(&format!("{header}400000 zz 400004 0\n")).unwrap_err();
+        assert!(e.message.contains("instruction word"));
+        let e = parse_trace(&format!("{header}400000 1 400004\n")).unwrap_err();
+        assert!(e.message.contains("fields"));
+        let e = parse_trace(&format!("{header}400000 1 400004 7\n")).unwrap_err();
+        assert!(e.message.contains("taken"));
+        // Word 1 is an invalid encoding (SPECIAL with unknown funct).
+        let e = parse_trace(&format!("{header}400000 1 400004 0\n")).unwrap_err();
+        assert!(e.message.contains("invalid instruction"));
+    }
+
+    #[test]
+    fn error_display_names_the_line() {
+        let header = "ce-trace v1 completed=false\n";
+        let e = parse_trace(&format!("{header}\nnot-hex\n")).unwrap_err();
+        assert!(e.to_string().starts_with("trace line 3"));
+    }
+}

@@ -1,0 +1,90 @@
+//! Characterization tests: each kernel must *behave like* its SPEC'95
+//! namesake, not merely terminate. These lock in the workload identities
+//! the simulator experiments depend on.
+
+use ce_workloads::stats::TraceStats;
+use ce_workloads::{trace_benchmark, Benchmark};
+
+fn stats(b: Benchmark) -> TraceStats {
+    let trace = trace_benchmark(b, 2_000_000).expect("kernel runs");
+    assert!(trace.is_completed(), "{b} must run to completion");
+    TraceStats::compute(&trace)
+}
+
+#[test]
+fn compress_is_branchy_byte_code() {
+    let s = stats(Benchmark::Compress);
+    assert!(s.branch_fraction() > 0.20, "RLE inner loops branch constantly");
+    assert!(s.store_fraction() > 0.04, "it writes its output stream");
+}
+
+#[test]
+fn gcc_is_call_heavy() {
+    let s = stats(Benchmark::Gcc);
+    let jump_fraction = s.jumps as f64 / s.total as f64;
+    assert!(
+        jump_fraction > 0.15,
+        "recursive descent means calls and returns everywhere: {jump_fraction:.3}"
+    );
+    assert!(s.load_fraction() > 0.15, "stack traffic");
+}
+
+#[test]
+fn go_is_branchy_with_long_dependences() {
+    let s = stats(Benchmark::Go);
+    assert!(s.branch_fraction() > 0.25, "bounds checks and pattern tests");
+    assert!(
+        s.mean_dep_distance > 5.0,
+        "board scans carry values a long way: {}",
+        s.mean_dep_distance
+    );
+}
+
+#[test]
+fn li_is_memory_bound() {
+    let s = stats(Benchmark::Li);
+    assert!(s.load_fraction() > 0.20, "pointer chasing");
+    assert!(s.store_fraction() > 0.10, "cons-cell construction");
+    assert!(
+        s.load_fraction() + s.store_fraction() > 0.35,
+        "lisp lives in memory"
+    );
+}
+
+#[test]
+fn m88ksim_has_predictable_branches() {
+    let s = stats(Benchmark::M88ksim);
+    // The interpreter's dominant branch is the guest loop's backward
+    // branch, overwhelmingly taken.
+    assert!(s.taken_rate() > 0.6, "taken rate {}", s.taken_rate());
+    assert!(s.branch_fraction() < 0.15, "decode is mostly ALU work");
+}
+
+#[test]
+fn perl_hashes_strings() {
+    let s = stats(Benchmark::Perl);
+    assert!(s.load_fraction() > 0.15, "string bytes and chain pointers");
+    assert!(s.branch_fraction() > 0.20, "character compare loops");
+}
+
+#[test]
+fn vortex_is_the_branchiest_and_loady() {
+    let s = stats(Benchmark::Vortex);
+    assert!(s.branch_fraction() > 0.35, "tree walks decide at every node");
+    assert!(s.load_fraction() > 0.20, "record and node accesses");
+}
+
+#[test]
+fn kernels_are_distinct_workloads() {
+    // The suite must span a range of behaviours, or the cross-benchmark
+    // figures would be seven copies of one experiment.
+    let all: Vec<TraceStats> = Benchmark::all().into_iter().map(stats).collect();
+    let branchiness: Vec<f64> = all.iter().map(TraceStats::branch_fraction).collect();
+    let max = branchiness.iter().cloned().fold(f64::MIN, f64::max);
+    let min = branchiness.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(max / min > 3.0, "branch fractions must spread: {branchiness:?}");
+    let loads: Vec<f64> = all.iter().map(TraceStats::load_fraction).collect();
+    let max = loads.iter().cloned().fold(f64::MIN, f64::max);
+    let min = loads.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(max / min > 2.0, "load fractions must spread: {loads:?}");
+}

@@ -1,0 +1,52 @@
+//! Steering laboratory: how dependence structure drives cluster traffic.
+//!
+//! Uses the synthetic trace generator to dial dependence locality from
+//! tight chains to diffuse dataflow, and measures how each clustered
+//! organization's IPC and inter-cluster bypass frequency respond. Tight
+//! chains are exactly what the dependence-steering heuristic exploits.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example steering_lab
+//! ```
+
+use complexity_effective::sim::{machine, Simulator};
+use complexity_effective::workloads::synthetic::{generate, SyntheticConfig};
+
+fn main() {
+    println!("Synthetic dataflow: dependence locality vs clustered performance");
+    println!(
+        "{:>9} | {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8}",
+        "locality", "fifoIPC", "IC %", "randIPC", "IC %", "execIPC", "IC %"
+    );
+    println!("{}", "-".repeat(66));
+
+    for locality in [0.9, 0.6, 0.3, 0.1] {
+        let config = SyntheticConfig {
+            dep_locality: locality,
+            predictability: 0.95,
+            ..SyntheticConfig::default()
+        };
+        let trace = generate(&config, 100_000);
+
+        let fifo = Simulator::new(machine::clustered_fifos_8way()).run(&trace);
+        let random = Simulator::new(machine::clustered_windows_random_8way()).run(&trace);
+        let exec = Simulator::new(machine::clustered_window_exec_8way()).run(&trace);
+
+        println!(
+            "{:>9.1} | {:>8.3} {:>7.1}% | {:>8.3} {:>7.1}% | {:>8.3} {:>7.1}%",
+            locality,
+            fifo.ipc(),
+            fifo.intercluster_bypass_frequency() * 100.0,
+            random.ipc(),
+            random.intercluster_bypass_frequency() * 100.0,
+            exec.ipc(),
+            exec.intercluster_bypass_frequency() * 100.0,
+        );
+    }
+    println!();
+    println!("Dependence steering thrives on tight chains (high locality): whole chains");
+    println!("stay inside one cluster. Random steering pays inter-cluster latency");
+    println!("regardless of structure — dependence-awareness is what matters.");
+}

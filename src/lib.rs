@@ -1,0 +1,35 @@
+//! # complexity-effective — umbrella crate
+//!
+//! A from-scratch Rust reproduction of Palacharla, Jouppi & Smith,
+//! *Complexity-Effective Superscalar Processors* (ISCA 1997): analytical
+//! circuit-delay models for the critical pipeline structures, plus a
+//! cycle-level simulator of the dependence-based microarchitecture and its
+//! clustered variants.
+//!
+//! This crate simply re-exports the workspace members under friendly
+//! names; see each for the substance:
+//!
+//! * [`isa`] — the MIPS-like substrate instruction set and assembler,
+//! * [`workloads`] — SPEC'95-analogue kernels, functional emulator, traces,
+//! * [`delay`] — the Section 4 circuit-delay models (Figures 3–8, Tables 1–2),
+//! * [`core`] — steering heuristics, FIFO pool, reservation table, analysis,
+//! * [`sim`] — the timing simulator and the Figure 13/15/17 machines.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use complexity_effective::{sim, workloads};
+//!
+//! let trace = workloads::trace_benchmark(workloads::Benchmark::Li, 50_000)?;
+//! let window = sim::Simulator::new(sim::machine::baseline_8way()).run(&trace);
+//! let fifos = sim::Simulator::new(sim::machine::dependence_8way()).run(&trace);
+//! // The dependence-based machine extracts nearly the same parallelism.
+//! assert!(fifos.ipc() > 0.9 * window.ipc());
+//! # Ok::<(), workloads::WorkloadError>(())
+//! ```
+
+pub use ce_core as core;
+pub use ce_delay as delay;
+pub use ce_isa as isa;
+pub use ce_sim as sim;
+pub use ce_workloads as workloads;

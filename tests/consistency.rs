@@ -1,0 +1,141 @@
+//! Cross-configuration consistency: monotonicity and conservation laws
+//! that must hold for *any* correct timing model, independent of the
+//! paper's numbers.
+
+use complexity_effective::sim::{machine, SchedulerKind, Simulator};
+use complexity_effective::workloads::synthetic::{generate, SyntheticConfig};
+use complexity_effective::workloads::{trace_benchmark, Benchmark, Trace};
+
+fn perl() -> Trace {
+    trace_benchmark(Benchmark::Perl, 120_000).expect("kernel runs")
+}
+
+#[test]
+fn larger_windows_never_hurt() {
+    let t = perl();
+    let mut last = 0.0;
+    for size in [8usize, 16, 32, 64, 128] {
+        let mut cfg = machine::baseline_8way();
+        cfg.scheduler = SchedulerKind::CentralWindow { size };
+        let ipc = Simulator::new(cfg).run(&t).ipc();
+        assert!(
+            ipc >= last * 0.999,
+            "window {size}: IPC {ipc} dropped below {last}"
+        );
+        last = ipc;
+    }
+}
+
+#[test]
+fn wider_issue_never_hurts() {
+    let t = perl();
+    let mut last = 0.0;
+    for width in [1usize, 2, 4, 8] {
+        let mut cfg = machine::baseline_8way();
+        cfg.issue_width = width;
+        cfg.fetch_width = width.max(2);
+        let ipc = Simulator::new(cfg).run(&t).ipc();
+        assert!(ipc >= last * 0.999, "width {width}: IPC {ipc} below {last}");
+        last = ipc;
+    }
+}
+
+#[test]
+fn slower_intercluster_bypass_never_helps() {
+    let t = perl();
+    let mut last = f64::INFINITY;
+    for extra in 0..=4u64 {
+        let mut cfg = machine::clustered_fifos_8way();
+        cfg.intercluster_extra = extra;
+        let ipc = Simulator::new(cfg).run(&t).ipc();
+        assert!(
+            ipc <= last * 1.001,
+            "extra {extra}: IPC {ipc} rose above {last}"
+        );
+        last = ipc;
+    }
+}
+
+#[test]
+fn more_fifos_never_hurt() {
+    let t = perl();
+    let mut last = 0.0;
+    for fifos in [2usize, 4, 8, 16] {
+        let mut cfg = machine::dependence_8way();
+        cfg.scheduler = SchedulerKind::Fifos { fifos_per_cluster: fifos, depth: 8 };
+        let ipc = Simulator::new(cfg).run(&t).ipc();
+        assert!(ipc >= last * 0.999, "{fifos} FIFOs: IPC {ipc} below {last}");
+        last = ipc;
+    }
+}
+
+#[test]
+fn zero_extra_latency_clusters_match_dependence_machine_closely() {
+    // With free inter-cluster bypasses, the only difference between the
+    // clustered and unclustered FIFO machines is FU partitioning.
+    let t = perl();
+    let mut clustered = machine::clustered_fifos_8way();
+    clustered.intercluster_extra = 0;
+    let c = Simulator::new(clustered).run(&t).ipc();
+    let u = Simulator::new(machine::dependence_8way()).run(&t).ipc();
+    assert!(
+        (c - u).abs() / u < 0.10,
+        "free bypasses should nearly equalize: clustered {c}, unclustered {u}"
+    );
+}
+
+#[test]
+fn single_cluster_reports_zero_intercluster_traffic() {
+    let t = perl();
+    for cfg in [machine::baseline_8way(), machine::dependence_8way()] {
+        let stats = Simulator::new(cfg).run(&t);
+        assert_eq!(stats.intercluster_bypasses, 0);
+        assert_eq!(stats.intercluster_bypass_frequency(), 0.0);
+    }
+}
+
+#[test]
+fn perfect_prediction_workload_has_no_mispredictions() {
+    // A branch-free synthetic stream: nothing to mispredict.
+    let config = SyntheticConfig {
+        branch_frac: 0.0,
+        load_frac: 0.2,
+        store_frac: 0.1,
+        ..SyntheticConfig::default()
+    };
+    let t = generate(&config, 20_000);
+    let stats = Simulator::new(machine::baseline_8way()).run(&t);
+    assert_eq!(stats.branches, 0);
+    assert_eq!(stats.mispredictions, 0);
+}
+
+#[test]
+fn random_branches_hurt_more_than_predictable_ones() {
+    let base = SyntheticConfig { branch_frac: 0.2, ..SyntheticConfig::default() };
+    let predictable = generate(&SyntheticConfig { predictability: 1.0, ..base }, 60_000);
+    let chaotic = generate(
+        &SyntheticConfig { predictability: 0.0, taken_prob: 0.5, seed: 99, ..base },
+        60_000,
+    );
+    let p = Simulator::new(machine::baseline_8way()).run(&predictable);
+    let c = Simulator::new(machine::baseline_8way()).run(&chaotic);
+    assert!(p.ipc() > c.ipc() * 1.3, "predictable {} vs chaotic {}", p.ipc(), c.ipc());
+    assert!(c.branch_accuracy() < 0.7);
+    assert!(p.branch_accuracy() > 0.95);
+}
+
+#[test]
+fn retire_width_sixteen_is_not_the_bottleneck() {
+    // Table 3's retire width (16) is twice the issue width: shrinking it
+    // to 8 must not change IPC much, but 2 must.
+    let t = perl();
+    let base = Simulator::new(machine::baseline_8way()).run(&t).ipc();
+    let mut cfg = machine::baseline_8way();
+    cfg.retire_width = 8;
+    let at8 = Simulator::new(cfg).run(&t).ipc();
+    let mut cfg = machine::baseline_8way();
+    cfg.retire_width = 2;
+    let at2 = Simulator::new(cfg).run(&t).ipc();
+    assert!((base - at8).abs() / base < 0.05, "retire 8: {at8} vs {base}");
+    assert!(at2 < base, "retire 2 must throttle: {at2} vs {base}");
+}

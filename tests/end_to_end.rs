@@ -1,0 +1,96 @@
+//! End-to-end integration: assemble → emulate → trace → simulate, across
+//! every benchmark kernel and machine organization.
+
+use complexity_effective::sim::{machine, Simulator};
+use complexity_effective::workloads::{trace_benchmark, Benchmark, Trace};
+
+fn trace(b: Benchmark, cap: u64) -> Trace {
+    trace_benchmark(b, cap).unwrap_or_else(|e| panic!("{b}: {e}"))
+}
+
+#[test]
+fn every_benchmark_simulates_on_the_baseline() {
+    for b in Benchmark::all() {
+        let t = trace(b, 100_000);
+        let stats = Simulator::new(machine::baseline_8way()).run(&t);
+        assert_eq!(stats.committed, t.len() as u64, "{b}: all instructions commit");
+        assert!(stats.cycles > 0, "{b}");
+        // Table 3's machine cannot exceed its issue width, and a real
+        // workload on an 8-way machine lands well above 0.5 IPC.
+        assert!(stats.ipc() <= 8.0, "{b}: IPC {}", stats.ipc());
+        assert!(stats.ipc() > 0.5, "{b}: IPC {}", stats.ipc());
+    }
+}
+
+#[test]
+fn every_organization_commits_the_same_instructions() {
+    let t = trace(Benchmark::Perl, 60_000);
+    let mut reference = None;
+    for (name, cfg) in machine::figure17_machines() {
+        let stats = Simulator::new(cfg).run(&t);
+        assert_eq!(stats.committed, t.len() as u64, "{name}");
+        // Committed branch/load/store counts are functional properties and
+        // must not vary across timing models.
+        let signature = (stats.branches, stats.loads, stats.stores);
+        match reference {
+            None => reference = Some(signature),
+            Some(r) => assert_eq!(signature, r, "{name}"),
+        }
+    }
+}
+
+#[test]
+fn dependence_machine_tracks_the_window_machine() {
+    // Figure 13's claim, as a regression bound: the unclustered
+    // dependence-based machine is within 20 % of the window machine on
+    // every kernel (the paper reports ≤ 8 % on SPEC95; our kernels give
+    // the heuristic a harder time on gcc/perl, whose store-address-first
+    // issue feeds the flexible window extra ILP the FIFO heads cannot
+    // reach).
+    for b in Benchmark::all() {
+        let t = trace(b, 150_000);
+        let win = Simulator::new(machine::baseline_8way()).run(&t);
+        let dep = Simulator::new(machine::dependence_8way()).run(&t);
+        let degradation = 1.0 - dep.ipc() / win.ipc();
+        assert!(
+            degradation < 0.20,
+            "{b}: window {:.3}, fifos {:.3}, degradation {:.1}%",
+            win.ipc(),
+            dep.ipc(),
+            degradation * 100.0
+        );
+        assert!(dep.ipc() <= win.ipc() * 1.02, "{b}: FIFOs cannot beat the flexible window");
+    }
+}
+
+#[test]
+fn branch_stats_match_trace_content() {
+    let t = trace(Benchmark::Go, 80_000);
+    let expected_branches = t.iter().filter(|d| d.is_conditional_branch()).count() as u64;
+    let stats = Simulator::new(machine::baseline_8way()).run(&t);
+    assert_eq!(stats.branches, expected_branches);
+    assert!(stats.mispredictions <= stats.branches);
+    assert!(stats.branch_accuracy() > 0.6, "gshare accuracy {}", stats.branch_accuracy());
+}
+
+#[test]
+fn memory_stats_match_trace_content() {
+    let t = trace(Benchmark::Li, 80_000);
+    let loads = t.iter().filter(|d| d.inst.opcode.is_load()).count() as u64;
+    let stores = t.iter().filter(|d| d.inst.opcode.is_store()).count() as u64;
+    let stats = Simulator::new(machine::baseline_8way()).run(&t);
+    assert_eq!(stats.loads, loads);
+    assert_eq!(stats.stores, stores);
+    // Every non-forwarded load and every store accesses the cache.
+    assert_eq!(stats.dcache_accesses + stats.forwarded_loads, loads + stores);
+}
+
+#[test]
+fn truncated_traces_still_simulate() {
+    // Cutting a trace mid-program (the paper's 0.5 B cap) must not wedge
+    // the pipeline.
+    let t = trace(Benchmark::M88ksim, 12_345);
+    assert!(!t.is_completed());
+    let stats = Simulator::new(machine::clustered_fifos_8way()).run(&t);
+    assert_eq!(stats.committed, 12_345);
+}
