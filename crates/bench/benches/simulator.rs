@@ -2,7 +2,7 @@
 //! Figure 13/15 machines over a fixed trace prefix.
 
 use ce_sim::{machine, Simulator};
-use ce_workloads::{trace_benchmark, Benchmark, Trace};
+use ce_workloads::{trace_cached, Benchmark, Trace};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn prefix(trace: &Trace, n: usize) -> Trace {
@@ -10,7 +10,9 @@ fn prefix(trace: &Trace, n: usize) -> Trace {
 }
 
 fn bench_machines(c: &mut Criterion) {
-    let full = trace_benchmark(Benchmark::Compress, 100_000).expect("kernel runs");
+    // The shared process-wide cache: other bench groups reusing the
+    // compress kernel get the same `Arc<Trace>` without re-emulating.
+    let full = trace_cached(Benchmark::Compress, 100_000).expect("kernel runs");
     let trace = prefix(&full, 20_000);
     let mut group = c.benchmark_group("simulate_20k_compress");
     group.sample_size(10);

@@ -1,0 +1,127 @@
+//! Performance snapshot of the simulator: runs the full Figure 17 sweep
+//! (5 organizations × 7 kernels) and writes `BENCH_sim.json` with per-cell
+//! wall time, simulated cycles per second, and total suite time.
+//!
+//! ```text
+//! cargo run --release -p ce-bench --bin bench_snapshot [out.json]
+//! ```
+//!
+//! The output path defaults to `results/BENCH_sim.json`. If a recorded
+//! pre-change baseline exists at `results/BENCH_baseline.json`, the
+//! snapshot reports the wall-clock speedup against it. `CE_THREADS` and
+//! `CE_MAX_INSTS` apply as everywhere in `ce-bench`.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+use ce_bench::runner;
+use ce_sim::machine;
+use ce_workloads::{trace_cached, Benchmark};
+
+fn main() {
+    let out_path =
+        std::env::args().nth(1).unwrap_or_else(|| "results/BENCH_sim.json".to_owned());
+    let cap = ce_bench::max_insts();
+    let machines = machine::figure17_machines();
+    let total_start = Instant::now();
+
+    // Generate all seven traces up front (in parallel), so the per-cell
+    // times below measure the simulator alone.
+    let load_start = Instant::now();
+    std::thread::scope(|scope| {
+        for bench in Benchmark::all() {
+            scope.spawn(move || {
+                trace_cached(bench, cap).unwrap_or_else(|e| panic!("tracing {bench}: {e}"));
+            });
+        }
+    });
+    let trace_load_s = load_start.elapsed().as_secs_f64();
+
+    let jobs = runner::grid(&machines);
+    let sweep_start = Instant::now();
+    let results = runner::run_timed(&jobs, cap);
+    let sweep_wall_s = sweep_start.elapsed().as_secs_f64();
+    let total_wall_s = total_start.elapsed().as_secs_f64();
+
+    let mut cells = String::new();
+    let mut serial_wall_s = 0.0;
+    let mut total_cycles = 0u64;
+    for (i, ((bench, _), result)) in jobs.iter().zip(&results).enumerate() {
+        let machine_name = machines[i % machines.len()].0;
+        let wall = result.wall.as_secs_f64();
+        serial_wall_s += wall;
+        total_cycles += result.stats.cycles;
+        let _ = writeln!(
+            cells,
+            "    {{\"benchmark\": \"{}\", \"machine\": \"{}\", \"wall_s\": {:.6}, \
+             \"cycles\": {}, \"committed\": {}, \"ipc\": {:.6}, \"mcycles_per_s\": {:.3}}},",
+            bench.name(),
+            machine_name,
+            wall,
+            result.stats.cycles,
+            result.stats.committed,
+            result.stats.ipc(),
+            result.stats.cycles as f64 / wall.max(1e-9) / 1e6,
+        );
+    }
+    let cells = cells.trim_end().trim_end_matches(',').to_owned();
+
+    let baseline = read_baseline_sweep_wall("results/BENCH_baseline.json");
+    let (baseline_json, speedup_json) = match baseline {
+        Some(base) => (
+            format!("{base:.6}"),
+            format!("{:.3}", base / sweep_wall_s.max(1e-9)),
+        ),
+        None => ("null".to_owned(), "null".to_owned()),
+    };
+
+    let json = format!(
+        "{{\n  \"schema\": \"ce-bench.BENCH_sim.v1\",\n  \"sweep\": \"fig17\",\n  \
+         \"max_insts\": {cap},\n  \"threads\": {},\n  \"cells\": [\n{cells}\n  ],\n  \
+         \"trace_load_s\": {trace_load_s:.6},\n  \"sweep_wall_s\": {sweep_wall_s:.6},\n  \
+         \"serial_cell_wall_s\": {serial_wall_s:.6},\n  \"total_wall_s\": {total_wall_s:.6},\n  \
+         \"sim_mcycles_per_s\": {:.3},\n  \"baseline_sweep_wall_s\": {baseline_json},\n  \
+         \"speedup_vs_baseline\": {speedup_json}\n}}\n",
+        runner::threads(),
+        total_cycles as f64 / sweep_wall_s.max(1e-9) / 1e6,
+    );
+
+    if let Some(dir) = Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+
+    println!(
+        "fig17 sweep: {} cells, {} threads, cap {cap}",
+        results.len(),
+        runner::threads()
+    );
+    println!("trace load   {trace_load_s:>8.3} s");
+    println!("sweep wall   {sweep_wall_s:>8.3} s  (sum of cells {serial_wall_s:.3} s)");
+    println!(
+        "throughput   {:>8.1} M simulated cycles/s",
+        total_cycles as f64 / sweep_wall_s.max(1e-9) / 1e6
+    );
+    match baseline {
+        Some(base) => println!(
+            "baseline     {base:>8.3} s → speedup {:.2}x",
+            base / sweep_wall_s.max(1e-9)
+        ),
+        None => println!("baseline     (none recorded at results/BENCH_baseline.json)"),
+    }
+    println!("wrote {out_path}");
+}
+
+/// Pulls `"sweep_wall_s": <number>` out of a previously written snapshot.
+/// Hand-rolled (no JSON dependency): the file is our own output format.
+fn read_baseline_sweep_wall(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let key = "\"sweep_wall_s\":";
+    let at = text.find(key)? + key.len();
+    let rest = text[at..].trim_start();
+    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}

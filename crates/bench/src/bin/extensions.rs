@@ -12,20 +12,68 @@
 //!    machine loses without a bypass network — the cost that makes slow
 //!    bypasses worth engineering around rather than dropping.
 
-use ce_sim::{machine, BypassModel, LatencyModel, SelectionPolicy, Simulator};
+use ce_bench::runner;
+use ce_sim::{machine, BypassModel, LatencyModel, SelectionPolicy, SimConfig};
+use ce_workloads::Benchmark;
+
+/// The per-benchmark machine variants of each extension, in print order.
+fn extension_configs() -> Vec<Vec<SimConfig>> {
+    let base = machine::baseline_8way();
+    let with = |f: &dyn Fn(&mut SimConfig)| {
+        let mut cfg = base;
+        f(&mut cfg);
+        cfg
+    };
+    vec![
+        // 1: atomic vs pipelined wakeup+select.
+        vec![base, with(&|c| c.pipelined_wakeup_select = true)],
+        // 2: selection policies.
+        vec![
+            with(&|c| c.selection = SelectionPolicy::OldestFirst),
+            with(&|c| c.selection = SelectionPolicy::Position),
+            with(&|c| c.selection = SelectionPolicy::YoungestFirst),
+        ],
+        // 3: full bypass vs none.
+        vec![base, with(&|c| c.bypass_model = BypassModel::None)],
+        // 4: weighted latencies, window vs FIFOs.
+        vec![with(&|c| c.latency = LatencyModel::Weighted), {
+            let mut cfg = machine::dependence_8way();
+            cfg.latency = LatencyModel::Weighted;
+            cfg
+        }],
+        // 5: stall-on-mispredict vs wrong-path pollution.
+        vec![base, with(&|c| c.model_wrong_path = true)],
+        // 6: whole vs split store issue, window and FIFOs.
+        vec![base, with(&|c| c.split_store_issue = true), machine::dependence_8way(), {
+            let mut cfg = machine::dependence_8way();
+            cfg.split_store_issue = true;
+            cfg
+        }],
+        // 7: aggressive vs break-on-taken fetch.
+        vec![base, with(&|c| c.fetch_breaks_on_taken = true)],
+    ]
+}
 
 fn main() {
-    let traces = ce_bench::load_all_traces();
+    let extensions = extension_configs();
+    let mut jobs: Vec<runner::Job> = Vec::new();
+    for configs in &extensions {
+        for bench in Benchmark::all() {
+            for cfg in configs {
+                jobs.push((bench, *cfg));
+            }
+        }
+    }
+    let mut results = runner::run_all(&jobs).into_iter();
+    let mut cell = move || results.next().expect("one result per cell");
 
     println!("Extension 1: pipelined wakeup+select (window machine)");
     println!("{:<10} {:>10} {:>10} {:>8}", "benchmark", "atomic", "pipelined", "loss");
     ce_bench::rule(42);
     let mut losses = Vec::new();
-    for (bench, trace) in &traces {
-        let atomic = Simulator::new(machine::baseline_8way()).run(trace);
-        let mut cfg = machine::baseline_8way();
-        cfg.pipelined_wakeup_select = true;
-        let pipelined = Simulator::new(cfg).run(trace);
+    for bench in Benchmark::all() {
+        let atomic = cell();
+        let pipelined = cell();
         let loss = (1.0 - pipelined.ipc() / atomic.ipc()) * 100.0;
         losses.push(loss);
         println!(
@@ -48,18 +96,13 @@ fn main() {
         "benchmark", "oldest", "position", "youngest"
     );
     ce_bench::rule(52);
-    for (bench, trace) in &traces {
-        let ipc = |policy| {
-            let mut cfg = machine::baseline_8way();
-            cfg.selection = policy;
-            Simulator::new(cfg).run(trace).ipc()
-        };
+    for bench in Benchmark::all() {
         println!(
             "{:<10} {:>12.3} {:>12.3} {:>14.3}",
             bench.name(),
-            ipc(SelectionPolicy::OldestFirst),
-            ipc(SelectionPolicy::Position),
-            ipc(SelectionPolicy::YoungestFirst)
+            cell().ipc(),
+            cell().ipc(),
+            cell().ipc()
         );
     }
     println!("(oldest vs position: largely indistinguishable, as Butler & Patt found)");
@@ -68,11 +111,9 @@ fn main() {
     println!("Extension 3: no bypass network (operands via register file only)");
     println!("{:<10} {:>10} {:>12} {:>8}", "benchmark", "bypassed", "no bypass", "loss");
     ce_bench::rule(44);
-    for (bench, trace) in &traces {
-        let full = Simulator::new(machine::baseline_8way()).run(trace);
-        let mut cfg = machine::baseline_8way();
-        cfg.bypass_model = BypassModel::None;
-        let none = Simulator::new(cfg).run(trace);
+    for bench in Benchmark::all() {
+        let full = cell();
+        let none = cell();
         println!(
             "{:<10} {:>10.3} {:>12.3} {:>7.1}%",
             bench.name(),
@@ -90,13 +131,9 @@ fn main() {
         "benchmark", "window", "fifos", "degradation"
     );
     ce_bench::rule(46);
-    for (bench, trace) in &traces {
-        let mut wcfg = machine::baseline_8way();
-        wcfg.latency = LatencyModel::Weighted;
-        let mut fcfg = machine::dependence_8way();
-        fcfg.latency = LatencyModel::Weighted;
-        let win = Simulator::new(wcfg).run(trace);
-        let dep = Simulator::new(fcfg).run(trace);
+    for bench in Benchmark::all() {
+        let win = cell();
+        let dep = cell();
         println!(
             "{:<10} {:>10.3} {:>10.3} {:>11.1}%",
             bench.name(),
@@ -113,11 +150,9 @@ fn main() {
         "benchmark", "stall IPC", "wp IPC", "loss", "wp fetched", "wp issued"
     );
     ce_bench::rule(66);
-    for (bench, trace) in &traces {
-        let stall = Simulator::new(machine::baseline_8way()).run(trace);
-        let mut cfg = machine::baseline_8way();
-        cfg.model_wrong_path = true;
-        let wp = Simulator::new(cfg).run(trace);
+    for bench in Benchmark::all() {
+        let stall = cell();
+        let wp = cell();
         println!(
             "{:<10} {:>10.3} {:>10.3} {:>7.1}% {:>12} {:>10}",
             bench.name(),
@@ -141,20 +176,14 @@ fn main() {
         "benchmark", "win whole", "win split", "fifo whole", "fifo split"
     );
     ce_bench::rule(58);
-    for (bench, trace) in &traces {
-        let ipc = |fifos: bool, split: bool| {
-            let mut cfg =
-                if fifos { machine::dependence_8way() } else { machine::baseline_8way() };
-            cfg.split_store_issue = split;
-            Simulator::new(cfg).run(trace).ipc()
-        };
+    for bench in Benchmark::all() {
         println!(
             "{:<10} {:>11.3} {:>11.3} {:>11.3} {:>11.3}",
             bench.name(),
-            ipc(false, false),
-            ipc(false, true),
-            ipc(true, false),
-            ipc(true, true)
+            cell().ipc(),
+            cell().ipc(),
+            cell().ipc(),
+            cell().ipc()
         );
     }
 
@@ -165,11 +194,9 @@ fn main() {
         "benchmark", "aggressive", "break-on-taken", "loss"
     );
     ce_bench::rule(52);
-    for (bench, trace) in &traces {
-        let aggressive = Simulator::new(machine::baseline_8way()).run(trace);
-        let mut cfg = machine::baseline_8way();
-        cfg.fetch_breaks_on_taken = true;
-        let realistic = Simulator::new(cfg).run(trace);
+    for bench in Benchmark::all() {
+        let aggressive = cell();
+        let realistic = cell();
         println!(
             "{:<10} {:>12.3} {:>14.3} {:>11.1}%",
             bench.name(),

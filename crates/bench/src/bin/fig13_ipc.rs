@@ -4,7 +4,9 @@
 //! Paper result: within 5 % for five of seven benchmarks; worst case 8 %
 //! (li).
 
-use ce_sim::{machine, Simulator};
+use ce_bench::runner;
+use ce_sim::machine;
+use ce_workloads::Benchmark;
 
 fn main() {
     println!("Figure 13: IPC, baseline window vs dependence-based FIFOs (8-way)");
@@ -13,10 +15,13 @@ fn main() {
         "benchmark", "window", "dependence", "degradation"
     );
     ce_bench::rule(48);
+    let machines = [("window", machine::baseline_8way()), ("fifos", machine::dependence_8way())];
+    let jobs = runner::grid(&machines);
+    let mut results = runner::run_all(&jobs).into_iter();
     let mut degradations = Vec::new();
-    for (bench, trace) in ce_bench::load_all_traces() {
-        let win = Simulator::new(machine::baseline_8way()).run(&trace);
-        let dep = Simulator::new(machine::dependence_8way()).run(&trace);
+    for bench in Benchmark::all() {
+        let win = results.next().expect("window cell");
+        let dep = results.next().expect("fifos cell");
         let degradation = (1.0 - dep.ipc() / win.ipc()) * 100.0;
         degradations.push(degradation);
         println!(

@@ -2,9 +2,11 @@
 //! (2-cycle inter-cluster bypass) versus the 8-way window baseline, plus
 //! the Section 5.5 clock-adjusted speedup.
 
+use ce_bench::runner;
 use ce_core::analysis::{mean_improvement, MachineSpec, Speedup};
 use ce_delay::{FeatureSize, Technology};
-use ce_sim::{machine, Simulator};
+use ce_sim::machine;
+use ce_workloads::Benchmark;
 
 fn main() {
     let tech = Technology::new(FeatureSize::U018);
@@ -14,10 +16,14 @@ fn main() {
         "benchmark", "window", "2x4 fifos", "degradation", "IC-bypass", "speedup"
     );
     ce_bench::rule(68);
+    let machines =
+        [("window", machine::baseline_8way()), ("2x4", machine::clustered_fifos_8way())];
+    let jobs = runner::grid(&machines);
+    let mut results = runner::run_all(&jobs).into_iter();
     let mut speedups = Vec::new();
-    for (bench, trace) in ce_bench::load_all_traces() {
-        let win = Simulator::new(machine::baseline_8way()).run(&trace);
-        let dep = Simulator::new(machine::clustered_fifos_8way()).run(&trace);
+    for bench in Benchmark::all() {
+        let win = results.next().expect("window cell");
+        let dep = results.next().expect("clustered cell");
         let s = Speedup::combine(
             &tech,
             MachineSpec::paper_dependence_machine(),

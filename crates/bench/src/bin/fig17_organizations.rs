@@ -1,7 +1,9 @@
 //! Figure 17: IPC (top) and inter-cluster bypass frequency (bottom) for
 //! the five clustered organizations of Section 5.6.
 
-use ce_sim::{machine, Simulator};
+use ce_bench::runner;
+use ce_sim::machine;
+use ce_workloads::Benchmark;
 
 fn main() {
     let machines = machine::figure17_machines();
@@ -13,13 +15,14 @@ fn main() {
     println!();
     ce_bench::rule(10 + machines.len() * 14);
 
-    let traces = ce_bench::load_all_traces();
+    let jobs = runner::grid(&machines);
+    let mut results = runner::run_all(&jobs).into_iter();
     let mut freqs: Vec<Vec<f64>> = Vec::new();
-    for (bench, trace) in &traces {
+    for bench in Benchmark::all() {
         print!("{:<10}", bench.name());
         let mut row = Vec::new();
-        for (_, cfg) in &machines {
-            let stats = Simulator::new(*cfg).run(trace);
+        for _ in &machines {
+            let stats = results.next().expect("one result per cell");
             print!(" {:>13.3}", stats.ipc());
             row.push(stats.intercluster_bypass_frequency() * 100.0);
         }
@@ -35,7 +38,7 @@ fn main() {
     }
     println!();
     ce_bench::rule(10 + machines.len() * 14);
-    for ((bench, _), row) in traces.iter().zip(&freqs) {
+    for (bench, row) in Benchmark::all().into_iter().zip(&freqs) {
         print!("{:<10}", bench.name());
         for f in row {
             print!(" {:>12.1}%", f);

@@ -14,7 +14,9 @@ use ce_delay::restable::{ResTableDelay, ResTableParams};
 use ce_delay::select::{SelectDelay, SelectParams};
 use ce_delay::wakeup::{WakeupDelay, WakeupParams};
 use ce_delay::{FeatureSize, PipelineDelays, Technology};
-use ce_sim::{machine, Simulator};
+use ce_bench::runner;
+use ce_sim::machine;
+use ce_workloads::Benchmark;
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -130,18 +132,28 @@ fn main() {
 
     // ---- simulator artifacts --------------------------------------------
     println!("running simulations (this loads and runs all seven kernels)…");
-    let traces = ce_bench::load_all_traces();
+    let fig17_machines = machine::figure17_machines();
+    let mut jobs: Vec<runner::Job> = Vec::new();
+    for bench in Benchmark::all() {
+        jobs.push((bench, machine::baseline_8way()));
+        jobs.push((bench, machine::dependence_8way()));
+        jobs.push((bench, machine::clustered_fifos_8way()));
+        for (_, cfg) in &fig17_machines {
+            jobs.push((bench, *cfg));
+        }
+    }
+    let mut results = runner::run_all(&jobs).into_iter();
 
     let mut fig13 = String::from("benchmark,window_ipc,dependence_ipc\n");
     let mut fig15 = String::from("benchmark,window_ipc,clustered_ipc,ic_bypass_pct,speedup\n");
     let mut fig17 = String::from("benchmark,machine,ipc,ic_bypass_pct\n");
     let mut speedups = Vec::new();
-    for (bench, trace) in &traces {
-        let win = Simulator::new(machine::baseline_8way()).run(trace);
-        let dep = Simulator::new(machine::dependence_8way()).run(trace);
+    for bench in Benchmark::all() {
+        let win = results.next().expect("window cell");
+        let dep = results.next().expect("fifos cell");
         let _ = writeln!(fig13, "{},{:.3},{:.3}", bench.name(), win.ipc(), dep.ipc());
 
-        let clustered = Simulator::new(machine::clustered_fifos_8way()).run(trace);
+        let clustered = results.next().expect("clustered cell");
         let s = Speedup::combine(
             &t018,
             MachineSpec::paper_dependence_machine(),
@@ -159,8 +171,8 @@ fn main() {
         );
         speedups.push(s);
 
-        for (name, cfg) in machine::figure17_machines() {
-            let stats = Simulator::new(cfg).run(trace);
+        for (name, _) in &fig17_machines {
+            let stats = results.next().expect("fig17 cell");
             let _ = writeln!(
                 fig17,
                 "{},{},{:.3},{:.1}",

@@ -4,7 +4,9 @@
 //! and FIFO slots shadow ready instructions behind unready heads (lower
 //! effective occupancy).
 
-use ce_sim::{machine, Simulator};
+use ce_bench::runner;
+use ce_sim::machine;
+use ce_workloads::Benchmark;
 
 fn main() {
     let machines = [
@@ -19,9 +21,11 @@ fn main() {
         "benchmark", "machine", "IPC", "occupancy", "sched-stall", "inflight", "preg", "idle"
     );
     ce_bench::rule(84);
-    for (bench, trace) in ce_bench::load_all_traces() {
-        for (name, cfg) in &machines {
-            let stats = Simulator::new(*cfg).run(&trace);
+    let jobs = runner::grid(&machines);
+    let mut results = runner::run_all(&jobs).into_iter();
+    for bench in Benchmark::all() {
+        for (name, _) in &machines {
+            let stats = results.next().expect("one result per cell");
             println!(
                 "{:<10} {:<11} {:>8.3} {:>10.1} {:>12} {:>10} {:>9} {:>7.1}%",
                 bench.name(),

@@ -14,9 +14,26 @@
 //! ```
 //!
 //! The library half holds shared helpers: benchmark trace loading (with an
-//! instruction cap from `CE_MAX_INSTS`) and table formatting.
+//! instruction cap from `CE_MAX_INSTS`), the parallel experiment
+//! [`runner`], and table formatting.
+//!
+//! ## Environment knobs
+//!
+//! | variable | default | effect |
+//! |---|---|---|
+//! | `CE_MAX_INSTS` | 2 000 000 | per-benchmark dynamic instruction cap |
+//! | `CE_THREADS` | available parallelism | worker threads in [`runner`] |
+//!
+//! Experiment cells are deterministic per `(benchmark, config)`, so
+//! `CE_THREADS` changes only wall-clock time, never results. Traces are
+//! memoized process-wide ([`ce_workloads::trace_cached`]): each kernel is
+//! assembled and emulated once no matter how many cells consume it.
 
-use ce_workloads::{trace_benchmark, Benchmark, Trace};
+use std::sync::Arc;
+
+use ce_workloads::{trace_cached, Benchmark, Trace};
+
+pub mod runner;
 
 /// Default per-benchmark dynamic instruction cap. Every kernel completes
 /// below this, so by default the experiments run each program to
@@ -32,19 +49,20 @@ pub fn max_insts() -> u64 {
         .unwrap_or(DEFAULT_MAX_INSTS)
 }
 
-/// Loads the dynamic trace for one benchmark.
+/// Loads the dynamic trace for one benchmark through the process-wide
+/// trace cache.
 ///
 /// # Panics
 ///
 /// Panics if the bundled kernel fails to assemble or run — that would be a
 /// bug in `ce-workloads`, not an experiment outcome.
-pub fn load_trace(benchmark: Benchmark) -> Trace {
-    trace_benchmark(benchmark, max_insts())
+pub fn load_trace(benchmark: Benchmark) -> Arc<Trace> {
+    trace_cached(benchmark, max_insts())
         .unwrap_or_else(|e| panic!("loading {benchmark}: {e}"))
 }
 
 /// Loads traces for all seven benchmarks, in figure order.
-pub fn load_all_traces() -> Vec<(Benchmark, Trace)> {
+pub fn load_all_traces() -> Vec<(Benchmark, Arc<Trace>)> {
     Benchmark::all().into_iter().map(|b| (b, load_trace(b))).collect()
 }
 

@@ -1,0 +1,132 @@
+//! Parallel experiment runner.
+//!
+//! Every experiment binary reduces to the same shape: a list of
+//! `(benchmark, machine configuration)` cells, each simulated
+//! independently. This module fans that list across a worker pool
+//! ([`std::thread::scope`]; no external crates) and returns results **in
+//! input order**, so callers consume them exactly as their old serial
+//! loops did.
+//!
+//! Determinism: the simulator is a pure function of `(config, trace)` and
+//! traces come from the process-wide [`trace_cached`] memo, so the result
+//! vector is byte-identical regardless of worker count or completion
+//! order — `CE_THREADS=1` and `CE_THREADS=32` produce the same output
+//! (`tests/runner_determinism.rs` pins this).
+//!
+//! Worker count comes from the `CE_THREADS` environment variable,
+//! defaulting to [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use ce_sim::{SimConfig, SimStats, Simulator};
+use ce_workloads::{trace_cached, Benchmark};
+
+/// One unit of simulation work: a benchmark kernel on a machine config.
+pub type Job = (Benchmark, SimConfig);
+
+/// A completed [`Job`] with its wall-clock cost.
+#[derive(Debug, Clone)]
+pub struct TimedResult {
+    /// The simulation statistics (deterministic per job).
+    pub stats: SimStats,
+    /// Wall time of the simulation proper (excludes trace generation).
+    pub wall: Duration,
+}
+
+/// Worker-pool size: `CE_THREADS` if set to a positive integer, else the
+/// machine's available parallelism.
+pub fn threads() -> usize {
+    std::env::var("CE_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Runs every job at the [`crate::max_insts`] cap and returns the
+/// statistics in input order.
+pub fn run_all(jobs: &[Job]) -> Vec<SimStats> {
+    run_timed(jobs, crate::max_insts()).into_iter().map(|r| r.stats).collect()
+}
+
+/// Runs every job at an explicit instruction cap, returning per-cell wall
+/// times alongside the statistics, in input order.
+///
+/// # Panics
+///
+/// Panics if a bundled kernel fails to trace (a `ce-workloads` bug) or a
+/// worker thread panics.
+pub fn run_timed(jobs: &[Job], max_insts: u64) -> Vec<TimedResult> {
+    let n = jobs.len();
+    let workers = threads().min(n.max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<TimedResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let (bench, cfg) = jobs[i];
+                let trace = trace_cached(bench, max_insts)
+                    .unwrap_or_else(|e| panic!("tracing {bench}: {e}"));
+                let start = Instant::now();
+                let stats = Simulator::new(cfg).run(&trace);
+                let wall = start.elapsed();
+                *slots[i].lock().expect("result slot poisoned") =
+                    Some(TimedResult { stats, wall });
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner().expect("result slot poisoned").expect("worker filled every slot")
+        })
+        .collect()
+}
+
+/// Convenience: the full `machines × benchmarks` grid in row-major
+/// (benchmark-major) order, matching the serial loops the experiment
+/// binaries used to run.
+pub fn grid(machines: &[(&'static str, SimConfig)]) -> Vec<Job> {
+    let mut jobs = Vec::with_capacity(machines.len() * 7);
+    for bench in Benchmark::all() {
+        for (_, cfg) in machines {
+            jobs.push((bench, *cfg));
+        }
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_is_positive() {
+        assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn results_arrive_in_input_order() {
+        use ce_sim::machine;
+        let jobs = vec![
+            (Benchmark::Compress, machine::baseline_8way()),
+            (Benchmark::Li, machine::baseline_8way()),
+            (Benchmark::Compress, machine::dependence_8way()),
+        ];
+        let parallel = run_timed(&jobs, 5_000);
+        assert_eq!(parallel.len(), jobs.len());
+        for (i, (bench, cfg)) in jobs.iter().enumerate() {
+            let trace = trace_cached(*bench, 5_000).unwrap();
+            let serial = Simulator::new(*cfg).run(&trace);
+            assert_eq!(parallel[i].stats, serial, "job {i} out of order or nondeterministic");
+        }
+    }
+}

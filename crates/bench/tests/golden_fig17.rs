@@ -1,0 +1,66 @@
+//! Golden snapshot of the Figure 17 sweep.
+//!
+//! Pins the complete statistics fingerprint (cycles, committed → IPC,
+//! inter-cluster bypasses, stall breakdowns, issue histogram) of every
+//! Figure 17 organization on every benchmark kernel at a 50 000-instruction
+//! cap. The golden file was captured from the simulator **before** the
+//! hot-path rework, so this test is the bit-exact equivalence proof the
+//! optimization work is held to: any change to scheduling order, steering,
+//! or bypass accounting fails here.
+//!
+//! To re-bless after an *intentional* behaviour change:
+//!
+//! ```text
+//! CE_BLESS=1 cargo test -p ce-bench --test golden_fig17
+//! ```
+
+use std::fmt::Write as _;
+
+use ce_sim::machine::figure17_machines;
+use ce_sim::Simulator;
+use ce_workloads::{trace_cached, Benchmark};
+
+const CAP: u64 = 50_000;
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_fig17.tsv");
+
+fn render_current() -> String {
+    let mut out = String::new();
+    out.push_str("# org\tbenchmark\tstats fingerprint (cap 50000)\n");
+    for (org, cfg) in figure17_machines() {
+        for bench in Benchmark::all() {
+            let trace = trace_cached(bench, CAP).expect("bundled kernel must trace");
+            let stats = Simulator::new(cfg).run(&trace);
+            writeln!(out, "{org}\t{}\t{}", bench.name(), stats.fingerprint()).unwrap();
+        }
+    }
+    out
+}
+
+#[test]
+fn fig17_stats_match_golden_capture() {
+    let current = render_current();
+    if std::env::var("CE_BLESS").is_ok() {
+        std::fs::write(GOLDEN, &current).expect("write golden file");
+        eprintln!("blessed {GOLDEN}");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN)
+        .expect("golden file missing — run once with CE_BLESS=1 to capture");
+    let mut mismatches = Vec::new();
+    for (want, got) in golden.lines().zip(current.lines()) {
+        if want != got {
+            mismatches.push(format!("want: {want}\n got: {got}"));
+        }
+    }
+    assert_eq!(
+        golden.lines().count(),
+        current.lines().count(),
+        "golden line count differs — organization/benchmark set changed?"
+    );
+    assert!(
+        mismatches.is_empty(),
+        "{} of 35 fig17 cells diverged from the pre-optimization capture:\n{}",
+        mismatches.len(),
+        mismatches.join("\n---\n")
+    );
+}

@@ -1,0 +1,381 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot be fetched. This crate reimplements the subset its API that the
+//! workspace's property tests use:
+//!
+//! * [`Strategy`] with `prop_map`, implemented for integer/float ranges,
+//!   tuples, and [`Just`];
+//! * [`any`] for primitive types;
+//! * [`collection::vec`];
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`], and [`prop_assume!`] macros.
+//!
+//! Differences from the real crate, deliberately accepted for hermeticity:
+//! failing cases are **not shrunk** (the failing inputs are printed
+//! instead), and each test runs a fixed number of cases
+//! (`PROPTEST_CASES`, default 64) from a seed derived from the test name,
+//! so runs are reproducible.
+
+use std::rc::Rc;
+
+pub use rand::{Rng, SeedableRng};
+
+/// Number of cases each `proptest!` test executes (env `PROPTEST_CASES`).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+}
+
+/// The RNG driving strategy sampling. Deterministic per test name.
+#[derive(Debug, Clone)]
+pub struct TestRng(rand::StdRng);
+
+impl TestRng {
+    /// Seeds from a test's name so every run draws the same cases.
+    pub fn deterministic(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(rand::StdRng::seed_from_u64(h))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.gen::<u64>()
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// A generator of test values. Unlike real proptest there is no shrinking,
+/// so a strategy is just a sampling function.
+pub trait Strategy: Clone {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps the produced values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U + Clone,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U + Clone,
+{
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Primitive types with a "whole domain" strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws from the type's entire domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy over a type's whole domain (`any::<u32>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// The result of [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy_unsigned {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + rng.below((self.end - self.start) as u64) as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_range_strategy_signed {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_unsigned!(u8, u16, u32, u64, usize);
+impl_range_strategy_signed!(i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// A type-erased sampling function, as produced by [`arm`].
+pub type Sampler<T> = Rc<dyn Fn(&mut TestRng) -> T>;
+
+/// Uniform choice between boxed strategies — the engine behind
+/// [`prop_oneof!`]. Arms may be different strategy types as long as they
+/// produce the same value type.
+pub struct OneOf<T> {
+    arms: Vec<Sampler<T>>,
+}
+
+impl<T> Clone for OneOf<T> {
+    fn clone(&self) -> OneOf<T> {
+        OneOf { arms: self.arms.clone() }
+    }
+}
+
+impl<T> OneOf<T> {
+    /// Builds a uniform choice over the given samplers.
+    pub fn new(arms: Vec<Sampler<T>>) -> OneOf<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.arms.len() as u64) as usize;
+        (self.arms[idx])(rng)
+    }
+}
+
+/// Erases a strategy's type for use as a [`OneOf`] arm.
+pub fn arm<S>(strategy: S) -> Sampler<S::Value>
+where
+    S: Strategy + 'static,
+{
+    Rc::new(move |rng| strategy.sample(rng))
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// A vector whose length is drawn from `len` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// The result of [`vec`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.clone().sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Just, Strategy,
+    };
+}
+
+/// Defines `#[test]` functions that run their body over many sampled
+/// inputs. No shrinking: on failure, the sampled inputs are printed via
+/// the panic message of the failing assertion plus a case banner.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::TestRng::deterministic(stringify!($name));
+                for _case in 0..$crate::cases() {
+                    $(let $pat = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    // prop_assume! expands to an early `return` from this
+                    // closure, skipping the case.
+                    let run = move || { $body };
+                    run();
+                }
+            }
+        )+
+    };
+}
+
+/// `assert!` under a name the tests already use.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a name the tests already use.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a name the tests already use.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when the assumption fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Uniform choice among strategy arms producing a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::arm($arm)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_sample_in_bounds() {
+        let mut rng = crate::TestRng::deterministic("bounds");
+        let s = (0u8..4, -5i32..5, 0.0f64..1.0);
+        for _ in 0..1_000 {
+            let (a, b, c) = s.sample(&mut rng);
+            assert!(a < 4);
+            assert!((-5..5).contains(&b));
+            assert!((0.0..1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_arms() {
+        let mut rng = crate::TestRng::deterministic("arms");
+        let s = prop_oneof![Just(1u8), Just(2u8), 3u8..5];
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[s.sample(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [false, true, true, true, true]);
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_range() {
+        let mut rng = crate::TestRng::deterministic("lens");
+        let s = crate::collection::vec(0u32..10, 2..7);
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!((2..7).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        /// The macro itself: doc comments, multiple args, prop_assume.
+        #[test]
+        fn macro_smoke(a in 0u64..100, b in 0u64..100) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+            prop_assert!(a < 100 && b < 100);
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so the real `rand` crate
+//! cannot be fetched. This crate implements exactly the API subset the
+//! workspace uses — `StdRng::seed_from_u64`, `Rng::gen`, and
+//! `Rng::gen_range` — on top of a SplitMix64 generator. Sequences are
+//! deterministic for a given seed and stable across platforms, which is
+//! all the simulator's seeded steering policies and synthetic trace
+//! generator require. The streams differ from upstream `rand`'s ChaCha12,
+//! so any golden values recorded against this crate are tied to it.
+
+use std::ops::Range;
+
+/// SplitMix64 (Steele, Lea & Flood; public-domain reference constants):
+/// full-period, passes BigCrush for the amount of state it carries, and
+/// two instructions' worth of work per draw — plenty for steering
+/// randomization and synthetic workloads.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)` (multiply-shift; the tiny modulo bias
+    /// for astronomically large bounds is irrelevant here).
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "empty range");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// Seeding, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        // One warm-up mixing step so seed=0 does not start at state 0.
+        let mut rng = StdRng { state: seed ^ 0x5DEE_CE66_D1CE_B00C };
+        let _ = rng.next_u64();
+        rng
+    }
+}
+
+/// Types that `Rng::gen` can produce.
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn sample(rng: &mut StdRng) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample(rng: &mut StdRng) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn sample(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u32 {
+    fn sample(rng: &mut StdRng) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+impl Standard for u64 {
+    fn sample(rng: &mut StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+/// Integer types `Rng::gen_range` can sample from a half-open range.
+pub trait SampleUniform: Copy {
+    /// Width of `range` as a `u64` span plus the offset decoder.
+    fn from_offset(start: Self, offset: u64) -> Self;
+    /// `end - start` as u64; must be > 0 for a valid range.
+    fn span(range: &Range<Self>) -> u64;
+}
+
+macro_rules! impl_sample_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn from_offset(start: $t, offset: u64) -> $t {
+                start + offset as $t
+            }
+            fn span(range: &Range<$t>) -> u64 {
+                assert!(range.start < range.end, "empty gen_range");
+                (range.end - range.start) as u64
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_sample_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn from_offset(start: $t, offset: u64) -> $t {
+                start.wrapping_add(offset as $t)
+            }
+            fn span(range: &Range<$t>) -> u64 {
+                assert!(range.start < range.end, "empty gen_range");
+                (range.end as i64).wrapping_sub(range.start as i64) as u64
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_unsigned!(u8, u16, u32, u64, usize);
+impl_sample_uniform_signed!(i8, i16, i32, i64, isize);
+
+/// The generator interface, mirroring `rand::Rng`.
+pub trait Rng {
+    /// Draws a uniformly distributed value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T;
+    /// Draws uniformly from the half-open range `[start, end)`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T;
+}
+
+impl Rng for StdRng {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        let span = T::span(&range);
+        T::from_offset(range.start, self.below(span))
+    }
+}
+
+/// `rand::rngs` module mirror.
+pub mod rngs {
+    pub use crate::StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let s: i32 = rng.gen_range(-16..16);
+            assert!((-16..16).contains(&s));
+        }
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval_and_covers_it() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+            lo |= v < 0.1;
+            hi |= v > 0.9;
+        }
+        assert!(lo && hi, "draws must spread over the interval");
+    }
+
+    #[test]
+    fn range_samples_hit_every_bucket() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 8];
+        for _ in 0..8_000 {
+            counts[rng.gen_range(0usize..8)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 500), "{counts:?}");
+    }
+}

@@ -53,6 +53,12 @@ impl PoolConfig {
                 self.clusters, self.fifos
             ));
         }
+        if self.fifos > 128 {
+            return Err(format!(
+                "{} FIFOs exceed the supported maximum of 128",
+                self.fifos
+            ));
+        }
         Ok(())
     }
 }
@@ -79,6 +85,14 @@ pub struct FifoPool {
     free: Vec<Vec<FifoId>>,
     /// Cluster whose free list is serviced first.
     current_cluster: usize,
+    /// Bit `f` set iff FIFO `f` is non-empty — maintained incrementally so
+    /// the per-cycle head scan touches only occupied FIFOs instead of
+    /// rescanning every queue (`validate` caps pools at 128 FIFOs).
+    occupied: u128,
+    /// Total buffered instructions (incremental; `occupancy` is O(1)).
+    len: usize,
+    /// Buffered instructions per cluster (incremental).
+    cluster_len: Vec<usize>,
 }
 
 impl FifoPool {
@@ -101,6 +115,9 @@ impl FifoPool {
             queues: vec![VecDeque::new(); config.fifos],
             free,
             current_cluster: 0,
+            occupied: 0,
+            len: 0,
+            cluster_len: vec![0; config.clusters],
         }
     }
 
@@ -179,6 +196,10 @@ impl FifoPool {
     pub fn push(&mut self, fifo: FifoId, inst: InstId) {
         assert!(!self.is_fifo_full(fifo), "push into full {fifo}");
         self.queues[fifo.0].push_back(inst);
+        self.occupied |= 1u128 << fifo.0;
+        self.len += 1;
+        let cluster = self.cluster_of(fifo);
+        self.cluster_len[cluster] += 1;
     }
 
     /// Pops the head of a FIFO (in-order issue). Returns the FIFO to the
@@ -186,6 +207,9 @@ impl FifoPool {
     pub fn pop_head(&mut self, fifo: FifoId) -> Option<InstId> {
         let popped = self.queues[fifo.0].pop_front();
         if popped.is_some() {
+            self.len -= 1;
+            let cluster = self.cluster_of(fifo);
+            self.cluster_len[cluster] -= 1;
             self.maybe_free(fifo);
         }
         popped
@@ -200,6 +224,9 @@ impl FifoPool {
         match queue.iter().position(|&i| i == inst) {
             Some(pos) => {
                 queue.remove(pos);
+                self.len -= 1;
+                let cluster = self.cluster_of(fifo);
+                self.cluster_len[cluster] -= 1;
                 self.maybe_free(fifo);
                 true
             }
@@ -207,8 +234,16 @@ impl FifoPool {
         }
     }
 
+    /// Whether `inst` currently sits anywhere in `fifo` — an O(depth) probe
+    /// of one queue, replacing full-pool scans in the steering heuristics'
+    /// staleness checks.
+    pub fn contains(&self, fifo: FifoId, inst: InstId) -> bool {
+        self.queues[fifo.0].iter().any(|&i| i == inst)
+    }
+
     fn maybe_free(&mut self, fifo: FifoId) {
         if self.queues[fifo.0].is_empty() {
+            self.occupied &= !(1u128 << fifo.0);
             let cluster = self.cluster_of(fifo);
             self.free[cluster].push(fifo);
         }
@@ -216,12 +251,18 @@ impl FifoPool {
 
     /// Iterates over the heads of all non-empty FIFOs — the only
     /// instructions wakeup/select ever examines in the dependence-based
-    /// design.
+    /// design. Driven by the incrementally maintained occupancy mask, in
+    /// ascending FIFO order (the same order a full scan produced).
     pub fn heads(&self) -> impl Iterator<Item = (FifoId, InstId)> + '_ {
-        self.queues
-            .iter()
-            .enumerate()
-            .filter_map(|(i, q)| q.front().map(|&inst| (FifoId(i), inst)))
+        let mut mask = self.occupied;
+        std::iter::from_fn(move || {
+            if mask == 0 {
+                return None;
+            }
+            let f = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            Some((FifoId(f), self.queues[f][0]))
+        })
     }
 
     /// Iterates over every (fifo, position, instruction) triple.
@@ -231,9 +272,45 @@ impl FifoPool {
         })
     }
 
+    /// Iterates over every (fifo, instruction) pair in ascending
+    /// instruction order — a k-way merge of the per-FIFO queues. Each
+    /// queue is ascending by construction (dispatch appends in program
+    /// order; issue and squash remove without reordering), so the merge
+    /// yields exactly [`entries`](Self::entries) sorted by instruction id,
+    /// without a sort.
+    pub fn entries_aged(&self) -> impl Iterator<Item = (FifoId, InstId)> + '_ {
+        let mut pos = [0usize; 128];
+        let mut live = self.occupied;
+        std::iter::from_fn(move || {
+            let mut best: Option<(InstId, usize)> = None;
+            let mut m = live;
+            while m != 0 {
+                let f = m.trailing_zeros() as usize;
+                m &= m - 1;
+                if pos[f] == self.queues[f].len() {
+                    live &= !(1u128 << f); // exhausted
+                    continue;
+                }
+                let id = self.queues[f][pos[f]];
+                if best.is_none_or(|(b, _)| id < b) {
+                    best = Some((id, f));
+                }
+            }
+            let (id, f) = best?;
+            pos[f] += 1;
+            Some((FifoId(f), id))
+        })
+    }
+
     /// Total instructions currently buffered.
     pub fn occupancy(&self) -> usize {
-        self.queues.iter().map(VecDeque::len).sum()
+        debug_assert_eq!(self.len, self.queues.iter().map(VecDeque::len).sum::<usize>());
+        self.len
+    }
+
+    /// Instructions currently buffered in one cluster's FIFOs.
+    pub fn cluster_occupancy(&self, cluster: usize) -> usize {
+        self.cluster_len[cluster]
     }
 
     /// Number of free FIFOs across all clusters.

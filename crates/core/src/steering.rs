@@ -110,10 +110,8 @@ impl DependenceSteerer {
         let producer = self.src_fifo[src?.index()]?;
         // The entry may be stale: the producer may have issued already (the
         // table is "invalid" in the paper's terms once the value is
-        // computed). Validate against the FIFO contents.
-        pool.entries()
-            .any(|(f, _, i)| f == producer.fifo && i == producer.inst)
-            .then_some(producer)
+        // computed). Validate against the producer's own FIFO contents.
+        pool.contains(producer.fifo, producer.inst).then_some(producer)
     }
 
     /// Invalidates `SRC_FIFO` entries naming an instruction that has left

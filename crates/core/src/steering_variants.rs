@@ -86,8 +86,7 @@ impl LoadBalancedSteerer {
         let mut target = None;
         for src in [left, right].into_iter().flatten() {
             if let Some(p) = self.src_fifo[src.index()] {
-                let still_there =
-                    pool.entries().any(|(f, _, i)| f == p.fifo && i == p.inst);
+                let still_there = pool.contains(p.fifo, p.inst);
                 if still_there && pool.tail(p.fifo) == Some(p.inst) && !pool.is_fifo_full(p.fifo)
                 {
                     target = Some(p.fifo);
@@ -108,12 +107,8 @@ impl LoadBalancedSteerer {
 
     fn emptiest_cluster_fifo(&self, pool: &mut FifoPool) -> Option<FifoId> {
         let clusters = pool.config().clusters;
-        let mut load = vec![0usize; clusters];
-        for (f, _, _) in pool.entries() {
-            load[pool.cluster_of(f)] += 1;
-        }
         let mut order: Vec<usize> = (0..clusters).collect();
-        order.sort_by_key(|&c| load[c]);
+        order.sort_by_key(|&c| pool.cluster_occupancy(c));
         for cluster in order {
             if let Some(f) = pool.acquire_preferring(Some(cluster)) {
                 return Some(f);

@@ -16,6 +16,7 @@
 use ce_sim::{machine, SimConfig, Simulator};
 use ce_workloads::{Benchmark, Emulator, Trace};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn machine_by_name(name: &str) -> Option<SimConfig> {
     Some(match name {
@@ -91,9 +92,11 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
-fn load_trace(source: &Source, max_insts: u64) -> Result<Trace, String> {
+fn load_trace(source: &Source, max_insts: u64) -> Result<Arc<Trace>, String> {
     match source {
-        Source::Bench(b) => ce_workloads::trace_benchmark(*b, max_insts)
+        // The process-wide cache is shared with any library code that also
+        // needs this kernel (and makes repeat loads free).
+        Source::Bench(b) => ce_workloads::trace_cached(*b, max_insts)
             .map_err(|e| format!("running {b}: {e}")),
         Source::Asm(path) => {
             let text = std::fs::read_to_string(path)
@@ -101,12 +104,12 @@ fn load_trace(source: &Source, max_insts: u64) -> Result<Trace, String> {
             let program =
                 ce_isa::asm::assemble(&text).map_err(|e| format!("assembling {path}: {e}"))?;
             let mut emu = Emulator::new(&program);
-            emu.run(max_insts).map_err(|e| format!("emulating {path}: {e}"))
+            emu.run(max_insts).map(Arc::new).map_err(|e| format!("emulating {path}: {e}"))
         }
         Source::TraceFile(path) => {
             let text = std::fs::read_to_string(path)
                 .map_err(|e| format!("reading {path}: {e}"))?;
-            ce_workloads::trace_io::parse_trace(&text).map_err(|e| e.to_string())
+            ce_workloads::trace_io::parse_trace(&text).map(Arc::new).map_err(|e| e.to_string())
         }
     }
 }

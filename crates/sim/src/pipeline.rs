@@ -24,12 +24,17 @@ use crate::bpred::Gshare;
 use crate::config::SimConfig;
 use crate::dcache::{Access, Dcache};
 use crate::rename::{Preg, RenameTable};
-use crate::scheduler::Scheduler;
+use crate::scheduler::{Candidate, Scheduler};
 use crate::stats::SimStats;
 use ce_core::InstId;
 use ce_isa::OperationKind;
 use ce_workloads::{DynInst, Trace};
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Completion event queue: `(finish_cycle, seq)` pushed at issue, drained
+/// in the complete phase — replaces a full ROB scan every cycle.
+type EventHeap = BinaryHeap<Reverse<(u64, u64)>>;
 
 /// State of one physical register's value.
 #[derive(Debug, Clone, Copy)]
@@ -58,6 +63,122 @@ struct Entry {
     mispredicted: bool,
     used_intercluster: bool,
     wrong_path: bool,
+}
+
+/// The slice of an in-flight instruction the issue scan actually reads,
+/// packed into a dense ring keyed by `seq & hot_mask` (the same
+/// contiguity argument as the scheduler's placement ring). The wakeup
+/// loop probes every waiting candidate every cycle; reading 16 bytes from
+/// a dense array instead of a ~100-byte ROB entry keeps that scan in
+/// cache. Written once at dispatch, read-only afterwards; the full ROB
+/// entry is touched only when a candidate actually issues.
+#[derive(Debug, Clone, Copy)]
+struct HotEntry {
+    srcs: [Option<Preg>; 2],
+    kind: OperationKind,
+    mem_addr: Option<u32>,
+}
+
+impl HotEntry {
+    const EMPTY: HotEntry =
+        HotEntry { srcs: [None, None], kind: OperationKind::Other, mem_addr: None };
+}
+
+/// One in-flight store, mirrored out of the ROB so the memory-ordering
+/// checks a load performs at issue scan only the stores, not the whole
+/// window.
+#[derive(Debug, Clone, Copy)]
+struct StoreRec {
+    seq: u64,
+    /// Word-aligned target address (`None` if unknown — never for stores
+    /// from the trace, which always carry addresses).
+    word: Option<u32>,
+    issued: bool,
+    done: bool,
+}
+
+/// The in-flight stores in program order (sequence numbers ascending),
+/// kept in lockstep with the ROB: pushed at dispatch, flagged at issue and
+/// completion, popped at commit or squash.
+#[derive(Debug, Default)]
+struct StoreTracker {
+    recs: VecDeque<StoreRec>,
+}
+
+impl StoreTracker {
+    fn on_dispatch(&mut self, d: &DynInst) {
+        if d.inst.opcode.kind() == OperationKind::Store {
+            self.recs.push_back(StoreRec {
+                seq: d.seq,
+                word: d.mem_addr.map(|a| a & !3),
+                issued: false,
+                done: false,
+            });
+        }
+    }
+
+    fn find_mut(&mut self, seq: u64) -> Option<&mut StoreRec> {
+        let i = self.recs.partition_point(|r| r.seq < seq);
+        self.recs.get_mut(i).filter(|r| r.seq == seq)
+    }
+
+    fn mark_issued(&mut self, seq: u64) {
+        if let Some(r) = self.find_mut(seq) {
+            r.issued = true;
+        }
+    }
+
+    fn mark_done(&mut self, seq: u64) {
+        if let Some(r) = self.find_mut(seq) {
+            r.done = true;
+        }
+    }
+
+    fn on_commit(&mut self, seq: u64) {
+        debug_assert_eq!(self.recs.front().map(|r| r.seq), Some(seq));
+        self.recs.pop_front();
+    }
+
+    fn on_squash(&mut self, branch_seq: u64) {
+        // Wrong-path slices synthesize only loads and ALU ops, so this is
+        // a safety net rather than a hot path.
+        while self.recs.back().map(|r| r.seq > branch_seq).unwrap_or(false) {
+            self.recs.pop_back();
+        }
+    }
+
+    /// Whether a load may issue under the configured ordering rule, given
+    /// the stores older than it (same predicate per rule as a full ROB
+    /// scan, over just the stores).
+    fn load_may_issue(
+        &self,
+        load_seq: u64,
+        load_word: Option<u32>,
+        rule: crate::config::MemDisambiguation,
+    ) -> bool {
+        use crate::config::MemDisambiguation as M;
+        let older = self.recs.partition_point(|r| r.seq < load_seq);
+        self.recs.iter().take(older).all(|r| match rule {
+            // Table 3: older stores need only have computed their
+            // addresses, i.e. issued.
+            M::AddressesKnown => r.issued,
+            M::AllStoresComplete => r.done,
+            M::Oracle => r.word != load_word || r.issued,
+        })
+    }
+
+    /// The youngest older store writing the same word, if any
+    /// (store-to-load forwarding).
+    fn forwarding_store(&self, load_seq: u64, load_word: Option<u32>) -> Option<u64> {
+        let addr = load_word?;
+        let older = self.recs.partition_point(|r| r.seq < load_seq);
+        self.recs
+            .iter()
+            .take(older)
+            .rev()
+            .find(|r| r.word == Some(addr))
+            .map(|r| r.seq)
+    }
 }
 
 /// An instruction waiting in the front end (fetched, not yet dispatched).
@@ -115,6 +236,8 @@ pub struct Simulator {
     rename: RenameTable,
     sched: Scheduler,
     pregs: Vec<PregInfo>,
+    hot: Vec<HotEntry>,
+    hot_mask: u64,
     stats: SimStats,
 }
 
@@ -133,8 +256,10 @@ impl Simulator {
             bpred: Gshare::new(cfg.bpred),
             dcache: Dcache::new(cfg.dcache),
             rename: RenameTable::new(cfg.physical_regs),
-            sched: Scheduler::new(cfg.scheduler, cfg.clusters, cfg.steering),
+            sched: Scheduler::new(cfg.scheduler, cfg.clusters, cfg.steering, cfg.max_inflight),
             pregs: vec![PregInfo { ready: 0, cluster: None }; cfg.physical_regs],
+            hot: vec![HotEntry::EMPTY; cfg.max_inflight.max(1).next_power_of_two()],
+            hot_mask: cfg.max_inflight.max(1).next_power_of_two() as u64 - 1,
             stats: SimStats::default(),
         }
     }
@@ -170,6 +295,11 @@ impl Simulator {
 
         let mut rob: VecDeque<Entry> = VecDeque::with_capacity(self.cfg.max_inflight);
         let mut frontq: VecDeque<FrontEndSlot> = VecDeque::new();
+        let mut stores = StoreTracker::default();
+        let mut events: EventHeap = BinaryHeap::with_capacity(self.cfg.max_inflight);
+        // Issue-loop scratch, reused every cycle (no per-cycle allocation).
+        let mut cand_buf: Vec<Candidate> = Vec::with_capacity(self.cfg.max_inflight);
+        let mut fu_used: Vec<usize> = vec![0; self.cfg.clusters];
         let mut fetch_index = 0usize;
         // Sequence number of an unresolved mispredicted branch, if any.
         let mut fetch_stalled_on: Option<u64> = None;
@@ -204,6 +334,9 @@ impl Simulator {
                         if let Some(prev) = e.prev_dest {
                             self.rename.release(prev);
                         }
+                        if e.d.inst.opcode.kind() == OperationKind::Store {
+                            stores.on_commit(e.seq);
+                        }
                         self.note_commit(&e);
                         schedule.push(IssueRecord {
                             seq: e.seq,
@@ -220,14 +353,35 @@ impl Simulator {
             }
 
             // ---- complete (results produced this cycle) -----------------
+            // Drain the event heap instead of scanning the ROB: every
+            // `finish_at` assignment pushed an event, so the heap's head
+            // covers everything finishing now. Events for squashed
+            // wrong-path work can alias a live entry's sequence number;
+            // the exact-match guards below make such stale events inert.
             let mut resolved_branch: Option<u64> = None;
-            for e in rob.iter_mut() {
-                if !e.done && e.finish_at == Some(cycle) {
-                    e.done = true;
-                    if e.mispredicted && fetch_stalled_on == Some(e.seq) {
-                        fetch_stalled_on = None; // redirect: fetch resumes
-                        resolved_branch = Some(e.seq);
-                    }
+            while let Some(&Reverse((finish, seq))) = events.peek() {
+                if finish > cycle {
+                    break;
+                }
+                events.pop();
+                let Some(front_seq) = rob.front().map(|e| e.seq) else { continue };
+                let Some(off) = seq.checked_sub(front_seq) else { continue };
+                let idx = off as usize;
+                if idx >= rob.len() {
+                    continue;
+                }
+                let e = &mut rob[idx];
+                debug_assert_eq!(e.seq, seq, "ROB sequence numbers are contiguous");
+                if e.done || e.finish_at != Some(cycle) {
+                    continue; // stale event (squashed then seq reused)
+                }
+                e.done = true;
+                if e.d.inst.opcode.kind() == OperationKind::Store {
+                    stores.mark_done(seq);
+                }
+                if e.mispredicted && fetch_stalled_on == Some(seq) {
+                    fetch_stalled_on = None; // redirect: fetch resumes
+                    resolved_branch = Some(seq);
                 }
             }
             // Squash everything fetched past a resolved mispredicted
@@ -242,13 +396,14 @@ impl Simulator {
                     }
                 }
                 frontq.retain(|slot| !slot.payload.is_wrong_path());
+                stores.on_squash(branch_seq);
             }
 
             // ---- wakeup + select + execute ------------------------------
-            self.issue_cycle(cycle, &mut rob);
+            self.issue_cycle(cycle, &mut rob, &mut stores, &mut events, &mut cand_buf, &mut fu_used);
 
             // ---- dispatch (rename + steer) ------------------------------
-            self.dispatch_cycle(cycle, insts, &mut frontq, &mut rob);
+            self.dispatch_cycle(cycle, insts, &mut frontq, &mut rob, &mut stores);
 
             // ---- fetch ---------------------------------------------------
             let cap = 2 * self.cfg.fetch_width;
@@ -406,17 +561,28 @@ impl Simulator {
         (at < regfile_at).then_some(producer)
     }
 
-    fn issue_cycle(&mut self, cycle: u64, rob: &mut VecDeque<Entry>) {
-        let mut candidates = self.sched.candidates();
+    fn issue_cycle(
+        &mut self,
+        cycle: u64,
+        rob: &mut VecDeque<Entry>,
+        stores: &mut StoreTracker,
+        events: &mut EventHeap,
+        candidates: &mut Vec<Candidate>,
+        fu_used: &mut [usize],
+    ) {
         match self.cfg.selection {
             crate::config::SelectionPolicy::OldestFirst => {
-                candidates.sort_unstable_by_key(|c| c.id);
+                // Age order comes from the scheduler's own structures
+                // (central age list / FIFO merge) — no per-cycle sort.
+                self.sched.candidates_into_sorted(candidates);
             }
             crate::config::SelectionPolicy::Position => {
                 // Keep the scheduler's slot order: physical position, not
                 // age (the HP PA-8000-style policy the paper assumes).
+                self.sched.candidates_into(candidates);
             }
             crate::config::SelectionPolicy::YoungestFirst => {
+                self.sched.candidates_into(candidates);
                 candidates.sort_unstable_by_key(|c| std::cmp::Reverse(c.id));
             }
         }
@@ -425,32 +591,33 @@ impl Simulator {
             return;
         }
         let rob_base = rob.front().map(|e| e.seq).unwrap_or(0);
-        let clusters = self.cfg.clusters;
         let fus_per_cluster = self.cfg.fus_per_cluster();
-        let mut fu_used = vec![0usize; clusters];
+        fu_used.iter_mut().for_each(|u| *u = 0);
         let mut ports_used = 0usize;
         let mut issued = 0usize;
 
-        for cand in candidates {
+        for &cand in candidates.iter() {
             if issued >= self.cfg.issue_width {
                 break;
             }
-            let idx = (cand.id.0 - rob_base) as usize;
-            debug_assert!(idx < rob.len());
-            let entry = &rob[idx];
-            debug_assert!(entry.issued_at.is_none());
+            // Reject-path checks read only the 16-byte hot entry (and the
+            // small preg/store tables); the ROB entry is touched once the
+            // candidate is committed to issuing.
+            let hot = self.hot[(cand.id.0 & self.hot_mask) as usize];
+            debug_assert!((cand.id.0 - rob_base) < rob.len() as u64);
+            debug_assert!(rob[(cand.id.0 - rob_base) as usize].issued_at.is_none());
 
             // Stores split address generation from data: they issue once
             // the address register is ready (making their address known,
             // the Table 3 rule) and complete when the data arrives — which
             // requires the data producer to at least have issued, so the
             // arrival time is known.
-            let is_store = entry.d.inst.opcode.kind() == OperationKind::Store;
+            let is_store = hot.kind == OperationKind::Store;
             let split_store = is_store && self.cfg.split_store_issue;
             let required_srcs: &[Option<Preg>] =
-                if split_store { &entry.srcs[..1] } else { &entry.srcs[..] };
+                if split_store { &hot.srcs[..1] } else { &hot.srcs[..] };
             if split_store {
-                let data_unknown = entry.srcs[1]
+                let data_unknown = hot.srcs[1]
                     .map(|preg| self.pregs[preg as usize].ready == u64::MAX)
                     .unwrap_or(false);
                 if data_unknown {
@@ -477,7 +644,7 @@ impl Simulator {
                     // Execution-driven steering: choose the cluster whose
                     // operands arrive first, preferring cluster 0 on ties
                     // (Section 5.6.1).
-                    match self.pick_cluster(required_srcs, cycle, &fu_used, fus_per_cluster) {
+                    match self.pick_cluster(required_srcs, cycle, fu_used, fus_per_cluster) {
                         Some(c) => c,
                         None => continue,
                     }
@@ -485,26 +652,32 @@ impl Simulator {
             };
 
             // Memory structural and ordering constraints.
-            let kind = entry.d.inst.opcode.kind();
+            let kind = hot.kind;
             let is_mem = matches!(kind, OperationKind::Load | OperationKind::Store);
             if is_mem && ports_used >= self.cfg.dcache.ports {
                 continue;
             }
-            if kind == OperationKind::Load
-                && !Self::load_may_issue(rob, idx, self.cfg.mem_disambiguation)
-            {
-                continue;
+            if kind == OperationKind::Load {
+                let load_word = hot.mem_addr.map(|a| a & !3);
+                if !stores.load_may_issue(cand.id.0, load_word, self.cfg.mem_disambiguation) {
+                    continue;
+                }
             }
+
+            // The candidate issues: from here on no check rejects it, and
+            // the ROB entry comes into play.
+            let idx = (cand.id.0 - rob_base) as usize;
 
             // Latency: ALU/branch/jump 1 cycle; stores complete on issue;
             // loads add the D-cache access.
             let latency = match kind {
                 OperationKind::Load => {
-                    if Self::forwarding_store(rob, idx).is_some() {
+                    let load_word = hot.mem_addr.map(|a| a & !3);
+                    if stores.forwarding_store(cand.id.0, load_word).is_some() {
                         self.stats.forwarded_loads += 1;
                         2
                     } else {
-                        let addr = rob[idx].d.mem_addr.expect("loads carry addresses");
+                        let addr = hot.mem_addr.expect("loads carry addresses");
                         match self.dcache.access(addr, false) {
                             Access::Hit => 2,
                             Access::Miss { .. } => 2 + self.cfg.dcache.miss_penalty,
@@ -512,11 +685,11 @@ impl Simulator {
                     }
                 }
                 OperationKind::Store => {
-                    let addr = rob[idx].d.mem_addr.expect("stores carry addresses");
+                    let addr = hot.mem_addr.expect("stores carry addresses");
                     let _ = self.dcache.access(addr, true);
                     // The store completes when its data arrives (it may
                     // issue address-first, before the data is ready).
-                    let data_wait = rob[idx]
+                    let data_wait = hot
                         .srcs
                         .get(1)
                         .copied()
@@ -525,7 +698,7 @@ impl Simulator {
                         .unwrap_or(0);
                     1 + data_wait
                 }
-                _ => self.cfg.op_latency(entry.d.inst.opcode),
+                _ => self.cfg.op_latency(rob[idx].d.inst.opcode),
             };
 
             // Record inter-cluster bypass usage before mutating preg state.
@@ -545,6 +718,12 @@ impl Simulator {
             if let Some(dest) = entry.dest {
                 self.pregs[dest as usize] =
                     PregInfo { ready: cycle + latency, cluster: Some(cluster) };
+            }
+            events.push(Reverse((cycle + latency, cand.id.0)));
+            if is_store {
+                // Later loads in this same issue pass must see the store
+                // as issued (the AddressesKnown/Oracle predicates).
+                stores.mark_issued(cand.id.0);
             }
 
             if rob[idx].wrong_path {
@@ -590,51 +769,13 @@ impl Simulator {
         best.map(|(_, c)| c)
     }
 
-    /// Whether the load at `rob[idx]` may issue under the configured
-    /// load/store ordering rule.
-    fn load_may_issue(
-        rob: &VecDeque<Entry>,
-        idx: usize,
-        rule: crate::config::MemDisambiguation,
-    ) -> bool {
-        use crate::config::MemDisambiguation as M;
-        let load_word = rob[idx].d.mem_addr.map(|a| a & !3);
-        rob.iter().take(idx).all(|e| {
-            if e.d.inst.opcode.kind() != OperationKind::Store {
-                return true;
-            }
-            match rule {
-                // Table 3: older stores need only have computed their
-                // addresses, i.e. issued.
-                M::AddressesKnown => e.issued_at.is_some(),
-                M::AllStoresComplete => e.done,
-                M::Oracle => {
-                    e.d.mem_addr.map(|a| a & !3) != load_word || e.issued_at.is_some()
-                }
-            }
-        })
-    }
-
-    /// The youngest older store writing the same word, if any
-    /// (store-to-load forwarding).
-    fn forwarding_store(rob: &VecDeque<Entry>, idx: usize) -> Option<u64> {
-        let addr = rob[idx].d.mem_addr? & !3;
-        rob.iter()
-            .take(idx)
-            .rev()
-            .find(|e| {
-                e.d.inst.opcode.kind() == OperationKind::Store
-                    && e.d.mem_addr.map(|a| a & !3) == Some(addr)
-            })
-            .map(|e| e.seq)
-    }
-
     fn dispatch_cycle(
         &mut self,
         cycle: u64,
         insts: &[DynInst],
         frontq: &mut VecDeque<FrontEndSlot>,
         rob: &mut VecDeque<Entry>,
+        stores: &mut StoreTracker,
     ) {
         let mut dispatched = 0usize;
         let mut had_candidate = false;
@@ -682,6 +823,9 @@ impl Simulator {
                 None => (None, None),
             };
 
+            stores.on_dispatch(d);
+            self.hot[(d.seq & self.hot_mask) as usize] =
+                HotEntry { srcs, kind: d.inst.opcode.kind(), mem_addr: d.mem_addr };
             rob.push_back(Entry {
                 seq: d.seq,
                 d: *d,

@@ -17,7 +17,6 @@ use ce_core::steering::{DependenceSteerer, RandomSteerer, SteerOutcome};
 use ce_core::steering_variants::{LoadBalancedSteerer, RoundRobinSteerer};
 use ce_core::{FifoId, InstId};
 use ce_isa::Instruction;
-use std::collections::HashMap;
 
 /// An issue candidate: a waiting instruction and the cluster it is bound
 /// to (`None` = unbound; the pipeline picks a cluster at issue time).
@@ -41,22 +40,52 @@ pub struct Scheduler {
     random: Option<RandomSteerer>,
     round_robin: Option<RoundRobinSteerer>,
     load_balanced: Option<LoadBalancedSteerer>,
-    /// Which FIFO each pooled instruction sits in (for O(1) removal).
-    placement: HashMap<InstId, FifoId>,
-    /// Central-window slots: new instructions take the first free slot, so
+    /// Dense placement ring keyed by `seq & place_mask`: the window slot
+    /// (central) or FIFO index (pooled) holding each resident instruction.
+    /// Sound because resident sequence numbers are ROB-contiguous, so any
+    /// two differ by less than the ring size (a power of two ≥
+    /// `max_inflight`) — no hash lookups on the issue path.
+    place: Vec<Option<u32>>,
+    place_mask: u64,
+    /// Central-window slots: new instructions take the lowest free slot, so
     /// slot order models physical window position (no compaction).
     window: Vec<Option<InstId>>,
+    /// Bit `s` set iff `window[s]` is occupied; bits at or beyond
+    /// `central_capacity` are permanently set so the free-slot probe never
+    /// strays past the capacity.
+    occ_words: Vec<u64>,
     central_capacity: usize,
+    /// Central-window population (pooled occupancy lives in the pool).
+    central_len: usize,
+    /// Intrusive doubly-linked list over occupied central slots in *age*
+    /// order (oldest first). Dispatch order is monotone in sequence
+    /// number, so appending at the tail keeps the list id-sorted — oldest-
+    /// first selection walks it instead of sorting every cycle.
+    age_next: Vec<u32>,
+    age_prev: Vec<u32>,
+    age_head: u32,
+    age_tail: u32,
 }
 
+/// Sentinel for the age-list links.
+const AGE_NONE: u32 = u32::MAX;
+
 impl Scheduler {
-    /// Builds the scheduler for a machine configuration.
+    /// Builds the scheduler for a machine configuration. `max_inflight` is
+    /// the machine's in-flight limit; it bounds how far apart the sequence
+    /// numbers of two resident instructions can be, sizing the placement
+    /// ring.
     ///
     /// # Panics
     ///
     /// Panics on inconsistent geometry (zero sizes, clusters not dividing
     /// the window).
-    pub fn new(kind: SchedulerKind, clusters: usize, steering: SteeringPolicy) -> Scheduler {
+    pub fn new(
+        kind: SchedulerKind,
+        clusters: usize,
+        steering: SteeringPolicy,
+        max_inflight: usize,
+    ) -> Scheduler {
         let pool = match kind {
             SchedulerKind::CentralWindow { .. } => None,
             SchedulerKind::SteeredWindows { fifos_per_cluster, fifo_depth } => {
@@ -84,6 +113,18 @@ impl Scheduler {
             .then(RoundRobinSteerer::new);
         let load_balanced = matches!(steering, SteeringPolicy::LoadBalanced)
             .then(LoadBalancedSteerer::new);
+        let ring = max_inflight.max(1).next_power_of_two();
+        let words = central_capacity.div_ceil(64).max(1);
+        let mut occ_words = vec![0u64; words];
+        // Pad bits past the capacity read as "occupied" so the lowest-free
+        // probe never hands out a slot beyond the window.
+        for (w, word) in occ_words.iter_mut().enumerate() {
+            for bit in 0..64 {
+                if w * 64 + bit >= central_capacity {
+                    *word |= 1u64 << bit;
+                }
+            }
+        }
         Scheduler {
             kind,
             clusters,
@@ -92,10 +133,22 @@ impl Scheduler {
             random,
             round_robin,
             load_balanced,
-            placement: HashMap::new(),
-            window: Vec::new(),
+            place: vec![None; ring],
+            place_mask: ring as u64 - 1,
+            window: vec![None; central_capacity],
+            occ_words,
             central_capacity,
+            central_len: 0,
+            age_next: vec![AGE_NONE; central_capacity],
+            age_prev: vec![AGE_NONE; central_capacity],
+            age_head: AGE_NONE,
+            age_tail: AGE_NONE,
         }
+    }
+
+    /// Whether this is the central-window organization (no FIFO pool).
+    pub fn is_central(&self) -> bool {
+        self.pool.is_none()
     }
 
     /// Whether only FIFO heads may issue.
@@ -110,17 +163,30 @@ impl Scheduler {
     pub fn try_insert(&mut self, id: InstId, inst: &Instruction) -> Result<Option<usize>, ()> {
         match &mut self.pool {
             None => {
-                if self.window.len() < self.central_capacity {
-                    self.window.push(Some(id));
-                    return Ok(None);
+                // Lowest free slot, found by bitmask probe (same placement a
+                // first-`None` linear scan produced).
+                let word = match self.occ_words.iter().position(|&w| w != u64::MAX) {
+                    Some(w) => w,
+                    None => return Err(()),
+                };
+                let slot = word * 64 + (!self.occ_words[word]).trailing_zeros() as usize;
+                debug_assert!(slot < self.central_capacity);
+                debug_assert!(self.window[slot].is_none());
+                self.occ_words[word] |= 1u64 << (slot % 64);
+                self.window[slot] = Some(id);
+                self.place[(id.0 & self.place_mask) as usize] = Some(slot as u32);
+                self.central_len += 1;
+                // Append at the age-list tail: a dispatching instruction is
+                // always the youngest resident.
+                let s = slot as u32;
+                self.age_prev[slot] = self.age_tail;
+                self.age_next[slot] = AGE_NONE;
+                match self.age_tail {
+                    AGE_NONE => self.age_head = s,
+                    t => self.age_next[t as usize] = s,
                 }
-                match self.window.iter_mut().find(|slot| slot.is_none()) {
-                    Some(slot) => {
-                        *slot = Some(id);
-                        Ok(None)
-                    }
-                    None => Err(()),
-                }
+                self.age_tail = s;
+                Ok(None)
             }
             Some(pool) => {
                 let outcome = if let Some(r) = &mut self.random {
@@ -134,7 +200,7 @@ impl Scheduler {
                 };
                 match outcome {
                     SteerOutcome::Fifo(fifo) => {
-                        self.placement.insert(id, fifo);
+                        self.place[(id.0 & self.place_mask) as usize] = Some(fifo.0 as u32);
                         Ok(Some(pool.cluster_of(fifo)))
                     }
                     SteerOutcome::Stall => Err(()),
@@ -143,28 +209,98 @@ impl Scheduler {
         }
     }
 
-    /// The instructions eligible for selection this cycle, in an arbitrary
-    /// order (the pipeline sorts by age).
-    pub fn candidates(&self) -> Vec<Candidate> {
+    /// Appends the instructions eligible for selection this cycle to `out`
+    /// (cleared first) — central window in slot order, FIFO organizations
+    /// in ascending FIFO order. The pipeline reuses one buffer across
+    /// cycles; the order matches what the old per-cycle allocation
+    /// produced.
+    pub fn candidates_into(&self, out: &mut Vec<Candidate>) {
+        out.clear();
         match &self.pool {
-            None => self
-                .window
-                .iter()
-                .flatten()
-                .map(|&id| Candidate { id, cluster: None })
-                .collect(),
+            None => {
+                for (w, &word) in self.occ_words.iter().enumerate() {
+                    let mut bits = word;
+                    while bits != 0 {
+                        let slot = w * 64 + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        if slot >= self.central_capacity {
+                            break; // pad bits, not real slots
+                        }
+                        let id = self.window[slot].expect("occupied bit ⇒ filled slot");
+                        out.push(Candidate { id, cluster: None });
+                    }
+                }
+            }
             Some(pool) => {
                 if self.head_only() {
-                    pool.heads()
-                        .map(|(f, id)| Candidate { id, cluster: Some(pool.cluster_of(f)) })
-                        .collect()
+                    out.extend(
+                        pool.heads()
+                            .map(|(f, id)| Candidate { id, cluster: Some(pool.cluster_of(f)) }),
+                    );
                 } else {
-                    pool.entries()
-                        .map(|(f, _, id)| Candidate { id, cluster: Some(pool.cluster_of(f)) })
-                        .collect()
+                    out.extend(pool.entries().map(|(f, _, id)| Candidate {
+                        id,
+                        cluster: Some(pool.cluster_of(f)),
+                    }));
                 }
             }
         }
+    }
+
+    /// Appends the central window's candidates to `out` (cleared first) in
+    /// **age order** — identical to sorting [`candidates_into`]'s output by
+    /// id, without the per-cycle sort.
+    ///
+    /// [`candidates_into`]: Self::candidates_into
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if called on a FIFO organization; callers
+    /// gate on [`is_central`](Self::is_central).
+    pub fn candidates_into_aged(&self, out: &mut Vec<Candidate>) {
+        debug_assert!(self.is_central());
+        out.clear();
+        let mut s = self.age_head;
+        while s != AGE_NONE {
+            let id = self.window[s as usize].expect("linked slot is filled");
+            out.push(Candidate { id, cluster: None });
+            s = self.age_next[s as usize];
+        }
+    }
+
+    /// Appends this cycle's candidates to `out` (cleared first) in
+    /// ascending instruction order — the oldest-first selection order —
+    /// without a per-cycle sort wherever the organization permits:
+    /// central windows walk the intrusive age list, pooled windows k-way
+    /// merge their (individually ascending) per-FIFO queues, and the
+    /// head-only FIFO organizations sort their handful of heads.
+    pub fn candidates_into_sorted(&self, out: &mut Vec<Candidate>) {
+        match &self.pool {
+            None => self.candidates_into_aged(out),
+            Some(pool) => {
+                out.clear();
+                if self.head_only() {
+                    out.extend(
+                        pool.heads()
+                            .map(|(f, id)| Candidate { id, cluster: Some(pool.cluster_of(f)) }),
+                    );
+                    out.sort_unstable_by_key(|c| c.id);
+                } else {
+                    out.extend(pool.entries_aged().map(|(f, id)| Candidate {
+                        id,
+                        cluster: Some(pool.cluster_of(f)),
+                    }));
+                }
+            }
+        }
+    }
+
+    /// The instructions eligible for selection this cycle (allocating
+    /// convenience over [`candidates_into`](Self::candidates_into)).
+    pub fn candidates(&self) -> Vec<Candidate> {
+        let mut out = Vec::new();
+        self.candidates_into(&mut out);
+        out
     }
 
     /// Removes an instruction at issue.
@@ -174,17 +310,30 @@ impl Scheduler {
     /// Panics if the instruction is not present (a pipeline bug).
     pub fn remove(&mut self, id: InstId) {
         let head_only = self.head_only();
+        let placed = self.place[(id.0 & self.place_mask) as usize].take();
         match &mut self.pool {
             None => {
-                let slot = self
-                    .window
-                    .iter_mut()
-                    .find(|w| **w == Some(id))
-                    .expect("issued instruction must be in the window");
-                *slot = None;
+                let slot =
+                    placed.expect("issued instruction must be in the window") as usize;
+                assert_eq!(
+                    self.window[slot].take(),
+                    Some(id),
+                    "issued instruction must be in the window"
+                );
+                self.occ_words[slot / 64] &= !(1u64 << (slot % 64));
+                self.central_len -= 1;
+                let (p, n) = (self.age_prev[slot], self.age_next[slot]);
+                match p {
+                    AGE_NONE => self.age_head = n,
+                    p => self.age_next[p as usize] = n,
+                }
+                match n {
+                    AGE_NONE => self.age_tail = p,
+                    n => self.age_prev[n as usize] = p,
+                }
             }
             Some(pool) => {
-                let fifo = self.placement.remove(&id).expect("issued instruction placed");
+                let fifo = FifoId(placed.expect("issued instruction placed") as usize);
                 if head_only {
                     let popped = pool.pop_head(fifo);
                     assert_eq!(popped, Some(id), "head-only issue must pop the head");
@@ -196,7 +345,6 @@ impl Scheduler {
                 // keeping them lets later dependents inherit the producer's
                 // cluster (FIFO→cluster is static), and the steerer already
                 // validates staleness against the pool contents.
-                let _ = id;
             }
         }
     }
@@ -204,7 +352,7 @@ impl Scheduler {
     /// Instructions currently waiting.
     pub fn occupancy(&self) -> usize {
         match &self.pool {
-            None => self.window.iter().flatten().count(),
+            None => self.central_len,
             Some(pool) => pool.occupancy(),
         }
     }
@@ -230,6 +378,7 @@ mod tests {
             SchedulerKind::CentralWindow { size: 2 },
             1,
             SteeringPolicy::Dependence,
+            128,
         );
         assert!(s.try_insert(InstId(0), &alu(10, 1, 2)).is_ok());
         assert!(s.try_insert(InstId(1), &alu(11, 1, 2)).is_ok());
@@ -245,6 +394,7 @@ mod tests {
             SchedulerKind::Fifos { fifos_per_cluster: 2, depth: 4 },
             1,
             SteeringPolicy::Dependence,
+            128,
         );
         // A chain of three dependent instructions lands in one FIFO.
         s.try_insert(InstId(0), &alu(10, 1, 2)).unwrap();
@@ -264,6 +414,7 @@ mod tests {
             SchedulerKind::SteeredWindows { fifos_per_cluster: 2, fifo_depth: 4 },
             1,
             SteeringPolicy::Dependence,
+            128,
         );
         s.try_insert(InstId(0), &alu(10, 1, 2)).unwrap();
         s.try_insert(InstId(1), &alu(11, 10, 2)).unwrap();
@@ -280,6 +431,7 @@ mod tests {
             SchedulerKind::Fifos { fifos_per_cluster: 2, depth: 2 },
             2,
             SteeringPolicy::Dependence,
+            128,
         );
         // Independent instructions spread across FIFOs; clusters 0 then 1.
         for i in 0..4u64 {
@@ -297,6 +449,7 @@ mod tests {
             SchedulerKind::SteeredWindows { fifos_per_cluster: 2, fifo_depth: 2 },
             2,
             SteeringPolicy::Random { seed: 3 },
+            128,
         );
         for i in 0..8u64 {
             assert!(s.try_insert(InstId(i), &alu(10, 1, 2)).is_ok(), "slot {i}");
@@ -312,6 +465,7 @@ mod tests {
             SchedulerKind::CentralWindow { size: 4 },
             1,
             SteeringPolicy::Dependence,
+            128,
         );
         s.remove(InstId(42));
     }

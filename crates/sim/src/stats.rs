@@ -103,6 +103,43 @@ impl SimStats {
             self.occupancy_sum as f64 / self.cycles as f64
         }
     }
+
+    /// Every counter, serialized into one canonical line — the equivalence
+    /// fingerprint used by the golden tests. Two runs with equal
+    /// fingerprints had bit-identical timing behaviour (IPC, bypass
+    /// statistics, stall breakdowns, and the full issue histogram).
+    pub fn fingerprint(&self) -> String {
+        let hist = self
+            .issue_histogram
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "cycles={} committed={} issued={} branches={} mispred={} loads={} stores={} \
+             dmiss={} dacc={} fwd={} xbypass={} dstall={} sstall={} istall={} pstall={} \
+             occ={} wpf={} wpi={} hist={}",
+            self.cycles,
+            self.committed,
+            self.issued,
+            self.branches,
+            self.mispredictions,
+            self.loads,
+            self.stores,
+            self.dcache_misses,
+            self.dcache_accesses,
+            self.forwarded_loads,
+            self.intercluster_bypasses,
+            self.dispatch_stall_cycles,
+            self.scheduler_stalls,
+            self.inflight_stalls,
+            self.preg_stalls,
+            self.occupancy_sum,
+            self.wrong_path_fetched,
+            self.wrong_path_issued,
+            hist
+        )
+    }
 }
 
 #[cfg(test)]

@@ -41,6 +41,7 @@ pub use trace::{DynInst, Trace};
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// Error produced when building or running a workload.
 #[derive(Debug)]
@@ -96,4 +97,71 @@ pub fn trace_benchmark(benchmark: Benchmark, max_insts: u64) -> Result<Trace, Wo
     let program = benchmark.program()?;
     let mut emu = Emulator::new(&program);
     Ok(emu.run(max_insts)?)
+}
+
+/// Like [`trace_benchmark`], but memoized process-wide.
+///
+/// Every experiment binary, test, and worker thread that asks for the same
+/// `(benchmark, max_insts)` pair shares one immutable [`Trace`]: the kernel
+/// is assembled and emulated exactly once per process, no matter how many
+/// threads race on the first request. A per-entry lock (not the map lock)
+/// is held during generation, so different benchmarks can be emulated
+/// concurrently by different worker threads.
+///
+/// # Errors
+///
+/// Propagates [`WorkloadError`] from generation. Failures are not cached;
+/// a later call retries.
+pub fn trace_cached(benchmark: Benchmark, max_insts: u64) -> Result<Arc<Trace>, WorkloadError> {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+
+    type Key = (Benchmark, u64);
+    type Entry = Arc<Mutex<Option<Arc<Trace>>>>;
+    static CACHE: OnceLock<Mutex<HashMap<Key, Entry>>> = OnceLock::new();
+
+    let entry: Entry = {
+        let map = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = map.lock().expect("trace cache map poisoned");
+        Arc::clone(map.entry((benchmark, max_insts)).or_default())
+    };
+
+    let mut slot = entry.lock().expect("trace cache entry poisoned");
+    if let Some(trace) = slot.as_ref() {
+        return Ok(Arc::clone(trace));
+    }
+    let trace = Arc::new(trace_benchmark(benchmark, max_insts)?);
+    *slot = Some(Arc::clone(&trace));
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod cache_tests {
+    use super::*;
+
+    #[test]
+    fn trace_cached_shares_one_trace_per_key() {
+        let a = trace_cached(Benchmark::Compress, 3_000).unwrap();
+        let b = trace_cached(Benchmark::Compress, 3_000).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one Arc<Trace>");
+
+        let c = trace_cached(Benchmark::Compress, 4_000).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c), "different caps are different entries");
+
+        let fresh = trace_benchmark(Benchmark::Compress, 3_000).unwrap();
+        assert_eq!(*a, fresh, "cached trace must equal a fresh generation");
+    }
+
+    #[test]
+    fn trace_cached_is_threadsafe_and_generates_once() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(|| trace_cached(Benchmark::Li, 2_500).unwrap())
+            })
+            .collect();
+        let traces: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for t in &traces[1..] {
+            assert!(Arc::ptr_eq(&traces[0], t));
+        }
+    }
 }
