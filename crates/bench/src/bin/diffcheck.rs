@@ -1,0 +1,130 @@
+//! `diffcheck` — differential acceptance harness.
+//!
+//! Runs every Figure 17 organization on every benchmark kernel twice: once
+//! through the optimized [`Simulator`] with its per-cycle invariant
+//! checker enabled, once through the deliberately naive
+//! [`OracleSimulator`], and demands *bit-identical* statistics
+//! fingerprints. One `PASS`/`FAIL` line per cell; exits non-zero if any
+//! cell fails, so CI can gate on it.
+//!
+//! ```text
+//! diffcheck [KERNEL...]        # restrict to the named kernels
+//! CE_MAX_INSTS=20000 diffcheck # shorten the smoke run
+//! CE_THREADS=4 diffcheck       # bound the worker pool
+//! ```
+
+use ce_bench::runner;
+use ce_sim::{machine, OracleSimulator, SimConfig, Simulator};
+use ce_workloads::{trace_cached, Benchmark};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+struct Cell {
+    machine: &'static str,
+    bench: Benchmark,
+    cfg: SimConfig,
+}
+
+enum Outcome {
+    Pass { cycles: u64 },
+    Fail { optimized: String, oracle: String },
+    Error(String),
+}
+
+fn check_cell(cell: &Cell, cap: u64) -> Outcome {
+    let trace = match trace_cached(cell.bench, cap) {
+        Ok(t) => t,
+        Err(e) => return Outcome::Error(format!("tracing failed: {e}")),
+    };
+    let mut checked = cell.cfg;
+    checked.check = true;
+    let optimized = match Simulator::try_new(checked) {
+        Ok(sim) => sim.run(&trace),
+        Err(e) => return Outcome::Error(e.to_string()),
+    };
+    let oracle = OracleSimulator::new(cell.cfg).run(&trace);
+    if optimized.fingerprint() == oracle.fingerprint() {
+        Outcome::Pass { cycles: optimized.cycles }
+    } else {
+        Outcome::Fail {
+            optimized: optimized.fingerprint(),
+            oracle: oracle.fingerprint(),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let filter: Vec<String> = std::env::args().skip(1).collect();
+    let benchmarks: Vec<Benchmark> = Benchmark::all()
+        .into_iter()
+        .filter(|b| filter.is_empty() || filter.iter().any(|f| f == b.name()))
+        .collect();
+    if benchmarks.is_empty() {
+        eprintln!("error: no benchmark matches {filter:?}");
+        eprintln!(
+            "known kernels: {}",
+            Benchmark::all().into_iter().map(|b| b.name().to_owned()).collect::<Vec<_>>().join(" ")
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let cap = ce_bench::max_insts();
+    let cells: Vec<Cell> = machine::figure17_machines()
+        .into_iter()
+        .flat_map(|(machine, cfg)| {
+            benchmarks.iter().map(move |&bench| Cell { machine, bench, cfg })
+        })
+        .collect();
+    println!(
+        "diffcheck: optimized simulator (invariant checker on) vs naive oracle, \
+         {} organizations x {} kernels, {cap} instruction cap",
+        machine::figure17_machines().len(),
+        benchmarks.len(),
+    );
+
+    // Same work-stealing fan-out as the experiment runner: results land in
+    // input order regardless of completion order.
+    let n = cells.len();
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Outcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..runner::threads().min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                *slots[i].lock().expect("slot poisoned") = Some(check_cell(&cells[i], cap));
+            });
+        }
+    });
+
+    let mut failures = 0usize;
+    for (cell, slot) in cells.iter().zip(slots) {
+        let outcome = slot.into_inner().expect("slot poisoned").expect("every slot filled");
+        let label = format!("{} x {}", cell.machine, cell.bench.name());
+        match outcome {
+            Outcome::Pass { cycles } => println!("PASS  {label:<45} ({cycles} cycles)"),
+            Outcome::Fail { optimized, oracle } => {
+                failures += 1;
+                println!("FAIL  {label}");
+                println!("      optimized: {optimized}");
+                println!("      oracle:    {oracle}");
+            }
+            Outcome::Error(e) => {
+                failures += 1;
+                println!("FAIL  {label}");
+                println!("      {e}");
+            }
+        }
+    }
+    println!();
+    if failures == 0 {
+        println!("diffcheck: all {n} cells bit-identical");
+        ExitCode::SUCCESS
+    } else {
+        println!("diffcheck: {failures}/{n} cells diverged");
+        ExitCode::FAILURE
+    }
+}

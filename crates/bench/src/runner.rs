@@ -56,13 +56,31 @@ pub fn run_all(jobs: &[Job]) -> Vec<SimStats> {
 ///
 /// # Panics
 ///
-/// Panics if a bundled kernel fails to trace (a `ce-workloads` bug) or a
-/// worker thread panics.
+/// Panics on the first failed cell (invalid configuration or a kernel that
+/// fails to trace), naming it. Sweeps that probe risky configuration
+/// corners should use [`try_run_timed`] instead and keep the good cells.
 pub fn run_timed(jobs: &[Job], max_insts: u64) -> Vec<TimedResult> {
+    try_run_timed(jobs, max_insts)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
+        .collect()
+}
+
+/// Like [`run_timed`], but a bad grid cell becomes an `Err` naming the
+/// cell instead of aborting the whole parallel run: each job's
+/// configuration is validated (via [`Simulator::try_new`]) and its kernel
+/// traced inside the job's own `Result`. Results stay in input order.
+///
+/// # Panics
+///
+/// Panics only if a worker thread itself panics (a simulator bug, not a
+/// bad configuration).
+pub fn try_run_timed(jobs: &[Job], max_insts: u64) -> Vec<Result<TimedResult, String>> {
     let n = jobs.len();
     let workers = threads().min(n.max(1));
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<TimedResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<TimedResult, String>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -72,13 +90,16 @@ pub fn run_timed(jobs: &[Job], max_insts: u64) -> Vec<TimedResult> {
                     break;
                 }
                 let (bench, cfg) = jobs[i];
-                let trace = trace_cached(bench, max_insts)
-                    .unwrap_or_else(|e| panic!("tracing {bench}: {e}"));
-                let start = Instant::now();
-                let stats = Simulator::new(cfg).run(&trace);
-                let wall = start.elapsed();
-                *slots[i].lock().expect("result slot poisoned") =
-                    Some(TimedResult { stats, wall });
+                let result = Simulator::try_new(cfg)
+                    .map_err(|e| format!("job {i} ({bench}): {e}"))
+                    .and_then(|sim| {
+                        let trace = trace_cached(bench, max_insts)
+                            .map_err(|e| format!("job {i} ({bench}): tracing failed: {e}"))?;
+                        let start = Instant::now();
+                        let stats = sim.run(&trace);
+                        Ok(TimedResult { stats, wall: start.elapsed() })
+                    });
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
             });
         }
     });
@@ -111,6 +132,28 @@ mod tests {
     #[test]
     fn threads_is_positive() {
         assert!(threads() >= 1);
+    }
+
+    /// A bad grid cell must be reported by name while its neighbours still
+    /// run — an invalid corner of a sweep used to panic a worker thread
+    /// and take the whole parallel run down with it.
+    #[test]
+    fn bad_cells_fail_individually_not_collectively() {
+        use ce_sim::machine;
+        let mut bad = machine::baseline_8way();
+        bad.bpred.history_bits = 40;
+        let jobs = vec![
+            (Benchmark::Compress, machine::baseline_8way()),
+            (Benchmark::Li, bad),
+            (Benchmark::Compress, machine::dependence_8way()),
+        ];
+        let results = try_run_timed(&jobs, 2_000);
+        assert!(results[0].is_ok());
+        assert!(results[2].is_ok());
+        let err = results[1].as_ref().unwrap_err();
+        assert!(err.contains("job 1"), "{err}");
+        assert!(err.contains("li"), "{err}");
+        assert!(err.contains("history"), "{err}");
     }
 
     #[test]

@@ -241,6 +241,17 @@ impl FifoPool {
         self.queues[fifo.0].iter().any(|&i| i == inst)
     }
 
+    /// The position of `inst` within `fifo` (0 = head), if present —
+    /// exposes queue order to external invariant checkers.
+    pub fn position_of(&self, fifo: FifoId, inst: InstId) -> Option<usize> {
+        self.queues[fifo.0].iter().position(|&i| i == inst)
+    }
+
+    /// Number of instructions buffered in one FIFO.
+    pub fn fifo_len(&self, fifo: FifoId) -> usize {
+        self.queues[fifo.0].len()
+    }
+
     fn maybe_free(&mut self, fifo: FifoId) {
         if self.queues[fifo.0].is_empty() {
             self.occupied &= !(1u128 << fifo.0);
@@ -416,6 +427,22 @@ mod tests {
         assert_eq!(heads, vec![(f0, InstId(10)), (f1, InstId(20))]);
         assert_eq!(p.occupancy(), 3);
         assert_eq!(p.entries().count(), 3);
+    }
+
+    #[test]
+    fn position_of_reports_queue_order() {
+        let mut p = pool(2, 4, 1);
+        let f = p.acquire().unwrap();
+        for i in 0..3 {
+            p.push(f, InstId(i));
+        }
+        assert_eq!(p.position_of(f, InstId(0)), Some(0));
+        assert_eq!(p.position_of(f, InstId(2)), Some(2));
+        assert_eq!(p.position_of(f, InstId(9)), None);
+        assert_eq!(p.fifo_len(f), 3);
+        p.pop_head(f);
+        assert_eq!(p.position_of(f, InstId(1)), Some(0));
+        assert_eq!(p.fifo_len(f), 2);
     }
 
     #[test]

@@ -146,7 +146,14 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let (stats, schedule) = Simulator::new(opts.config).run_traced(&trace);
+    let sim = match Simulator::try_new(opts.config) {
+        Ok(sim) => sim,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (stats, schedule) = sim.run_traced(&trace);
     println!("machine: {}", opts.machine_name);
     println!("instructions: {} ({} cycles)", stats.committed, stats.cycles);
     println!("IPC: {:.3}", stats.ipc());

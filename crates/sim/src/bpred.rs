@@ -31,12 +31,15 @@ impl Gshare {
     ///
     /// # Panics
     ///
-    /// Panics if `counters` is not a power of two or is zero.
+    /// Panics if the configuration fails [`BpredConfig::validate`]
+    /// (counter count not a non-zero power of two, or more than 31
+    /// history bits — the `u32` history register cannot mask more).
     pub fn new(config: BpredConfig) -> Gshare {
-        assert!(
-            config.counters.is_power_of_two(),
-            "counter count must be a power of two"
-        );
+        if let Err(msg) = config.validate() {
+            panic!("invalid branch predictor configuration: {msg}");
+        }
+        // `validate` caps history_bits at 31, so the shift cannot
+        // overflow (`1u32 << 32` would panic in debug builds).
         Gshare {
             counters: vec![1; config.counters],
             history: 0,
@@ -162,8 +165,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "power of two")]
+    #[should_panic(expected = "power-of-two")]
     fn non_power_of_two_panics() {
         let _ = Gshare::new(BpredConfig { counters: 1000, history_bits: 10, perfect: false });
+    }
+
+    /// Regression test: `history_bits = 32` used to overflow the
+    /// `1u32 << history_bits` mask computation (a debug-build panic with
+    /// an unhelpful "attempt to shift left with overflow" message); it
+    /// must now fail validation with a descriptive error instead.
+    #[test]
+    #[should_panic(expected = "history is limited to 31 bits")]
+    fn oversized_history_is_rejected_not_overflowed() {
+        let _ = Gshare::new(BpredConfig { counters: 4096, history_bits: 32, perfect: false });
+    }
+
+    /// The widest representable history works — and the mask is all ones.
+    #[test]
+    fn thirty_one_history_bits_are_fine() {
+        let mut p = Gshare::new(BpredConfig { counters: 64, history_bits: 31, perfect: false });
+        for i in 0..100 {
+            p.predict_and_update(0x400000 + i * 4, i % 3 == 0);
+        }
+        assert_eq!(p.predictions(), 100);
     }
 }

@@ -1,5 +1,22 @@
 //! Machine configuration (paper Table 3 defaults).
 
+use std::error::Error;
+use std::fmt;
+
+/// An invalid [`SimConfig`], as reported by [`SimConfig::validate`] —
+/// carried as a proper error type so sweep drivers can report a bad grid
+/// cell instead of aborting a whole parallel run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid simulator configuration: {}", self.0)
+    }
+}
+
+impl Error for ConfigError {}
+
 /// How instructions are assigned to clusters/FIFOs at dispatch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SteeringPolicy {
@@ -136,6 +153,33 @@ impl Default for BpredConfig {
     }
 }
 
+impl BpredConfig {
+    /// Validates the predictor geometry.
+    ///
+    /// The history register is a `u32`, so masks are computable only for
+    /// up to 31 history bits (`1u32 << 32` overflows); the counter table
+    /// is indexed by masking, so its size must be a non-zero power of two.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.counters == 0 || !self.counters.is_power_of_two() {
+            return Err(format!(
+                "branch predictor needs a non-zero power-of-two counter table, got {}",
+                self.counters
+            ));
+        }
+        if self.history_bits > 31 {
+            return Err(format!(
+                "branch predictor history is limited to 31 bits, got {}",
+                self.history_bits
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Data cache configuration (Table 3: 32 KB, 2-way, 32 B lines, 1-cycle
 /// hit, 6-cycle miss, 4 ports).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -213,6 +257,15 @@ pub struct SimConfig {
     /// resolves, then are squashed. Pure trace-driven stall models (the
     /// default, and the paper's) underestimate this window pollution.
     pub model_wrong_path: bool,
+    /// Run the per-cycle invariant checker alongside the simulation:
+    /// issue-width/FU caps, operands-ready-at-issue, oldest-ready-first
+    /// selection, FIFO head-only issue, store-forwarding consistency,
+    /// occupancy bounds, and monotone commit order are re-verified from
+    /// first principles every cycle, and any violation aborts the run with
+    /// cycle/sequence context instead of producing garbage statistics.
+    /// Never perturbs timing or statistics; costs simulation speed, so it
+    /// defaults to off and is switched on by the test suites.
+    pub check: bool,
     /// Branch predictor.
     pub bpred: BpredConfig,
     /// Data cache.
@@ -269,6 +322,7 @@ impl SimConfig {
         if self.scheduler.capacity_per_cluster(self.clusters) == 0 {
             return Err("scheduler capacity must be positive".into());
         }
+        self.bpred.validate()?;
         Ok(())
     }
 }
@@ -321,5 +375,35 @@ mod tests {
         let mut cfg = machine::baseline_8way();
         cfg.scheduler = SchedulerKind::Fifos { fifos_per_cluster: 0, depth: 8 };
         assert!(cfg.validate().is_err());
+    }
+
+    /// Regression test: `history_bits >= 32` used to reach `Gshare::new`
+    /// and overflow the `1u32 << history_bits` mask computation in debug
+    /// builds; it must now be rejected up front with a descriptive error.
+    #[test]
+    fn validation_rejects_bad_bpred_geometry() {
+        let mut cfg = machine::baseline_8way();
+        cfg.bpred.history_bits = 32;
+        let msg = cfg.validate().unwrap_err();
+        assert!(msg.contains("history"), "{msg}");
+
+        let mut cfg = machine::baseline_8way();
+        cfg.bpred.counters = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = machine::baseline_8way();
+        cfg.bpred.counters = 1000;
+        let msg = cfg.validate().unwrap_err();
+        assert!(msg.contains("power-of-two"), "{msg}");
+
+        let mut cfg = machine::baseline_8way();
+        cfg.bpred.history_bits = 31;
+        assert!(cfg.validate().is_ok(), "31 history bits are representable");
+    }
+
+    #[test]
+    fn config_error_displays_the_message() {
+        let e = ConfigError("three clusters".into());
+        assert_eq!(e.to_string(), "invalid simulator configuration: three clusters");
     }
 }

@@ -30,18 +30,22 @@
 //! ```
 
 pub mod bpred;
+pub mod check;
 pub mod config;
 pub mod dcache;
 pub mod machine;
+pub mod oracle;
 pub mod pipeline;
 pub mod rename;
 pub mod scheduler;
 pub mod stats;
 pub mod viz;
 
+pub use check::{Checker, Violation};
 pub use config::{
-    BypassModel, LatencyModel, MemDisambiguation, SchedulerKind, SelectionPolicy, SimConfig,
-    SteeringPolicy,
+    BypassModel, ConfigError, LatencyModel, MemDisambiguation, SchedulerKind, SelectionPolicy,
+    SimConfig, SteeringPolicy,
 };
+pub use oracle::OracleSimulator;
 pub use pipeline::{IssueRecord, Simulator};
 pub use stats::SimStats;

@@ -27,6 +27,7 @@ fn base() -> SimConfig {
         split_store_issue: false,
         fetch_breaks_on_taken: false,
         model_wrong_path: false,
+        check: false,
         bpred: BpredConfig::default(),
         dcache: DcacheConfig::default(),
     }

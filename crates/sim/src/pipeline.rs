@@ -21,12 +21,13 @@
 //!   *inter-cluster* bypass — the Figure 17 (bottom) statistic.
 
 use crate::bpred::Gshare;
-use crate::config::SimConfig;
+use crate::check::Checker;
+use crate::config::{ConfigError, SimConfig};
 use crate::dcache::{Access, Dcache};
 use crate::rename::{Preg, RenameTable};
 use crate::scheduler::{Candidate, Scheduler};
 use crate::stats::SimStats;
-use ce_core::InstId;
+use ce_core::{FifoId, InstId};
 use ce_isa::OperationKind;
 use ce_workloads::{DynInst, Trace};
 use std::cmp::Reverse;
@@ -239,19 +240,21 @@ pub struct Simulator {
     hot: Vec<HotEntry>,
     hot_mask: u64,
     stats: SimStats,
+    check: Checker,
 }
 
 impl Simulator {
-    /// Creates a simulator for a machine configuration.
+    /// Creates a simulator for a machine configuration, or reports why the
+    /// configuration is unusable — the non-aborting entry point for sweep
+    /// drivers, which want to flag one bad grid cell and keep running the
+    /// rest.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration fails [`SimConfig::validate`].
-    pub fn new(cfg: SimConfig) -> Simulator {
-        if let Err(msg) = cfg.validate() {
-            panic!("invalid simulator configuration: {msg}");
-        }
-        Simulator {
+    /// Returns the first constraint [`SimConfig::validate`] rejects.
+    pub fn try_new(cfg: SimConfig) -> Result<Simulator, ConfigError> {
+        cfg.validate().map_err(ConfigError)?;
+        Ok(Simulator {
             cfg,
             bpred: Gshare::new(cfg.bpred),
             dcache: Dcache::new(cfg.dcache),
@@ -261,6 +264,20 @@ impl Simulator {
             hot: vec![HotEntry::EMPTY; cfg.max_inflight.max(1).next_power_of_two()],
             hot_mask: cfg.max_inflight.max(1).next_power_of_two() as u64 - 1,
             stats: SimStats::default(),
+            check: Checker::new(),
+        })
+    }
+
+    /// Creates a simulator for a machine configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SimConfig::validate`]; use
+    /// [`try_new`](Self::try_new) to handle that case gracefully.
+    pub fn new(cfg: SimConfig) -> Simulator {
+        match Simulator::try_new(cfg) {
+            Ok(sim) => sim,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -337,6 +354,9 @@ impl Simulator {
                         if e.d.inst.opcode.kind() == OperationKind::Store {
                             stores.on_commit(e.seq);
                         }
+                        if self.cfg.check {
+                            self.check_commit(cycle, &e);
+                        }
                         self.note_commit(&e);
                         schedule.push(IssueRecord {
                             seq: e.seq,
@@ -392,7 +412,12 @@ impl Simulator {
                     let e = rob.pop_back().expect("checked");
                     debug_assert!(e.wrong_path, "only wrong-path work follows the branch");
                     if e.issued_at.is_none() {
-                        self.sched.remove(InstId(e.seq));
+                        // Tail-side removal: in the head-only FIFO
+                        // organizations the squashed instruction is the
+                        // *youngest* in its FIFO, not the head, so the
+                        // issue-path `remove` (which pops heads) is wrong
+                        // here.
+                        self.sched.remove_squashed(InstId(e.seq));
                     }
                 }
                 frontq.retain(|slot| !slot.payload.is_wrong_path());
@@ -404,6 +429,10 @@ impl Simulator {
 
             // ---- dispatch (rename + steer) ------------------------------
             self.dispatch_cycle(cycle, insts, &mut frontq, &mut rob, &mut stores);
+            if self.cfg.check {
+                self.check_after_dispatch(cycle, &rob);
+                self.check_store_tracker(cycle, &rob, &stores);
+            }
 
             // ---- fetch ---------------------------------------------------
             let cap = 2 * self.cfg.fetch_width;
@@ -494,13 +523,19 @@ impl Simulator {
             }
 
             self.stats.occupancy_sum += self.sched.occupancy() as u64;
+            if self.cfg.check {
+                self.check.assert_clean(cycle);
+            }
         }
 
         self.stats.cycles = cycle;
         self.stats.committed = committed as u64;
-        self.stats.issued = committed as u64;
         self.stats.dcache_accesses = self.dcache.hits() + self.dcache.misses();
         self.stats.dcache_misses = self.dcache.misses();
+        if self.cfg.check {
+            self.check.on_finish(&self.stats);
+            self.check.assert_clean(cycle);
+        }
         (self.stats, schedule)
     }
 
@@ -667,6 +702,11 @@ impl Simulator {
             // The candidate issues: from here on no check rejects it, and
             // the ROB entry comes into play.
             let idx = (cand.id.0 - rob_base) as usize;
+            if self.cfg.check {
+                // Audit the issue decision against primary state (ROB
+                // operands, pool queues) before any mutation happens.
+                self.check_issue(cycle, cand.id, cluster, rob, rob_base, stores);
+            }
 
             // Latency: ALU/branch/jump 1 cycle; stores complete on issue;
             // loads add the D-cache access.
@@ -729,6 +769,7 @@ impl Simulator {
             if rob[idx].wrong_path {
                 self.stats.wrong_path_issued += 1;
             }
+            self.stats.issued += 1;
             self.sched.remove(cand.id);
             fu_used[cluster] += 1;
             if is_mem {
@@ -737,6 +778,11 @@ impl Simulator {
             issued += 1;
         }
         self.stats.issue_histogram[issued.min(16)] += 1;
+        if self.cfg.check {
+            self.check_after_issue(
+                cycle, candidates, rob, rob_base, stores, fu_used, ports_used, issued,
+            );
+        }
     }
 
     fn pick_cluster(
@@ -767,6 +813,316 @@ impl Simulator {
             }
         }
         best.map(|(_, c)| c)
+    }
+
+    // ---- invariant checker hooks (active only with `cfg.check`) --------
+
+    /// Commit-time invariants: strictly increasing retirement order, and a
+    /// sane dispatch → issue → complete → commit timeline.
+    fn check_commit(&mut self, cycle: u64, e: &Entry) {
+        self.check.on_commit(cycle, e.seq);
+        if e.wrong_path {
+            self.check.violation(cycle, Some(e.seq), "wrong-path instruction committed");
+        }
+        if !e.done {
+            self.check.violation(cycle, Some(e.seq), "committed while not done");
+        }
+        match (e.issued_at, e.finish_at) {
+            // Complete runs after commit within a cycle, so a committing
+            // entry finished on an earlier cycle.
+            (Some(i), Some(f)) if e.dispatched_at < i && i < f && f < cycle => {}
+            _ => self.check.violation(
+                cycle,
+                Some(e.seq),
+                format!(
+                    "commit timeline out of order: dispatched {}, issued {:?}, finished {:?}",
+                    e.dispatched_at, e.issued_at, e.finish_at
+                ),
+            ),
+        }
+    }
+
+    /// Issue-time invariants for one issuing instruction, audited against
+    /// primary state (ROB operands, FIFO queues) before any mutation.
+    fn check_issue(
+        &mut self,
+        cycle: u64,
+        id: InstId,
+        cluster: usize,
+        rob: &VecDeque<Entry>,
+        rob_base: u64,
+        stores: &StoreTracker,
+    ) {
+        let e = &rob[(id.0 - rob_base) as usize];
+        let kind = e.d.inst.opcode.kind();
+        // The HotEntry ring is a performance mirror of the ROB; any skew
+        // means the issue loop decided on stale operands.
+        let hot = self.hot[(id.0 & self.hot_mask) as usize];
+        if hot.srcs != e.srcs || hot.kind != kind || hot.mem_addr != e.d.mem_addr {
+            self.check.violation(
+                cycle,
+                Some(id.0),
+                format!(
+                    "HotEntry ring desynced from ROB: hot ({:?}, {:?}, {:?}) vs \
+                     ROB ({:?}, {:?}, {:?})",
+                    hot.srcs, hot.kind, hot.mem_addr, e.srcs, kind, e.d.mem_addr
+                ),
+            );
+        }
+        // Operands-ready-at-issue, re-derived from the ROB operand fields.
+        let split_store = kind == OperationKind::Store && self.cfg.split_store_issue;
+        let required: &[Option<Preg>] = if split_store { &e.srcs[..1] } else { &e.srcs[..] };
+        for &p in required.iter().flatten() {
+            let at = self.avail_in(p, cluster);
+            if at > cycle {
+                self.check.violation(
+                    cycle,
+                    Some(id.0),
+                    format!(
+                        "issued with operand p{p} unavailable in cluster {cluster} until {at}"
+                    ),
+                );
+            }
+        }
+        // The dependence-based organizations may only issue FIFO heads.
+        if self.sched.head_only() {
+            let head = self
+                .sched
+                .placement_of(id)
+                .and_then(|f| self.sched.pool().and_then(|p| p.head(FifoId(f as usize))));
+            if head != Some(id) {
+                self.check
+                    .violation(cycle, Some(id.0), format!("issued from mid-FIFO: head is {head:?}"));
+            }
+        }
+        // Store-to-load forwarding: the StoreTracker's answer must agree
+        // with a scan of the ROB's in-flight stores.
+        if kind == OperationKind::Load {
+            let word = e.d.mem_addr.map(|a| a & !3);
+            let from_tracker = stores.forwarding_store(id.0, word);
+            let from_rob = word.and_then(|w| {
+                rob.iter()
+                    .rev()
+                    .filter(|s| s.seq < id.0)
+                    .find(|s| {
+                        s.d.inst.opcode.kind() == OperationKind::Store
+                            && s.d.mem_addr.map(|a| a & !3) == Some(w)
+                    })
+                    .map(|s| s.seq)
+            });
+            if from_tracker != from_rob {
+                self.check.violation(
+                    cycle,
+                    Some(id.0),
+                    format!(
+                        "forwarding store disagreement: tracker {from_tracker:?} vs \
+                         ROB scan {from_rob:?}"
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Post-pass invariants: issue caps recounted from the ROB, and the
+    /// selection audit — no issuable candidate may be left waiting while
+    /// issue width went unused.
+    #[allow(clippy::too_many_arguments)]
+    fn check_after_issue(
+        &mut self,
+        cycle: u64,
+        candidates: &[Candidate],
+        rob: &VecDeque<Entry>,
+        rob_base: u64,
+        stores: &StoreTracker,
+        fu_used: &[usize],
+        ports_used: usize,
+        issued: usize,
+    ) {
+        let fus_per_cluster = self.cfg.fus_per_cluster();
+        let mut per_cluster = vec![0usize; self.cfg.clusters];
+        let mut mem = 0usize;
+        let mut total = 0usize;
+        for e in rob.iter() {
+            if e.issued_at != Some(cycle) {
+                continue;
+            }
+            total += 1;
+            match e.cluster {
+                Some(c) if c < self.cfg.clusters => per_cluster[c] += 1,
+                other => self.check.violation(
+                    cycle,
+                    Some(e.seq),
+                    format!("issued into nonexistent cluster {other:?}"),
+                ),
+            }
+            if matches!(e.d.inst.opcode.kind(), OperationKind::Load | OperationKind::Store) {
+                mem += 1;
+            }
+        }
+        if total != issued {
+            self.check.violation(
+                cycle,
+                None,
+                format!("issue loop reported {issued} issues, the ROB holds {total}"),
+            );
+        }
+        if total > self.cfg.issue_width {
+            self.check.violation(
+                cycle,
+                None,
+                format!("issued {total} > issue width {}", self.cfg.issue_width),
+            );
+        }
+        for (c, &n) in per_cluster.iter().enumerate() {
+            if n > fus_per_cluster {
+                self.check
+                    .violation(cycle, None, format!("cluster {c} issued {n} > {fus_per_cluster} FUs"));
+            }
+        }
+        if mem > self.cfg.dcache.ports || mem != ports_used {
+            self.check.violation(
+                cycle,
+                None,
+                format!(
+                    "memory issues {mem} vs {ports_used} ports counted, {} ports available",
+                    self.cfg.dcache.ports
+                ),
+            );
+        }
+        // Selection audit. Sound because every resource an issue decision
+        // consumes (FU slots, ports, width) only becomes scarcer over a
+        // pass, and operand readiness at `cycle` cannot be created
+        // mid-pass (a result produced now is ready at `cycle + latency`):
+        // a leftover candidate feasible against the *final* state was
+        // feasible when scanned, so skipping it broke the policy.
+        if total < self.cfg.issue_width {
+            for &cand in candidates {
+                let e = &rob[(cand.id.0 - rob_base) as usize];
+                if e.issued_at.is_some() {
+                    continue; // issued this pass
+                }
+                let kind = e.d.inst.opcode.kind();
+                // Mid-pass store issues *relax* the load-ordering (and
+                // split-store data-known) predicates. Under oldest-first
+                // every store older than the candidate settled before its
+                // scan, so the audit is exact; other scan orders can skip
+                // a load legitimately, so audit only operations whose
+                // conditions are monotone there.
+                let auditable = match self.cfg.selection {
+                    crate::config::SelectionPolicy::OldestFirst => true,
+                    _ => {
+                        kind != OperationKind::Load
+                            && !(kind == OperationKind::Store && self.cfg.split_store_issue)
+                    }
+                };
+                if auditable
+                    && self.would_issue(cand, cycle, rob_base, rob, stores, fu_used, ports_used)
+                {
+                    self.check.violation(
+                        cycle,
+                        Some(cand.id.0),
+                        "issuable candidate skipped with issue width to spare",
+                    );
+                }
+            }
+        }
+    }
+
+    /// Re-evaluates every issue condition for a still-waiting candidate
+    /// against the post-pass resource state (the checker's selection
+    /// audit; never used by the issue loop itself).
+    #[allow(clippy::too_many_arguments)]
+    fn would_issue(
+        &self,
+        cand: Candidate,
+        cycle: u64,
+        rob_base: u64,
+        rob: &VecDeque<Entry>,
+        stores: &StoreTracker,
+        fu_used: &[usize],
+        ports_used: usize,
+    ) -> bool {
+        let e = &rob[(cand.id.0 - rob_base) as usize];
+        let kind = e.d.inst.opcode.kind();
+        let split_store = kind == OperationKind::Store && self.cfg.split_store_issue;
+        let required: &[Option<Preg>] = if split_store { &e.srcs[..1] } else { &e.srcs[..] };
+        if split_store {
+            let data_unknown = e.srcs[1]
+                .map(|preg| self.pregs[preg as usize].ready == u64::MAX)
+                .unwrap_or(false);
+            if data_unknown {
+                return false;
+            }
+        }
+        let fus_per_cluster = self.cfg.fus_per_cluster();
+        let cluster_ok = match cand.cluster {
+            Some(c) => {
+                fu_used[c] < fus_per_cluster
+                    && required.iter().flatten().all(|&p| self.avail_in(p, c) <= cycle)
+            }
+            None => self.pick_cluster(required, cycle, fu_used, fus_per_cluster).is_some(),
+        };
+        if !cluster_ok {
+            return false;
+        }
+        let is_mem = matches!(kind, OperationKind::Load | OperationKind::Store);
+        if is_mem && ports_used >= self.cfg.dcache.ports {
+            return false;
+        }
+        if kind == OperationKind::Load {
+            let word = e.d.mem_addr.map(|a| a & !3);
+            if !stores.load_may_issue(cand.id.0, word, self.cfg.mem_disambiguation) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Post-dispatch invariants: occupancy bounds and the redundant-state
+    /// mirrors (scheduler residency, StoreTracker) against the ROB.
+    fn check_after_dispatch(&mut self, cycle: u64, rob: &VecDeque<Entry>) {
+        let occ = self.sched.occupancy();
+        let cap = self.sched.capacity();
+        if occ > cap {
+            self.check
+                .violation(cycle, None, format!("scheduler occupancy {occ} > capacity {cap}"));
+        }
+        if rob.len() > self.cfg.max_inflight {
+            self.check.violation(
+                cycle,
+                None,
+                format!("{} in flight > limit {}", rob.len(), self.cfg.max_inflight),
+            );
+        }
+        let waiting = rob.iter().filter(|e| e.issued_at.is_none()).count();
+        if waiting != occ {
+            self.check.violation(
+                cycle,
+                None,
+                format!("{waiting} unissued ROB entries but the scheduler holds {occ}"),
+            );
+        }
+    }
+
+    /// StoreTracker ↔ ROB lockstep: the tracker mirrors exactly the
+    /// in-flight stores, in program order, with matching flags.
+    fn check_store_tracker(&mut self, cycle: u64, rob: &VecDeque<Entry>, stores: &StoreTracker) {
+        let from_rob: Vec<(u64, Option<u32>, bool, bool)> = rob
+            .iter()
+            .filter(|e| e.d.inst.opcode.kind() == OperationKind::Store)
+            .map(|e| (e.seq, e.d.mem_addr.map(|a| a & !3), e.issued_at.is_some(), e.done))
+            .collect();
+        let from_tracker: Vec<(u64, Option<u32>, bool, bool)> =
+            stores.recs.iter().map(|r| (r.seq, r.word, r.issued, r.done)).collect();
+        if from_rob != from_tracker {
+            self.check.violation(
+                cycle,
+                None,
+                format!(
+                    "StoreTracker desynced from ROB: tracker {from_tracker:?} vs ROB {from_rob:?}"
+                ),
+            );
+        }
     }
 
     fn dispatch_cycle(
@@ -862,7 +1218,11 @@ mod tests {
         Emulator::new(&program).run_to_completion(1_000_000).expect("halts")
     }
 
-    fn run(cfg: SimConfig, src: &str) -> SimStats {
+    fn run(mut cfg: SimConfig, src: &str) -> SimStats {
+        // Every pipeline test doubles as a checker test: the invariant
+        // checker re-derives the issue/commit decisions each cycle and
+        // panics the run on any disagreement.
+        cfg.check = true;
         Simulator::new(cfg).run(&trace_of(src))
     }
 

@@ -349,6 +349,51 @@ impl Scheduler {
         }
     }
 
+    /// Removes a squashed, never-issued instruction.
+    ///
+    /// Distinct from [`remove`](Self::remove), which models *issue*: the
+    /// head-only FIFO organizations must pop their FIFO head there. A
+    /// squash strikes from the *young* end — the wrong-path work sits at
+    /// FIFO tails, behind entries that survive — so this removes from any
+    /// queue position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instruction is not present (a pipeline bug).
+    pub fn remove_squashed(&mut self, id: InstId) {
+        if self.pool.is_none() {
+            // Central window removal is position-independent already.
+            self.remove(id);
+            return;
+        }
+        let placed = self.place[(id.0 & self.place_mask) as usize].take();
+        let fifo = FifoId(placed.expect("squashed instruction must be placed") as usize);
+        let pool = self.pool.as_mut().expect("checked");
+        assert!(pool.remove(fifo, id), "squashed instruction must be in its FIFO");
+    }
+
+    /// The FIFO pool backing a pooled organization (`None` for the
+    /// central window) — read-only access for invariant checkers.
+    pub fn pool(&self) -> Option<&FifoPool> {
+        self.pool.as_ref()
+    }
+
+    /// Where a *resident* instruction sits: the central-window slot index,
+    /// or the FIFO index for pooled organizations. Only meaningful for
+    /// instructions currently in the scheduler (the placement ring slot is
+    /// recycled once an instruction leaves).
+    pub fn placement_of(&self, id: InstId) -> Option<u32> {
+        self.place[(id.0 & self.place_mask) as usize]
+    }
+
+    /// Total scheduler capacity (window slots, or FIFOs × depth).
+    pub fn capacity(&self) -> usize {
+        match &self.pool {
+            None => self.central_capacity,
+            Some(pool) => pool.config().fifos * pool.config().depth,
+        }
+    }
+
     /// Instructions currently waiting.
     pub fn occupancy(&self) -> usize {
         match &self.pool {
@@ -456,6 +501,50 @@ mod tests {
         }
         assert!(s.try_insert(InstId(8), &alu(10, 1, 2)).is_err());
         assert_eq!(s.occupancy(), 8);
+    }
+
+    /// Regression test: squashing from a head-only FIFO used to go
+    /// through [`Scheduler::remove`], which pops the *head* and asserts it
+    /// matches — but squashed wrong-path work sits at the *tail*, so any
+    /// FIFO holding real work in front of wrong-path work panicked.
+    #[test]
+    fn squash_removes_from_fifo_tail_not_head() {
+        let mut s = Scheduler::new(
+            SchedulerKind::Fifos { fifos_per_cluster: 2, depth: 4 },
+            1,
+            SteeringPolicy::Dependence,
+            128,
+        );
+        // A dependence chain: all three share one FIFO, id order 0,1,2.
+        s.try_insert(InstId(0), &alu(10, 1, 2)).unwrap();
+        s.try_insert(InstId(1), &alu(11, 10, 2)).unwrap();
+        s.try_insert(InstId(2), &alu(12, 11, 2)).unwrap();
+        // Squash the two youngest (a wrong-path slice): tail-side removal.
+        s.remove_squashed(InstId(2));
+        s.remove_squashed(InstId(1));
+        assert_eq!(s.occupancy(), 1);
+        let cands = s.candidates();
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].id, InstId(0), "the surviving head is untouched");
+        // The survivor still issues normally.
+        s.remove(InstId(0));
+        assert_eq!(s.occupancy(), 0);
+    }
+
+    #[test]
+    fn checker_accessors_expose_placement() {
+        let mut s = Scheduler::new(
+            SchedulerKind::Fifos { fifos_per_cluster: 2, depth: 4 },
+            1,
+            SteeringPolicy::Dependence,
+            128,
+        );
+        s.try_insert(InstId(0), &alu(10, 1, 2)).unwrap();
+        s.try_insert(InstId(1), &alu(11, 10, 2)).unwrap();
+        let fifo = s.placement_of(InstId(1)).expect("resident");
+        let pool = s.pool().expect("pooled organization");
+        assert_eq!(pool.position_of(ce_core::FifoId(fifo as usize), InstId(1)), Some(1));
+        assert_eq!(s.capacity(), 8);
     }
 
     #[test]

@@ -7,7 +7,12 @@ pub struct SimStats {
     pub cycles: u64,
     /// Instructions committed.
     pub committed: u64,
-    /// Instructions issued (= committed here; no wrong path is simulated).
+    /// Instructions issued to execution, counted at issue — wrong-path
+    /// instructions included. Without wrong-path modeling this equals
+    /// [`committed`](Self::committed); with it, the invariant checker
+    /// reconciles `issued == committed + wrong_path_issued` (every
+    /// correct-path issue commits; every other issue was squashed
+    /// wrong-path work).
     pub issued: u64,
     /// Conditional branches committed.
     pub branches: u64,

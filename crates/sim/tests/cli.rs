@@ -84,6 +84,40 @@ fn assembles_and_runs_a_user_program() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A corrupt trace file must produce a clean line-numbered error and a
+/// failure exit code — not a mid-simulation panic (loads without
+/// addresses used to survive parsing and blow up inside the issue path).
+#[test]
+fn corrupt_trace_fails_cleanly() {
+    let dir = std::env::temp_dir().join(format!("cesim-corrupt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    // A load with its memory-address field missing.
+    let lw = ce_isa::encode(&ce_isa::Instruction::mem(
+        ce_isa::Opcode::Lw,
+        ce_isa::Reg::new(4),
+        0,
+        ce_isa::Reg::new(29),
+    ));
+    let no_addr = dir.join("no-addr.trace");
+    std::fs::write(&no_addr, format!("ce-trace v1 completed=true\n400000 {lw:x} 400004 0\n"))
+        .expect("write trace");
+    let out = cesim().arg("--trace").arg(&no_addr).output().expect("cesim runs");
+    assert!(!out.status.success(), "missing address must be rejected");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("trace line 2"), "{stderr}");
+    assert!(stderr.contains("memory address"), "{stderr}");
+
+    // Garbage header.
+    let bad_header = dir.join("bad-header.trace");
+    std::fs::write(&bad_header, "not a trace\n").expect("write trace");
+    let out = cesim().arg("--trace").arg(&bad_header).output().expect("cesim runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad header"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn bad_arguments_fail_with_usage() {
     let out = cesim().args(["--machine", "bogus"]).output().expect("cesim runs");

@@ -3,7 +3,7 @@
 //! consistency.
 
 use ce_isa::asm::assemble;
-use ce_sim::{machine, Simulator};
+use ce_sim::{machine, SimConfig, Simulator};
 use ce_workloads::synthetic::{generate, SyntheticConfig};
 use ce_workloads::{Emulator, Trace};
 use proptest::prelude::*;
@@ -11,6 +11,14 @@ use proptest::prelude::*;
 fn trace_of(src: &str) -> Trace {
     let program = assemble(src).expect("assembles");
     Emulator::new(&program).run_to_completion(1_000_000).expect("halts")
+}
+
+/// Every simulation in this suite runs with the per-cycle invariant
+/// checker enabled — it never perturbs timing, and these workloads are
+/// exactly the stress patterns it is meant to audit.
+fn checked(mut cfg: SimConfig) -> SimConfig {
+    cfg.check = true;
+    cfg
 }
 
 #[test]
@@ -24,13 +32,13 @@ fn dcache_ports_throttle_parallel_loads() {
     body.push_str("addiu s0, s0, -1\nbnez s0, loop\nhalt\n");
     let t = trace_of(&body);
 
-    let four_ports = Simulator::new(machine::baseline_8way()).run(&t);
+    let four_ports = Simulator::new(checked(machine::baseline_8way())).run(&t);
     let mut cfg = machine::baseline_8way();
     cfg.dcache.ports = 8;
-    let eight_ports = Simulator::new(cfg).run(&t);
+    let eight_ports = Simulator::new(checked(cfg)).run(&t);
     let mut cfg = machine::baseline_8way();
     cfg.dcache.ports = 1;
-    let one_port = Simulator::new(cfg).run(&t);
+    let one_port = Simulator::new(checked(cfg)).run(&t);
 
     assert!(eight_ports.cycles < four_ports.cycles);
     assert!(four_ports.cycles < one_port.cycles);
@@ -61,8 +69,8 @@ fn loads_wait_for_prior_store_addresses() {
         lw t2, 128(gp)
         halt
     ";
-    let quick = Simulator::new(machine::baseline_8way()).run(&trace_of(quick_store));
-    let slow = Simulator::new(machine::baseline_8way()).run(&trace_of(slow_store));
+    let quick = Simulator::new(checked(machine::baseline_8way())).run(&trace_of(quick_store));
+    let slow = Simulator::new(checked(machine::baseline_8way())).run(&trace_of(slow_store));
     // The four dependent muls add 4 cycles to the store, and the loads
     // must trail it: total cycle growth exceeds the 4 added instructions'
     // own cost on an 8-wide machine.
@@ -94,8 +102,8 @@ fn deeper_frontend_costs_cycles_on_mispredictions() {
     shallow_cfg.frontend_depth = 1;
     let mut deep_cfg = machine::baseline_8way();
     deep_cfg.frontend_depth = 6;
-    let shallow = Simulator::new(shallow_cfg).run(&t);
-    let deep = Simulator::new(deep_cfg).run(&t);
+    let shallow = Simulator::new(checked(shallow_cfg)).run(&t);
+    let deep = Simulator::new(checked(deep_cfg)).run(&t);
     assert!(deep.cycles > shallow.cycles);
     assert_eq!(deep.mispredictions, shallow.mispredictions, "same predictor behaviour");
 }
@@ -106,7 +114,7 @@ fn schedule_records_are_causally_ordered() {
         "li t0, 40\nloop: lw t1, 0(gp)\naddu t2, t1, t0\naddiu t0, t0, -1\nbnez t0, loop\nhalt\n",
     );
     for cfg in [machine::baseline_8way(), machine::clustered_fifos_8way()] {
-        let (stats, schedule) = Simulator::new(cfg).run_traced(&t);
+        let (stats, schedule) = Simulator::new(checked(cfg)).run_traced(&t);
         assert_eq!(schedule.len() as u64, stats.committed);
         for (i, rec) in schedule.iter().enumerate() {
             assert_eq!(rec.seq, i as u64, "commit order is program order");
@@ -129,7 +137,7 @@ proptest! {
         let mut cfg = machine::baseline_8way();
         cfg.issue_width = width;
         cfg.fetch_width = width;
-        let (_, schedule) = Simulator::new(cfg).run_traced(&trace);
+        let (_, schedule) = Simulator::new(checked(cfg)).run_traced(&trace);
         let mut per_cycle = std::collections::HashMap::new();
         for rec in &schedule {
             *per_cycle.entry(rec.issued_at).or_insert(0usize) += 1;
@@ -146,7 +154,7 @@ proptest! {
         let trace = generate(&config, 2_000);
         let cfg = machine::clustered_fifos_8way();
         let per_cluster = cfg.fus_per_cluster();
-        let (_, schedule) = Simulator::new(cfg).run_traced(&trace);
+        let (_, schedule) = Simulator::new(checked(cfg)).run_traced(&trace);
         let mut use_map = std::collections::HashMap::new();
         for rec in &schedule {
             *use_map.entry((rec.issued_at, rec.cluster)).or_insert(0usize) += 1;

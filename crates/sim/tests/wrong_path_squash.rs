@@ -1,0 +1,176 @@
+//! Wrong-path squash edge cases.
+//!
+//! Wrong-path modeling synthesizes instructions with sequence numbers that
+//! restart at `branch_seq + 1` — deliberately aliasing the sequence numbers
+//! of real instructions fetched after the squash. The optimized simulator
+//! keeps completion events in a heap and scheduler entries in a hot ring
+//! keyed by those aliased numbers, so squashes are where stale state can
+//! leak: a dead event completing a live instruction early, or a squashed
+//! FIFO entry blocking a head. Each test here drives one such scenario
+//! deterministically, with the invariant checker on, and cross-checks the
+//! full statistics fingerprint against the naive oracle (which has no heap
+//! or ring to get stale).
+
+use ce_isa::asm::assemble;
+use ce_sim::{machine, OracleSimulator, SimConfig, SimStats, Simulator};
+use ce_workloads::{Emulator, Trace};
+
+fn trace_of(src: &str) -> Trace {
+    let program = assemble(src).expect("assembles");
+    Emulator::new(&program).run_to_completion(1_000_000).expect("halts")
+}
+
+/// Runs optimized (checker on) and oracle, asserting bit-identical stats.
+fn run_agreeing(cfg: SimConfig, trace: &Trace) -> SimStats {
+    let mut checked = cfg;
+    checked.check = true;
+    let optimized = Simulator::new(checked).run(trace);
+    let oracle = OracleSimulator::new(cfg).run(trace);
+    assert_eq!(
+        optimized.fingerprint(),
+        oracle.fingerprint(),
+        "optimized and oracle must agree under squashes"
+    );
+    optimized
+}
+
+/// A loop whose branch direction is an LCG bit — effectively random to the
+/// gshare predictor — with memory traffic so wrong-path fetch synthesizes
+/// loads (every third wrong-path instruction reuses a recent address).
+fn unpredictable_loop(iters: u32) -> String {
+    format!(
+        "
+        li s0, 12345
+        li s1, {iters}
+        sw s0, 0(gp)
+    loop:
+        li t1, 1103515245
+        mul s0, s0, t1
+        addiu s0, s0, 12345
+        srl t2, s0, 16
+        andi t2, t2, 1
+        lw t3, 0(gp)
+        beqz t2, skip
+        sw t3, 4(gp)
+        lw t4, 4(gp)
+        addu t3, t3, t4
+    skip:
+        sw t3, 8(gp)
+        addiu s1, s1, -1
+        bnez s1, loop
+        halt
+    "
+    )
+}
+
+/// Squash while the FIFO pool still holds wrong-path entries queued behind
+/// (and ahead of) real work. Head-only issue makes stale entries fatal: a
+/// squashed instruction left at a FIFO head would block the queue forever,
+/// and one left mid-FIFO would corrupt the steering tail-match. The
+/// checker's head-only and occupancy audits run every cycle.
+#[test]
+fn squash_clears_wrong_path_from_fifo_pool() {
+    let trace = trace_of(&unpredictable_loop(300));
+    let mut cfg = machine::clustered_fifos_8way();
+    cfg.model_wrong_path = true;
+    let stats = run_agreeing(cfg, &trace);
+    assert!(stats.mispredictions > 10, "loop must mispredict: {}", stats.mispredictions);
+    assert!(stats.wrong_path_fetched > 0, "wrong path must be fetched");
+    assert!(
+        stats.wrong_path_issued > 0,
+        "some wrong-path work must reach execution before its squash"
+    );
+    // Reconciliation the checker also enforces: every issue either
+    // committed or was squashed wrong-path work.
+    assert_eq!(stats.issued, stats.committed + stats.wrong_path_issued);
+}
+
+/// A mispredicted branch that resolves in the same cycle other instructions
+/// complete: the squash must kill exactly the wrong-path entries while the
+/// same-cycle completions survive and commit. The load feeding each branch
+/// gives the branch multi-cycle latency, so its resolution cycle routinely
+/// coincides with completions of the independent store/ALU stream.
+#[test]
+fn same_cycle_resolution_and_completion_agree() {
+    let src = "
+        li s0, 12345
+        li s1, 200
+        sw s0, 0(gp)
+    loop:
+        li t1, 1103515245
+        mul s0, s0, t1
+        addiu s0, s0, 12345
+        srl t2, s0, 16
+        andi t2, t2, 1
+        sw t2, 0(gp)
+        lw t3, 0(gp)
+        beqz t3, skip
+        addu t5, t2, t1
+    skip:
+        addiu s1, s1, -1
+        bnez s1, loop
+        halt
+    ";
+    let trace = trace_of(src);
+    let mut cfg = machine::baseline_8way();
+    cfg.model_wrong_path = true;
+    let stats = run_agreeing(cfg, &trace);
+    assert!(stats.mispredictions > 10, "{} mispredictions", stats.mispredictions);
+
+    // Confirm the scenario actually occurs: some conditional branch
+    // completes on a cycle where another instruction also completes.
+    let branch_pcs: std::collections::HashSet<u32> =
+        trace.iter().filter(|d| d.is_conditional_branch()).map(|d| d.pc).collect();
+    let (_, schedule) = Simulator::new(cfg).run_traced(&trace);
+    let mut completions = std::collections::HashMap::new();
+    for rec in &schedule {
+        *completions.entry(rec.completed_at).or_insert(0usize) += 1;
+    }
+    let overlap = schedule.iter().any(|rec| {
+        branch_pcs.contains(&rec.pc) && completions[&rec.completed_at] > 1
+    });
+    assert!(overlap, "test must exercise same-cycle branch resolution + completion");
+}
+
+/// Sequence-number aliasing: wrong-path instructions are numbered from
+/// `branch_seq + 1`, the same numbers the real post-squash instructions
+/// carry. A stale completion event surviving the squash could then fire on
+/// the *real* instruction with the aliased number — completing a load that
+/// never issued, which the checker's commit-timeline audit
+/// (`dispatch < issue < finish < commit`) would catch even if the
+/// fingerprints happened to collide. The real instruction at
+/// `branch_seq + 1` is made a load so the alias window (its multi-cycle
+/// execution) is as wide as possible.
+#[test]
+fn stale_events_do_not_fire_on_aliased_sequence_numbers() {
+    let src = "
+        li s0, 12345
+        li s1, 250
+        sw s0, 0(gp)
+    loop:
+        li t1, 1103515245
+        mul s0, s0, t1
+        addiu s0, s0, 12345
+        srl t2, s0, 16
+        andi t2, t2, 1
+        beqz t2, skip
+        lw t3, 0(gp)
+        lw t4, 4(gp)
+        sw t3, 8(gp)
+    skip:
+        lw t5, 0(gp)
+        lw t6, 4(gp)
+        addiu s1, s1, -1
+        bnez s1, loop
+        halt
+    ";
+    let trace = trace_of(src);
+    for base in [machine::baseline_8way(), machine::clustered_windows_dispatch_8way()] {
+        let mut cfg = base;
+        cfg.model_wrong_path = true;
+        let stats = run_agreeing(cfg, &trace);
+        assert!(stats.mispredictions > 10);
+        assert!(stats.wrong_path_issued > 0);
+        assert_eq!(stats.issued, stats.committed + stats.wrong_path_issued);
+    }
+}

@@ -29,6 +29,7 @@
 pub mod emulator;
 pub mod memory;
 pub mod programs;
+pub mod shrink;
 pub mod stats;
 pub mod synthetic;
 pub mod trace;

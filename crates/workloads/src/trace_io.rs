@@ -102,6 +102,25 @@ pub fn parse_trace(text: &str) -> Result<Trace, TraceParseError> {
             None => None,
         };
         let inst = decode(word).map_err(|e| err(line, e.to_string()))?;
+        // The simulator relies on every load/store carrying its effective
+        // address (it panics deep in the issue path otherwise), so enforce
+        // the contract here with a line number while the file is at hand.
+        let is_mem = matches!(
+            inst.opcode.kind(),
+            ce_isa::OperationKind::Load | ce_isa::OperationKind::Store
+        );
+        if is_mem && mem_addr.is_none() {
+            return Err(err(
+                line,
+                format!("{} without a memory address (5th field)", inst.opcode),
+            ));
+        }
+        if !is_mem && mem_addr.is_some() {
+            return Err(err(
+                line,
+                format!("memory address on non-memory instruction {}", inst.opcode),
+            ));
+        }
         trace.push(DynInst { seq: 0, pc, inst, next_pc, taken, mem_addr });
     }
     if completed {
@@ -157,6 +176,36 @@ mod tests {
         // Word 1 is an invalid encoding (SPECIAL with unknown funct).
         let e = parse_trace(&format!("{header}400000 1 400004 0\n")).unwrap_err();
         assert!(e.message.contains("invalid instruction"));
+    }
+
+    /// Regression test: a load/store line without its effective address
+    /// used to parse fine and then panic the *simulator* mid-run
+    /// (`loads carry addresses`); it must fail at parse time with the
+    /// offending line number instead.
+    #[test]
+    fn rejects_memory_ops_without_addresses() {
+        use ce_isa::{encode, Instruction, Opcode, Reg};
+        let header = "ce-trace v1 completed=true\n";
+        let lw = encode(&Instruction::mem(Opcode::Lw, Reg::new(4), 0, Reg::new(29)));
+        let e = parse_trace(&format!("{header}400000 {lw:x} 400004 0\n")).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("memory address"), "{}", e.message);
+        // With the address the same line is fine.
+        assert!(parse_trace(&format!("{header}400000 {lw:x} 400004 0 10000000\n")).is_ok());
+
+        let sw = encode(&Instruction::mem(Opcode::Sw, Reg::new(4), 0, Reg::new(29)));
+        let e = parse_trace(&format!("{header}400000 {sw:x} 400004 0\n")).unwrap_err();
+        assert!(e.message.contains("memory address"), "{}", e.message);
+    }
+
+    #[test]
+    fn rejects_addresses_on_non_memory_ops() {
+        use ce_isa::{encode, Instruction, Opcode, Reg};
+        let header = "ce-trace v1 completed=true\n";
+        let add = encode(&Instruction::rrr(Opcode::Addu, Reg::new(4), Reg::new(5), Reg::new(6)));
+        let e = parse_trace(&format!("{header}400000 {add:x} 400004 0 10000000\n")).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("non-memory"), "{}", e.message);
     }
 
     #[test]
