@@ -1,0 +1,78 @@
+//! Compares two `BENCH_sim.json` snapshots — the CI gate against
+//! simulator throughput regressions.
+//!
+//! ```text
+//! cargo run --release -p ce-bench --bin bench_compare -- \
+//!     CANDIDATE.json REFERENCE.json [--min-ratio R]
+//! ```
+//!
+//! Reads `sim_mcycles_per_s` (aggregate simulated-cycles-per-second over
+//! summed cell wall time) from both files and fails (exit 1) when
+//! `candidate / reference < R`. The default ratio 0.5 is deliberately
+//! loose: CI machines are noisy and share cores, so the gate is meant to
+//! catch "probes made the simulator 3× slower", not a 5% wobble.
+
+use ce_bench::json::Json;
+use std::process::ExitCode;
+
+fn throughput(path: &str) -> Result<f64, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    doc.at("sim_mcycles_per_s")
+        .and_then(Json::as_f64)
+        .filter(|v| *v > 0.0)
+        .ok_or_else(|| format!("{path}: missing or non-positive `sim_mcycles_per_s`"))
+}
+
+fn main() -> ExitCode {
+    let mut candidate = None;
+    let mut reference = None;
+    let mut min_ratio = 0.5_f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--min-ratio" => {
+                let Some(value) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("error: --min-ratio needs a number");
+                    return ExitCode::FAILURE;
+                };
+                min_ratio = value;
+            }
+            path if candidate.is_none() => candidate = Some(path.to_owned()),
+            path if reference.is_none() => reference = Some(path.to_owned()),
+            other => {
+                eprintln!("error: unexpected argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let (Some(candidate), Some(reference)) = (candidate, reference) else {
+        eprintln!("usage: bench_compare CANDIDATE.json REFERENCE.json [--min-ratio R]");
+        return ExitCode::FAILURE;
+    };
+
+    let (cand, refr) = match (throughput(&candidate), throughput(&reference)) {
+        (Ok(c), Ok(r)) => (c, r),
+        (c, r) => {
+            for e in [c.err(), r.err()].into_iter().flatten() {
+                eprintln!("error: {e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let ratio = cand / refr;
+    println!(
+        "candidate {cand:.3} Mcycles/s vs reference {refr:.3} Mcycles/s: \
+         ratio {ratio:.3} (floor {min_ratio:.3})"
+    );
+    if ratio < min_ratio {
+        eprintln!(
+            "error: simulator throughput regressed below the floor \
+             ({candidate} vs {reference})"
+        );
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

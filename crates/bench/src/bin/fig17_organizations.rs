@@ -1,8 +1,8 @@
 //! Figure 17: IPC (top) and inter-cluster bypass frequency (bottom) for
 //! the five clustered organizations of Section 5.6.
 
-use ce_bench::runner;
-use ce_sim::machine;
+use ce_bench::runner::{self, RunOptions};
+use ce_sim::{machine, StallCause};
 use ce_workloads::Benchmark;
 
 fn main() {
@@ -16,18 +16,28 @@ fn main() {
     ce_bench::rule(10 + machines.len() * 14);
 
     let jobs = runner::grid(&machines);
-    let mut results = runner::run_all(&jobs).into_iter();
+    let timed =
+        runner::run_timed_with(&jobs, ce_bench::max_insts(), RunOptions { attribution: true });
+    let mut results = timed.iter().map(|r| &r.stats);
     let mut freqs: Vec<Vec<f64>> = Vec::new();
+    let mut xcluster: Vec<Vec<f64>> = Vec::new();
     for bench in Benchmark::all() {
         print!("{:<10}", bench.name());
         let mut row = Vec::new();
-        for _ in &machines {
+        let mut xrow = Vec::new();
+        for (_, cfg) in &machines {
             let stats = results.next().expect("one result per cell");
             print!(" {:>13.3}", stats.ipc());
             row.push(stats.intercluster_bypass_frequency() * 100.0);
+            let slots = cfg.issue_width as u64 * stats.cycles;
+            xrow.push(
+                stats.stall_breakdown.get(StallCause::InterclusterWait) as f64 / slots as f64
+                    * 100.0,
+            );
         }
         println!();
         freqs.push(row);
+        xcluster.push(xrow);
     }
 
     println!();
@@ -45,6 +55,22 @@ fn main() {
         }
         println!();
     }
+    println!();
+    println!("Stall attribution: issue slots lost waiting on inter-cluster bypass (%)");
+    print!("{:<10}", "benchmark");
+    for (name, _) in &machines {
+        print!(" {:>13}", short(name));
+    }
+    println!();
+    ce_bench::rule(10 + machines.len() * 14);
+    for (bench, row) in Benchmark::all().into_iter().zip(&xcluster) {
+        print!("{:<10}", bench.name());
+        for x in row {
+            print!(" {:>12.1}%", x);
+        }
+        println!();
+    }
+
     println!();
     println!("Paper shape: random steering degrades 17-26% vs ideal and shows the highest");
     println!("inter-cluster traffic (up to ~35%); exec-driven steering is within ~6% of ideal;");

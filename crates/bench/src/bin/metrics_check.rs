@@ -1,0 +1,57 @@
+//! Validates a `ce-sim.metrics.v1` document against the checked-in
+//! schema — the CI smoke gate for `cesim --metrics`.
+//!
+//! ```text
+//! cargo run --release -p ce-bench --bin metrics_check -- out.json [schema.json]
+//! ```
+//!
+//! The schema path defaults to `results/metrics.schema.json`. Exits 0
+//! and prints a one-line summary when the document passes; exits 1 and
+//! lists every problem when it does not.
+
+use ce_bench::json::Json;
+use ce_bench::metrics_check::validate;
+use std::process::ExitCode;
+
+fn load(path: &str, what: &str) -> Result<Json, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {what} {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("parsing {what} {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(doc_path) = args.next() else {
+        eprintln!("usage: metrics_check METRICS.json [SCHEMA.json]");
+        return ExitCode::FAILURE;
+    };
+    let schema_path = args.next().unwrap_or_else(|| "results/metrics.schema.json".to_owned());
+
+    let (doc, schema) = match (load(&doc_path, "metrics"), load(&schema_path, "schema")) {
+        (Ok(d), Ok(s)) => (d, s),
+        (d, s) => {
+            for e in [d.err(), s.err()].into_iter().flatten() {
+                eprintln!("error: {e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let problems = validate(&doc, &schema);
+    if problems.is_empty() {
+        let machine = doc.at("machine").and_then(Json::as_str).unwrap_or("?");
+        let workload = doc.at("workload").and_then(Json::as_str).unwrap_or("?");
+        let attributed = matches!(doc.at("stall_attribution"), Some(Json::Obj(_)));
+        println!(
+            "{doc_path}: ok ({machine} / {workload}, stall attribution {})",
+            if attributed { "present and reconciled" } else { "absent" }
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{doc_path}: {} problem(s):", problems.len());
+        for p in &problems {
+            eprintln!("  - {p}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -33,6 +33,8 @@ use std::sync::Arc;
 
 use ce_workloads::{trace_cached, Benchmark, Trace};
 
+pub mod json;
+pub mod metrics_check;
 pub mod runner;
 
 /// Default per-benchmark dynamic instruction cap. Every kernel completes

@@ -1,0 +1,241 @@
+//! Validation of `ce-sim.metrics.v1` documents against the checked-in
+//! schema (`results/metrics.schema.json`).
+//!
+//! The schema file is deliberately simple — a versioned map of required
+//! dotted paths to expected types — so CI can catch a renamed or dropped
+//! key without this repo growing a JSON-Schema implementation:
+//!
+//! ```json
+//! {
+//!   "schema": "ce-sim.metrics.schema.v1",
+//!   "required": {
+//!     "counters.cycles": "counter",
+//!     "derived.ipc": "number",
+//!     "stall_attribution": "object|null"
+//!   }
+//! }
+//! ```
+//!
+//! Accepted type names: `string`, `number`, `counter` (non-negative
+//! integer), `bool`, `array`, `object`, and `|`-joined unions thereof
+//! plus `null`. Beyond shape, [`validate`] checks the semantic
+//! invariants the simulator promises: the document's `schema` tag, the
+//! 17-bucket issue histogram, and — when stall attribution is present —
+//! the reconciliation identity `sum(causes) + issued == issue_slots ==
+//! issue_width × cycles`.
+
+use crate::json::Json;
+
+/// The document schema tag this checker understands.
+pub const METRICS_SCHEMA: &str = "ce-sim.metrics.v1";
+
+/// The schema-file tag this checker understands.
+pub const SCHEMA_FILE_SCHEMA: &str = "ce-sim.metrics.schema.v1";
+
+/// Does `value` match one type name from the schema file?
+fn type_matches(value: &Json, ty: &str) -> bool {
+    match ty {
+        "string" => matches!(value, Json::Str(_)),
+        "number" => matches!(value, Json::Num(_)),
+        "counter" => value.as_u64().is_some(),
+        "bool" => matches!(value, Json::Bool(_)),
+        "array" => matches!(value, Json::Arr(_)),
+        "object" => matches!(value, Json::Obj(_)),
+        "null" => matches!(value, Json::Null),
+        _ => false,
+    }
+}
+
+/// Validates a metrics document against a schema file, returning every
+/// problem found (empty means the document passes).
+pub fn validate(doc: &Json, schema: &Json) -> Vec<String> {
+    let mut problems = Vec::new();
+
+    match schema.at("schema").and_then(Json::as_str) {
+        Some(SCHEMA_FILE_SCHEMA) => {}
+        other => {
+            problems.push(format!(
+                "schema file: expected \"schema\": \"{SCHEMA_FILE_SCHEMA}\", found {other:?}"
+            ));
+            return problems;
+        }
+    }
+    let Some(required) = schema.at("required").and_then(Json::as_obj) else {
+        problems.push("schema file: missing `required` object".to_owned());
+        return problems;
+    };
+
+    // Shape: every required path present with a matching type.
+    for (path, ty) in required {
+        let Some(ty) = ty.as_str() else {
+            problems.push(format!("schema file: type for `{path}` is not a string"));
+            continue;
+        };
+        match doc.at(path) {
+            None => problems.push(format!("missing required key `{path}`")),
+            Some(value) => {
+                if !ty.split('|').any(|t| type_matches(value, t)) {
+                    problems.push(format!(
+                        "`{path}` should be {ty}, found {}",
+                        value.type_name()
+                    ));
+                }
+            }
+        }
+    }
+
+    // Semantics: the document tag.
+    match doc.at("schema").and_then(Json::as_str) {
+        Some(METRICS_SCHEMA) => {}
+        other => problems.push(format!(
+            "expected \"schema\": \"{METRICS_SCHEMA}\", found {other:?}"
+        )),
+    }
+
+    // Semantics: the issue histogram covers widths 0..=16.
+    if let Some(hist) = doc.at("issue_histogram").and_then(Json::as_arr) {
+        if hist.len() != 17 {
+            problems.push(format!("issue_histogram has {} buckets, expected 17", hist.len()));
+        }
+        if hist.iter().any(|v| v.as_u64().is_none()) {
+            problems.push("issue_histogram holds a non-counter value".to_owned());
+        }
+    }
+
+    // Semantics: stall attribution must reconcile exactly.
+    if let Some(attr) = doc.at("stall_attribution") {
+        if let Some(obj) = attr.as_obj() {
+            problems.extend(check_attribution(doc, obj));
+        } else if !matches!(attr, Json::Null) {
+            problems.push(format!(
+                "stall_attribution should be object or null, found {}",
+                attr.type_name()
+            ));
+        }
+    }
+
+    problems
+}
+
+/// The reconciliation identity, on an attribution section known to be an
+/// object.
+fn check_attribution(
+    doc: &Json,
+    attr: &std::collections::BTreeMap<String, Json>,
+) -> Vec<String> {
+    let mut problems = Vec::new();
+    let get = |key: &str| attr.get(key).and_then(Json::as_u64);
+    let (Some(slots), Some(issued), Some(unused)) =
+        (get("issue_slots"), get("issued"), get("unused"))
+    else {
+        problems.push(
+            "stall_attribution is missing issue_slots/issued/unused counters".to_owned(),
+        );
+        return problems;
+    };
+    let Some(causes) = attr.get("causes").and_then(Json::as_obj) else {
+        problems.push("stall_attribution.causes is missing or not an object".to_owned());
+        return problems;
+    };
+    let mut cause_sum: u64 = 0;
+    for (name, v) in causes {
+        match v.as_u64() {
+            Some(n) => cause_sum += n,
+            None => problems.push(format!("stall cause `{name}` is not a counter")),
+        }
+    }
+    if cause_sum != unused {
+        problems.push(format!("stall causes sum to {cause_sum}, but `unused` is {unused}"));
+    }
+    if unused + issued != slots {
+        problems.push(format!(
+            "unused ({unused}) + issued ({issued}) != issue_slots ({slots})"
+        ));
+    }
+    if let (Some(width), Some(cycles)) = (
+        doc.at("config.issue_width").and_then(Json::as_u64),
+        doc.at("counters.cycles").and_then(Json::as_u64),
+    ) {
+        if width * cycles != slots {
+            problems.push(format!(
+                "issue_slots ({slots}) != issue_width ({width}) x cycles ({cycles})"
+            ));
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_sim::{machine, metrics_json, SimStats, Simulator};
+    use ce_workloads::{trace_cached, Benchmark};
+
+    fn schema() -> Json {
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../results/metrics.schema.json"
+        ))
+        .expect("checked-in schema");
+        Json::parse(&text).expect("schema parses")
+    }
+
+    /// A real simulator run must produce a document that passes the
+    /// checked-in schema — this is the same check CI's smoke job runs.
+    #[test]
+    fn real_run_passes_the_checked_in_schema() {
+        let mut cfg = machine::clustered_fifos_8way();
+        cfg.attribution = true;
+        let trace = trace_cached(Benchmark::Compress, 10_000).expect("trace");
+        let stats = Simulator::new(cfg).run(&trace);
+        let doc_text = metrics_json("clustered-fifos", "compress", &cfg, &stats);
+        let doc = Json::parse(&doc_text).expect("metrics document parses");
+        let problems = validate(&doc, &schema());
+        assert!(problems.is_empty(), "{problems:#?}");
+    }
+
+    /// Attribution off → `stall_attribution: null` is legal.
+    #[test]
+    fn null_attribution_passes() {
+        let cfg = machine::baseline_8way();
+        let trace = trace_cached(Benchmark::Compress, 10_000).expect("trace");
+        let stats = Simulator::new(cfg).run(&trace);
+        let doc = Json::parse(&metrics_json("window", "compress", &cfg, &stats)).expect("doc");
+        assert_eq!(validate(&doc, &schema()), Vec::<String>::new());
+    }
+
+    #[test]
+    fn missing_keys_and_broken_identity_are_reported() {
+        let cfg = machine::baseline_8way();
+        let stats = SimStats::default();
+        let mut doc = Json::parse(&metrics_json("window", "x", &cfg, &stats)).expect("doc");
+        // Break it: drop a counter and claim an impossible attribution.
+        if let Json::Obj(map) = &mut doc {
+            if let Some(Json::Obj(counters)) = map.get_mut("counters") {
+                counters.remove("cycles");
+            }
+            map.insert(
+                "stall_attribution".to_owned(),
+                Json::parse(
+                    r#"{"issue_slots": 100, "issued": 10, "unused": 80,
+                        "causes": {"empty_window": 70}}"#,
+                )
+                .expect("literal"),
+            );
+        }
+        let problems = validate(&doc, &schema());
+        assert!(problems.iter().any(|p| p.contains("counters.cycles")), "{problems:#?}");
+        assert!(problems.iter().any(|p| p.contains("sum to 70")), "{problems:#?}");
+        assert!(problems.iter().any(|p| p.contains("unused (80) + issued (10)")), "{problems:#?}");
+    }
+
+    #[test]
+    fn wrong_schema_tag_is_reported() {
+        let doc = Json::parse(r#"{"schema": "something-else"}"#).expect("doc");
+        let problems = validate(&doc, &schema());
+        assert!(
+            problems.iter().any(|p| p.contains("ce-sim.metrics.v1")),
+            "{problems:#?}"
+        );
+    }
+}

@@ -26,6 +26,15 @@ use ce_workloads::{trace_cached, Benchmark};
 /// One unit of simulation work: a benchmark kernel on a machine config.
 pub type Job = (Benchmark, SimConfig);
 
+/// Per-run knobs applied uniformly to every job of a sweep.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOptions {
+    /// Enable the stall-attribution accountant on every cell (fills
+    /// `SimStats::stall_breakdown`; timing is unchanged, wall time pays a
+    /// small bookkeeping cost).
+    pub attribution: bool,
+}
+
 /// A completed [`Job`] with its wall-clock cost.
 #[derive(Debug, Clone)]
 pub struct TimedResult {
@@ -33,6 +42,53 @@ pub struct TimedResult {
     pub stats: SimStats,
     /// Wall time of the simulation proper (excludes trace generation).
     pub wall: Duration,
+}
+
+impl TimedResult {
+    /// Simulation throughput for this cell, in millions of simulated
+    /// cycles per wall-clock second.
+    pub fn mcycles_per_s(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.stats.cycles as f64 / secs / 1e6
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Aggregate wall-clock accounting for one sweep, as returned by
+/// [`run_sweep`]. All durations are wall time of the simulations alone
+/// (trace generation is memoized and excluded).
+#[derive(Debug, Clone)]
+pub struct SweepSummary {
+    /// Per-cell results, in input order.
+    pub cells: Vec<TimedResult>,
+    /// Wall time of the whole parallel sweep.
+    pub sweep_wall: Duration,
+    /// Sum of the individual cell wall times (what a serial run would
+    /// roughly cost).
+    pub serial_cell_wall: Duration,
+    /// Total simulated cycles across all cells.
+    pub total_cycles: u64,
+    /// Fastest individual cell.
+    pub min_cell_wall: Duration,
+    /// Slowest individual cell (the sweep's critical path lower bound).
+    pub max_cell_wall: Duration,
+}
+
+impl SweepSummary {
+    /// Aggregate throughput: total simulated cycles over summed cell wall
+    /// time, in millions of cycles per second. This is the simulator's
+    /// single-thread speed, independent of how many workers ran.
+    pub fn sim_mcycles_per_s(&self) -> f64 {
+        let secs = self.serial_cell_wall.as_secs_f64();
+        if secs > 0.0 {
+            self.total_cycles as f64 / secs / 1e6
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Worker-pool size: `CE_THREADS` if set to a positive integer, else the
@@ -60,10 +116,40 @@ pub fn run_all(jobs: &[Job]) -> Vec<SimStats> {
 /// fails to trace), naming it. Sweeps that probe risky configuration
 /// corners should use [`try_run_timed`] instead and keep the good cells.
 pub fn run_timed(jobs: &[Job], max_insts: u64) -> Vec<TimedResult> {
-    try_run_timed(jobs, max_insts)
+    run_timed_with(jobs, max_insts, RunOptions::default())
+}
+
+/// [`run_timed`] with explicit [`RunOptions`] (e.g. stall attribution on
+/// every cell).
+///
+/// # Panics
+///
+/// Panics on the first failed cell, like [`run_timed`].
+pub fn run_timed_with(jobs: &[Job], max_insts: u64, opts: RunOptions) -> Vec<TimedResult> {
+    try_run_timed_with(jobs, max_insts, opts)
         .into_iter()
         .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
         .collect()
+}
+
+/// Runs a sweep with aggregate wall-clock accounting: per-cell results
+/// plus sweep wall time, summed cell time, and min/max cell times, for
+/// throughput reporting alongside experiment tables.
+///
+/// # Panics
+///
+/// Panics on the first failed cell, like [`run_timed`]. Panics if `jobs`
+/// is empty (a sweep with no cells has no meaningful summary).
+pub fn run_sweep(jobs: &[Job], max_insts: u64, opts: RunOptions) -> SweepSummary {
+    assert!(!jobs.is_empty(), "run_sweep needs at least one job");
+    let start = Instant::now();
+    let cells = run_timed_with(jobs, max_insts, opts);
+    let sweep_wall = start.elapsed();
+    let serial_cell_wall = cells.iter().map(|c| c.wall).sum();
+    let total_cycles = cells.iter().map(|c| c.stats.cycles).sum();
+    let min_cell_wall = cells.iter().map(|c| c.wall).min().expect("nonempty");
+    let max_cell_wall = cells.iter().map(|c| c.wall).max().expect("nonempty");
+    SweepSummary { cells, sweep_wall, serial_cell_wall, total_cycles, min_cell_wall, max_cell_wall }
 }
 
 /// Like [`run_timed`], but a bad grid cell becomes an `Err` naming the
@@ -76,6 +162,20 @@ pub fn run_timed(jobs: &[Job], max_insts: u64) -> Vec<TimedResult> {
 /// Panics only if a worker thread itself panics (a simulator bug, not a
 /// bad configuration).
 pub fn try_run_timed(jobs: &[Job], max_insts: u64) -> Vec<Result<TimedResult, String>> {
+    try_run_timed_with(jobs, max_insts, RunOptions::default())
+}
+
+/// [`try_run_timed`] with explicit [`RunOptions`].
+///
+/// # Panics
+///
+/// Panics only if a worker thread itself panics (a simulator bug, not a
+/// bad configuration).
+pub fn try_run_timed_with(
+    jobs: &[Job],
+    max_insts: u64,
+    opts: RunOptions,
+) -> Vec<Result<TimedResult, String>> {
     let n = jobs.len();
     let workers = threads().min(n.max(1));
     let next = AtomicUsize::new(0);
@@ -89,7 +189,8 @@ pub fn try_run_timed(jobs: &[Job], max_insts: u64) -> Vec<Result<TimedResult, St
                 if i >= n {
                     break;
                 }
-                let (bench, cfg) = jobs[i];
+                let (bench, mut cfg) = jobs[i];
+                cfg.attribution |= opts.attribution;
                 let result = Simulator::try_new(cfg)
                     .map_err(|e| format!("job {i} ({bench}): {e}"))
                     .and_then(|sim| {
@@ -154,6 +255,39 @@ mod tests {
         assert!(err.contains("job 1"), "{err}");
         assert!(err.contains("li"), "{err}");
         assert!(err.contains("history"), "{err}");
+    }
+
+    /// Attribution requested through [`RunOptions`] fills the breakdown
+    /// without perturbing the timing result, and [`run_sweep`]'s
+    /// aggregates are consistent with its cells.
+    #[test]
+    fn attribution_option_fills_breakdown_without_changing_timing() {
+        use ce_sim::machine;
+        let jobs = vec![
+            (Benchmark::Compress, machine::baseline_8way()),
+            (Benchmark::Compress, machine::clustered_fifos_8way()),
+        ];
+        let plain = run_timed(&jobs, 5_000);
+        let summary = run_sweep(&jobs, 5_000, RunOptions { attribution: true });
+        assert_eq!(summary.cells.len(), jobs.len());
+        let mut total_cycles = 0;
+        for (i, (cell, base)) in summary.cells.iter().zip(&plain).enumerate() {
+            assert_eq!(cell.stats.fingerprint(), base.stats.fingerprint(), "cell {i}");
+            assert!(cell.stats.stall_breakdown.reconciles(
+                jobs[i].1.issue_width,
+                cell.stats.cycles,
+                cell.stats.issued
+            ));
+            assert!(base.stats.stall_breakdown.is_empty(), "cell {i} charged without opt-in");
+            assert!(cell.wall >= summary.min_cell_wall && cell.wall <= summary.max_cell_wall);
+            total_cycles += cell.stats.cycles;
+        }
+        assert_eq!(summary.total_cycles, total_cycles);
+        assert_eq!(
+            summary.serial_cell_wall,
+            summary.cells.iter().map(|c| c.wall).sum::<Duration>()
+        );
+        assert!(summary.sim_mcycles_per_s() > 0.0);
     }
 
     #[test]

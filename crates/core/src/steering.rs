@@ -31,6 +31,45 @@ pub enum SteerOutcome {
     Stall,
 }
 
+/// *How* a steering decision picked its FIFO — the observability side
+/// channel of [`SteerOutcome`], consumed by pipeline probes. Policies that
+/// ignore dependences report their policy name as the choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SteerChoice {
+    /// Chained behind an outstanding producer at the tail of its FIFO
+    /// (heuristic cases 2/3); `operand` is which source matched (0 = left).
+    Chained {
+        /// Index of the matching source operand.
+        operand: usize,
+    },
+    /// No suitable chain; a fresh FIFO in the cluster of a recent operand
+    /// producer (bypass-locality affinity).
+    FreshAffinity,
+    /// No suitable chain and no affinity information; any fresh FIFO.
+    Fresh,
+    /// Uniformly random placement (the Section 5.6.3 control).
+    Random,
+    /// Dependence-blind round-robin striping.
+    RoundRobin,
+    /// Occupancy-balanced acquisition.
+    Balanced,
+}
+
+/// The full explanation of one steering decision: the placement choice, or
+/// why dispatch stalled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SteerExplain {
+    /// The instruction was placed; how is in the [`SteerChoice`].
+    Placed(SteerChoice),
+    /// No suitable or free FIFO existed. `chain_full` reports whether a
+    /// dependence-chain target *did* exist but its FIFO was full — the
+    /// interesting rejection for steering diagnostics.
+    Stalled {
+        /// A chain target existed but had no room.
+        chain_full: bool,
+    },
+}
+
 /// One `SRC_FIFO` table entry: the FIFO holding the producer of a logical
 /// register, and which dynamic instruction that producer is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,18 +108,34 @@ impl DependenceSteerer {
         inst: &Instruction,
         pool: &mut FifoPool,
     ) -> SteerOutcome {
+        self.steer_explained(inst_id, inst, pool).0
+    }
+
+    /// Like [`steer`](Self::steer), additionally explaining the decision —
+    /// which heuristic case placed the instruction, or why it stalled.
+    /// Identical placement behaviour; the explanation is a by-product of
+    /// work the heuristic already does.
+    pub fn steer_explained(
+        &mut self,
+        inst_id: InstId,
+        inst: &Instruction,
+        pool: &mut FifoPool,
+    ) -> (SteerOutcome, SteerExplain) {
         let [left, right] = inst.uses();
         let candidates = [left, right].map(|src| self.outstanding_producer(src, pool));
 
-        let mut target: Option<FifoId> = None;
-        for producer in candidates.into_iter().flatten() {
+        let mut target: Option<(FifoId, usize)> = None;
+        let mut chain_full = false;
+        for (operand, producer) in candidates.into_iter().enumerate() {
+            let Some(producer) = producer else { continue };
             // Suitable iff the producer is still the FIFO tail (nothing
             // behind it) and the FIFO has room.
-            if pool.tail(producer.fifo) == Some(producer.inst)
-                && !pool.is_fifo_full(producer.fifo)
-            {
-                target = Some(producer.fifo);
-                break;
+            if pool.tail(producer.fifo) == Some(producer.inst) {
+                if !pool.is_fifo_full(producer.fifo) {
+                    target = Some((producer.fifo, operand));
+                    break;
+                }
+                chain_full = true;
             }
         }
         // When no FIFO is suitable, prefer a fresh FIFO in the cluster of
@@ -93,15 +148,25 @@ impl DependenceSteerer {
             .filter_map(|r| self.src_fifo[r.index()])
             .map(|p| pool.cluster_of(p.fifo))
             .next();
-        let fifo = match target.or_else(|| pool.acquire_preferring(affinity)) {
-            Some(f) => f,
-            None => return SteerOutcome::Stall,
+        let (fifo, choice) = match target {
+            Some((fifo, operand)) => (fifo, SteerChoice::Chained { operand }),
+            None => match pool.acquire_preferring(affinity) {
+                Some(fifo) => {
+                    let choice = if affinity.is_some() {
+                        SteerChoice::FreshAffinity
+                    } else {
+                        SteerChoice::Fresh
+                    };
+                    (fifo, choice)
+                }
+                None => return (SteerOutcome::Stall, SteerExplain::Stalled { chain_full }),
+            },
         };
         pool.push(fifo, inst_id);
         if let Some(dest) = inst.defs() {
             self.src_fifo[dest.index()] = Some(Producer { fifo, inst: inst_id });
         }
-        SteerOutcome::Fifo(fifo)
+        (SteerOutcome::Fifo(fifo), SteerExplain::Placed(choice))
     }
 
     /// Looks up the outstanding producer of a source register, validating
@@ -367,6 +432,58 @@ mod tests {
         // The lw (no outstanding operands) gets a FIFO of its own.
         assert_ne!(fifo(3), fifo(0));
         assert_ne!(fifo(3), fifo(4));
+    }
+
+    #[test]
+    fn steer_explained_reports_the_heuristic_case() {
+        let mut s = DependenceSteerer::new();
+        let mut p = pool(4, 4);
+        // Case 1: no outstanding operands → fresh FIFO, no affinity.
+        let (o0, e0) = s.steer_explained(InstId(0), &alu(10, 1, 2), &mut p);
+        assert!(matches!(o0, SteerOutcome::Fifo(_)));
+        assert_eq!(e0, SteerExplain::Placed(SteerChoice::Fresh));
+        // Case 2: left operand outstanding at a FIFO tail → chained.
+        let (_, e1) = s.steer_explained(InstId(1), &alu(11, 10, 3), &mut p);
+        assert_eq!(e1, SteerExplain::Placed(SteerChoice::Chained { operand: 0 }));
+        // Producer at the tail is r11 now; a consumer of r10 has a *stale*
+        // tail and falls to a fresh FIFO — but with affinity for the
+        // producer's cluster.
+        let (_, e2) = s.steer_explained(InstId(2), &alu(12, 10, 4), &mut p);
+        assert_eq!(e2, SteerExplain::Placed(SteerChoice::FreshAffinity));
+        // Right-operand chaining reports operand index 1.
+        let (_, _) = s.steer_explained(InstId(3), &alu(13, 5, 6), &mut p);
+        let (_, e4) = s.steer_explained(InstId(4), &alu(14, 1, 13), &mut p);
+        assert_eq!(e4, SteerExplain::Placed(SteerChoice::Chained { operand: 1 }));
+    }
+
+    #[test]
+    fn steer_explained_reports_full_chains_on_stall() {
+        let mut s = DependenceSteerer::new();
+        let mut p = pool(1, 2);
+        s.steer_explained(InstId(0), &alu(10, 1, 2), &mut p);
+        s.steer_explained(InstId(1), &alu(11, 10, 3), &mut p);
+        // The chain FIFO is full and it is the only FIFO: stall, and the
+        // explanation says a chain target existed.
+        let (o, e) = s.steer_explained(InstId(2), &alu(12, 11, 4), &mut p);
+        assert_eq!(o, SteerOutcome::Stall);
+        assert_eq!(e, SteerExplain::Stalled { chain_full: true });
+    }
+
+    #[test]
+    fn steer_and_steer_explained_agree() {
+        // Two identical steerers fed the same stream place identically —
+        // the explanation is a by-product, not a behaviour change.
+        let insts =
+            [alu(10, 1, 2), alu(11, 10, 3), alu(12, 10, 4), alu(13, 12, 11), alu(14, 5, 6)];
+        let mut s1 = DependenceSteerer::new();
+        let mut p1 = pool(2, 2);
+        let mut s2 = DependenceSteerer::new();
+        let mut p2 = pool(2, 2);
+        for (i, inst) in insts.iter().enumerate() {
+            let plain = s1.steer(InstId(i as u64), inst, &mut p1);
+            let (explained, _) = s2.steer_explained(InstId(i as u64), inst, &mut p2);
+            assert_eq!(plain, explained, "instruction {i}");
+        }
     }
 
     #[test]

@@ -11,10 +11,14 @@
 //!   --max-insts  dynamic instruction cap      (default: 2000000)
 //!   --schedule   print the first 32 issue records
 //!   --save-trace FILE  write the dynamic trace to FILE and exit
+//!   --metrics FILE     write a ce-sim.metrics.v1 JSON report (enables
+//!                      stall attribution and prints the breakdown)
+//!   --pipeview FILE    write a Konata-compatible pipeline trace
 //! ```
 
-use ce_sim::{machine, SimConfig, Simulator};
+use ce_sim::{machine, KonataWriter, SimConfig, Simulator};
 use ce_workloads::{Benchmark, Emulator, Trace};
+use std::io::BufWriter;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -41,6 +45,8 @@ struct Options {
     max_insts: u64,
     schedule: bool,
     save_trace: Option<String>,
+    metrics: Option<String>,
+    pipeview: Option<String>,
 }
 
 enum Source {
@@ -57,6 +63,8 @@ fn parse_args() -> Result<Options, String> {
         max_insts: 2_000_000,
         schedule: false,
         save_trace: None,
+        metrics: None,
+        pipeview: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -79,6 +87,8 @@ fn parse_args() -> Result<Options, String> {
             "--asm" => opts.source = Source::Asm(value("--asm")?),
             "--trace" => opts.source = Source::TraceFile(value("--trace")?),
             "--save-trace" => opts.save_trace = Some(value("--save-trace")?),
+            "--metrics" => opts.metrics = Some(value("--metrics")?),
+            "--pipeview" => opts.pipeview = Some(value("--pipeview")?),
             "--max-insts" => {
                 opts.max_insts = value("--max-insts")?
                     .parse()
@@ -124,7 +134,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: cesim [--machine window|fifos|clustered-fifos|clustered-windows|\
                  exec-steer|random] [--bench NAME | --asm FILE | --trace FILE] \
-                 [--max-insts N] [--schedule] [--save-trace FILE]"
+                 [--max-insts N] [--schedule] [--save-trace FILE] \
+                 [--metrics FILE] [--pipeview FILE]"
             );
             return ExitCode::FAILURE;
         }
@@ -146,13 +157,28 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let sim = match Simulator::try_new(opts.config) {
+    let mut config = opts.config;
+    if opts.metrics.is_some() {
+        // The metrics report carries the stall breakdown, so the
+        // accountant rides along (observation only; timing is unchanged).
+        config.attribution = true;
+    }
+    let mut sim = match Simulator::try_new(config) {
         Ok(sim) => sim,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if let Some(path) = &opts.pipeview {
+        match std::fs::File::create(path) {
+            Ok(file) => sim.attach_probe(Box::new(KonataWriter::new(BufWriter::new(file)))),
+            Err(e) => {
+                eprintln!("error: creating {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let (stats, schedule) = sim.run_traced(&trace);
     println!("machine: {}", opts.machine_name);
     println!("instructions: {} ({} cycles)", stats.committed, stats.cycles);
@@ -180,6 +206,42 @@ fn main() -> ExitCode {
         stats.scheduler_stalls, stats.inflight_stalls, stats.preg_stalls
     );
     println!("mean scheduler occupancy: {:.1}", stats.mean_occupancy());
+
+    if config.attribution {
+        let slots = config.issue_width as u64 * stats.cycles;
+        println!();
+        println!(
+            "stall attribution ({} issue slots = {} wide x {} cycles; {:.1}% used):",
+            slots,
+            config.issue_width,
+            stats.cycles,
+            if slots == 0 { 0.0 } else { stats.issued as f64 / slots as f64 * 100.0 }
+        );
+        for (cause, n) in stats.stall_breakdown.rows() {
+            println!(
+                "  {:<20} {:>12}  ({:>5.1}% of slots)",
+                cause.key(),
+                n,
+                if slots == 0 { 0.0 } else { n as f64 / slots as f64 * 100.0 }
+            );
+        }
+    }
+
+    let workload = match &opts.source {
+        Source::Bench(b) => b.name().to_owned(),
+        Source::Asm(path) | Source::TraceFile(path) => path.clone(),
+    };
+    if let Some(path) = &opts.metrics {
+        let doc = ce_sim::metrics_json(&opts.machine_name, &workload, &config, &stats);
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote metrics to {path}");
+    }
+    if let Some(path) = &opts.pipeview {
+        println!("wrote pipeline trace to {path}");
+    }
 
     if opts.schedule {
         println!();

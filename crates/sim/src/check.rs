@@ -30,8 +30,10 @@
 //!   in-flight limit;
 //! * **monotone commit order** — commits retire in strictly increasing
 //!   sequence order, each done, issued, and finished in the past;
-//! * **final reconciliation** — `issued == committed + wrong_path_issued`
-//!   and the issue histogram's mass equals the issue count.
+//! * **final reconciliation** — `issued == committed + wrong_path_issued`,
+//!   the issue histogram's mass equals the issue count, and (when the
+//!   stall-attribution accountant ran) the per-cause breakdown satisfies
+//!   `sum(causes) + issued == issue_width × cycles` exactly.
 //!
 //! [`SimConfig::check`]: crate::config::SimConfig::check
 
@@ -121,7 +123,24 @@ impl Checker {
     }
 
     /// End-of-run reconciliation of the aggregate counters.
-    pub fn on_finish(&mut self, stats: &crate::stats::SimStats) {
+    pub fn on_finish(&mut self, stats: &crate::stats::SimStats, cfg: &crate::config::SimConfig) {
+        if cfg.attribution {
+            let b = &stats.stall_breakdown;
+            if !b.reconciles(cfg.issue_width, stats.cycles, stats.issued) {
+                self.violation(
+                    stats.cycles,
+                    None,
+                    format!(
+                        "stall attribution does not reconcile: {} charged + {} issued != \
+                         {} width × {} cycles",
+                        b.total(),
+                        stats.issued,
+                        cfg.issue_width,
+                        stats.cycles
+                    ),
+                );
+            }
+        }
         if stats.issued != stats.committed + stats.wrong_path_issued {
             self.violation(
                 stats.cycles,
@@ -198,8 +217,44 @@ mod tests {
         let mut stats = crate::stats::SimStats { committed: 10, issued: 12, ..Default::default() };
         stats.wrong_path_issued = 1; // 10 + 1 != 12
         let mut c = Checker::new();
-        c.on_finish(&stats);
+        c.on_finish(&stats, &crate::machine::baseline_8way());
         assert_eq!(c.violations().len(), 1);
         assert!(c.violations()[0].message.contains("issued"));
+    }
+
+    #[test]
+    fn finish_reconciles_stall_attribution() {
+        use crate::attribution::StallCause;
+        let mut cfg = crate::machine::baseline_8way();
+        cfg.attribution = true;
+        // 8-wide × 10 cycles = 80 slots; 30 issued leaves 50 to charge.
+        let mut stats = crate::stats::SimStats {
+            cycles: 10,
+            committed: 30,
+            issued: 30,
+            ..Default::default()
+        };
+        stats.issue_histogram[3] = 10;
+        stats.stall_breakdown.charge(StallCause::OperandWait, 50);
+        let mut c = Checker::new();
+        c.on_finish(&stats, &cfg);
+        assert!(c.violations().is_empty(), "{:?}", c.violations());
+
+        // One slot short: the identity check must fire.
+        let mut short = stats.clone();
+        short.stall_breakdown = Default::default();
+        short.stall_breakdown.charge(StallCause::OperandWait, 49);
+        let mut c = Checker::new();
+        c.on_finish(&short, &cfg);
+        assert_eq!(c.violations().len(), 1);
+        assert!(c.violations()[0].message.contains("stall attribution"));
+
+        // With attribution off an empty breakdown is fine.
+        cfg.attribution = false;
+        let mut off = stats.clone();
+        off.stall_breakdown = Default::default();
+        let mut c = Checker::new();
+        c.on_finish(&off, &cfg);
+        assert!(c.violations().is_empty(), "{:?}", c.violations());
     }
 }

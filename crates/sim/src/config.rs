@@ -266,6 +266,17 @@ pub struct SimConfig {
     /// Never perturbs timing or statistics; costs simulation speed, so it
     /// defaults to off and is switched on by the test suites.
     pub check: bool,
+    /// Run the stall-attribution accountant: charge every unused issue
+    /// slot each cycle to one [`StallCause`], filling
+    /// [`SimStats::stall_breakdown`] so `sum(causes) + issued ==
+    /// issue_width × cycles` exactly. Observation only — never perturbs
+    /// timing or the statistics fingerprint; costs a little simulation
+    /// speed, so it defaults to off and is switched on by `cesim
+    /// --metrics`, the `stallreport` sweep, and the reconciliation tests.
+    ///
+    /// [`StallCause`]: crate::attribution::StallCause
+    /// [`SimStats::stall_breakdown`]: crate::stats::SimStats::stall_breakdown
+    pub attribution: bool,
     /// Branch predictor.
     pub bpred: BpredConfig,
     /// Data cache.
@@ -307,6 +318,15 @@ impl SimConfig {
             return Err("widths, in-flight limit, and cluster count must be positive; \
                         physical registers must exceed the 32 architectural registers"
                 .into());
+        }
+        if self.issue_width > 16 {
+            // The per-cycle issue histogram is fixed at 17 buckets (0..=16
+            // issues); a wider machine would silently fold every wide cycle
+            // into the top bucket, so reject it up front.
+            return Err(format!(
+                "issue width is limited to 16 (the issue histogram's top bucket), got {}",
+                self.issue_width
+            ));
         }
         if !self.issue_width.is_multiple_of(self.clusters) {
             return Err(format!(
@@ -399,6 +419,24 @@ mod tests {
         let mut cfg = machine::baseline_8way();
         cfg.bpred.history_bits = 31;
         assert!(cfg.validate().is_ok(), "31 history bits are representable");
+    }
+
+    /// Regression test: `issue_width > 16` used to sail through validation
+    /// and silently clamp into `issue_histogram`'s top bucket
+    /// (`issued.min(16)`), corrupting the histogram mass invariant the
+    /// checker relies on. It must now be rejected up front.
+    #[test]
+    fn validation_rejects_issue_width_beyond_histogram() {
+        let mut cfg = machine::baseline_8way();
+        cfg.issue_width = 17;
+        cfg.clusters = 1;
+        let msg = cfg.validate().unwrap_err();
+        assert!(msg.contains("issue width"), "{msg}");
+
+        let mut cfg = machine::baseline_8way();
+        cfg.issue_width = 16;
+        cfg.clusters = 1;
+        assert!(cfg.validate().is_ok(), "the full histogram range stays usable");
     }
 
     #[test]

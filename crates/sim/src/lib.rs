@@ -29,23 +29,31 @@
 //! # Ok::<(), ce_workloads::WorkloadError>(())
 //! ```
 
+pub mod attribution;
 pub mod bpred;
 pub mod check;
 pub mod config;
 pub mod dcache;
 pub mod machine;
+pub mod metrics;
 pub mod oracle;
 pub mod pipeline;
+pub mod probe;
 pub mod rename;
 pub mod scheduler;
 pub mod stats;
+pub mod trace_writer;
 pub mod viz;
 
+pub use attribution::{StallBreakdown, StallCause};
 pub use check::{Checker, Violation};
 pub use config::{
     BypassModel, ConfigError, LatencyModel, MemDisambiguation, SchedulerKind, SelectionPolicy,
     SimConfig, SteeringPolicy,
 };
+pub use metrics::metrics_json;
 pub use oracle::OracleSimulator;
 pub use pipeline::{IssueRecord, Simulator};
+pub use probe::{DispatchStallCause, EventLog, ProbeEvent, ProbeSink, ScheduleRecorder};
 pub use stats::SimStats;
+pub use trace_writer::KonataWriter;

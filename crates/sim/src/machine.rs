@@ -28,6 +28,7 @@ fn base() -> SimConfig {
         fetch_breaks_on_taken: false,
         model_wrong_path: false,
         check: false,
+        attribution: false,
         bpred: BpredConfig::default(),
         dcache: DcacheConfig::default(),
     }

@@ -1,0 +1,194 @@
+//! Metrics export: one run's configuration, counters, and stall
+//! attribution as a self-describing JSON document.
+//!
+//! The schema is versioned (`"schema": "ce-sim.metrics.v1"`) and checked
+//! in CI against `results/metrics.schema.json` by the `metrics_check`
+//! tool, so downstream scripts can rely on the shape. Serialization is
+//! hand-rolled (the repo takes no external dependencies); all keys are
+//! emitted in a fixed order so documents diff cleanly.
+
+use crate::attribution::StallCause;
+use crate::config::{SchedulerKind, SimConfig, SteeringPolicy};
+use crate::stats::SimStats;
+use std::fmt::Write;
+
+/// Escapes a string for a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A stable label for the scheduler organization.
+fn scheduler_label(kind: SchedulerKind) -> String {
+    match kind {
+        SchedulerKind::CentralWindow { size } => format!("central_window({size})"),
+        SchedulerKind::SteeredWindows { fifos_per_cluster, fifo_depth } => {
+            format!("steered_windows({fifos_per_cluster}x{fifo_depth})")
+        }
+        SchedulerKind::Fifos { fifos_per_cluster, depth } => {
+            format!("fifos({fifos_per_cluster}x{depth})")
+        }
+    }
+}
+
+/// A stable label for the steering policy.
+fn steering_label(policy: SteeringPolicy) -> &'static str {
+    match policy {
+        SteeringPolicy::Dependence => "dependence",
+        SteeringPolicy::Random { .. } => "random",
+        SteeringPolicy::RoundRobin => "round_robin",
+        SteeringPolicy::LoadBalanced => "load_balanced",
+    }
+}
+
+/// Renders one run as a `ce-sim.metrics.v1` JSON document.
+///
+/// `stall_attribution` is `null` when the run did not enable
+/// [`SimConfig::attribution`]; otherwise it carries the per-cause
+/// unused-slot counts plus the quantities of the reconciliation identity
+/// `sum(causes) + issued == issue_slots` (`issue_slots = issue_width ×
+/// cycles`).
+pub fn metrics_json(machine: &str, workload: &str, cfg: &SimConfig, stats: &SimStats) -> String {
+    let mut s = String::with_capacity(2048);
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"ce-sim.metrics.v1\",\n");
+    let _ = writeln!(s, "  \"machine\": \"{}\",", esc(machine));
+    let _ = writeln!(s, "  \"workload\": \"{}\",", esc(workload));
+    s.push_str("  \"config\": {\n");
+    let _ = writeln!(s, "    \"issue_width\": {},", cfg.issue_width);
+    let _ = writeln!(s, "    \"fetch_width\": {},", cfg.fetch_width);
+    let _ = writeln!(s, "    \"clusters\": {},", cfg.clusters);
+    let _ = writeln!(s, "    \"scheduler\": \"{}\",", scheduler_label(cfg.scheduler));
+    let _ = writeln!(s, "    \"steering\": \"{}\",", steering_label(cfg.steering));
+    let _ = writeln!(s, "    \"attribution\": {}", cfg.attribution);
+    s.push_str("  },\n");
+    s.push_str("  \"counters\": {\n");
+    let counters: [(&str, u64); 18] = [
+        ("cycles", stats.cycles),
+        ("committed", stats.committed),
+        ("issued", stats.issued),
+        ("branches", stats.branches),
+        ("mispredictions", stats.mispredictions),
+        ("loads", stats.loads),
+        ("stores", stats.stores),
+        ("dcache_accesses", stats.dcache_accesses),
+        ("dcache_misses", stats.dcache_misses),
+        ("forwarded_loads", stats.forwarded_loads),
+        ("intercluster_bypasses", stats.intercluster_bypasses),
+        ("dispatch_stall_cycles", stats.dispatch_stall_cycles),
+        ("scheduler_stalls", stats.scheduler_stalls),
+        ("inflight_stalls", stats.inflight_stalls),
+        ("preg_stalls", stats.preg_stalls),
+        ("occupancy_sum", stats.occupancy_sum),
+        ("wrong_path_fetched", stats.wrong_path_fetched),
+        ("wrong_path_issued", stats.wrong_path_issued),
+    ];
+    for (i, (key, value)) in counters.iter().enumerate() {
+        let comma = if i + 1 < counters.len() { "," } else { "" };
+        let _ = writeln!(s, "    \"{key}\": {value}{comma}");
+    }
+    s.push_str("  },\n");
+    s.push_str("  \"derived\": {\n");
+    let derived: [(&str, f64); 6] = [
+        ("ipc", stats.ipc()),
+        ("branch_accuracy", stats.branch_accuracy()),
+        ("dcache_miss_rate", stats.dcache_miss_rate()),
+        ("intercluster_bypass_frequency", stats.intercluster_bypass_frequency()),
+        ("mean_occupancy", stats.mean_occupancy()),
+        ("idle_issue_fraction", stats.idle_issue_fraction()),
+    ];
+    for (i, (key, value)) in derived.iter().enumerate() {
+        let comma = if i + 1 < derived.len() { "," } else { "" };
+        let _ = writeln!(s, "    \"{key}\": {value:.6}{comma}");
+    }
+    s.push_str("  },\n");
+    let hist = stats
+        .issue_histogram
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = writeln!(s, "  \"issue_histogram\": [{hist}],");
+    if cfg.attribution {
+        s.push_str("  \"stall_attribution\": {\n");
+        let slots = cfg.issue_width as u64 * stats.cycles;
+        let _ = writeln!(s, "    \"issue_slots\": {slots},");
+        let _ = writeln!(s, "    \"issued\": {},", stats.issued);
+        let _ = writeln!(s, "    \"unused\": {},", stats.stall_breakdown.total());
+        s.push_str("    \"causes\": {\n");
+        for (i, cause) in StallCause::ALL.iter().enumerate() {
+            let comma = if i + 1 < StallCause::COUNT { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "      \"{}\": {}{comma}",
+                cause.key(),
+                stats.stall_breakdown.get(*cause)
+            );
+        }
+        s.push_str("    }\n");
+        s.push_str("  }\n");
+    } else {
+        s.push_str("  \"stall_attribution\": null\n");
+    }
+    s.push('}');
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine;
+
+    #[test]
+    fn document_has_the_versioned_schema_and_sections() {
+        let cfg = machine::baseline_8way();
+        let stats = SimStats { cycles: 10, committed: 25, issued: 25, ..Default::default() };
+        let doc = metrics_json("baseline", "li", &cfg, &stats);
+        assert!(doc.contains("\"schema\": \"ce-sim.metrics.v1\""));
+        assert!(doc.contains("\"machine\": \"baseline\""));
+        assert!(doc.contains("\"workload\": \"li\""));
+        assert!(doc.contains("\"cycles\": 10"));
+        assert!(doc.contains("\"ipc\": 2.500000"));
+        assert!(doc.contains("\"scheduler\": \"central_window(64)\""));
+        assert!(doc.contains("\"stall_attribution\": null"));
+    }
+
+    #[test]
+    fn attribution_section_reports_every_cause() {
+        let mut cfg = machine::dependence_8way();
+        cfg.attribution = true;
+        let mut stats = SimStats { cycles: 10, committed: 30, issued: 30, ..Default::default() };
+        stats.stall_breakdown.charge(StallCause::FifoHeadNotReady, 50);
+        let doc = metrics_json("fifos", "vortex", &cfg, &stats);
+        assert!(doc.contains("\"issue_slots\": 80"), "{doc}");
+        assert!(doc.contains("\"unused\": 50"), "{doc}");
+        for cause in StallCause::ALL {
+            assert!(doc.contains(&format!("\"{}\":", cause.key())), "{doc}");
+        }
+        assert!(doc.contains("\"fifo_head_not_ready\": 50"), "{doc}");
+        assert!(doc.contains("\"scheduler\": \"fifos(8x8)\""), "{doc}");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let cfg = machine::baseline_8way();
+        let stats = SimStats::default();
+        let doc = metrics_json("a\"b\\c", "w\n", &cfg, &stats);
+        assert!(doc.contains("\"machine\": \"a\\\"b\\\\c\""));
+        assert!(doc.contains("\"workload\": \"w\\n\""));
+    }
+}

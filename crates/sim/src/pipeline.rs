@@ -20,18 +20,21 @@
 //!   bypass path, and if the producer ran in another cluster, an
 //!   *inter-cluster* bypass — the Figure 17 (bottom) statistic.
 
+use crate::attribution::StallCause;
 use crate::bpred::Gshare;
 use crate::check::Checker;
 use crate::config::{ConfigError, SimConfig};
 use crate::dcache::{Access, Dcache};
+use crate::probe::{DispatchStallCause, ProbeEvent, ProbeSink, ScheduleRecorder};
 use crate::rename::{Preg, RenameTable};
-use crate::scheduler::{Candidate, Scheduler};
+use crate::scheduler::{Candidate, InsertReject, Scheduler};
 use crate::stats::SimStats;
 use ce_core::{FifoId, InstId};
 use ce_isa::OperationKind;
 use ce_workloads::{DynInst, Trace};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use std::rc::Rc;
 
 /// Completion event queue: `(finish_cycle, seq)` pushed at issue, drained
 /// in the complete phase — replaces a full ROB scan every cycle.
@@ -206,6 +209,30 @@ impl SlotPayload {
     }
 }
 
+/// Front-end state snapshot taken just before the issue pass — the
+/// stall-attribution accountant's background causes come from here (why
+/// is the window starved: mispredict refill, front-end latency, or a
+/// genuinely drained program?).
+#[derive(Debug, Clone, Copy)]
+struct FrontState {
+    /// Fetch is stalled on an unresolved mispredicted branch.
+    fetch_stalled: bool,
+    /// Fetched instructions are waiting in the front end.
+    frontq_nonempty: bool,
+}
+
+/// The cause an issue slot falls to when no rejected candidate explains
+/// it: the window simply held too little work, and the front end says why.
+fn background_cause(front: FrontState) -> StallCause {
+    if front.fetch_stalled {
+        StallCause::MispredictRecovery
+    } else if front.frontq_nonempty {
+        StallCause::DispatchStall
+    } else {
+        StallCause::EmptyWindow
+    }
+}
+
 /// Per-instruction schedule record produced by [`Simulator::run_traced`] —
 /// enough to reconstruct a cycle-by-cycle pipeline diagram (the paper's
 /// Figure 12).
@@ -241,6 +268,9 @@ pub struct Simulator {
     hot_mask: u64,
     stats: SimStats,
     check: Checker,
+    /// Attached probe sinks (none by default — the hot loop's only
+    /// disabled-case cost is one emptiness check per emission point).
+    probes: Vec<Box<dyn ProbeSink>>,
 }
 
 impl Simulator {
@@ -265,6 +295,7 @@ impl Simulator {
             hot_mask: cfg.max_inflight.max(1).next_power_of_two() as u64 - 1,
             stats: SimStats::default(),
             check: Checker::new(),
+            probes: Vec::new(),
         })
     }
 
@@ -286,28 +317,76 @@ impl Simulator {
         &self.cfg
     }
 
+    /// Attaches a probe sink: it observes every pipeline event of the
+    /// coming run and gets a [`ProbeSink::finish`] call with the final
+    /// statistics. Attach before [`run`](Self::run); sinks never affect
+    /// timing.
+    pub fn attach_probe(&mut self, sink: Box<dyn ProbeSink>) {
+        self.probes.push(sink);
+    }
+
+    /// Whether any probe sink is attached (the emission-point guard; with
+    /// no sinks, events are never even constructed).
+    #[inline]
+    fn probes_on(&self) -> bool {
+        !self.probes.is_empty()
+    }
+
+    /// Delivers one event to every attached sink.
+    fn emit(&mut self, ev: ProbeEvent) {
+        for p in &mut self.probes {
+            p.event(&ev);
+        }
+    }
+
+    /// Fires every sink's end-of-run hook with the final statistics.
+    fn finish_probes(&mut self) {
+        // Detach while iterating so sinks can read `self.stats` without a
+        // split borrow of the simulator.
+        let mut probes = std::mem::take(&mut self.probes);
+        for p in &mut probes {
+            p.finish(&self.stats);
+        }
+        self.probes = probes;
+    }
+
     /// Runs the trace to completion and returns the statistics.
     ///
     /// # Panics
     ///
     /// Panics if the machine deadlocks (a bug in the simulator, surfaced
     /// rather than hidden).
-    pub fn run(self, trace: &Trace) -> SimStats {
-        self.run_traced(trace).0
+    pub fn run(mut self, trace: &Trace) -> SimStats {
+        self.run_core(trace)
     }
 
     /// Runs the trace, returning both the statistics and a per-instruction
     /// schedule (dispatch/issue/complete cycles and cluster), in commit
-    /// order — the raw material for pipeline diagrams.
+    /// order — the raw material for pipeline diagrams. A convenience over
+    /// attaching a [`ScheduleRecorder`] probe by hand.
     ///
     /// # Panics
     ///
     /// Panics if the machine deadlocks.
     pub fn run_traced(mut self, trace: &Trace) -> (SimStats, Vec<IssueRecord>) {
+        let (recorder, handle) = ScheduleRecorder::new(trace.as_slice().len());
+        self.attach_probe(Box::new(recorder));
+        let stats = self.run_core(trace);
+        drop(self); // releases the recorder's clone of the handle
+        let schedule = match Rc::try_unwrap(handle) {
+            Ok(cell) => cell.into_inner(),
+            Err(_) => unreachable!("the recorder was dropped with the simulator"),
+        };
+        (stats, schedule)
+    }
+
+    /// The cycle loop shared by [`run`](Self::run) and
+    /// [`run_traced`](Self::run_traced).
+    fn run_core(&mut self, trace: &Trace) -> SimStats {
         let insts = trace.as_slice();
-        let mut schedule = Vec::with_capacity(insts.len());
         if insts.is_empty() {
-            return (self.stats, schedule);
+            self.finish_probes();
+            return self.stats.clone();
         }
 
         let mut rob: VecDeque<Entry> = VecDeque::with_capacity(self.cfg.max_inflight);
@@ -317,6 +396,8 @@ impl Simulator {
         // Issue-loop scratch, reused every cycle (no per-cycle allocation).
         let mut cand_buf: Vec<Candidate> = Vec::with_capacity(self.cfg.max_inflight);
         let mut fu_used: Vec<usize> = vec![0; self.cfg.clusters];
+        // Rejection causes recorded this cycle (attribution only).
+        let mut rejects: Vec<StallCause> = Vec::with_capacity(self.cfg.max_inflight);
         let mut fetch_index = 0usize;
         // Sequence number of an unresolved mispredicted branch, if any.
         let mut fetch_stalled_on: Option<u64> = None;
@@ -358,14 +439,17 @@ impl Simulator {
                             self.check_commit(cycle, &e);
                         }
                         self.note_commit(&e);
-                        schedule.push(IssueRecord {
-                            seq: e.seq,
-                            pc: e.d.pc,
-                            dispatched_at: e.dispatched_at,
-                            issued_at: e.issued_at.expect("committed implies issued"),
-                            completed_at: e.finish_at.expect("committed implies finished"),
-                            cluster: e.cluster.unwrap_or(0),
-                        });
+                        if self.probes_on() {
+                            self.emit(ProbeEvent::Commit {
+                                cycle,
+                                seq: e.seq,
+                                pc: e.d.pc,
+                                dispatched_at: e.dispatched_at,
+                                issued_at: e.issued_at.expect("committed implies issued"),
+                                completed_at: e.finish_at.expect("committed implies finished"),
+                                cluster: e.cluster.unwrap_or(0),
+                            });
+                        }
                         committed += 1;
                     }
                     _ => break,
@@ -403,6 +487,9 @@ impl Simulator {
                     fetch_stalled_on = None; // redirect: fetch resumes
                     resolved_branch = Some(seq);
                 }
+                if self.probes_on() {
+                    self.emit(ProbeEvent::Complete { cycle, seq });
+                }
             }
             // Squash everything fetched past a resolved mispredicted
             // branch — with wrong-path modeling those are the synthetic
@@ -419,13 +506,42 @@ impl Simulator {
                         // here.
                         self.sched.remove_squashed(InstId(e.seq));
                     }
+                    if self.probes_on() {
+                        self.emit(ProbeEvent::Squash {
+                            cycle,
+                            seq: e.seq,
+                            branch_seq,
+                            issued: e.issued_at.is_some(),
+                        });
+                    }
+                }
+                if self.probes_on() {
+                    // Wrong-path work still in the front end is squashed
+                    // too — report it before it vanishes.
+                    for slot in frontq.iter() {
+                        if let SlotPayload::WrongPath(d) = slot.payload {
+                            self.emit(ProbeEvent::Squash {
+                                cycle,
+                                seq: d.seq,
+                                branch_seq,
+                                issued: false,
+                            });
+                        }
+                    }
                 }
                 frontq.retain(|slot| !slot.payload.is_wrong_path());
                 stores.on_squash(branch_seq);
             }
 
             // ---- wakeup + select + execute ------------------------------
-            self.issue_cycle(cycle, &mut rob, &mut stores, &mut events, &mut cand_buf, &mut fu_used);
+            let front = FrontState {
+                fetch_stalled: fetch_stalled_on.is_some(),
+                frontq_nonempty: !frontq.is_empty(),
+            };
+            self.issue_cycle(
+                cycle, &mut rob, &mut stores, &mut events, &mut cand_buf, &mut fu_used,
+                &mut rejects, front,
+            );
 
             // ---- dispatch (rename + steer) ------------------------------
             self.dispatch_cycle(cycle, insts, &mut frontq, &mut rob, &mut stores);
@@ -456,6 +572,15 @@ impl Simulator {
                         ready_at: cycle + self.cfg.frontend_depth,
                         mispredicted,
                     });
+                    if self.probes_on() {
+                        self.emit(ProbeEvent::Fetch {
+                            cycle,
+                            seq: d.seq,
+                            pc: d.pc,
+                            wrong_path: false,
+                            mispredicted,
+                        });
+                    }
                     fetch_index += 1;
                     if self.cfg.fetch_breaks_on_taken && taken_cti && !mispredicted {
                         break; // realistic fetch: stop at a taken branch
@@ -519,6 +644,15 @@ impl Simulator {
                         ready_at: cycle + self.cfg.frontend_depth,
                         mispredicted: false,
                     });
+                    if self.probes_on() {
+                        self.emit(ProbeEvent::Fetch {
+                            cycle,
+                            seq: d.seq,
+                            pc: d.pc,
+                            wrong_path: true,
+                            mispredicted: false,
+                        });
+                    }
                 }
             }
 
@@ -533,10 +667,11 @@ impl Simulator {
         self.stats.dcache_accesses = self.dcache.hits() + self.dcache.misses();
         self.stats.dcache_misses = self.dcache.misses();
         if self.cfg.check {
-            self.check.on_finish(&self.stats);
+            self.check.on_finish(&self.stats, &self.cfg);
             self.check.assert_clean(cycle);
         }
-        (self.stats, schedule)
+        self.finish_probes();
+        self.stats.clone()
     }
 
     fn note_commit(&mut self, e: &Entry) {
@@ -596,6 +731,50 @@ impl Simulator {
         (at < regfile_at).then_some(producer)
     }
 
+    /// Earliest cycle `preg` is usable in its *producer's own* cluster —
+    /// the cross-cluster penalty stripped, everything else (register-file
+    /// read delay, pipelined wakeup) kept. A candidate whose operands pass
+    /// this but fail [`avail_in`](Self::avail_in) is waiting purely on the
+    /// inter-cluster bypass.
+    fn avail_local(&self, preg: Preg) -> u64 {
+        let cluster = self.pregs[preg as usize].cluster.unwrap_or(0);
+        self.avail_in(preg, cluster)
+    }
+
+    /// Classifies an operands-not-ready rejection for the stall
+    /// accountant: ready-at-producer-but-not-here is [`InterclusterWait`];
+    /// an unready FIFO head shadowing queued work is [`FifoHeadNotReady`];
+    /// everything else is plain [`OperandWait`].
+    ///
+    /// [`InterclusterWait`]: StallCause::InterclusterWait
+    /// [`FifoHeadNotReady`]: StallCause::FifoHeadNotReady
+    /// [`OperandWait`]: StallCause::OperandWait
+    fn operand_wait_cause(
+        &self,
+        id: InstId,
+        required: &[Option<Preg>],
+        cycle: u64,
+    ) -> StallCause {
+        if self.cfg.clusters > 1
+            && required.iter().flatten().all(|&p| self.avail_local(p) <= cycle)
+        {
+            return StallCause::InterclusterWait;
+        }
+        if self.sched.head_only() {
+            let shadows_work = self
+                .sched
+                .placement_of(id)
+                .and_then(|f| self.sched.pool().map(|p| p.fifo_len(FifoId(f as usize))))
+                .map(|len| len > 1)
+                .unwrap_or(false);
+            if shadows_work {
+                return StallCause::FifoHeadNotReady;
+            }
+        }
+        StallCause::OperandWait
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn issue_cycle(
         &mut self,
         cycle: u64,
@@ -604,6 +783,8 @@ impl Simulator {
         events: &mut EventHeap,
         candidates: &mut Vec<Candidate>,
         fu_used: &mut [usize],
+        rejects: &mut Vec<StallCause>,
+        front: FrontState,
     ) {
         match self.cfg.selection {
             crate::config::SelectionPolicy::OldestFirst => {
@@ -621,8 +802,16 @@ impl Simulator {
                 candidates.sort_unstable_by_key(|c| std::cmp::Reverse(c.id));
             }
         }
+        let attr = self.cfg.attribution;
+        rejects.clear();
         if candidates.is_empty() {
             self.stats.issue_histogram[0] += 1;
+            if attr {
+                // Every slot this cycle is a background loss.
+                self.stats
+                    .stall_breakdown
+                    .charge(background_cause(front), self.cfg.issue_width as u64);
+            }
             return;
         }
         let rob_base = rob.front().map(|e| e.seq).unwrap_or(0);
@@ -656,6 +845,11 @@ impl Simulator {
                     .map(|preg| self.pregs[preg as usize].ready == u64::MAX)
                     .unwrap_or(false);
                 if data_unknown {
+                    if attr {
+                        // Waiting on the store-data producer: a dataflow
+                        // wait (documented approximation).
+                        rejects.push(StallCause::OperandWait);
+                    }
                     continue;
                 }
             }
@@ -664,6 +858,9 @@ impl Simulator {
             let cluster = match cand.cluster {
                 Some(c) => {
                     if fu_used[c] >= fus_per_cluster {
+                        if attr {
+                            rejects.push(StallCause::FuPortContention);
+                        }
                         continue;
                     }
                     let ready = required_srcs
@@ -671,6 +868,10 @@ impl Simulator {
                         .flatten()
                         .all(|&p| self.avail_in(p, c) <= cycle);
                     if !ready {
+                        if attr {
+                            let cause = self.operand_wait_cause(cand.id, required_srcs, cycle);
+                            rejects.push(cause);
+                        }
                         continue;
                     }
                     c
@@ -681,20 +882,51 @@ impl Simulator {
                     // (Section 5.6.1).
                     match self.pick_cluster(required_srcs, cycle, fu_used, fus_per_cluster) {
                         Some(c) => c,
-                        None => continue,
+                        None => {
+                            if attr {
+                                // If some cluster (FU caps ignored) had the
+                                // operands ready, only contention blocked
+                                // the issue; otherwise it is an operand
+                                // wait, possibly cross-cluster.
+                                let ready_somewhere = (0..self.cfg.clusters).any(|c| {
+                                    required_srcs
+                                        .iter()
+                                        .flatten()
+                                        .all(|&p| self.avail_in(p, c) <= cycle)
+                                });
+                                rejects.push(if ready_somewhere {
+                                    StallCause::FuPortContention
+                                } else {
+                                    self.operand_wait_cause(cand.id, required_srcs, cycle)
+                                });
+                            }
+                            continue;
+                        }
                     }
                 }
             };
+
+            if self.probes_on() {
+                self.emit(ProbeEvent::Wakeup { cycle, seq: cand.id.0, cluster });
+            }
 
             // Memory structural and ordering constraints.
             let kind = hot.kind;
             let is_mem = matches!(kind, OperationKind::Load | OperationKind::Store);
             if is_mem && ports_used >= self.cfg.dcache.ports {
+                if attr {
+                    rejects.push(StallCause::FuPortContention);
+                }
                 continue;
             }
             if kind == OperationKind::Load {
                 let load_word = hot.mem_addr.map(|a| a & !3);
                 if !stores.load_may_issue(cand.id.0, load_word, self.cfg.mem_disambiguation) {
+                    if attr {
+                        // Blocked by an older store: a memory-dependence
+                        // wait (documented approximation).
+                        rejects.push(StallCause::OperandWait);
+                    }
                     continue;
                 }
             }
@@ -776,8 +1008,34 @@ impl Simulator {
                 ports_used += 1;
             }
             issued += 1;
+            if self.probes_on() {
+                self.emit(ProbeEvent::Issue {
+                    cycle,
+                    seq: cand.id.0,
+                    cluster,
+                    latency,
+                    intercluster: used_intercluster,
+                });
+            }
         }
         self.stats.issue_histogram[issued.min(16)] += 1;
+        if attr {
+            // Charge the unused slots: one per rejected candidate in scan
+            // order, the remainder (the window held too few candidates) to
+            // the front-end background cause. Exactly `width − issued`
+            // slots are charged, so the per-run identity
+            // `sum(causes) + issued == width × cycles` holds by
+            // construction.
+            let unused = self.cfg.issue_width - issued;
+            let from_rejects = rejects.len().min(unused);
+            for &cause in rejects.iter().take(from_rejects) {
+                self.stats.stall_breakdown.charge(cause, 1);
+            }
+            let leftover = (unused - from_rejects) as u64;
+            if leftover > 0 {
+                self.stats.stall_breakdown.charge(background_cause(front), leftover);
+            }
+        }
         if self.cfg.check {
             self.check_after_issue(
                 cycle, candidates, rob, rob_base, stores, fu_used, ports_used, issued,
@@ -1153,21 +1411,55 @@ impl Simulator {
 
             if rob.len() >= self.cfg.max_inflight {
                 self.stats.inflight_stalls += 1;
+                if self.probes_on() {
+                    self.emit(ProbeEvent::DispatchStall {
+                        cycle,
+                        seq: d.seq,
+                        cause: DispatchStallCause::InflightLimit,
+                    });
+                }
                 break;
             }
             if d.inst.defs().is_some() && !self.rename.has_free() {
                 self.stats.preg_stalls += 1;
+                if self.probes_on() {
+                    self.emit(ProbeEvent::DispatchStall {
+                        cycle,
+                        seq: d.seq,
+                        cause: DispatchStallCause::NoPhysicalReg,
+                    });
+                }
                 break;
             }
             // Steer/insert before renaming so a scheduler stall leaves the
             // rename state untouched.
-            let cluster = match self.sched.try_insert(InstId(d.seq), &d.inst) {
-                Ok(c) => c,
-                Err(()) => {
+            let placement = match self.sched.try_insert_explained(InstId(d.seq), &d.inst) {
+                Ok(p) => p,
+                Err(reject) => {
                     self.stats.scheduler_stalls += 1;
+                    if self.probes_on() {
+                        let chain_full =
+                            matches!(reject, InsertReject::Steering { chain_full: true });
+                        self.emit(ProbeEvent::DispatchStall {
+                            cycle,
+                            seq: d.seq,
+                            cause: DispatchStallCause::SchedulerFull { chain_full },
+                        });
+                    }
                     break;
                 }
             };
+            let cluster = placement.cluster;
+            if self.probes_on() {
+                self.emit(ProbeEvent::Dispatch {
+                    cycle,
+                    seq: d.seq,
+                    pc: d.pc,
+                    cluster,
+                    slot: placement.slot,
+                    steer: placement.steer,
+                });
+            }
 
             let srcs = d.inst.uses().map(|u| u.map(|r| self.rename.lookup(r)));
             let (dest, prev_dest) = match d.inst.defs() {

@@ -1,0 +1,334 @@
+//! Pipeline event probes: a zero-cost-when-disabled observation API.
+//!
+//! The simulator emits a [`ProbeEvent`] at every pipeline transition —
+//! fetch, dispatch (with the steering decision), wakeup, select/issue,
+//! complete, commit, squash — to any [`ProbeSink`]s attached with
+//! [`Simulator::attach_probe`]. With no sinks attached the hot loop's
+//! only overhead is one `Vec::is_empty` branch per emission point and no
+//! event is ever constructed, so the disabled case stays allocation-free
+//! and bench-neutral (the CI perf gate pins this).
+//!
+//! Sinks are trait objects so consumers compose freely: the pipeline-
+//! diagram recorder ([`ScheduleRecorder`]), the Konata trace writer
+//! ([`KonataWriter`]), and test sinks ([`EventLog`]) all ride the same
+//! stream. Events describe *observations*; a sink can never affect
+//! timing.
+//!
+//! [`Simulator::attach_probe`]: crate::pipeline::Simulator::attach_probe
+//! [`KonataWriter`]: crate::trace_writer::KonataWriter
+
+use crate::pipeline::IssueRecord;
+use crate::stats::SimStats;
+use ce_core::steering::SteerChoice;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Why dispatch stalled on an instruction this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchStallCause {
+    /// The ROB is at the machine's in-flight limit.
+    InflightLimit,
+    /// No free physical register for the destination.
+    NoPhysicalReg,
+    /// The scheduler refused the instruction; `chain_full` means steering
+    /// found the dependence-chain FIFO but it had no room (Section 5.3's
+    /// steering conflict).
+    SchedulerFull {
+        /// A chain target existed but its FIFO was full.
+        chain_full: bool,
+    },
+}
+
+/// One observed pipeline transition.
+///
+/// `seq` is the dynamic sequence number ([`InstId`]) — note wrong-path
+/// instructions synthesized after a mispredicted branch reuse the
+/// sequence numbers the real path will later occupy, so sinks tracking
+/// instruction lifetimes must retire a `seq` at [`Commit`]/[`Squash`]
+/// before trusting a later event with the same number.
+///
+/// [`InstId`]: ce_core::InstId
+/// [`Commit`]: ProbeEvent::Commit
+/// [`Squash`]: ProbeEvent::Squash
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeEvent {
+    /// An instruction entered the front end.
+    Fetch {
+        /// Cycle of the event.
+        cycle: u64,
+        /// Dynamic sequence number.
+        seq: u64,
+        /// Instruction address.
+        pc: u32,
+        /// Whether this is a synthesized wrong-path instruction.
+        wrong_path: bool,
+        /// Whether this is a conditional branch the predictor got wrong.
+        mispredicted: bool,
+    },
+    /// An instruction entered the scheduler (renamed and steered).
+    Dispatch {
+        /// Cycle of the event.
+        cycle: u64,
+        /// Dynamic sequence number.
+        seq: u64,
+        /// Instruction address.
+        pc: u32,
+        /// Bound cluster (`None` for the central window).
+        cluster: Option<usize>,
+        /// Central-window slot, or FIFO index for pooled organizations.
+        slot: u32,
+        /// How steering chose the FIFO (`None` for the central window).
+        steer: Option<SteerChoice>,
+    },
+    /// Dispatch stalled this cycle with this instruction at the head.
+    DispatchStall {
+        /// Cycle of the event.
+        cycle: u64,
+        /// Sequence number of the instruction that could not dispatch.
+        seq: u64,
+        /// What blocked it.
+        cause: DispatchStallCause,
+    },
+    /// An instruction's operands became ready in its issue cluster (it
+    /// may still lose the port/FU race this cycle).
+    Wakeup {
+        /// Cycle of the event.
+        cycle: u64,
+        /// Dynamic sequence number.
+        seq: u64,
+        /// Cluster whose FUs the operands reached.
+        cluster: usize,
+    },
+    /// An instruction won selection and began execution.
+    Issue {
+        /// Cycle of the event.
+        cycle: u64,
+        /// Dynamic sequence number.
+        seq: u64,
+        /// Execution cluster.
+        cluster: usize,
+        /// Execution latency in cycles (result at `cycle + latency`).
+        latency: u64,
+        /// Whether any operand arrived over an inter-cluster bypass.
+        intercluster: bool,
+    },
+    /// An instruction's result became available.
+    Complete {
+        /// Cycle of the event.
+        cycle: u64,
+        /// Dynamic sequence number.
+        seq: u64,
+    },
+    /// An instruction retired.
+    Commit {
+        /// Cycle of the event.
+        cycle: u64,
+        /// Dynamic sequence number.
+        seq: u64,
+        /// Instruction address.
+        pc: u32,
+        /// Cycle it entered the scheduler.
+        dispatched_at: u64,
+        /// Cycle it began execution.
+        issued_at: u64,
+        /// Cycle its result became available.
+        completed_at: u64,
+        /// Execution cluster.
+        cluster: usize,
+    },
+    /// A wrong-path instruction was squashed after its branch resolved.
+    Squash {
+        /// Cycle of the event.
+        cycle: u64,
+        /// Sequence number of the squashed instruction.
+        seq: u64,
+        /// The mispredicted branch that caused the squash.
+        branch_seq: u64,
+        /// Whether the squashed instruction had already issued.
+        issued: bool,
+    },
+}
+
+impl ProbeEvent {
+    /// The event's cycle stamp.
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            ProbeEvent::Fetch { cycle, .. }
+            | ProbeEvent::Dispatch { cycle, .. }
+            | ProbeEvent::DispatchStall { cycle, .. }
+            | ProbeEvent::Wakeup { cycle, .. }
+            | ProbeEvent::Issue { cycle, .. }
+            | ProbeEvent::Complete { cycle, .. }
+            | ProbeEvent::Commit { cycle, .. }
+            | ProbeEvent::Squash { cycle, .. } => cycle,
+        }
+    }
+
+    /// The sequence number the event concerns.
+    pub fn seq(&self) -> u64 {
+        match *self {
+            ProbeEvent::Fetch { seq, .. }
+            | ProbeEvent::Dispatch { seq, .. }
+            | ProbeEvent::DispatchStall { seq, .. }
+            | ProbeEvent::Wakeup { seq, .. }
+            | ProbeEvent::Issue { seq, .. }
+            | ProbeEvent::Complete { seq, .. }
+            | ProbeEvent::Commit { seq, .. }
+            | ProbeEvent::Squash { seq, .. } => seq,
+        }
+    }
+}
+
+/// A consumer of the pipeline event stream.
+///
+/// Sinks receive events in emission order (within a cycle: commit,
+/// complete, squash, issue, dispatch, fetch — the simulator's phase
+/// order). [`finish`](Self::finish) fires once after the run completes,
+/// with the final statistics.
+pub trait ProbeSink: std::fmt::Debug {
+    /// Observes one event.
+    fn event(&mut self, ev: &ProbeEvent);
+
+    /// Called once when the run finishes.
+    fn finish(&mut self, _stats: &SimStats) {}
+}
+
+/// Sink that reconstructs the commit-ordered [`IssueRecord`] schedule —
+/// the backing for [`Simulator::run_traced`] and the ASCII pipeline
+/// diagrams in [`viz`](crate::viz).
+///
+/// [`Simulator::run_traced`]: crate::pipeline::Simulator::run_traced
+#[derive(Debug)]
+pub struct ScheduleRecorder {
+    out: Rc<RefCell<Vec<IssueRecord>>>,
+}
+
+impl ScheduleRecorder {
+    /// Creates the recorder and the shared handle its records land in.
+    pub fn new(capacity: usize) -> (ScheduleRecorder, Rc<RefCell<Vec<IssueRecord>>>) {
+        let out = Rc::new(RefCell::new(Vec::with_capacity(capacity)));
+        (ScheduleRecorder { out: Rc::clone(&out) }, out)
+    }
+}
+
+impl ProbeSink for ScheduleRecorder {
+    fn event(&mut self, ev: &ProbeEvent) {
+        if let ProbeEvent::Commit {
+            seq, pc, dispatched_at, issued_at, completed_at, cluster, ..
+        } = *ev
+        {
+            self.out.borrow_mut().push(IssueRecord {
+                seq,
+                pc,
+                dispatched_at,
+                issued_at,
+                completed_at,
+                cluster,
+            });
+        }
+    }
+}
+
+/// Sink that records every event verbatim — for tests and ad-hoc
+/// debugging.
+#[derive(Debug)]
+pub struct EventLog {
+    out: Rc<RefCell<Vec<ProbeEvent>>>,
+}
+
+impl EventLog {
+    /// Creates the log and the shared handle holding the events.
+    pub fn new() -> (EventLog, Rc<RefCell<Vec<ProbeEvent>>>) {
+        let out = Rc::new(RefCell::new(Vec::new()));
+        (EventLog { out: Rc::clone(&out) }, out)
+    }
+}
+
+impl ProbeSink for EventLog {
+    fn event(&mut self, ev: &ProbeEvent) {
+        self.out.borrow_mut().push(*ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_recorder_keeps_only_commits() {
+        let (mut rec, out) = ScheduleRecorder::new(4);
+        rec.event(&ProbeEvent::Fetch {
+            cycle: 1,
+            seq: 0,
+            pc: 0x400000,
+            wrong_path: false,
+            mispredicted: false,
+        });
+        rec.event(&ProbeEvent::Commit {
+            cycle: 5,
+            seq: 0,
+            pc: 0x400000,
+            dispatched_at: 2,
+            issued_at: 3,
+            completed_at: 4,
+            cluster: 1,
+        });
+        let records = out.borrow();
+        assert_eq!(records.len(), 1);
+        assert_eq!(
+            records[0],
+            IssueRecord {
+                seq: 0,
+                pc: 0x400000,
+                dispatched_at: 2,
+                issued_at: 3,
+                completed_at: 4,
+                cluster: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn event_log_records_everything_in_order() {
+        let (mut log, out) = EventLog::new();
+        let evs = [
+            ProbeEvent::Issue { cycle: 3, seq: 7, cluster: 0, latency: 2, intercluster: true },
+            ProbeEvent::Complete { cycle: 5, seq: 7 },
+            ProbeEvent::Squash { cycle: 6, seq: 9, branch_seq: 8, issued: false },
+        ];
+        for ev in &evs {
+            log.event(ev);
+        }
+        assert_eq!(*out.borrow(), evs);
+    }
+
+    #[test]
+    fn cycle_and_seq_accessors_cover_every_variant() {
+        let evs = [
+            ProbeEvent::Fetch { cycle: 1, seq: 10, pc: 0, wrong_path: false, mispredicted: false },
+            ProbeEvent::Dispatch { cycle: 2, seq: 11, pc: 0, cluster: None, slot: 0, steer: None },
+            ProbeEvent::DispatchStall {
+                cycle: 3,
+                seq: 12,
+                cause: DispatchStallCause::InflightLimit,
+            },
+            ProbeEvent::Wakeup { cycle: 4, seq: 13, cluster: 0 },
+            ProbeEvent::Issue { cycle: 5, seq: 14, cluster: 0, latency: 1, intercluster: false },
+            ProbeEvent::Complete { cycle: 6, seq: 15 },
+            ProbeEvent::Commit {
+                cycle: 7,
+                seq: 16,
+                pc: 0,
+                dispatched_at: 1,
+                issued_at: 2,
+                completed_at: 3,
+                cluster: 0,
+            },
+            ProbeEvent::Squash { cycle: 8, seq: 17, branch_seq: 16, issued: true },
+        ];
+        for (i, ev) in evs.iter().enumerate() {
+            assert_eq!(ev.cycle(), i as u64 + 1);
+            assert_eq!(ev.seq(), i as u64 + 10);
+        }
+    }
+}

@@ -13,7 +13,7 @@
 
 use crate::config::{SchedulerKind, SteeringPolicy};
 use ce_core::fifos::{FifoPool, PoolConfig};
-use ce_core::steering::{DependenceSteerer, RandomSteerer, SteerOutcome};
+use ce_core::steering::{DependenceSteerer, RandomSteerer, SteerChoice, SteerExplain, SteerOutcome};
 use ce_core::steering_variants::{LoadBalancedSteerer, RoundRobinSteerer};
 use ce_core::{FifoId, InstId};
 use ce_isa::Instruction;
@@ -26,6 +26,30 @@ pub struct Candidate {
     pub id: InstId,
     /// Dispatch-assigned cluster, if the organization binds one.
     pub cluster: Option<usize>,
+}
+
+/// A successful dispatch insertion, explained — for pipeline probes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Bound cluster (`None` for the central window).
+    pub cluster: Option<usize>,
+    /// Central-window slot index, or FIFO index for pooled organizations.
+    pub slot: u32,
+    /// How steering chose the FIFO (`None` for the central window).
+    pub steer: Option<SteerChoice>,
+}
+
+/// Why a dispatch insertion failed — for pipeline probes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertReject {
+    /// The central window has no free slot.
+    WindowFull,
+    /// The steering heuristic found no suitable or free FIFO; `chain_full`
+    /// means a dependence-chain target existed but had no room.
+    Steering {
+        /// A chain target existed but its FIFO was full.
+        chain_full: bool,
+    },
 }
 
 /// The issue structure.
@@ -161,13 +185,24 @@ impl Scheduler {
     /// has no suitable slot and dispatch must stall.
     #[allow(clippy::result_unit_err)]
     pub fn try_insert(&mut self, id: InstId, inst: &Instruction) -> Result<Option<usize>, ()> {
+        self.try_insert_explained(id, inst).map(|p| p.cluster).map_err(|_| ())
+    }
+
+    /// [`try_insert`](Self::try_insert), explained: on success reports the
+    /// slot/FIFO taken and how steering chose it; on failure reports why.
+    /// Placement behaviour is identical to `try_insert`.
+    pub fn try_insert_explained(
+        &mut self,
+        id: InstId,
+        inst: &Instruction,
+    ) -> Result<Placement, InsertReject> {
         match &mut self.pool {
             None => {
                 // Lowest free slot, found by bitmask probe (same placement a
                 // first-`None` linear scan produced).
                 let word = match self.occ_words.iter().position(|&w| w != u64::MAX) {
                     Some(w) => w,
-                    None => return Err(()),
+                    None => return Err(InsertReject::WindowFull),
                 };
                 let slot = word * 64 + (!self.occ_words[word]).trailing_zeros() as usize;
                 debug_assert!(slot < self.central_capacity);
@@ -186,24 +221,43 @@ impl Scheduler {
                     t => self.age_next[t as usize] = s,
                 }
                 self.age_tail = s;
-                Ok(None)
+                Ok(Placement { cluster: None, slot: s, steer: None })
             }
             Some(pool) => {
-                let outcome = if let Some(r) = &mut self.random {
-                    r.steer(id, pool)
+                let (outcome, explain) = if let Some(r) = &mut self.random {
+                    (r.steer(id, pool), None)
                 } else if let Some(r) = &mut self.round_robin {
-                    r.steer(id, pool)
+                    (r.steer(id, pool), None)
                 } else if let Some(l) = &mut self.load_balanced {
-                    l.steer(id, inst, pool)
+                    (l.steer(id, inst, pool), None)
                 } else {
-                    self.dependence.steer(id, inst, pool)
+                    let (o, e) = self.dependence.steer_explained(id, inst, pool);
+                    (o, Some(e))
                 };
                 match outcome {
                     SteerOutcome::Fifo(fifo) => {
                         self.place[(id.0 & self.place_mask) as usize] = Some(fifo.0 as u32);
-                        Ok(Some(pool.cluster_of(fifo)))
+                        let choice = match explain {
+                            Some(SteerExplain::Placed(c)) => c,
+                            // The non-dependence steerers don't explain
+                            // themselves; label by policy.
+                            _ if self.random.is_some() => SteerChoice::Random,
+                            _ if self.round_robin.is_some() => SteerChoice::RoundRobin,
+                            _ => SteerChoice::Balanced,
+                        };
+                        Ok(Placement {
+                            cluster: Some(pool.cluster_of(fifo)),
+                            slot: fifo.0 as u32,
+                            steer: Some(choice),
+                        })
                     }
-                    SteerOutcome::Stall => Err(()),
+                    SteerOutcome::Stall => {
+                        let chain_full = matches!(
+                            explain,
+                            Some(SteerExplain::Stalled { chain_full: true })
+                        );
+                        Err(InsertReject::Steering { chain_full })
+                    }
                 }
             }
         }
@@ -545,6 +599,88 @@ mod tests {
         let pool = s.pool().expect("pooled organization");
         assert_eq!(pool.position_of(ce_core::FifoId(fifo as usize), InstId(1)), Some(1));
         assert_eq!(s.capacity(), 8);
+    }
+
+    #[test]
+    fn try_insert_explained_reports_placement_and_rejection() {
+        // Central window: slots fill lowest-first, reject is WindowFull.
+        let mut s = Scheduler::new(
+            SchedulerKind::CentralWindow { size: 2 },
+            1,
+            SteeringPolicy::Dependence,
+            128,
+        );
+        let p0 = s.try_insert_explained(InstId(0), &alu(10, 1, 2)).unwrap();
+        assert_eq!(p0, Placement { cluster: None, slot: 0, steer: None });
+        let p1 = s.try_insert_explained(InstId(1), &alu(11, 1, 2)).unwrap();
+        assert_eq!(p1.slot, 1);
+        assert_eq!(
+            s.try_insert_explained(InstId(2), &alu(12, 1, 2)),
+            Err(InsertReject::WindowFull)
+        );
+
+        // Dependence FIFOs: the chain explanation and fifo index surface.
+        let mut f = Scheduler::new(
+            SchedulerKind::Fifos { fifos_per_cluster: 1, depth: 2 },
+            1,
+            SteeringPolicy::Dependence,
+            128,
+        );
+        let q0 = f.try_insert_explained(InstId(0), &alu(10, 1, 2)).unwrap();
+        assert_eq!(q0.cluster, Some(0));
+        assert_eq!(q0.steer, Some(SteerChoice::Fresh));
+        let q1 = f.try_insert_explained(InstId(1), &alu(11, 10, 2)).unwrap();
+        assert_eq!(q1.slot, q0.slot, "chained into the producer's FIFO");
+        assert_eq!(q1.steer, Some(SteerChoice::Chained { operand: 0 }));
+        // FIFO full behind a chain target: Steering { chain_full: true }.
+        assert_eq!(
+            f.try_insert_explained(InstId(2), &alu(12, 11, 2)),
+            Err(InsertReject::Steering { chain_full: true })
+        );
+
+        // Policy-labelled steering for the non-dependence steerers.
+        let mut r = Scheduler::new(
+            SchedulerKind::SteeredWindows { fifos_per_cluster: 2, fifo_depth: 2 },
+            1,
+            SteeringPolicy::RoundRobin,
+            128,
+        );
+        let w = r.try_insert_explained(InstId(0), &alu(10, 1, 2)).unwrap();
+        assert_eq!(w.steer, Some(SteerChoice::RoundRobin));
+    }
+
+    #[test]
+    fn try_insert_and_explained_agree() {
+        let mk = || {
+            Scheduler::new(
+                SchedulerKind::Fifos { fifos_per_cluster: 2, depth: 2 },
+                2,
+                SteeringPolicy::Dependence,
+                128,
+            )
+        };
+        let (mut a, mut b) = (mk(), mk());
+        let stream = [
+            alu(10, 1, 2),
+            alu(11, 10, 2),
+            alu(12, 3, 4),
+            alu(13, 12, 11),
+            alu(14, 5, 6),
+            alu(15, 7, 8),
+            alu(16, 14, 15),
+            alu(17, 9, 9),
+            alu(18, 17, 16),
+            alu(19, 2, 3),
+        ];
+        for (i, inst) in stream.iter().enumerate() {
+            let id = InstId(i as u64);
+            let plain = a.try_insert(id, inst);
+            let explained = b.try_insert_explained(id, inst);
+            assert_eq!(plain.is_ok(), explained.is_ok(), "inst {i}");
+            if let (Ok(c), Ok(p)) = (plain, explained) {
+                assert_eq!(c, p.cluster, "inst {i}");
+            }
+        }
     }
 
     #[test]

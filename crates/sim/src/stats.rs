@@ -1,5 +1,7 @@
 //! Simulation statistics.
 
+use crate::attribution::StallBreakdown;
+
 /// Counters collected over one simulation run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
@@ -50,6 +52,14 @@ pub struct SimStats {
     /// the number of cycles on which exactly `n` instructions issued
     /// (index capped at 16).
     pub issue_histogram: [u64; 17],
+    /// Per-cause unused-issue-slot accounting (all zero unless the run had
+    /// [`SimConfig::attribution`] enabled). Deliberately **not** part of
+    /// [`fingerprint`](Self::fingerprint): attribution observes the timing
+    /// model without being part of it, and the differential suite pins
+    /// that fingerprints are identical with the accountant on or off.
+    ///
+    /// [`SimConfig::attribution`]: crate::config::SimConfig::attribution
+    pub stall_breakdown: StallBreakdown,
 }
 
 impl SimStats {

@@ -1,0 +1,292 @@
+//! Konata-compatible pipeline-trace writer.
+//!
+//! [`KonataWriter`] is a [`ProbeSink`] that renders the probe event
+//! stream in the Kanata log format (version 0004) understood by the
+//! [Konata](https://github.com/shioyadan/Konata) pipeline viewer and
+//! similar pipeview tools: one lane per instruction, stages `F` (fetch),
+//! `Ds` (dispatch/wait), `X` (execute), `Cm` (completed, waiting to
+//! retire), ended by a retire (`R … 0`) or flush (`R … 1`) record.
+//!
+//! Wrong-path instructions synthesized after a mispredicted branch reuse
+//! the sequence numbers the real path later occupies, so the writer keys
+//! live instructions by sequence number only *between* fetch and
+//! commit/squash, and gives every fetched instance its own file-level id.
+//!
+//! Attach with [`Simulator::attach_probe`]; `cesim --pipeview out.log`
+//! does this for you.
+//!
+//! [`Simulator::attach_probe`]: crate::pipeline::Simulator::attach_probe
+
+use crate::probe::{DispatchStallCause, ProbeEvent, ProbeSink};
+use crate::stats::SimStats;
+use ce_core::steering::SteerChoice;
+use std::collections::HashMap;
+use std::fmt;
+use std::io::Write;
+
+/// One fetched-but-not-retired instruction instance.
+struct LiveInst {
+    /// File-level instruction id (monotone per fetch — never reused, even
+    /// when sequence numbers are).
+    uid: u64,
+    /// Stage currently open in the log.
+    stage: &'static str,
+}
+
+/// Streams probe events as a Kanata 0004 pipeline log.
+///
+/// Write errors panic: the writer is an observation tool and a partial
+/// trace silently passing for a full one is worse than an abort.
+pub struct KonataWriter<W: Write> {
+    w: W,
+    started: bool,
+    cur_cycle: u64,
+    next_uid: u64,
+    retire_id: u64,
+    live: HashMap<u64, LiveInst>,
+}
+
+impl<W: Write> fmt::Debug for KonataWriter<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KonataWriter")
+            .field("cur_cycle", &self.cur_cycle)
+            .field("next_uid", &self.next_uid)
+            .field("live", &self.live.len())
+            .finish()
+    }
+}
+
+/// Panic message for log write failures.
+const WRITE_MSG: &str = "pipeline trace write failed";
+
+impl<W: Write> KonataWriter<W> {
+    /// Wraps a writer (use a `BufWriter` for files).
+    pub fn new(w: W) -> KonataWriter<W> {
+        KonataWriter {
+            w,
+            started: false,
+            cur_cycle: 0,
+            next_uid: 0,
+            retire_id: 0,
+            live: HashMap::new(),
+        }
+    }
+
+    /// Unwraps the inner writer (for tests and in-memory use).
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+
+    /// Emits the header (first call) and cycle-advance records.
+    fn advance(&mut self, cycle: u64) {
+        if !self.started {
+            writeln!(self.w, "Kanata\t0004").expect(WRITE_MSG);
+            writeln!(self.w, "C=\t{cycle}").expect(WRITE_MSG);
+            self.started = true;
+            self.cur_cycle = cycle;
+        } else if cycle > self.cur_cycle {
+            writeln!(self.w, "C\t{}", cycle - self.cur_cycle).expect(WRITE_MSG);
+            self.cur_cycle = cycle;
+        }
+    }
+
+    /// Closes the live instruction's current stage and opens `stage`.
+    fn move_stage(&mut self, seq: u64, stage: &'static str) {
+        if let Some(li) = self.live.get_mut(&seq) {
+            writeln!(self.w, "E\t{}\t0\t{}", li.uid, li.stage).expect(WRITE_MSG);
+            writeln!(self.w, "S\t{}\t0\t{stage}", li.uid).expect(WRITE_MSG);
+            li.stage = stage;
+        }
+    }
+
+    /// Appends hover detail text to the live instruction, if any.
+    fn detail(&mut self, seq: u64, text: &str) {
+        if let Some(li) = self.live.get(&seq) {
+            writeln!(self.w, "L\t{}\t1\t{text}", li.uid).expect(WRITE_MSG);
+        }
+    }
+}
+
+/// Short label for a steering decision, for the hover text.
+fn steer_label(choice: SteerChoice) -> String {
+    match choice {
+        SteerChoice::Chained { operand } => format!("chained(op{operand})"),
+        SteerChoice::FreshAffinity => "fresh-affinity".into(),
+        SteerChoice::Fresh => "fresh".into(),
+        SteerChoice::Random => "random".into(),
+        SteerChoice::RoundRobin => "round-robin".into(),
+        SteerChoice::Balanced => "balanced".into(),
+    }
+}
+
+impl<W: Write> ProbeSink for KonataWriter<W> {
+    fn event(&mut self, ev: &ProbeEvent) {
+        self.advance(ev.cycle());
+        match *ev {
+            ProbeEvent::Fetch { seq, pc, wrong_path, mispredicted, .. } => {
+                let uid = self.next_uid;
+                self.next_uid += 1;
+                self.live.insert(seq, LiveInst { uid, stage: "F" });
+                writeln!(self.w, "I\t{uid}\t{seq}\t0").expect(WRITE_MSG);
+                let mark = if wrong_path {
+                    " [wrong-path]"
+                } else if mispredicted {
+                    " [mispredict]"
+                } else {
+                    ""
+                };
+                writeln!(self.w, "L\t{uid}\t0\t{seq}: {pc:#010x}{mark}").expect(WRITE_MSG);
+                writeln!(self.w, "S\t{uid}\t0\tF").expect(WRITE_MSG);
+            }
+            ProbeEvent::Dispatch { seq, cluster, slot, steer, .. } => {
+                self.move_stage(seq, "Ds");
+                let place = match cluster {
+                    Some(c) => format!("cluster {c} fifo {slot}"),
+                    None => format!("window slot {slot}"),
+                };
+                let how = match steer {
+                    Some(choice) => format!(", steer {}", steer_label(choice)),
+                    None => String::new(),
+                };
+                self.detail(seq, &format!("{place}{how}"));
+            }
+            ProbeEvent::DispatchStall { seq, cause, .. } => {
+                let text = match cause {
+                    DispatchStallCause::InflightLimit => "stall: in-flight limit".into(),
+                    DispatchStallCause::NoPhysicalReg => "stall: no physical reg".into(),
+                    DispatchStallCause::SchedulerFull { chain_full } => {
+                        format!("stall: scheduler full (chain_full={chain_full})")
+                    }
+                };
+                self.detail(seq, &text);
+            }
+            ProbeEvent::Wakeup { .. } => {} // subsumed by the issue record
+            ProbeEvent::Issue { seq, cluster, latency, intercluster, .. } => {
+                self.move_stage(seq, "X");
+                self.detail(
+                    seq,
+                    &format!(
+                        "issue: cluster {cluster}, latency {latency}{}",
+                        if intercluster { ", intercluster bypass" } else { "" }
+                    ),
+                );
+            }
+            ProbeEvent::Complete { seq, .. } => {
+                self.move_stage(seq, "Cm");
+            }
+            ProbeEvent::Commit { seq, .. } => {
+                if let Some(li) = self.live.remove(&seq) {
+                    writeln!(self.w, "E\t{}\t0\t{}", li.uid, li.stage).expect(WRITE_MSG);
+                    writeln!(self.w, "R\t{}\t{}\t0", li.uid, self.retire_id).expect(WRITE_MSG);
+                    self.retire_id += 1;
+                }
+            }
+            ProbeEvent::Squash { seq, .. } => {
+                if let Some(li) = self.live.remove(&seq) {
+                    writeln!(self.w, "E\t{}\t0\t{}", li.uid, li.stage).expect(WRITE_MSG);
+                    writeln!(self.w, "R\t{}\t0\t1", li.uid).expect(WRITE_MSG);
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self, _stats: &SimStats) {
+        self.w.flush().expect(WRITE_MSG);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(events: &[ProbeEvent]) -> String {
+        let mut w = KonataWriter::new(Vec::new());
+        for ev in events {
+            w.event(ev);
+        }
+        w.finish(&SimStats::default());
+        String::from_utf8(w.into_inner()).expect("utf8 log")
+    }
+
+    #[test]
+    fn single_instruction_lifecycle() {
+        let log = drive(&[
+            ProbeEvent::Fetch { cycle: 1, seq: 0, pc: 0x400000, wrong_path: false, mispredicted: false },
+            ProbeEvent::Dispatch { cycle: 3, seq: 0, pc: 0x400000, cluster: None, slot: 0, steer: None },
+            ProbeEvent::Issue { cycle: 4, seq: 0, cluster: 0, latency: 1, intercluster: false },
+            ProbeEvent::Complete { cycle: 5, seq: 0 },
+            ProbeEvent::Commit {
+                cycle: 6, seq: 0, pc: 0x400000, dispatched_at: 3, issued_at: 4,
+                completed_at: 5, cluster: 0,
+            },
+        ]);
+        let expected = "Kanata\t0004\n\
+                        C=\t1\n\
+                        I\t0\t0\t0\n\
+                        L\t0\t0\t0: 0x00400000\n\
+                        S\t0\t0\tF\n\
+                        C\t2\n\
+                        E\t0\t0\tF\n\
+                        S\t0\t0\tDs\n\
+                        L\t0\t1\twindow slot 0\n\
+                        C\t1\n\
+                        E\t0\t0\tDs\n\
+                        S\t0\t0\tX\n\
+                        L\t0\t1\tissue: cluster 0, latency 1\n\
+                        C\t1\n\
+                        E\t0\t0\tX\n\
+                        S\t0\t0\tCm\n\
+                        C\t1\n\
+                        E\t0\t0\tCm\n\
+                        R\t0\t0\t0\n";
+        assert_eq!(log, expected);
+    }
+
+    #[test]
+    fn squash_flushes_and_frees_the_seq_for_reuse() {
+        let log = drive(&[
+            // Wrong-path instance of seq 5 ...
+            ProbeEvent::Fetch { cycle: 1, seq: 5, pc: 0x1000, wrong_path: true, mispredicted: false },
+            ProbeEvent::Squash { cycle: 2, seq: 5, branch_seq: 4, issued: false },
+            // ... then the real path reuses seq 5 with a fresh uid.
+            ProbeEvent::Fetch { cycle: 3, seq: 5, pc: 0x2000, wrong_path: false, mispredicted: false },
+        ]);
+        assert!(log.contains("L\t0\t0\t5: 0x00001000 [wrong-path]"), "{log}");
+        // The wrong-path instance is flushed (type-1 retire), not retired.
+        assert!(log.contains("R\t0\t0\t1"), "{log}");
+        // The real instance got uid 1, not a collision on uid 0.
+        assert!(log.contains("I\t1\t5\t0"), "{log}");
+        assert!(log.contains("L\t1\t0\t5: 0x00002000"), "{log}");
+    }
+
+    #[test]
+    fn steering_and_stall_details_render() {
+        let log = drive(&[
+            ProbeEvent::Fetch { cycle: 1, seq: 0, pc: 0, wrong_path: false, mispredicted: false },
+            ProbeEvent::Dispatch {
+                cycle: 2, seq: 0, pc: 0, cluster: Some(1), slot: 6,
+                steer: Some(SteerChoice::Chained { operand: 1 }),
+            },
+            ProbeEvent::Fetch { cycle: 2, seq: 1, pc: 4, wrong_path: false, mispredicted: false },
+            ProbeEvent::DispatchStall {
+                cycle: 3, seq: 1,
+                cause: DispatchStallCause::SchedulerFull { chain_full: true },
+            },
+        ]);
+        assert!(log.contains("L\t0\t1\tcluster 1 fifo 6, steer chained(op1)"), "{log}");
+        assert!(log.contains("L\t1\t1\tstall: scheduler full (chain_full=true)"), "{log}");
+    }
+
+    #[test]
+    fn events_for_unknown_seqs_are_ignored() {
+        // A sink attached mid-run (or a stale event) must not panic.
+        let log = drive(&[
+            ProbeEvent::Issue { cycle: 1, seq: 42, cluster: 0, latency: 1, intercluster: false },
+            ProbeEvent::Commit {
+                cycle: 2, seq: 42, pc: 0, dispatched_at: 0, issued_at: 1,
+                completed_at: 1, cluster: 0,
+            },
+        ]);
+        assert_eq!(log, "Kanata\t0004\nC=\t1\nC\t1\n");
+    }
+}

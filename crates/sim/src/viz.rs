@@ -132,6 +132,28 @@ mod tests {
         assert!(d1 > d0);
     }
 
+    /// A schedule spanning several hundred cycles must still produce one
+    /// column per cycle, rows as wide as the full span, and a ruler tick
+    /// on every 5th cycle — long-latency tails (cache misses) hit this.
+    #[test]
+    fn long_span_renders_one_column_per_cycle() {
+        let records = [rec(0, 3, 10, 20, 0), rec(1, 5, 250, 260, 0)];
+        let diagram = render_schedule(&records, 1);
+        let lines: Vec<&str> = diagram.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let label_width = 4; // "i0" padded to the 4-char minimum.
+        let span = (260 - 3 + 1) as usize;
+        for line in &lines {
+            assert_eq!(line.chars().count(), label_width + 1 + span, "{line:?}");
+        }
+        // Ruler ticks: cycles 5, 10, ..., 260 → 52 digits.
+        let ruler_digits = lines[0].chars().filter(char::is_ascii_digit).count();
+        assert_eq!(ruler_digits, 52, "{:?}", lines[0]);
+        // The second instruction waits from cycle 6 to 249 — 244 dots.
+        assert_eq!(lines[2].matches('.').count(), 244, "{:?}", lines[2]);
+        assert_eq!(lines[2].matches('E').count(), 10);
+    }
+
     #[test]
     fn back_to_back_chain_reads_as_a_staircase() {
         let records = [rec(0, 1, 2, 3, 0), rec(1, 1, 3, 4, 0), rec(2, 1, 4, 5, 0)];

@@ -1,0 +1,187 @@
+//! Integration tests for the stall-attribution accountant.
+//!
+//! The load-bearing property is the reconciliation identity: every issue
+//! slot of every cycle is either used or charged to exactly one cause,
+//! so `sum(causes) + issued == issue_width × cycles` — exactly, not
+//! approximately. The tests pin that identity on all five Figure 17
+//! organizations over real kernels, and under randomized configurations
+//! and synthetic traces; they also pin that attribution is
+//! observation-only (fingerprints are bit-identical with it on or off)
+//! and that each cause fires where — and only where — its mechanism
+//! exists.
+
+use ce_sim::{machine, SimConfig, Simulator, StallCause};
+use ce_workloads::synthetic::{generate, SyntheticConfig};
+use ce_workloads::{trace_cached, Benchmark, Trace};
+use proptest::prelude::*;
+
+/// Runs with attribution + the invariant checker on, panicking (via the
+/// checker) if accounting breaks, and returns the stats.
+fn run_attributed(label: &str, cfg: SimConfig, trace: &Trace) -> ce_sim::SimStats {
+    let mut on = cfg;
+    on.attribution = true;
+    on.check = true;
+    let stats = Simulator::new(on).run(trace);
+    assert!(
+        stats.stall_breakdown.reconciles(cfg.issue_width, stats.cycles, stats.issued),
+        "{label}: {} charged + {} issued != {} x {}",
+        stats.stall_breakdown.total(),
+        stats.issued,
+        cfg.issue_width,
+        stats.cycles
+    );
+    stats
+}
+
+/// The acceptance grid: the identity holds exactly on every Figure 17
+/// organization for every kernel, and turning the accountant on does not
+/// change a single architectural statistic.
+#[test]
+fn reconciles_and_stays_invisible_on_all_organizations() {
+    for (name, cfg) in machine::figure17_machines() {
+        for bench in Benchmark::all() {
+            let trace = trace_cached(bench, 20_000).expect("kernel runs");
+            let label = format!("{name} x {bench}");
+            let attributed = run_attributed(&label, cfg, &trace);
+            let plain = Simulator::new(cfg).run(&trace);
+            assert_eq!(
+                attributed.fingerprint(),
+                plain.fingerprint(),
+                "{label}: attribution perturbed the simulation"
+            );
+            assert!(plain.stall_breakdown.is_empty(), "{label}: charged without opt-in");
+        }
+    }
+}
+
+/// Single-cluster machines have no inter-cluster bypass, so that cause
+/// must never be charged there; clustered machines with a bypass penalty
+/// do pay it on real code.
+#[test]
+fn intercluster_wait_fires_only_on_clustered_machines() {
+    let trace = trace_cached(Benchmark::Li, 20_000).expect("kernel runs");
+    let single = run_attributed("window", machine::baseline_8way(), &trace);
+    assert_eq!(single.stall_breakdown.get(StallCause::InterclusterWait), 0);
+    let fifos = run_attributed("fifos", machine::dependence_8way(), &trace);
+    assert_eq!(fifos.stall_breakdown.get(StallCause::InterclusterWait), 0);
+    let clustered = run_attributed("2c-fifos", machine::clustered_fifos_8way(), &trace);
+    assert!(
+        clustered.stall_breakdown.get(StallCause::InterclusterWait) > 0,
+        "li on the clustered FIFO machine waits on cross-cluster bypasses"
+    );
+}
+
+/// Head-only wakeup is what FIFO scheduling costs; a flexible window has
+/// no FIFO heads to be not-ready.
+#[test]
+fn fifo_head_shadowing_fires_only_on_fifo_machines() {
+    let trace = trace_cached(Benchmark::Li, 20_000).expect("kernel runs");
+    let window = run_attributed("window", machine::baseline_8way(), &trace);
+    assert_eq!(window.stall_breakdown.get(StallCause::FifoHeadNotReady), 0);
+    let fifos = run_attributed("fifos", machine::dependence_8way(), &trace);
+    assert!(
+        fifos.stall_breakdown.get(StallCause::FifoHeadNotReady) > 0,
+        "li serializes behind unready FIFO heads"
+    );
+}
+
+/// Unpredictable branches leave the front end refilling after squashes;
+/// those empty-window slots are charged to mispredict recovery.
+#[test]
+fn mispredict_recovery_charged_under_unpredictable_branches() {
+    let config = SyntheticConfig {
+        branch_frac: 0.30,
+        predictability: 0.0,
+        taken_prob: 0.5,
+        ..SyntheticConfig::default()
+    };
+    let trace = generate(&config, 5_000);
+    let stats = run_attributed("baseline x branchy", machine::baseline_8way(), &trace);
+    assert!(stats.mispredictions > 0, "the mix must actually mispredict");
+    assert!(
+        stats.stall_breakdown.get(StallCause::MispredictRecovery) > 0,
+        "post-squash refill slots must be charged to recovery"
+    );
+    // A perfectly-predicted run of the same trace charges none.
+    let mut perfect = machine::baseline_8way();
+    perfect.bpred.perfect = true;
+    let stats = run_attributed("perfect bpred x branchy", perfect, &trace);
+    assert_eq!(stats.stall_breakdown.get(StallCause::MispredictRecovery), 0);
+}
+
+/// The steered-windows machine rejects ready instructions when their
+/// bound cluster's issue ports are taken — FU/port contention.
+#[test]
+fn fu_port_contention_appears_on_steered_windows() {
+    let trace = trace_cached(Benchmark::Compress, 20_000).expect("kernel runs");
+    let stats = run_attributed(
+        "2c-windows x compress",
+        machine::clustered_windows_dispatch_8way(),
+        &trace,
+    );
+    assert!(
+        stats.stall_breakdown.get(StallCause::FuPortContention) > 0,
+        "compress has enough ILP to oversubscribe a cluster's ports"
+    );
+}
+
+/// An empty trace: no cycles, nothing charged, identity trivially holds.
+#[test]
+fn empty_trace_reconciles_trivially() {
+    let trace = Trace::default();
+    let stats = run_attributed("empty", machine::baseline_8way(), &trace);
+    assert_eq!(stats.cycles, 0);
+    assert!(stats.stall_breakdown.is_empty());
+}
+
+/// Synthetic mixes matching `differential.rs`, for the randomized sweep.
+fn mix(sel: usize, seed: u64) -> SyntheticConfig {
+    let base = match sel {
+        0 => SyntheticConfig::default(),
+        1 => SyntheticConfig {
+            load_frac: 0.40,
+            store_frac: 0.25,
+            branch_frac: 0.05,
+            working_set_words: 64,
+            ..SyntheticConfig::default()
+        },
+        2 => SyntheticConfig {
+            branch_frac: 0.30,
+            predictability: 0.0,
+            taken_prob: 0.5,
+            ..SyntheticConfig::default()
+        },
+        _ => SyntheticConfig { dep_locality: 0.95, ..SyntheticConfig::default() },
+    };
+    SyntheticConfig { seed, ..base }
+}
+
+proptest! {
+    /// The identity holds under randomized organizations, configuration
+    /// knobs, and synthetic traces — the same space the differential
+    /// oracle sweeps.
+    #[test]
+    fn reconciles_on_randomized_configs(
+        seed in 0u64..1_000_000,
+        org_sel in 0usize..5,
+        mix_sel in 0usize..4,
+        knob in 0usize..4,
+    ) {
+        use ce_sim::{BypassModel, SteeringPolicy};
+        let (name, mut cfg) = machine::figure17_machines()[org_sel];
+        match knob {
+            0 => {}
+            1 => cfg.split_store_issue = true,
+            2 => cfg.model_wrong_path = true,
+            _ => {
+                if cfg.clusters > 1 {
+                    cfg.steering = SteeringPolicy::LoadBalanced;
+                } else {
+                    cfg.bypass_model = BypassModel::None;
+                }
+            }
+        }
+        let trace = generate(&mix(mix_sel, seed), 3_000);
+        run_attributed(&format!("{name} knob {knob} seed {seed}"), cfg, &trace);
+    }
+}

@@ -118,6 +118,52 @@ fn corrupt_trace_fails_cleanly() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// `--metrics` writes a schema-tagged JSON document whose attribution
+/// section reconciles, and prints the stall table; `--pipeview` writes a
+/// Kanata log a pipeline viewer can open. One run exercises both.
+#[test]
+fn metrics_and_pipeview_outputs() {
+    let dir = std::env::temp_dir().join(format!("cesim-metrics-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let metrics_path = dir.join("m.json");
+    let pipeview_path = dir.join("p.log");
+
+    let out = cesim()
+        .args(["--machine", "clustered-fifos", "--bench", "li", "--max-insts", "20000"])
+        .arg("--metrics")
+        .arg(&metrics_path)
+        .arg("--pipeview")
+        .arg(&pipeview_path)
+        .output()
+        .expect("cesim runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("stall attribution"), "{stdout}");
+    assert!(stdout.contains("fifo_head_not_ready"), "{stdout}");
+
+    let metrics = std::fs::read_to_string(&metrics_path).expect("metrics written");
+    assert!(metrics.contains("\"schema\": \"ce-sim.metrics.v1\""), "{metrics}");
+    assert!(metrics.contains("\"machine\": \"clustered-fifos\""), "{metrics}");
+    assert!(metrics.contains("\"workload\": \"li\""), "{metrics}");
+    assert!(metrics.contains("\"issue_slots\""), "{metrics}");
+
+    let pipeview = std::fs::read_to_string(&pipeview_path).expect("pipeview written");
+    assert!(pipeview.starts_with("Kanata\t0004\n"), "bad header");
+    // Stage opens, retires, and cycle advances are all present.
+    for needle in ["\nC=\t", "\nS\t", "\nE\t", "\nR\t", "\nC\t"] {
+        assert!(pipeview.contains(needle), "missing {needle:?}");
+    }
+
+    // Without --metrics, no attribution table and no charged slots.
+    let out = cesim()
+        .args(["--machine", "clustered-fifos", "--bench", "li", "--max-insts", "20000"])
+        .output()
+        .expect("cesim runs");
+    assert!(!String::from_utf8_lossy(&out.stdout).contains("stall attribution"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn bad_arguments_fail_with_usage() {
     let out = cesim().args(["--machine", "bogus"]).output().expect("cesim runs");
