@@ -11,6 +11,10 @@
 //! `candidate / reference < R`. The default ratio 0.5 is deliberately
 //! loose: CI machines are noisy and share cores, so the gate is meant to
 //! catch "probes made the simulator 3× slower", not a 5% wobble.
+//!
+//! Exit codes: 0 pass, 1 throughput below the floor, 2 usage error or a
+//! missing/malformed snapshot file — so CI can tell "the gate tripped"
+//! from "the gate never ran".
 
 use ce_bench::json::Json;
 use std::process::ExitCode;
@@ -34,7 +38,7 @@ fn main() -> ExitCode {
             "--min-ratio" => {
                 let Some(value) = args.next().and_then(|v| v.parse().ok()) else {
                     eprintln!("error: --min-ratio needs a number");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(2);
                 };
                 min_ratio = value;
             }
@@ -42,13 +46,13 @@ fn main() -> ExitCode {
             path if reference.is_none() => reference = Some(path.to_owned()),
             other => {
                 eprintln!("error: unexpected argument `{other}`");
-                return ExitCode::FAILURE;
+                return ExitCode::from(2);
             }
         }
     }
     let (Some(candidate), Some(reference)) = (candidate, reference) else {
         eprintln!("usage: bench_compare CANDIDATE.json REFERENCE.json [--min-ratio R]");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
 
     let (cand, refr) = match (throughput(&candidate), throughput(&reference)) {
@@ -57,7 +61,7 @@ fn main() -> ExitCode {
             for e in [c.err(), r.err()].into_iter().flatten() {
                 eprintln!("error: {e}");
             }
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
 

@@ -1,53 +1,89 @@
 //! Figure 15: IPC of the 2×4-way clustered dependence-based machine
 //! (2-cycle inter-cluster bypass) versus the 8-way window baseline, plus
 //! the Section 5.5 clock-adjusted speedup.
+//!
+//! ```text
+//! cargo run --release -p ce-bench --bin fig15_clustered -- [--out PATH] [--resume]
+//! ```
+//!
+//! Runs fault-tolerantly: each cell is journaled as it completes, so a
+//! killed run restarted with `--resume` re-simulates only unfinished
+//! cells and writes a byte-identical CSV.
 
-use ce_bench::runner;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use ce_bench::cli::{finish_sweep, SweepArgs};
+use ce_bench::runner::{self, SweepOptions};
 use ce_core::analysis::{mean_improvement, MachineSpec, Speedup};
 use ce_delay::{FeatureSize, Technology};
 use ce_sim::machine;
 use ce_workloads::Benchmark;
 
-fn main() {
+fn main() -> ExitCode {
+    let args = SweepArgs::parse("results/fig15_clustered.csv");
     let tech = Technology::new(FeatureSize::U018);
-    println!("Figure 15: IPC, 64-entry window 8-way vs 2-cluster dependence-based 8-way");
-    println!(
-        "{:<10} {:>10} {:>12} {:>12} {:>10} {:>9}",
-        "benchmark", "window", "2x4 fifos", "degradation", "IC-bypass", "speedup"
-    );
-    ce_bench::rule(68);
     let machines =
         [("window", machine::baseline_8way()), ("2x4", machine::clustered_fifos_8way())];
     let jobs = runner::grid(&machines);
-    let mut results = runner::run_all(&jobs).into_iter();
-    let mut speedups = Vec::new();
-    for bench in Benchmark::all() {
-        let win = results.next().expect("window cell");
-        let dep = results.next().expect("clustered cell");
-        let s = Speedup::combine(
-            &tech,
-            MachineSpec::paper_dependence_machine(),
-            win.ipc(),
-            dep.ipc(),
+    let opts = SweepOptions { checkpoint: Some(args.checkpoint()), ..SweepOptions::default() };
+    let summary = match runner::run_sweep_ft(&jobs, ce_bench::max_insts(), &opts) {
+        Ok(summary) => summary,
+        Err(e) => {
+            eprintln!("fig15_clustered: error: checkpoint journal: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut csv = String::from("benchmark,window_ipc,clustered_ipc,ic_bypass_pct,speedup\n");
+    if summary.all_ok() {
+        println!("Figure 15: IPC, 64-entry window 8-way vs 2-cluster dependence-based 8-way");
+        println!(
+            "{:<10} {:>10} {:>12} {:>12} {:>10} {:>9}",
+            "benchmark", "window", "2x4 fifos", "degradation", "IC-bypass", "speedup"
+        );
+        ce_bench::rule(68);
+        let mut results = summary.ok_cells().map(|r| &r.stats);
+        let mut speedups = Vec::new();
+        for bench in Benchmark::all() {
+            let win = results.next().expect("window cell");
+            let dep = results.next().expect("clustered cell");
+            let s = Speedup::combine(
+                &tech,
+                MachineSpec::paper_dependence_machine(),
+                win.ipc(),
+                dep.ipc(),
+            );
+            println!(
+                "{:<10} {:>10.3} {:>12.3} {:>11.1}% {:>9.1}% {:>8.2}x",
+                bench.name(),
+                win.ipc(),
+                dep.ipc(),
+                s.ipc_degradation() * 100.0,
+                dep.intercluster_bypass_frequency() * 100.0,
+                s.speedup
+            );
+            let _ = writeln!(
+                csv,
+                "{},{:.3},{:.3},{:.1},{:.3}",
+                bench.name(),
+                win.ipc(),
+                dep.ipc(),
+                dep.intercluster_bypass_frequency() * 100.0,
+                s.speedup
+            );
+            speedups.push(s);
+        }
+        println!();
+        println!(
+            "clock ratio clk_dep/clk_win = {:.3} (paper: 1.25 at 0.18 um)",
+            speedups[0].clock_ratio
         );
         println!(
-            "{:<10} {:>10.3} {:>12.3} {:>11.1}% {:>9.1}% {:>8.2}x",
-            bench.name(),
-            win.ipc(),
-            dep.ipc(),
-            s.ipc_degradation() * 100.0,
-            dep.intercluster_bypass_frequency() * 100.0,
-            s.speedup
+            "mean clock-adjusted improvement: {:+.1}% (paper: 10-22%, average 16%)",
+            mean_improvement(&speedups) * 100.0
         );
-        speedups.push(s);
+        println!();
     }
-    println!();
-    println!(
-        "clock ratio clk_dep/clk_win = {:.3} (paper: 1.25 at 0.18 um)",
-        speedups[0].clock_ratio
-    );
-    println!(
-        "mean clock-adjusted improvement: {:+.1}% (paper: 10-22%, average 16%)",
-        mean_improvement(&speedups) * 100.0
-    );
+    finish_sweep("fig15_clustered", &summary, &csv, &args.out)
 }

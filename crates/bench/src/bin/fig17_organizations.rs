@@ -1,80 +1,118 @@
 //! Figure 17: IPC (top) and inter-cluster bypass frequency (bottom) for
 //! the five clustered organizations of Section 5.6.
+//!
+//! ```text
+//! cargo run --release -p ce-bench --bin fig17_organizations -- [--out PATH] [--resume]
+//! ```
+//!
+//! Runs fault-tolerantly: each cell is journaled as it completes, so a
+//! killed run restarted with `--resume` re-simulates only unfinished
+//! cells and writes a byte-identical CSV.
 
-use ce_bench::runner::{self, RunOptions};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use ce_bench::cli::{finish_sweep, SweepArgs};
+use ce_bench::runner::{self, RunOptions, SweepOptions};
 use ce_sim::{machine, StallCause};
 use ce_workloads::Benchmark;
 
-fn main() {
+fn main() -> ExitCode {
+    let args = SweepArgs::parse("results/fig17_organizations.csv");
     let machines = machine::figure17_machines();
-    println!("Figure 17 (top): IPC of clustered organizations");
-    print!("{:<10}", "benchmark");
-    for (name, _) in &machines {
-        print!(" {:>13}", short(name));
-    }
-    println!();
-    ce_bench::rule(10 + machines.len() * 14);
-
     let jobs = runner::grid(&machines);
-    let timed =
-        runner::run_timed_with(&jobs, ce_bench::max_insts(), RunOptions { attribution: true });
-    let mut results = timed.iter().map(|r| &r.stats);
-    let mut freqs: Vec<Vec<f64>> = Vec::new();
-    let mut xcluster: Vec<Vec<f64>> = Vec::new();
-    for bench in Benchmark::all() {
-        print!("{:<10}", bench.name());
-        let mut row = Vec::new();
-        let mut xrow = Vec::new();
-        for (_, cfg) in &machines {
-            let stats = results.next().expect("one result per cell");
-            print!(" {:>13.3}", stats.ipc());
-            row.push(stats.intercluster_bypass_frequency() * 100.0);
-            let slots = cfg.issue_width as u64 * stats.cycles;
-            xrow.push(
-                stats.stall_breakdown.get(StallCause::InterclusterWait) as f64 / slots as f64
-                    * 100.0,
-            );
+    let opts = SweepOptions {
+        run: RunOptions { attribution: true },
+        checkpoint: Some(args.checkpoint()),
+        ..SweepOptions::default()
+    };
+    let summary = match runner::run_sweep_ft(&jobs, ce_bench::max_insts(), &opts) {
+        Ok(summary) => summary,
+        Err(e) => {
+            eprintln!("fig17_organizations: error: checkpoint journal: {e}");
+            return ExitCode::from(2);
         }
-        println!();
-        freqs.push(row);
-        xcluster.push(xrow);
-    }
+    };
 
-    println!();
-    println!("Figure 17 (bottom): inter-cluster bypass frequency (%)");
-    print!("{:<10}", "benchmark");
-    for (name, _) in &machines {
-        print!(" {:>13}", short(name));
-    }
-    println!();
-    ce_bench::rule(10 + machines.len() * 14);
-    for (bench, row) in Benchmark::all().into_iter().zip(&freqs) {
-        print!("{:<10}", bench.name());
-        for f in row {
-            print!(" {:>12.1}%", f);
+    let mut csv = String::from("benchmark,machine,ipc,ic_bypass_pct\n");
+    if summary.all_ok() {
+        println!("Figure 17 (top): IPC of clustered organizations");
+        print!("{:<10}", "benchmark");
+        for (name, _) in &machines {
+            print!(" {:>13}", short(name));
         }
         println!();
-    }
-    println!();
-    println!("Stall attribution: issue slots lost waiting on inter-cluster bypass (%)");
-    print!("{:<10}", "benchmark");
-    for (name, _) in &machines {
-        print!(" {:>13}", short(name));
-    }
-    println!();
-    ce_bench::rule(10 + machines.len() * 14);
-    for (bench, row) in Benchmark::all().into_iter().zip(&xcluster) {
-        print!("{:<10}", bench.name());
-        for x in row {
-            print!(" {:>12.1}%", x);
-        }
-        println!();
-    }
+        ce_bench::rule(10 + machines.len() * 14);
 
-    println!();
-    println!("Paper shape: random steering degrades 17-26% vs ideal and shows the highest");
-    println!("inter-cluster traffic (up to ~35%); exec-driven steering is within ~6% of ideal;");
-    println!("both dispatch-steered organizations sit in between.");
+        let mut results = summary.ok_cells().map(|r| &r.stats);
+        let mut freqs: Vec<Vec<f64>> = Vec::new();
+        let mut xcluster: Vec<Vec<f64>> = Vec::new();
+        for bench in Benchmark::all() {
+            print!("{:<10}", bench.name());
+            let mut row = Vec::new();
+            let mut xrow = Vec::new();
+            for (name, cfg) in &machines {
+                let stats = results.next().expect("one result per cell");
+                print!(" {:>13.3}", stats.ipc());
+                row.push(stats.intercluster_bypass_frequency() * 100.0);
+                let slots = cfg.issue_width as u64 * stats.cycles;
+                xrow.push(
+                    stats.stall_breakdown.get(StallCause::InterclusterWait) as f64
+                        / slots as f64
+                        * 100.0,
+                );
+                let _ = writeln!(
+                    csv,
+                    "{},{},{:.3},{:.1}",
+                    bench.name(),
+                    name,
+                    stats.ipc(),
+                    stats.intercluster_bypass_frequency() * 100.0
+                );
+            }
+            println!();
+            freqs.push(row);
+            xcluster.push(xrow);
+        }
+
+        println!();
+        println!("Figure 17 (bottom): inter-cluster bypass frequency (%)");
+        print!("{:<10}", "benchmark");
+        for (name, _) in &machines {
+            print!(" {:>13}", short(name));
+        }
+        println!();
+        ce_bench::rule(10 + machines.len() * 14);
+        for (bench, row) in Benchmark::all().into_iter().zip(&freqs) {
+            print!("{:<10}", bench.name());
+            for f in row {
+                print!(" {:>12.1}%", f);
+            }
+            println!();
+        }
+        println!();
+        println!("Stall attribution: issue slots lost waiting on inter-cluster bypass (%)");
+        print!("{:<10}", "benchmark");
+        for (name, _) in &machines {
+            print!(" {:>13}", short(name));
+        }
+        println!();
+        ce_bench::rule(10 + machines.len() * 14);
+        for (bench, row) in Benchmark::all().into_iter().zip(&xcluster) {
+            print!("{:<10}", bench.name());
+            for x in row {
+                print!(" {:>12.1}%", x);
+            }
+            println!();
+        }
+
+        println!();
+        println!("Paper shape: random steering degrades 17-26% vs ideal and shows the highest");
+        println!("inter-cluster traffic (up to ~35%); exec-driven steering is within ~6% of ideal;");
+        println!("both dispatch-steered organizations sit in between.");
+        println!();
+    }
+    finish_sweep("fig17_organizations", &summary, &csv, &args.out)
 }
 
 fn short(name: &str) -> &str {

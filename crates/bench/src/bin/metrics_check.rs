@@ -7,7 +7,9 @@
 //!
 //! The schema path defaults to `results/metrics.schema.json`. Exits 0
 //! and prints a one-line summary when the document passes; exits 1 and
-//! lists every problem when it does not.
+//! lists every problem when it does not; exits 2 when either file is
+//! missing or malformed (so CI can tell a failed gate from a gate that
+//! never ran).
 
 use ce_bench::json::Json;
 use ce_bench::metrics_check::validate;
@@ -23,7 +25,7 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(doc_path) = args.next() else {
         eprintln!("usage: metrics_check METRICS.json [SCHEMA.json]");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     let schema_path = args.next().unwrap_or_else(|| "results/metrics.schema.json".to_owned());
 
@@ -33,7 +35,7 @@ fn main() -> ExitCode {
             for e in [d.err(), s.err()].into_iter().flatten() {
                 eprintln!("error: {e}");
             }
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
 

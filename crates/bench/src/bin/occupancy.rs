@@ -4,71 +4,119 @@
 //! and FIFO slots shadow ready instructions behind unready heads (lower
 //! effective occupancy).
 //!
+//! ```text
+//! cargo run --release -p ce-bench --bin occupancy -- [--out PATH] [--resume]
+//! ```
+//!
 //! The last three columns come from the stall-attribution accountant:
 //! the share of the machine's issue slots charged to operand waits, to
 //! unready FIFO heads, and to the empty-window background. Together with
 //! `used` (issued slots) they bound the slot budget; the remaining
 //! causes (FU contention, inter-cluster waits, dispatch backpressure,
 //! mispredict recovery) make up the rest.
+//!
+//! Runs fault-tolerantly: each cell is journaled as it completes, so a
+//! killed run restarted with `--resume` re-simulates only unfinished
+//! cells and writes a byte-identical CSV.
 
-use ce_bench::runner::{self, RunOptions};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use ce_bench::cli::{finish_sweep, SweepArgs};
+use ce_bench::runner::{self, RunOptions, SweepOptions};
 use ce_sim::{machine, StallCause};
 use ce_workloads::Benchmark;
 
-fn main() {
+fn main() -> ExitCode {
+    let args = SweepArgs::parse("results/occupancy.csv");
     let machines = [
         ("window", machine::baseline_8way()),
         ("fifos", machine::dependence_8way()),
         ("2c-fifos", machine::clustered_fifos_8way()),
         ("2c-windows", machine::clustered_windows_dispatch_8way()),
     ];
-    println!("Scheduler occupancy, dispatch stalls, and issue-slot attribution");
-    println!(
-        "{:<10} {:<11} {:>8} {:>10} {:>12} {:>10} {:>9} {:>8} {:>8} {:>9} {:>7}",
-        "benchmark",
-        "machine",
-        "IPC",
-        "occupancy",
-        "sched-stall",
-        "inflight",
-        "preg",
-        "idle",
-        "operand",
-        "fifohead",
-        "empty"
-    );
-    ce_bench::rule(112);
     let jobs = runner::grid(&machines);
-    let results =
-        runner::run_timed_with(&jobs, ce_bench::max_insts(), RunOptions { attribution: true });
-    let mut results = results.into_iter().map(|r| r.stats);
-    for bench in Benchmark::all() {
-        for (name, cfg) in &machines {
-            let stats = results.next().expect("one result per cell");
-            let slots = cfg.issue_width as u64 * stats.cycles;
-            let pct =
-                |cause: StallCause| stats.stall_breakdown.get(cause) as f64 / slots as f64 * 100.0;
-            println!(
-                "{:<10} {:<11} {:>8.3} {:>10.1} {:>12} {:>10} {:>9} {:>7.1}% {:>7.1}% {:>8.1}% {:>6.1}%",
-                bench.name(),
-                name,
-                stats.ipc(),
-                stats.mean_occupancy(),
-                stats.scheduler_stalls,
-                stats.inflight_stalls,
-                stats.preg_stalls,
-                stats.idle_issue_fraction() * 100.0,
-                pct(StallCause::OperandWait),
-                pct(StallCause::FifoHeadNotReady),
-                pct(StallCause::EmptyWindow)
-            );
+    let opts = SweepOptions {
+        run: RunOptions { attribution: true },
+        checkpoint: Some(args.checkpoint()),
+        ..SweepOptions::default()
+    };
+    let summary = match runner::run_sweep_ft(&jobs, ce_bench::max_insts(), &opts) {
+        Ok(summary) => summary,
+        Err(e) => {
+            eprintln!("occupancy: error: checkpoint journal: {e}");
+            return ExitCode::from(2);
         }
+    };
+
+    let mut csv = String::from(
+        "benchmark,machine,ipc,occupancy,sched_stalls,inflight_stalls,preg_stalls,\
+         idle_pct,operand_pct,fifohead_pct,empty_pct\n",
+    );
+    if summary.all_ok() {
+        println!("Scheduler occupancy, dispatch stalls, and issue-slot attribution");
+        println!(
+            "{:<10} {:<11} {:>8} {:>10} {:>12} {:>10} {:>9} {:>8} {:>8} {:>9} {:>7}",
+            "benchmark",
+            "machine",
+            "IPC",
+            "occupancy",
+            "sched-stall",
+            "inflight",
+            "preg",
+            "idle",
+            "operand",
+            "fifohead",
+            "empty"
+        );
+        ce_bench::rule(112);
+        let mut results = summary.ok_cells().map(|r| &r.stats);
+        for bench in Benchmark::all() {
+            for (name, cfg) in &machines {
+                let stats = results.next().expect("one result per cell");
+                let slots = cfg.issue_width as u64 * stats.cycles;
+                let pct = |cause: StallCause| {
+                    stats.stall_breakdown.get(cause) as f64 / slots as f64 * 100.0
+                };
+                println!(
+                    "{:<10} {:<11} {:>8.3} {:>10.1} {:>12} {:>10} {:>9} {:>7.1}% {:>7.1}% {:>8.1}% {:>6.1}%",
+                    bench.name(),
+                    name,
+                    stats.ipc(),
+                    stats.mean_occupancy(),
+                    stats.scheduler_stalls,
+                    stats.inflight_stalls,
+                    stats.preg_stalls,
+                    stats.idle_issue_fraction() * 100.0,
+                    pct(StallCause::OperandWait),
+                    pct(StallCause::FifoHeadNotReady),
+                    pct(StallCause::EmptyWindow)
+                );
+                let _ = writeln!(
+                    csv,
+                    "{},{},{:.3},{:.1},{},{},{},{:.1},{:.1},{:.1},{:.1}",
+                    bench.name(),
+                    name,
+                    stats.ipc(),
+                    stats.mean_occupancy(),
+                    stats.scheduler_stalls,
+                    stats.inflight_stalls,
+                    stats.preg_stalls,
+                    stats.idle_issue_fraction() * 100.0,
+                    pct(StallCause::OperandWait),
+                    pct(StallCause::FifoHeadNotReady),
+                    pct(StallCause::EmptyWindow)
+                );
+            }
+        }
+        println!();
+        println!("The FIFO organizations run at lower mean occupancy for the same window");
+        println!("capacity — chains serialize issue — and take scheduler stalls the");
+        println!("flexible window never sees. That is the IPC price of head-only wakeup,");
+        println!("and Section 5.3's point is that the faster clock more than pays for it.");
+        println!("The `fifohead` column is that price in issue slots; `operand` is true");
+        println!("dataflow latency, which no scheduler organization can recover.");
+        println!();
     }
-    println!();
-    println!("The FIFO organizations run at lower mean occupancy for the same window");
-    println!("capacity — chains serialize issue — and take scheduler stalls the");
-    println!("flexible window never sees. That is the IPC price of head-only wakeup,");
-    println!("and Section 5.3's point is that the faster clock more than pays for it.");
-    println!("The `fifohead` column is that price in issue slots; `operand` is true");
-    println!("dataflow latency, which no scheduler organization can recover.");
+    finish_sweep("occupancy", &summary, &csv, &args.out)
 }

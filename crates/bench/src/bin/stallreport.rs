@@ -2,7 +2,7 @@
 //! five Figure 17 organizations across all seven kernels.
 //!
 //! ```text
-//! cargo run --release -p ce-bench --bin stallreport [out.csv]
+//! cargo run --release -p ce-bench --bin stallreport -- [--out PATH] [--resume]
 //! ```
 //!
 //! Each cell runs with the attribution accountant enabled; per-cause
@@ -12,18 +12,35 @@
 //! asserted on every cell — this binary doubles as an end-to-end check
 //! of the accountant. `CE_THREADS` and `CE_MAX_INSTS` apply as
 //! everywhere in `ce-bench`.
+//!
+//! Runs fault-tolerantly: each cell is journaled as it completes, so a
+//! killed run restarted with `--resume` re-simulates only unfinished
+//! cells and writes a byte-identical CSV.
 
 use std::fmt::Write as _;
+use std::process::ExitCode;
 
-use ce_bench::runner::{self, RunOptions};
+use ce_bench::cli::{finish_sweep, SweepArgs};
+use ce_bench::runner::{self, RunOptions, SweepOptions};
 use ce_sim::{machine, StallCause};
 use ce_workloads::Benchmark;
 
-fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "results/stall_report.csv".to_owned());
+fn main() -> ExitCode {
+    let args = SweepArgs::parse("results/stall_report.csv");
     let machines = machine::figure17_machines();
     let jobs = runner::grid(&machines);
-    let summary = runner::run_sweep(&jobs, ce_bench::max_insts(), RunOptions { attribution: true });
+    let opts = SweepOptions {
+        run: RunOptions { attribution: true },
+        checkpoint: Some(args.checkpoint()),
+        ..SweepOptions::default()
+    };
+    let summary = match runner::run_sweep_ft(&jobs, ce_bench::max_insts(), &opts) {
+        Ok(summary) => summary,
+        Err(e) => {
+            eprintln!("stallreport: error: checkpoint journal: {e}");
+            return ExitCode::from(2);
+        }
+    };
 
     let mut csv = String::from("benchmark,machine,cycles,issued,issue_slots,used_pct");
     for cause in StallCause::ALL {
@@ -31,72 +48,70 @@ fn main() {
     }
     csv.push('\n');
 
-    println!("Issue-slot stall attribution (% of issue slots = width x cycles)");
-    let mut cells = summary.cells.iter();
-    for bench in Benchmark::all() {
-        println!();
-        println!("{}:", bench.name());
-        print!("{:<12} {:>6}", "machine", "used");
-        for cause in StallCause::ALL {
-            print!(" {:>9}", cause.short());
-        }
-        println!();
-        ce_bench::rule(12 + 7 + StallCause::COUNT * 10);
-        for (name, cfg) in &machines {
-            let cell = cells.next().expect("one result per cell");
-            let stats = &cell.stats;
-            let slots = cfg.issue_width as u64 * stats.cycles;
-            assert!(
-                stats.stall_breakdown.reconciles(cfg.issue_width, stats.cycles, stats.issued),
-                "{bench}/{name}: attribution does not reconcile"
-            );
-            let pct = |n: u64| n as f64 / slots as f64 * 100.0;
-            print!("{:<12} {:>5.1}%", short(name), pct(stats.issued));
+    if summary.all_ok() {
+        println!("Issue-slot stall attribution (% of issue slots = width x cycles)");
+        let mut cells = summary.ok_cells();
+        for bench in Benchmark::all() {
+            println!();
+            println!("{}:", bench.name());
+            print!("{:<12} {:>6}", "machine", "used");
             for cause in StallCause::ALL {
-                print!(" {:>8.1}%", pct(stats.stall_breakdown.get(cause)));
+                print!(" {:>9}", cause.short());
             }
             println!();
+            ce_bench::rule(12 + 7 + StallCause::COUNT * 10);
+            for (name, cfg) in &machines {
+                let cell = cells.next().expect("one result per cell");
+                let stats = &cell.stats;
+                let slots = cfg.issue_width as u64 * stats.cycles;
+                assert!(
+                    stats.stall_breakdown.reconciles(cfg.issue_width, stats.cycles, stats.issued),
+                    "{bench}/{name}: attribution does not reconcile"
+                );
+                let pct = |n: u64| n as f64 / slots as f64 * 100.0;
+                print!("{:<12} {:>5.1}%", short(name), pct(stats.issued));
+                for cause in StallCause::ALL {
+                    print!(" {:>8.1}%", pct(stats.stall_breakdown.get(cause)));
+                }
+                println!();
 
-            let _ = write!(
-                csv,
-                "{},{},{},{},{},{:.2}",
-                bench.name(),
-                name,
-                stats.cycles,
-                stats.issued,
-                slots,
-                pct(stats.issued)
-            );
-            for cause in StallCause::ALL {
-                let _ = write!(csv, ",{}", stats.stall_breakdown.get(cause));
+                let _ = write!(
+                    csv,
+                    "{},{},{},{},{},{:.2}",
+                    bench.name(),
+                    name,
+                    stats.cycles,
+                    stats.issued,
+                    slots,
+                    pct(stats.issued)
+                );
+                for cause in StallCause::ALL {
+                    let _ = write!(csv, ",{}", stats.stall_breakdown.get(cause));
+                }
+                csv.push('\n');
             }
-            csv.push('\n');
         }
+
+        println!();
+        println!(
+            "Reading: the FIFO organizations trade `operand` waits for `fifohead` waits —");
+        println!("ready instructions shadowed behind unready FIFO heads — and the clustered");
+        println!("machines add `xcluster` slots, issue stalled only by the extra bypass cycle.");
+
+        println!();
+        println!(
+            "sweep: {} cells in {:.2}s wall ({:.2}s summed serial, cells {:.0}-{:.0} ms), \
+             {:.2} Mcycles/s aggregate",
+            summary.cells.len(),
+            summary.sweep_wall.as_secs_f64(),
+            summary.serial_cell_wall.as_secs_f64(),
+            summary.min_cell_wall.as_secs_f64() * 1e3,
+            summary.max_cell_wall.as_secs_f64() * 1e3,
+            summary.sim_mcycles_per_s()
+        );
+        println!();
     }
-
-    println!();
-    println!(
-        "Reading: the FIFO organizations trade `operand` waits for `fifohead` waits —");
-    println!("ready instructions shadowed behind unready FIFO heads — and the clustered");
-    println!("machines add `xcluster` slots, issue stalled only by the extra bypass cycle.");
-
-    println!();
-    println!(
-        "sweep: {} cells in {:.2}s wall ({:.2}s summed serial, cells {:.0}-{:.0} ms), \
-         {:.2} Mcycles/s aggregate",
-        summary.cells.len(),
-        summary.sweep_wall.as_secs_f64(),
-        summary.serial_cell_wall.as_secs_f64(),
-        summary.min_cell_wall.as_secs_f64() * 1e3,
-        summary.max_cell_wall.as_secs_f64() * 1e3,
-        summary.sim_mcycles_per_s()
-    );
-
-    if let Err(e) = std::fs::write(&out_path, &csv) {
-        eprintln!("warning: could not write {out_path}: {e}");
-    } else {
-        println!("wrote {out_path}");
-    }
+    finish_sweep("stallreport", &summary, &csv, &args.out)
 }
 
 fn short(name: &str) -> &str {

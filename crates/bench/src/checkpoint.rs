@@ -1,0 +1,448 @@
+//! Sweep checkpoint/resume: a journal of completed cells that survives
+//! `kill -9`, plus atomic result-file writes.
+//!
+//! ## Journal format (`results/*.ckpt.jsonl`)
+//!
+//! Line-oriented JSON, one object per line, append-only:
+//!
+//! ```text
+//! {"ce_sweep_ckpt": 1, "sweep": "<16-hex sweep id>", "cells": N}
+//! {"cell": 3, "wall_us": 1234, "stats": {...every SimStats counter...}}
+//! …
+//! ```
+//!
+//! The header pins a *sweep identity* — a hash over the job list, the
+//! instruction cap, and the run options — so a stale journal from a
+//! different sweep (or the same sweep at a different cap) is discarded
+//! rather than replayed into the wrong grid. Each completed cell is
+//! appended and flushed before the worker moves on, so a process killed
+//! mid-sweep loses at most the cells in flight. On load, a torn final
+//! line (the `kill -9` signature) is tolerated and dropped; corruption
+//! anywhere else discards the whole journal — resuming from bytes we
+//! cannot trust would be worse than redoing the work.
+//!
+//! Statistics are journaled losslessly: every `u64` counter in
+//! [`SimStats`] round-trips exactly (counters sit far below 2^53, the
+//! reader's f64 mantissa limit), so a resumed sweep's CSV output is
+//! **byte-identical** to an uninterrupted run — `tests/fault_tolerance.rs`
+//! kills a real sweep binary mid-run and diffs the bytes to pin this.
+//!
+//! The journal is removed once the sweep completes with zero failures;
+//! result CSVs themselves are written via [`write_atomic`]
+//! (tempfile + rename), so readers never observe a half-written table.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+
+use ce_sim::{SimStats, StallCause};
+
+use crate::json::Json;
+use crate::runner::{Job, RunOptions, TimedResult};
+
+/// Where a sweep checkpoints, and whether to load what is already there.
+#[derive(Debug, Clone)]
+pub struct CheckpointSpec {
+    /// Journal path (conventionally `results/<sweep>.ckpt.jsonl`).
+    pub path: PathBuf,
+    /// Load completed cells from an existing journal (`--resume`); when
+    /// `false` any existing journal is overwritten.
+    pub resume: bool,
+}
+
+impl CheckpointSpec {
+    /// The conventional journal path for a result file:
+    /// `results/foo.csv` → `results/foo.ckpt.jsonl`.
+    pub fn for_output(out: &Path, resume: bool) -> CheckpointSpec {
+        let stem = out.file_stem().and_then(|s| s.to_str()).unwrap_or("sweep");
+        let path = out.with_file_name(format!("{stem}.ckpt.jsonl"));
+        CheckpointSpec { path, resume }
+    }
+}
+
+/// Identity of a sweep: an FNV-1a hash over every job's debug form, the
+/// instruction cap, and the run options. Two invocations with the same
+/// grid get the same id; any change to the grid, cap, or options changes
+/// it and invalidates old journals.
+pub fn sweep_id(jobs: &[Job], max_insts: u64, opts: RunOptions) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(format!("max_insts={max_insts} opts={opts:?}").as_bytes());
+    for job in jobs {
+        eat(format!("{job:?}").as_bytes());
+    }
+    h
+}
+
+/// An open, appendable sweep journal.
+#[derive(Debug)]
+pub struct Journal {
+    writer: BufWriter<File>,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Opens the journal for a sweep: loads any completed cells recorded
+    /// for the same sweep id (when `spec.resume`), then positions the
+    /// file for appending. Returns the journal and the recovered cells
+    /// (input-order slots, `None` where work remains).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating or reading the journal file. A journal that
+    /// exists but fails validation (wrong sweep id, wrong cell count,
+    /// mid-file corruption) is *not* an error — it is discarded and the
+    /// sweep starts fresh.
+    pub fn open(
+        spec: &CheckpointSpec,
+        id: u64,
+        cells: usize,
+    ) -> std::io::Result<(Journal, Vec<Option<TimedResult>>)> {
+        let mut recovered: Vec<Option<TimedResult>> = vec![None; cells];
+        let mut replay = false;
+        if spec.resume {
+            if let Ok(text) = std::fs::read_to_string(&spec.path) {
+                if let Some(loaded) = load_journal(&text, id, cells) {
+                    recovered = loaded;
+                    replay = true;
+                }
+            }
+        }
+        if let Some(dir) = spec.path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut writer = if replay {
+            // Keep the valid journal and append to it. Recovery already
+            // dropped any torn final line; appending after it is safe
+            // because the loader tolerates (and re-drops) it on the next
+            // resume — every complete line is still complete.
+            BufWriter::new(OpenOptions::new().append(true).open(&spec.path)?)
+        } else {
+            let mut w = BufWriter::new(File::create(&spec.path)?);
+            writeln!(w, "{{\"ce_sweep_ckpt\": 1, \"sweep\": \"{id:016x}\", \"cells\": {cells}}}")?;
+            w.flush()?;
+            w
+        };
+        writer.flush()?;
+        Ok((Journal { writer, path: spec.path.clone() }, recovered))
+    }
+
+    /// Appends one completed cell and flushes, so the record survives an
+    /// immediate `kill -9`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the append or flush.
+    pub fn record(&mut self, cell: usize, result: &TimedResult) -> std::io::Result<()> {
+        writeln!(
+            self.writer,
+            "{{\"cell\": {cell}, \"wall_us\": {}, \"stats\": {}}}",
+            result.wall.as_micros(),
+            stats_to_json(&result.stats)
+        )?;
+        self.writer.flush()
+    }
+
+    /// Removes the journal — the sweep completed and its results were
+    /// written, so there is nothing left to resume.
+    pub fn finish(self) {
+        drop(self.writer);
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Parses a journal, returning the recovered cells if it belongs to this
+/// sweep and is trustworthy, else `None`. A torn final line is dropped;
+/// torn or corrupt lines anywhere else invalidate the journal.
+fn load_journal(text: &str, id: u64, cells: usize) -> Option<Vec<Option<TimedResult>>> {
+    let mut lines = text.lines().peekable();
+    let header = Json::parse(lines.next()?).ok()?;
+    if header.at("ce_sweep_ckpt").and_then(Json::as_u64) != Some(1)
+        || header.at("sweep").and_then(Json::as_str) != Some(format!("{id:016x}").as_str())
+        || header.at("cells").and_then(Json::as_u64) != Some(cells as u64)
+    {
+        return None;
+    }
+    let mut recovered: Vec<Option<TimedResult>> = vec![None; cells];
+    while let Some(line) = lines.next() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed = Json::parse(line).ok().and_then(|doc| {
+            let cell = doc.at("cell")?.as_u64()? as usize;
+            let wall_us = doc.at("wall_us")?.as_u64()?;
+            let stats = stats_from_json(doc.at("stats")?)?;
+            Some((cell, wall_us, stats))
+        });
+        match parsed {
+            Some((cell, wall_us, stats)) if cell < cells => {
+                recovered[cell] = Some(TimedResult {
+                    stats,
+                    wall: std::time::Duration::from_micros(wall_us),
+                });
+            }
+            _ if lines.peek().is_none() => {
+                // Torn final line: the kill arrived mid-append. The cell
+                // simply reruns.
+                break;
+            }
+            _ => return None, // corruption before the end: distrust it all
+        }
+    }
+    Some(recovered)
+}
+
+/// Serializes every [`SimStats`] counter to a JSON object, losslessly.
+fn stats_to_json(s: &SimStats) -> String {
+    let hist =
+        s.issue_histogram.iter().map(u64::to_string).collect::<Vec<_>>().join(", ");
+    let stalls = StallCause::ALL
+        .iter()
+        .map(|&c| s.stall_breakdown.get(c).to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{\"cycles\": {}, \"committed\": {}, \"issued\": {}, \"branches\": {}, \
+         \"mispredictions\": {}, \"loads\": {}, \"stores\": {}, \"dcache_misses\": {}, \
+         \"dcache_accesses\": {}, \"forwarded_loads\": {}, \"intercluster_bypasses\": {}, \
+         \"dispatch_stall_cycles\": {}, \"scheduler_stalls\": {}, \"inflight_stalls\": {}, \
+         \"preg_stalls\": {}, \"occupancy_sum\": {}, \"wrong_path_fetched\": {}, \
+         \"wrong_path_issued\": {}, \"issue_histogram\": [{}], \"stall_breakdown\": [{}]}}",
+        s.cycles,
+        s.committed,
+        s.issued,
+        s.branches,
+        s.mispredictions,
+        s.loads,
+        s.stores,
+        s.dcache_misses,
+        s.dcache_accesses,
+        s.forwarded_loads,
+        s.intercluster_bypasses,
+        s.dispatch_stall_cycles,
+        s.scheduler_stalls,
+        s.inflight_stalls,
+        s.preg_stalls,
+        s.occupancy_sum,
+        s.wrong_path_fetched,
+        s.wrong_path_issued,
+        hist,
+        stalls,
+    )
+}
+
+/// Reads a [`stats_to_json`] object back; `None` on any missing or
+/// ill-typed field.
+fn stats_from_json(doc: &Json) -> Option<SimStats> {
+    let field = |name: &str| doc.at(name).and_then(Json::as_u64);
+    let mut s = SimStats {
+        cycles: field("cycles")?,
+        committed: field("committed")?,
+        issued: field("issued")?,
+        branches: field("branches")?,
+        mispredictions: field("mispredictions")?,
+        loads: field("loads")?,
+        stores: field("stores")?,
+        dcache_misses: field("dcache_misses")?,
+        dcache_accesses: field("dcache_accesses")?,
+        forwarded_loads: field("forwarded_loads")?,
+        intercluster_bypasses: field("intercluster_bypasses")?,
+        dispatch_stall_cycles: field("dispatch_stall_cycles")?,
+        scheduler_stalls: field("scheduler_stalls")?,
+        inflight_stalls: field("inflight_stalls")?,
+        preg_stalls: field("preg_stalls")?,
+        occupancy_sum: field("occupancy_sum")?,
+        wrong_path_fetched: field("wrong_path_fetched")?,
+        wrong_path_issued: field("wrong_path_issued")?,
+        ..SimStats::default()
+    };
+    let hist = doc.at("issue_histogram")?.as_arr()?;
+    if hist.len() != s.issue_histogram.len() {
+        return None;
+    }
+    for (slot, v) in s.issue_histogram.iter_mut().zip(hist) {
+        *slot = v.as_u64()?;
+    }
+    let stalls = doc.at("stall_breakdown")?.as_arr()?;
+    if stalls.len() != StallCause::COUNT {
+        return None;
+    }
+    for (&cause, v) in StallCause::ALL.iter().zip(stalls) {
+        s.stall_breakdown.charge(cause, v.as_u64()?);
+    }
+    Some(s)
+}
+
+/// Writes `content` to `path` atomically: tempfile in the same directory,
+/// flush, then rename over the target. Readers (and a `kill -9`) never
+/// observe a half-written file.
+///
+/// # Errors
+///
+/// I/O errors from the write or rename; the tempfile is cleaned up on
+/// failure.
+pub fn write_atomic(path: &Path, content: &str) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let tmp = path.with_extension(format!(
+        "tmp.{}",
+        std::process::id(),
+    ));
+    let result = std::fs::write(&tmp, content).and_then(|()| std::fs::rename(&tmp, path));
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_workloads::Benchmark;
+    use std::time::Duration;
+
+    fn sample_stats(seed: u64) -> SimStats {
+        let mut s = SimStats {
+            cycles: 1000 + seed,
+            committed: 2000 + seed,
+            issued: 2000 + seed,
+            occupancy_sum: u64::MAX / 3, // large counters must round-trip
+            ..SimStats::default()
+        };
+        s.issue_histogram[3] = 17 + seed;
+        s.stall_breakdown.charge(StallCause::OperandWait, 40 + seed);
+        s
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ce-ckpt-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    #[test]
+    fn stats_round_trip_losslessly() {
+        let s = sample_stats(3);
+        let back = stats_from_json(&Json::parse(&stats_to_json(&s)).unwrap()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn journal_records_and_resumes() {
+        let dir = temp_dir("resume");
+        let spec = CheckpointSpec::for_output(&dir.join("t.csv"), true);
+        assert!(spec.path.ends_with("t.ckpt.jsonl"));
+
+        let (mut j, recovered) = Journal::open(&spec, 42, 3).unwrap();
+        assert!(recovered.iter().all(Option::is_none));
+        j.record(1, &TimedResult { stats: sample_stats(1), wall: Duration::from_micros(7) })
+            .unwrap();
+        drop(j); // simulate dying mid-sweep
+
+        let (_j, recovered) = Journal::open(&spec, 42, 3).unwrap();
+        assert!(recovered[0].is_none() && recovered[2].is_none());
+        let got = recovered[1].as_ref().expect("cell 1 recovered");
+        assert_eq!(got.stats, sample_stats(1));
+        assert_eq!(got.wall, Duration::from_micros(7));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mismatched_sweep_id_or_geometry_discards_the_journal() {
+        let dir = temp_dir("mismatch");
+        let spec = CheckpointSpec::for_output(&dir.join("t.csv"), true);
+        let (mut j, _) = Journal::open(&spec, 42, 3).unwrap();
+        j.record(0, &TimedResult { stats: sample_stats(0), wall: Duration::ZERO }).unwrap();
+        drop(j);
+
+        let (_j, recovered) = Journal::open(&spec, 43, 3).unwrap(); // different sweep
+        assert!(recovered.iter().all(Option::is_none));
+        let (_j, recovered) = Journal::open(&spec, 42, 4).unwrap(); // different grid
+        assert!(recovered.iter().all(Option::is_none));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_final_line_is_tolerated_and_dropped() {
+        let dir = temp_dir("torn");
+        let spec = CheckpointSpec::for_output(&dir.join("t.csv"), true);
+        let (mut j, _) = Journal::open(&spec, 7, 2).unwrap();
+        j.record(0, &TimedResult { stats: sample_stats(0), wall: Duration::ZERO }).unwrap();
+        j.record(1, &TimedResult { stats: sample_stats(1), wall: Duration::ZERO }).unwrap();
+        drop(j);
+
+        // Tear the last line the way kill -9 mid-append does.
+        let text = std::fs::read_to_string(&spec.path).unwrap();
+        let torn = &text[..text.len() - 20];
+        std::fs::write(&spec.path, torn).unwrap();
+
+        let (_j, recovered) = Journal::open(&spec, 7, 2).unwrap();
+        assert!(recovered[0].is_some(), "intact line survives");
+        assert!(recovered[1].is_none(), "torn line reruns");
+
+        // Corruption *before* the end distrusts the whole journal.
+        let mut lines: Vec<String> =
+            text.lines().map(str::to_string).collect();
+        lines[1] = "{\"cell\": garbage".into();
+        std::fs::write(&spec.path, lines.join("\n") + "\n").unwrap();
+        let (_j, recovered) = Journal::open(&spec, 7, 2).unwrap();
+        assert!(recovered.iter().all(Option::is_none));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_off_truncates() {
+        let dir = temp_dir("trunc");
+        let spec = CheckpointSpec::for_output(&dir.join("t.csv"), true);
+        let (mut j, _) = Journal::open(&spec, 9, 2).unwrap();
+        j.record(0, &TimedResult { stats: sample_stats(0), wall: Duration::ZERO }).unwrap();
+        drop(j);
+
+        let fresh = CheckpointSpec { resume: false, ..spec.clone() };
+        let (_j, recovered) = Journal::open(&fresh, 9, 2).unwrap();
+        assert!(recovered.iter().all(Option::is_none));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_id_tracks_grid_cap_and_options() {
+        let jobs: Vec<Job> =
+            vec![(Benchmark::Compress, ce_sim::machine::baseline_8way())];
+        let other: Vec<Job> =
+            vec![(Benchmark::Li, ce_sim::machine::baseline_8way())];
+        let a = sweep_id(&jobs, 1000, RunOptions::default());
+        assert_eq!(a, sweep_id(&jobs, 1000, RunOptions::default()), "stable");
+        assert_ne!(a, sweep_id(&other, 1000, RunOptions::default()));
+        assert_ne!(a, sweep_id(&jobs, 2000, RunOptions::default()));
+        assert_ne!(a, sweep_id(&jobs, 1000, RunOptions { attribution: true }));
+    }
+
+    #[test]
+    fn write_atomic_replaces_content() {
+        let dir = temp_dir("atomic");
+        let path = dir.join("out.csv");
+        write_atomic(&path, "a,b\n1,2\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a,b\n1,2\n");
+        write_atomic(&path, "new\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "new\n");
+        assert!(
+            std::fs::read_dir(&dir).unwrap().count() == 1,
+            "no tempfile left behind"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

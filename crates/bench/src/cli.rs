@@ -1,0 +1,134 @@
+//! Shared command-line plumbing for the sweep binaries.
+//!
+//! Every figure/table binary accepts the same two flags:
+//!
+//! ```text
+//! --out PATH    write the result CSV to PATH (default results/<name>.csv)
+//! --resume      resume from PATH's checkpoint journal, re-simulating only
+//!               unfinished cells
+//! ```
+//!
+//! and finishes through [`finish_sweep`], which enforces one policy
+//! everywhere: a fully-successful sweep writes its CSV atomically and
+//! deletes the journal; a sweep with failures writes **no** CSV, keeps
+//! the journal for a later `--resume`, reports every failure with its
+//! [`RunError`](crate::runner::RunError) category, and exits nonzero.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use crate::checkpoint::{write_atomic, CheckpointSpec};
+use crate::runner::SweepSummary;
+
+/// Parsed sweep-binary arguments.
+#[derive(Debug, Clone)]
+pub struct SweepArgs {
+    /// Result CSV path.
+    pub out: PathBuf,
+    /// Resume from the checkpoint journal next to `out`.
+    pub resume: bool,
+}
+
+impl SweepArgs {
+    /// Parses `std::env::args`, exiting with code 2 and a usage message on
+    /// anything unrecognized.
+    pub fn parse(default_out: &str) -> SweepArgs {
+        match SweepArgs::try_parse(std::env::args().skip(1), default_out) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("{msg}");
+                eprintln!("usage: [--out PATH] [--resume]   (default --out {default_out})");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// [`SweepArgs::parse`] over an explicit argument iterator.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the unrecognized or incomplete argument.
+    pub fn try_parse(
+        args: impl Iterator<Item = String>,
+        default_out: &str,
+    ) -> Result<SweepArgs, String> {
+        let mut out = PathBuf::from(default_out);
+        let mut resume = false;
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--resume" => resume = true,
+                "--out" => {
+                    out = PathBuf::from(
+                        args.next().ok_or("--out needs a path argument")?,
+                    );
+                }
+                other => return Err(format!("unrecognized argument `{other}`")),
+            }
+        }
+        Ok(SweepArgs { out, resume })
+    }
+
+    /// The checkpoint spec for this invocation (journal lives next to the
+    /// CSV as `<stem>.ckpt.jsonl`).
+    pub fn checkpoint(&self) -> CheckpointSpec {
+        CheckpointSpec::for_output(&self.out, self.resume)
+    }
+}
+
+/// Applies the uniform end-of-sweep policy (see the module docs) and
+/// returns the process exit code: 0 clean, 1 cell failures, 2 I/O errors.
+pub fn finish_sweep(name: &str, summary: &SweepSummary, csv: &str, out: &Path) -> ExitCode {
+    if summary.resumed > 0 {
+        eprintln!(
+            "{name}: resumed {} of {} cells from {}",
+            summary.resumed,
+            summary.cells.len(),
+            CheckpointSpec::for_output(out, true).path.display()
+        );
+    }
+    if summary.failures.is_empty() {
+        if let Err(e) = write_atomic(out, csv) {
+            eprintln!("{name}: error: writing {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("{name}: wrote {}", out.display());
+        ExitCode::SUCCESS
+    } else {
+        for failure in &summary.failures {
+            eprintln!("{name}: error: {failure}");
+        }
+        eprintln!(
+            "{name}: {} of {} cells failed; no CSV written, checkpoint kept for --resume",
+            summary.failures.len(),
+            summary.cells.len()
+        );
+        ExitCode::from(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<SweepArgs, String> {
+        SweepArgs::try_parse(args.iter().map(|s| s.to_string()), "results/x.csv")
+    }
+
+    #[test]
+    fn defaults_and_flags() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.out, PathBuf::from("results/x.csv"));
+        assert!(!a.resume);
+        let a = parse(&["--resume", "--out", "/tmp/y.csv"]).unwrap();
+        assert!(a.resume);
+        assert_eq!(a.out, PathBuf::from("/tmp/y.csv"));
+        assert!(a.checkpoint().path.ends_with("y.ckpt.jsonl"));
+    }
+
+    #[test]
+    fn rejects_unknown_and_incomplete_args() {
+        assert!(parse(&["--frobnicate"]).unwrap_err().contains("frobnicate"));
+        assert!(parse(&["--out"]).unwrap_err().contains("path"));
+    }
+}

@@ -9,8 +9,10 @@
 //! numbers, booleans, null — with dotted-path lookup ([`Json::at`]).
 //!
 //! It is a reader for trusted, self-produced files, not a general-purpose
-//! parser: numbers are held as `f64` (fine for counters far below 2^53)
-//! and surrogate-pair `\u` escapes are not combined.
+//! parser: surrogate-pair `\u` escapes are not combined. Non-negative
+//! integer tokens are held losslessly as `u64` ([`Json::Int`]) — the
+//! sweep checkpoint journal round-trips full-width counters through this
+//! reader — while everything else numeric is `f64` ([`Json::Num`]).
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -21,6 +23,9 @@ pub enum Json {
     Null,
     Bool(bool),
     Num(f64),
+    /// A non-negative integer token, kept exact (`f64` would corrupt
+    /// counters above 2^53).
+    Int(u64),
     Str(String),
     Arr(Vec<Json>),
     /// Object keys sorted (BTreeMap): key order is irrelevant to lookup.
@@ -74,14 +79,17 @@ impl Json {
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
+            Json::Int(n) => Some(*n as f64),
             _ => None,
         }
     }
 
-    /// The value as a non-negative integer (counters). `None` for
-    /// negative, fractional, or non-numeric values.
+    /// The value as a non-negative integer (counters), exact for
+    /// [`Json::Int`]. `None` for negative, fractional, or non-numeric
+    /// values.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
+            Json::Int(n) => Some(*n),
             Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
             _ => None,
         }
@@ -120,7 +128,7 @@ impl Json {
         match self {
             Json::Null => "null",
             Json::Bool(_) => "bool",
-            Json::Num(_) => "number",
+            Json::Num(_) | Json::Int(_) => "number",
             Json::Str(_) => "string",
             Json::Arr(_) => "array",
             Json::Obj(_) => "object",
@@ -287,6 +295,13 @@ impl<'a> Parser<'a> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        // Plain non-negative integer tokens stay exact; anything signed,
+        // fractional, or exponent-form goes through f64.
+        if text.bytes().all(|b| b.is_ascii_digit()) {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::Int(n));
+            }
+        }
         text.parse::<f64>().map(Json::Num).map_err(|_| ParseError {
             offset: start,
             message: format!("bad number `{text}`"),
@@ -348,5 +363,16 @@ mod tests {
         assert_eq!(items[3].as_u64(), Some(1000));
         assert_eq!(items[4].as_bool(), Some(true));
         assert_eq!(items[4].type_name(), "bool");
+    }
+
+    /// Counters above 2^53 must survive exactly — the sweep checkpoint
+    /// journal depends on integer round-trips being lossless.
+    #[test]
+    fn big_integers_are_exact() {
+        let v = Json::parse("[18446744073709551615, 9007199254740993]").expect("parse");
+        let items = v.as_arr().expect("array");
+        assert_eq!(items[0].as_u64(), Some(u64::MAX));
+        assert_eq!(items[1].as_u64(), Some((1 << 53) + 1));
+        assert_eq!(items[0].type_name(), "number");
     }
 }

@@ -33,6 +33,9 @@ use std::sync::Arc;
 
 use ce_workloads::{trace_cached, Benchmark, Trace};
 
+pub mod checkpoint;
+pub mod cli;
+pub mod fault;
 pub mod json;
 pub mod metrics_check;
 pub mod runner;

@@ -36,7 +36,7 @@ pub const SCHEMA_FILE_SCHEMA: &str = "ce-sim.metrics.schema.v1";
 fn type_matches(value: &Json, ty: &str) -> bool {
     match ty {
         "string" => matches!(value, Json::Str(_)),
-        "number" => matches!(value, Json::Num(_)),
+        "number" => matches!(value, Json::Num(_) | Json::Int(_)),
         "counter" => value.as_u64().is_some(),
         "bool" => matches!(value, Json::Bool(_)),
         "array" => matches!(value, Json::Arr(_)),

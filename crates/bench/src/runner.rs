@@ -1,4 +1,4 @@
-//! Parallel experiment runner.
+//! Fault-tolerant parallel experiment runner.
 //!
 //! Every experiment binary reduces to the same shape: a list of
 //! `(benchmark, machine configuration)` cells, each simulated
@@ -13,18 +13,135 @@
 //! order — `CE_THREADS=1` and `CE_THREADS=32` produce the same output
 //! (`tests/runner_determinism.rs` pins this).
 //!
+//! ## Fault tolerance
+//!
+//! A sweep is hours of compute; one bad cell must cost one cell, not the
+//! sweep. Failures are classified into a [`RunError`] taxonomy and
+//! contained per cell:
+//!
+//! - **Panic isolation** — each cell runs under
+//!   [`std::panic::catch_unwind`] on a worker thread named `ce-cell-*`; a
+//!   process-wide panic hook keeps those threads' panics off stderr (the
+//!   failure is *reported*, in the result, not *printed* mid-table).
+//! - **Deadlines** — [`RunPolicy::cell_timeout`] arms the simulator's
+//!   cycle-loop deadline so a pathological cell returns
+//!   [`Timeout`](RunError::Timeout) instead of hanging a worker.
+//! - **Retry with backoff** — transient failures (only timeouts qualify)
+//!   are retried up to [`RunPolicy::max_attempts`] times with exponential
+//!   backoff; deterministic failures are never retried.
+//! - **Quarantine** — once a job fails deterministically, later cells with
+//!   the *same* `(benchmark, config)` fail fast with the recorded error
+//!   instead of re-running a known-bad input.
+//! - **Checkpoint/resume** — [`run_sweep_ft`] journals each completed cell
+//!   (see [`crate::checkpoint`]) so a killed sweep resumes where it died.
+//!
 //! Worker count comes from the `CE_THREADS` environment variable,
 //! defaulting to [`std::thread::available_parallelism`].
 
+use std::collections::HashMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use ce_sim::{SimConfig, SimStats, Simulator};
+use ce_sim::{SimConfig, SimError, SimStats, Simulator};
 use ce_workloads::{trace_cached, Benchmark};
+
+use crate::checkpoint::{sweep_id, CheckpointSpec, Journal};
 
 /// One unit of simulation work: a benchmark kernel on a machine config.
 pub type Job = (Benchmark, SimConfig);
+
+/// Why one cell of a sweep failed. The taxonomy separates *whose fault it
+/// was* (a bad config, a bad input file, a simulator bug, a resource
+/// limit, a correctness violation) because each category has a different
+/// remedy, a different retry policy, and a different exit code upstream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The configuration failed validation ([`Simulator::try_new`]).
+    ConfigInvalid(String),
+    /// The workload could not be traced or its trace file was rejected.
+    TraceCorrupt(String),
+    /// The cell panicked — a simulator bug, contained to this cell.
+    CellPanic(String),
+    /// The cell exceeded its deadline (or deadlocked) before finishing.
+    Timeout(String),
+    /// The invariant checker found the simulated state inconsistent.
+    CheckerViolation(String),
+}
+
+impl RunError {
+    /// Stable machine-readable category name (reports, CI greps).
+    pub fn category(&self) -> &'static str {
+        match self {
+            RunError::ConfigInvalid(_) => "config-invalid",
+            RunError::TraceCorrupt(_) => "trace-corrupt",
+            RunError::CellPanic(_) => "cell-panic",
+            RunError::Timeout(_) => "timeout",
+            RunError::CheckerViolation(_) => "checker-violation",
+        }
+    }
+
+    /// The underlying message, without the category prefix.
+    pub fn message(&self) -> &str {
+        match self {
+            RunError::ConfigInvalid(m)
+            | RunError::TraceCorrupt(m)
+            | RunError::CellPanic(m)
+            | RunError::Timeout(m)
+            | RunError::CheckerViolation(m) => m,
+        }
+    }
+
+    /// Whether retrying the same cell could plausibly succeed. Only
+    /// timeouts qualify: wall-clock deadlines depend on machine load,
+    /// while config, trace, panic, and checker failures are deterministic
+    /// functions of the input and would fail identically again.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, RunError::Timeout(_))
+    }
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.category(), self.message())
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Maps a structured simulator error onto the runner taxonomy.
+fn classify_sim_error(e: &SimError) -> RunError {
+    match e {
+        SimError::Checker { .. } => RunError::CheckerViolation(e.to_string()),
+        // A deadlock is "the cell did not finish within its cycle budget" —
+        // operationally the same as a deadline: the cell is aborted and the
+        // sweep moves on.
+        SimError::Deadlock { .. } | SimError::DeadlineExceeded { .. } => {
+            RunError::Timeout(e.to_string())
+        }
+    }
+}
+
+/// Classifies a caught panic payload. Panics that are really checker or
+/// deadlock reports funneled through `panic!` (the legacy
+/// [`Simulator::run`] path) keep their category; everything else is a
+/// contained simulator bug.
+fn classify_panic(payload: Box<dyn std::any::Any + Send>) -> RunError {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "panicked with a non-string payload".to_string());
+    if msg.contains("invariant checker") {
+        RunError::CheckerViolation(msg)
+    } else if msg.contains("deadlock at cycle") {
+        RunError::Timeout(msg)
+    } else {
+        RunError::CellPanic(msg)
+    }
+}
 
 /// Per-run knobs applied uniformly to every job of a sweep.
 #[derive(Debug, Clone, Copy, Default)]
@@ -33,6 +150,32 @@ pub struct RunOptions {
     /// `SimStats::stall_breakdown`; timing is unchanged, wall time pays a
     /// small bookkeeping cost).
     pub attribution: bool,
+}
+
+/// Failure-handling policy for a sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct RunPolicy {
+    /// Per-cell wall-clock deadline; `None` (the default) lets cells run
+    /// to completion.
+    pub cell_timeout: Option<Duration>,
+    /// Attempts per cell for *transient* failures (≥ 1). Deterministic
+    /// failures always fail on the first attempt.
+    pub max_attempts: u32,
+    /// Sleep before retry `k` is `backoff_base × 2^(k−1)`.
+    pub backoff_base: Duration,
+    /// Fail duplicate jobs fast once one instance failed deterministically.
+    pub quarantine: bool,
+}
+
+impl Default for RunPolicy {
+    fn default() -> RunPolicy {
+        RunPolicy {
+            cell_timeout: None,
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(50),
+            quarantine: true,
+        }
+    }
 }
 
 /// A completed [`Job`] with its wall-clock cost.
@@ -57,27 +200,95 @@ impl TimedResult {
     }
 }
 
-/// Aggregate wall-clock accounting for one sweep, as returned by
+/// One failed cell of a sweep: what failed, why, and how hard the runner
+/// tried before giving up.
+#[derive(Debug, Clone)]
+pub struct CellFailure {
+    /// Input-order index of the cell.
+    pub index: usize,
+    /// The benchmark half of the job (the config half is `jobs[index].1`).
+    pub bench: Benchmark,
+    /// The classified failure.
+    pub error: RunError,
+    /// Attempts actually made (0 when quarantined — never run at all).
+    pub attempts: u32,
+    /// `Some(i)` if this cell never ran because the identical job already
+    /// failed deterministically at cell `i`.
+    pub quarantined_after: Option<usize>,
+}
+
+impl fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.quarantined_after {
+            Some(first) => write!(
+                f,
+                "cell {} ({}): quarantined, identical job failed at cell {first}: {}",
+                self.index, self.bench, self.error
+            ),
+            None => write!(
+                f,
+                "cell {} ({}): {} ({} attempt{})",
+                self.index,
+                self.bench,
+                self.error,
+                self.attempts,
+                if self.attempts == 1 { "" } else { "s" }
+            ),
+        }
+    }
+}
+
+/// How [`run_sweep_ft`] should run: per-cell options, failure policy, and
+/// optional checkpointing.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Per-cell simulation options.
+    pub run: RunOptions,
+    /// Failure-handling policy.
+    pub policy: RunPolicy,
+    /// Journal completed cells here (and resume from it when its `resume`
+    /// flag is set). `None` disables checkpointing.
+    pub checkpoint: Option<CheckpointSpec>,
+}
+
+/// Aggregate result of one sweep, as returned by [`run_sweep_ft`] /
 /// [`run_sweep`]. All durations are wall time of the simulations alone
-/// (trace generation is memoized and excluded).
+/// (trace generation is memoized and excluded); cells recovered from a
+/// checkpoint contribute their journaled wall times.
 #[derive(Debug, Clone)]
 pub struct SweepSummary {
-    /// Per-cell results, in input order.
-    pub cells: Vec<TimedResult>,
+    /// Per-cell results, in input order; `None` where the cell failed
+    /// (see [`failures`](SweepSummary::failures) for why).
+    pub cells: Vec<Option<TimedResult>>,
+    /// Every failed cell, in input order. Empty on a fully-clean sweep.
+    pub failures: Vec<CellFailure>,
+    /// How many cells were recovered from the checkpoint journal instead
+    /// of being re-simulated.
+    pub resumed: usize,
     /// Wall time of the whole parallel sweep.
     pub sweep_wall: Duration,
     /// Sum of the individual cell wall times (what a serial run would
     /// roughly cost).
     pub serial_cell_wall: Duration,
-    /// Total simulated cycles across all cells.
+    /// Total simulated cycles across all completed cells.
     pub total_cycles: u64,
-    /// Fastest individual cell.
+    /// Fastest completed cell ([`Duration::ZERO`] if none completed).
     pub min_cell_wall: Duration,
-    /// Slowest individual cell (the sweep's critical path lower bound).
+    /// Slowest completed cell (the sweep's critical path lower bound).
     pub max_cell_wall: Duration,
 }
 
 impl SweepSummary {
+    /// The completed cells, in input order.
+    pub fn ok_cells(&self) -> impl Iterator<Item = &TimedResult> {
+        self.cells.iter().flatten()
+    }
+
+    /// Whether every cell completed.
+    pub fn all_ok(&self) -> bool {
+        self.failures.is_empty() && self.cells.iter().all(Option::is_some)
+    }
+
     /// Aggregate throughput: total simulated cycles over summed cell wall
     /// time, in millions of cycles per second. This is the simulator's
     /// single-thread speed, independent of how many workers ran.
@@ -101,6 +312,156 @@ pub fn threads() -> usize {
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
+/// Installs (once, process-wide) a panic hook that suppresses the default
+/// stderr report for worker threads named `ce-cell-*`. Their panics are
+/// caught, classified, and *returned*; printing a backtrace mid-sweep
+/// would interleave garbage into experiment tables. All other threads
+/// keep the previous hook's behaviour.
+pub(crate) fn install_cell_panic_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let in_cell = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("ce-cell"));
+            if !in_cell {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Runs one cell once: validate, trace, arm the deadline, simulate under
+/// `catch_unwind`.
+fn run_cell(
+    bench: Benchmark,
+    cfg: SimConfig,
+    max_insts: u64,
+    timeout: Option<Duration>,
+) -> Result<TimedResult, RunError> {
+    let mut sim =
+        Simulator::try_new(cfg).map_err(|e| RunError::ConfigInvalid(e.to_string()))?;
+    let trace = trace_cached(bench, max_insts)
+        .map_err(|e| RunError::TraceCorrupt(format!("tracing failed: {e}")))?;
+    if let Some(limit) = timeout {
+        sim.set_deadline(limit);
+    }
+    let start = Instant::now();
+    match catch_unwind(AssertUnwindSafe(move || sim.try_run(&trace))) {
+        Ok(Ok(stats)) => Ok(TimedResult { stats, wall: start.elapsed() }),
+        Ok(Err(e)) => Err(classify_sim_error(&e)),
+        Err(payload) => Err(classify_panic(payload)),
+    }
+}
+
+/// [`run_cell`] under the retry policy. Returns the final outcome and how
+/// many attempts were made.
+fn run_cell_with_retry(
+    bench: Benchmark,
+    cfg: SimConfig,
+    max_insts: u64,
+    policy: &RunPolicy,
+) -> (Result<TimedResult, RunError>, u32) {
+    let max_attempts = policy.max_attempts.max(1);
+    let mut attempt = 1;
+    loop {
+        match run_cell(bench, cfg, max_insts, policy.cell_timeout) {
+            Err(e) if e.is_transient() && attempt < max_attempts => {
+                std::thread::sleep(policy.backoff_base * 2u32.pow(attempt - 1));
+                attempt += 1;
+            }
+            outcome => return (outcome, attempt),
+        }
+    }
+}
+
+/// Final state of one dispatched cell.
+struct CellOutcome {
+    result: Result<TimedResult, RunError>,
+    attempts: u32,
+    quarantined_after: Option<usize>,
+}
+
+/// The parallel executor behind every public entry point: fans `jobs`
+/// across named worker threads, skipping cells where `skip[i]` (already
+/// recovered from a checkpoint), quarantining known-bad jobs, and calling
+/// `on_done` (under no locks of its own) as each cell completes so the
+/// caller can journal it. Slots for skipped cells come back `None`.
+fn execute<F>(
+    jobs: &[Job],
+    max_insts: u64,
+    run: RunOptions,
+    policy: &RunPolicy,
+    skip: &[bool],
+    on_done: F,
+) -> Vec<Option<CellOutcome>>
+where
+    F: Fn(usize, &TimedResult) + Sync,
+{
+    install_cell_panic_hook();
+    let n = jobs.len();
+    let workers = threads().min(n.max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<CellOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // Deterministic failures by job, for quarantine: job → (first failing
+    // cell, its error).
+    let quarantine: Mutex<HashMap<Job, (usize, RunError)>> = Mutex::new(HashMap::new());
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            std::thread::Builder::new()
+                .name(format!("ce-cell-{w}"))
+                .spawn_scoped(scope, || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    if skip[i] {
+                        continue;
+                    }
+                    let (bench, mut cfg) = jobs[i];
+                    cfg.attribution |= run.attribution;
+                    let known_bad = if policy.quarantine {
+                        quarantine.lock().expect("quarantine poisoned").get(&jobs[i]).cloned()
+                    } else {
+                        None
+                    };
+                    let outcome = if let Some((first, error)) = known_bad {
+                        CellOutcome {
+                            result: Err(error),
+                            attempts: 0,
+                            quarantined_after: Some(first),
+                        }
+                    } else {
+                        let (result, attempts) =
+                            run_cell_with_retry(bench, cfg, max_insts, policy);
+                        if let Err(e) = &result {
+                            if policy.quarantine && !e.is_transient() {
+                                quarantine
+                                    .lock()
+                                    .expect("quarantine poisoned")
+                                    .entry(jobs[i])
+                                    .or_insert((i, e.clone()));
+                            }
+                        }
+                        if let Ok(r) = &result {
+                            on_done(i, r);
+                        }
+                        CellOutcome { result, attempts, quarantined_after: None }
+                    };
+                    *slots[i].lock().expect("result slot poisoned") = Some(outcome);
+                })
+                .expect("spawning worker thread");
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("result slot poisoned"))
+        .collect()
+}
+
 /// Runs every job at the [`crate::max_insts`] cap and returns the
 /// statistics in input order.
 pub fn run_all(jobs: &[Job]) -> Vec<SimStats> {
@@ -112,9 +473,9 @@ pub fn run_all(jobs: &[Job]) -> Vec<SimStats> {
 ///
 /// # Panics
 ///
-/// Panics on the first failed cell (invalid configuration or a kernel that
-/// fails to trace), naming it. Sweeps that probe risky configuration
-/// corners should use [`try_run_timed`] instead and keep the good cells.
+/// Panics on the first failed cell, naming it. Sweeps that probe risky
+/// configuration corners should use [`try_run_timed`] (keep the good
+/// cells) or [`run_sweep_ft`] (full failure reporting) instead.
 pub fn run_timed(jobs: &[Job], max_insts: u64) -> Vec<TimedResult> {
     run_timed_with(jobs, max_insts, RunOptions::default())
 }
@@ -128,89 +489,144 @@ pub fn run_timed(jobs: &[Job], max_insts: u64) -> Vec<TimedResult> {
 pub fn run_timed_with(jobs: &[Job], max_insts: u64, opts: RunOptions) -> Vec<TimedResult> {
     try_run_timed_with(jobs, max_insts, opts)
         .into_iter()
-        .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|e| panic!("job {i} ({}): {e}", jobs[i].0)))
         .collect()
 }
 
-/// Runs a sweep with aggregate wall-clock accounting: per-cell results
-/// plus sweep wall time, summed cell time, and min/max cell times, for
-/// throughput reporting alongside experiment tables.
-///
-/// # Panics
-///
-/// Panics on the first failed cell, like [`run_timed`]. Panics if `jobs`
-/// is empty (a sweep with no cells has no meaningful summary).
-pub fn run_sweep(jobs: &[Job], max_insts: u64, opts: RunOptions) -> SweepSummary {
-    assert!(!jobs.is_empty(), "run_sweep needs at least one job");
-    let start = Instant::now();
-    let cells = run_timed_with(jobs, max_insts, opts);
-    let sweep_wall = start.elapsed();
-    let serial_cell_wall = cells.iter().map(|c| c.wall).sum();
-    let total_cycles = cells.iter().map(|c| c.stats.cycles).sum();
-    let min_cell_wall = cells.iter().map(|c| c.wall).min().expect("nonempty");
-    let max_cell_wall = cells.iter().map(|c| c.wall).max().expect("nonempty");
-    SweepSummary { cells, sweep_wall, serial_cell_wall, total_cycles, min_cell_wall, max_cell_wall }
-}
-
-/// Like [`run_timed`], but a bad grid cell becomes an `Err` naming the
-/// cell instead of aborting the whole parallel run: each job's
-/// configuration is validated (via [`Simulator::try_new`]) and its kernel
-/// traced inside the job's own `Result`. Results stay in input order.
-///
-/// # Panics
-///
-/// Panics only if a worker thread itself panics (a simulator bug, not a
-/// bad configuration).
-pub fn try_run_timed(jobs: &[Job], max_insts: u64) -> Vec<Result<TimedResult, String>> {
+/// Like [`run_timed`], but a failed cell becomes a classified
+/// [`RunError`] instead of aborting the whole parallel run — including
+/// cells that *panic* (contained by `catch_unwind`, reported as
+/// [`RunError::CellPanic`]). Results stay in input order.
+pub fn try_run_timed(jobs: &[Job], max_insts: u64) -> Vec<Result<TimedResult, RunError>> {
     try_run_timed_with(jobs, max_insts, RunOptions::default())
 }
 
-/// [`try_run_timed`] with explicit [`RunOptions`].
-///
-/// # Panics
-///
-/// Panics only if a worker thread itself panics (a simulator bug, not a
-/// bad configuration).
+/// [`try_run_timed`] with explicit [`RunOptions`]. Runs under the default
+/// [`RunPolicy`] (no deadline, quarantine on).
 pub fn try_run_timed_with(
     jobs: &[Job],
     max_insts: u64,
     opts: RunOptions,
-) -> Vec<Result<TimedResult, String>> {
-    let n = jobs.len();
-    let workers = threads().min(n.max(1));
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<TimedResult, String>>>> =
-        (0..n).map(|_| Mutex::new(None)).collect();
+) -> Vec<Result<TimedResult, RunError>> {
+    let skip = vec![false; jobs.len()];
+    execute(jobs, max_insts, opts, &RunPolicy::default(), &skip, |_, _| {})
+        .into_iter()
+        .map(|o| o.expect("unskipped slot filled").result)
+        .collect()
+}
 
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let (bench, mut cfg) = jobs[i];
-                cfg.attribution |= opts.attribution;
-                let result = Simulator::try_new(cfg)
-                    .map_err(|e| format!("job {i} ({bench}): {e}"))
-                    .and_then(|sim| {
-                        let trace = trace_cached(bench, max_insts)
-                            .map_err(|e| format!("job {i} ({bench}): tracing failed: {e}"))?;
-                        let start = Instant::now();
-                        let stats = sim.run(&trace);
-                        Ok(TimedResult { stats, wall: start.elapsed() })
-                    });
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
-            });
+/// Runs a sweep with aggregate wall-clock accounting.
+///
+/// This is the legacy all-or-nothing entry point: it runs under the
+/// default [`RunPolicy`] with no checkpointing and **panics on the first
+/// failed cell**, so on return every slot of `cells` is `Some`. New
+/// callers that want failures reported instead should use
+/// [`run_sweep_ft`].
+///
+/// # Panics
+///
+/// Panics on any failed cell, naming it. Panics if `jobs` is empty (a
+/// sweep with no cells has no meaningful summary).
+pub fn run_sweep(jobs: &[Job], max_insts: u64, opts: RunOptions) -> SweepSummary {
+    let summary = run_sweep_ft(
+        jobs,
+        max_insts,
+        &SweepOptions { run: opts, policy: RunPolicy::default(), checkpoint: None },
+    )
+    .expect("no checkpoint, no I/O to fail");
+    if let Some(failure) = summary.failures.first() {
+        panic!("{failure}");
+    }
+    summary
+}
+
+/// Runs a sweep fault-tolerantly: failed cells are classified and
+/// reported in [`SweepSummary::failures`] while the rest of the grid
+/// completes; with [`SweepOptions::checkpoint`] set, completed cells are
+/// journaled as they finish and a resumed invocation re-simulates only
+/// the unfinished ones. The journal is deleted after a fully-successful
+/// sweep (nothing left to resume); on a sweep with failures it is kept so
+/// a fixed rerun with `resume` still skips the good cells.
+///
+/// # Errors
+///
+/// Only checkpoint-journal I/O errors. Simulation failures are *results*
+/// (in `failures`), never `Err`.
+///
+/// # Panics
+///
+/// Panics if `jobs` is empty (a sweep with no cells has no meaningful
+/// summary).
+pub fn run_sweep_ft(
+    jobs: &[Job],
+    max_insts: u64,
+    opts: &SweepOptions,
+) -> std::io::Result<SweepSummary> {
+    assert!(!jobs.is_empty(), "run_sweep needs at least one job");
+    let start = Instant::now();
+
+    let (journal, recovered) = match &opts.checkpoint {
+        Some(spec) => {
+            let id = sweep_id(jobs, max_insts, opts.run);
+            let (journal, recovered) = Journal::open(spec, id, jobs.len())?;
+            (Some(Mutex::new(journal)), recovered)
+        }
+        None => (None, vec![None; jobs.len()]),
+    };
+    let resumed = recovered.iter().filter(|c| c.is_some()).count();
+    let skip: Vec<bool> = recovered.iter().map(Option::is_some).collect();
+
+    let journal_err: Mutex<Option<std::io::Error>> = Mutex::new(None);
+    let outcomes = execute(jobs, max_insts, opts.run, &opts.policy, &skip, |i, result| {
+        if let Some(journal) = &journal {
+            if let Err(e) = journal.lock().expect("journal poisoned").record(i, result) {
+                journal_err.lock().expect("journal error slot").get_or_insert(e);
+            }
         }
     });
+    if let Some(e) = journal_err.into_inner().expect("journal error slot") {
+        return Err(e);
+    }
 
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner().expect("result slot poisoned").expect("worker filled every slot")
-        })
-        .collect()
+    let mut cells = recovered;
+    let mut failures = Vec::new();
+    for (i, outcome) in outcomes.into_iter().enumerate() {
+        let Some(outcome) = outcome else { continue }; // resumed from journal
+        match outcome.result {
+            Ok(result) => cells[i] = Some(result),
+            Err(error) => failures.push(CellFailure {
+                index: i,
+                bench: jobs[i].0,
+                error,
+                attempts: outcome.attempts,
+                quarantined_after: outcome.quarantined_after,
+            }),
+        }
+    }
+    let sweep_wall = start.elapsed();
+
+    if failures.is_empty() {
+        if let Some(journal) = journal {
+            journal.into_inner().expect("journal poisoned").finish();
+        }
+    }
+
+    let ok = || cells.iter().flatten();
+    let serial_cell_wall = ok().map(|c| c.wall).sum();
+    let total_cycles = ok().map(|c| c.stats.cycles).sum();
+    let min_cell_wall = ok().map(|c| c.wall).min().unwrap_or(Duration::ZERO);
+    let max_cell_wall = ok().map(|c| c.wall).max().unwrap_or(Duration::ZERO);
+    Ok(SweepSummary {
+        cells,
+        failures,
+        resumed,
+        sweep_wall,
+        serial_cell_wall,
+        total_cycles,
+        min_cell_wall,
+        max_cell_wall,
+    })
 }
 
 /// Convenience: the full `machines × benchmarks` grid in row-major
@@ -235,9 +651,9 @@ mod tests {
         assert!(threads() >= 1);
     }
 
-    /// A bad grid cell must be reported by name while its neighbours still
-    /// run — an invalid corner of a sweep used to panic a worker thread
-    /// and take the whole parallel run down with it.
+    /// A bad grid cell must be reported — classified, by name — while its
+    /// neighbours still run: an invalid corner of a sweep used to panic a
+    /// worker thread and take the whole parallel run down with it.
     #[test]
     fn bad_cells_fail_individually_not_collectively() {
         use ce_sim::machine;
@@ -252,9 +668,10 @@ mod tests {
         assert!(results[0].is_ok());
         assert!(results[2].is_ok());
         let err = results[1].as_ref().unwrap_err();
-        assert!(err.contains("job 1"), "{err}");
-        assert!(err.contains("li"), "{err}");
-        assert!(err.contains("history"), "{err}");
+        assert!(matches!(err, RunError::ConfigInvalid(_)), "{err}");
+        assert_eq!(err.category(), "config-invalid");
+        assert!(!err.is_transient());
+        assert!(err.to_string().contains("history"), "{err}");
     }
 
     /// Attribution requested through [`RunOptions`] fills the breakdown
@@ -270,8 +687,10 @@ mod tests {
         let plain = run_timed(&jobs, 5_000);
         let summary = run_sweep(&jobs, 5_000, RunOptions { attribution: true });
         assert_eq!(summary.cells.len(), jobs.len());
+        assert!(summary.all_ok());
+        assert_eq!(summary.resumed, 0);
         let mut total_cycles = 0;
-        for (i, (cell, base)) in summary.cells.iter().zip(&plain).enumerate() {
+        for (i, (cell, base)) in summary.ok_cells().zip(&plain).enumerate() {
             assert_eq!(cell.stats.fingerprint(), base.stats.fingerprint(), "cell {i}");
             assert!(cell.stats.stall_breakdown.reconciles(
                 jobs[i].1.issue_width,
@@ -285,7 +704,7 @@ mod tests {
         assert_eq!(summary.total_cycles, total_cycles);
         assert_eq!(
             summary.serial_cell_wall,
-            summary.cells.iter().map(|c| c.wall).sum::<Duration>()
+            summary.ok_cells().map(|c| c.wall).sum::<Duration>()
         );
         assert!(summary.sim_mcycles_per_s() > 0.0);
     }
@@ -305,5 +724,20 @@ mod tests {
             let serial = Simulator::new(*cfg).run(&trace);
             assert_eq!(parallel[i].stats, serial, "job {i} out of order or nondeterministic");
         }
+    }
+
+    #[test]
+    fn panic_payload_classification() {
+        let checker = classify_panic(Box::new(
+            "invariant checker: 1 violation(s) by cycle 3:\n  x".to_string(),
+        ));
+        assert_eq!(checker.category(), "checker-violation");
+        let deadlock = classify_panic(Box::new("deadlock at cycle 99".to_string()));
+        assert_eq!(deadlock.category(), "timeout");
+        assert!(deadlock.is_transient());
+        let bug = classify_panic(Box::new("index out of bounds"));
+        assert_eq!(bug.category(), "cell-panic");
+        let opaque = classify_panic(Box::new(42_u32));
+        assert!(opaque.message().contains("non-string"), "{opaque}");
     }
 }

@@ -1,0 +1,106 @@
+//! Exit-code contracts of the CI gate tools (`bench_compare`,
+//! `metrics_check`): 0 pass, 1 gate failure, 2 missing/malformed input —
+//! so a workflow can distinguish "the gate tripped" from "the gate never
+//! ran".
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bench_compare() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bench_compare"))
+}
+
+fn metrics_check() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_metrics_check"))
+}
+
+fn schema_path() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/metrics.schema.json")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ce-cli-tools-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn snapshot(dir: &Path, name: &str, mcps: f64) -> PathBuf {
+    let path = dir.join(name);
+    std::fs::write(&path, format!("{{\"sim_mcycles_per_s\": {mcps}}}")).expect("write");
+    path
+}
+
+#[test]
+fn bench_compare_distinguishes_gate_trips_from_broken_inputs() {
+    let dir = temp_dir("compare");
+    let fast = snapshot(&dir, "fast.json", 10.0);
+    let slow = snapshot(&dir, "slow.json", 1.0);
+
+    // Healthy candidate: pass.
+    let out = bench_compare().args([&fast, &fast]).output().expect("runs");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Regressed candidate: the gate trips with exit 1.
+    let out = bench_compare().args([&slow, &fast]).output().expect("runs");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("regressed"));
+
+    // Missing file: exit 2, with the path in the message.
+    let out = bench_compare()
+        .arg(dir.join("absent.json"))
+        .arg(&fast)
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("absent.json"));
+
+    // Malformed JSON: exit 2.
+    let garbled = dir.join("garbled.json");
+    std::fs::write(&garbled, "{not json").expect("write");
+    let out = bench_compare().args([&garbled, &fast]).output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("parsing"));
+
+    // Usage errors: exit 2.
+    let out = bench_compare().output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let out = bench_compare().args(["a", "b", "--min-ratio", "x"]).output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_check_distinguishes_validation_failures_from_broken_inputs() {
+    let dir = temp_dir("metrics");
+
+    // A syntactically valid document that fails validation: exit 1.
+    let wrong = dir.join("wrong.json");
+    std::fs::write(&wrong, r#"{"schema": "something-else"}"#).expect("write");
+    let out = metrics_check().arg(&wrong).arg(schema_path()).output().expect("runs");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("problem(s)"));
+
+    // Missing document: exit 2.
+    let out = metrics_check()
+        .arg(dir.join("absent.json"))
+        .arg(schema_path())
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("absent.json"));
+
+    // Malformed document: exit 2.
+    let garbled = dir.join("garbled.json");
+    std::fs::write(&garbled, "][").expect("write");
+    let out = metrics_check().arg(&garbled).arg(schema_path()).output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("parsing"));
+
+    // No arguments at all: usage, exit 2.
+    let out = metrics_check().output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -14,9 +14,16 @@
 //!   --metrics FILE     write a ce-sim.metrics.v1 JSON report (enables
 //!                      stall attribution and prints the breakdown)
 //!   --pipeview FILE    write a Konata-compatible pipeline trace
+//!   --check            run with the invariant checker on
+//!   --inject KIND@CYCLE  plant a scheduler fault (see `cesim --help`)
 //! ```
+//!
+//! Exit codes: 0 success, 1 input/config error (unreadable trace, bad
+//! assembly, invalid machine config), 2 usage error, 3 simulation
+//! aborted (checker violation, deadlock, or deadline) — reported as a
+//! structured one-line `error[KIND]: ...` on stderr, never a panic.
 
-use ce_sim::{machine, KonataWriter, SimConfig, Simulator};
+use ce_sim::{machine, FaultSpec, KonataWriter, SimConfig, Simulator};
 use ce_workloads::{Benchmark, Emulator, Trace};
 use std::io::BufWriter;
 use std::process::ExitCode;
@@ -47,6 +54,8 @@ struct Options {
     save_trace: Option<String>,
     metrics: Option<String>,
     pipeview: Option<String>,
+    check: bool,
+    inject: Option<FaultSpec>,
 }
 
 enum Source {
@@ -65,6 +74,8 @@ fn parse_args() -> Result<Options, String> {
         save_trace: None,
         metrics: None,
         pipeview: None,
+        check: false,
+        inject: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -95,6 +106,13 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|e| format!("bad --max-insts: {e}"))?;
             }
             "--schedule" => opts.schedule = true,
+            "--check" => opts.check = true,
+            "--inject" => {
+                let spec = value("--inject")?;
+                opts.inject = Some(
+                    FaultSpec::parse(&spec).map_err(|e| format!("bad --inject: {e}"))?,
+                );
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -135,9 +153,9 @@ fn main() -> ExitCode {
                 "usage: cesim [--machine window|fifos|clustered-fifos|clustered-windows|\
                  exec-steer|random] [--bench NAME | --asm FILE | --trace FILE] \
                  [--max-insts N] [--schedule] [--save-trace FILE] \
-                 [--metrics FILE] [--pipeview FILE]"
+                 [--metrics FILE] [--pipeview FILE] [--check] [--inject KIND@CYCLE]"
             );
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
     let trace = match load_trace(&opts.source, opts.max_insts) {
@@ -163,6 +181,10 @@ fn main() -> ExitCode {
         // accountant rides along (observation only; timing is unchanged).
         config.attribution = true;
     }
+    if opts.check {
+        config.check = true;
+    }
+    config.fault = opts.inject;
     let mut sim = match Simulator::try_new(config) {
         Ok(sim) => sim,
         Err(e) => {
@@ -179,7 +201,17 @@ fn main() -> ExitCode {
             }
         }
     }
-    let (stats, schedule) = sim.run_traced(&trace);
+    let (stats, schedule) = match sim.try_run_traced(&trace) {
+        Ok(run) => run,
+        Err(e) => {
+            // One structured line, newlines flattened, so scripts can
+            // match `error[...]` without multi-line parsing.
+            let text = e.to_string();
+            let flat: Vec<&str> = text.lines().map(str::trim).collect();
+            eprintln!("error[{}]: {}", e.kind(), flat.join("; "));
+            return ExitCode::from(3);
+        }
+    };
     println!("machine: {}", opts.machine_name);
     println!("instructions: {} ({} cycles)", stats.committed, stats.cycles);
     println!("IPC: {:.3}", stats.ipc());

@@ -97,6 +97,17 @@ impl Checker {
         &self.violations
     }
 
+    /// The formatted multi-line violation report (up to ten shown), or
+    /// `None` when the checker is clean — the text [`assert_clean`]
+    /// panics with, also reachable without unwinding through
+    /// [`Simulator::try_run`].
+    ///
+    /// [`assert_clean`]: Self::assert_clean
+    /// [`Simulator::try_run`]: crate::pipeline::Simulator::try_run
+    pub fn report(&self, cycle: u64) -> Option<String> {
+        report_violations(&self.violations, cycle)
+    }
+
     /// Aborts the run if any violation was recorded this cycle.
     ///
     /// # Panics
@@ -104,22 +115,9 @@ impl Checker {
     /// Panics with a formatted report (up to ten violations) when the
     /// checker holds any violation.
     pub fn assert_clean(&self, cycle: u64) {
-        if self.violations.is_empty() {
-            return;
+        if let Some(report) = self.report(cycle) {
+            panic!("{report}");
         }
-        let shown = self
-            .violations
-            .iter()
-            .take(10)
-            .map(|v| format!("  {v}"))
-            .collect::<Vec<_>>()
-            .join("\n");
-        let extra = self.violations.len().saturating_sub(10);
-        let suffix = if extra > 0 { format!("\n  … and {extra} more") } else { String::new() };
-        panic!(
-            "invariant checker: {} violation(s) by cycle {cycle}:\n{shown}{suffix}",
-            self.violations.len()
-        );
     }
 
     /// End-of-run reconciliation of the aggregate counters.
@@ -179,6 +177,24 @@ impl Checker {
             );
         }
     }
+}
+
+/// Formats a violation list the way the checker reports it (shared by
+/// [`Checker::report`] and [`SimError`]'s display).
+///
+/// [`SimError`]: crate::pipeline::SimError
+pub(crate) fn report_violations(violations: &[Violation], cycle: u64) -> Option<String> {
+    if violations.is_empty() {
+        return None;
+    }
+    let shown =
+        violations.iter().take(10).map(|v| format!("  {v}")).collect::<Vec<_>>().join("\n");
+    let extra = violations.len().saturating_sub(10);
+    let suffix = if extra > 0 { format!("\n  … and {extra} more") } else { String::new() };
+    Some(format!(
+        "invariant checker: {} violation(s) by cycle {cycle}:\n{shown}{suffix}",
+        violations.len()
+    ))
 }
 
 #[cfg(test)]

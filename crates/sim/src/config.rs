@@ -18,7 +18,7 @@ impl fmt::Display for ConfigError {
 impl Error for ConfigError {}
 
 /// How instructions are assigned to clusters/FIFOs at dispatch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SteeringPolicy {
     /// The Section 5.1 dependence heuristic (SRC_FIFO table).
     Dependence,
@@ -36,7 +36,7 @@ pub enum SteeringPolicy {
 }
 
 /// The issue structure being simulated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SchedulerKind {
     /// One flexible window shared by all clusters. With more than one
     /// cluster this is the Section 5.6.1 organization: instructions pick a
@@ -84,7 +84,7 @@ impl SchedulerKind {
 /// paper cites Butler & Patt's finding that overall performance is largely
 /// independent of this choice, and assumes position-based selection like
 /// the HP PA-8000).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SelectionPolicy {
     /// Oldest ready instruction first (position-based with compaction).
     #[default]
@@ -98,7 +98,7 @@ pub enum SelectionPolicy {
 
 /// How operand values reach consumers (Section 4.5's discussion of
 /// incomplete bypassing, after Ahuja et al.).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum BypassModel {
     /// Fully bypassed: a dependent may issue the cycle the result appears.
     #[default]
@@ -110,7 +110,7 @@ pub enum BypassModel {
 
 /// When loads may issue relative to older stores (Table 3: "loads may
 /// execute when all prior store addresses are known").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum MemDisambiguation {
     /// Loads wait until every older store has computed its address (the
     /// paper's rule).
@@ -125,7 +125,7 @@ pub enum MemDisambiguation {
 
 /// Functional-unit latency model (Table 3 uses uniform single-cycle
 /// units; `Weighted` is the realistic-latency ablation).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum LatencyModel {
     /// Every operation executes in one cycle (the paper's Table 3).
     #[default]
@@ -136,7 +136,7 @@ pub enum LatencyModel {
 }
 
 /// Branch predictor configuration (McFarling gshare, as in Table 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BpredConfig {
     /// Number of 2-bit counters (Table 3: 4K).
     pub counters: usize,
@@ -182,7 +182,7 @@ impl BpredConfig {
 
 /// Data cache configuration (Table 3: 32 KB, 2-way, 32 B lines, 1-cycle
 /// hit, 6-cycle miss, 4 ports).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DcacheConfig {
     /// Total capacity in bytes.
     pub bytes: usize,
@@ -203,7 +203,7 @@ impl Default for DcacheConfig {
 }
 
 /// Full machine configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SimConfig {
     /// Instructions fetched per cycle ("any 8 instructions").
     pub fetch_width: usize,
@@ -277,6 +277,14 @@ pub struct SimConfig {
     /// [`StallCause`]: crate::attribution::StallCause
     /// [`SimStats::stall_breakdown`]: crate::stats::SimStats::stall_breakdown
     pub attribution: bool,
+    /// Inject one transient scheduler fault (see [`FaultSpec`]) — the
+    /// deliberate-sabotage gate the fault-injection campaign uses to
+    /// prove the invariant checker catches what it claims to catch.
+    /// `None` (the default everywhere) leaves the simulator
+    /// bit-identical to a build without injection support.
+    ///
+    /// [`FaultSpec`]: crate::fault::FaultSpec
+    pub fault: Option<crate::fault::FaultSpec>,
     /// Branch predictor.
     pub bpred: BpredConfig,
     /// Data cache.
@@ -341,6 +349,24 @@ impl SimConfig {
         }
         if self.scheduler.capacity_per_cluster(self.clusters) == 0 {
             return Err("scheduler capacity must be positive".into());
+        }
+        // The FIFO pool tracks occupancy in a u128 bitmap, so FIFO-based
+        // schedulers are bounded at 128 queues machine-wide. Catching it
+        // here keeps `FifoPool::new`'s panic unreachable from a
+        // validated config.
+        if let SchedulerKind::SteeredWindows { fifos_per_cluster, .. }
+        | SchedulerKind::Fifos { fifos_per_cluster, .. } = self.scheduler
+        {
+            match fifos_per_cluster.checked_mul(self.clusters) {
+                Some(total) if total <= 128 => {}
+                _ => {
+                    return Err(format!(
+                        "{} FIFOs per cluster x {} clusters exceeds the supported \
+                         maximum of 128 issue FIFOs",
+                        fifos_per_cluster, self.clusters
+                    ));
+                }
+            }
         }
         self.bpred.validate()?;
         Ok(())

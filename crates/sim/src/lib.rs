@@ -34,6 +34,7 @@ pub mod bpred;
 pub mod check;
 pub mod config;
 pub mod dcache;
+pub mod fault;
 pub mod machine;
 pub mod metrics;
 pub mod oracle;
@@ -51,9 +52,10 @@ pub use config::{
     BypassModel, ConfigError, LatencyModel, MemDisambiguation, SchedulerKind, SelectionPolicy,
     SimConfig, SteeringPolicy,
 };
+pub use fault::{FaultKind, FaultSpec};
 pub use metrics::metrics_json;
 pub use oracle::OracleSimulator;
-pub use pipeline::{IssueRecord, Simulator};
+pub use pipeline::{IssueRecord, SimError, Simulator};
 pub use probe::{DispatchStallCause, EventLog, ProbeEvent, ProbeSink, ScheduleRecorder};
 pub use stats::SimStats;
 pub use trace_writer::KonataWriter;

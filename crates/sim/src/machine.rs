@@ -29,6 +29,7 @@ fn base() -> SimConfig {
         model_wrong_path: false,
         check: false,
         attribution: false,
+        fault: None,
         bpred: BpredConfig::default(),
         dcache: DcacheConfig::default(),
     }

@@ -22,9 +22,10 @@
 
 use crate::attribution::StallCause;
 use crate::bpred::Gshare;
-use crate::check::Checker;
+use crate::check::{Checker, Violation};
 use crate::config::{ConfigError, SimConfig};
 use crate::dcache::{Access, Dcache};
+use crate::fault::FaultKind;
 use crate::probe::{DispatchStallCause, ProbeEvent, ProbeSink, ScheduleRecorder};
 use crate::rename::{Preg, RenameTable};
 use crate::scheduler::{Candidate, InsertReject, Scheduler};
@@ -34,11 +35,81 @@ use ce_isa::OperationKind;
 use ce_workloads::{DynInst, Trace};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use std::fmt;
 use std::rc::Rc;
+use std::time::{Duration, Instant};
 
 /// Completion event queue: `(finish_cycle, seq)` pushed at issue, drained
 /// in the complete phase — replaces a full ROB scan every cycle.
 type EventHeap = BinaryHeap<Reverse<(u64, u64)>>;
+
+/// Why a simulation run stopped without producing statistics — the
+/// catchable form of what [`Simulator::run`] panics with, so sweep
+/// drivers can report one bad cell and keep the fleet running.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The invariant checker recorded violations
+    /// ([`SimConfig::check`](crate::config::SimConfig::check) was on).
+    Checker {
+        /// Cycle at which the run aborted.
+        cycle: u64,
+        /// Everything the checker recorded, in detection order.
+        violations: Vec<Violation>,
+    },
+    /// The machine stopped making forward progress (a simulator bug, or
+    /// an injected fault wedging the issue logic).
+    Deadlock {
+        /// Cycle at which the deadlock limit tripped.
+        cycle: u64,
+        /// Instructions committed before progress stopped.
+        committed: u64,
+        /// Instructions in the trace.
+        total: u64,
+        /// ROB occupancy at the limit.
+        rob: usize,
+        /// Front-end queue occupancy at the limit.
+        frontq: usize,
+    },
+    /// The wall-clock deadline set via [`Simulator::set_deadline`]
+    /// expired mid-run.
+    DeadlineExceeded {
+        /// Cycle at which the deadline was noticed.
+        cycle: u64,
+    },
+}
+
+impl SimError {
+    /// Short stable category name (error taxonomies, campaign reports).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimError::Checker { .. } => "checker-violation",
+            SimError::Deadlock { .. } => "deadlock",
+            SimError::DeadlineExceeded { .. } => "deadline-exceeded",
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Checker { cycle, violations } => {
+                let report = crate::check::report_violations(violations, *cycle)
+                    .unwrap_or_else(|| "invariant checker: empty violation list".into());
+                f.write_str(&report)
+            }
+            SimError::Deadlock { cycle, committed, total, rob, frontq } => write!(
+                f,
+                "deadlock at cycle {cycle}: committed {committed}/{total}, rob {rob}, \
+                 frontq {frontq}"
+            ),
+            SimError::DeadlineExceeded { cycle } => {
+                write!(f, "wall-clock deadline exceeded at cycle {cycle}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// State of one physical register's value.
 #[derive(Debug, Clone, Copy)]
@@ -271,6 +342,9 @@ pub struct Simulator {
     /// Attached probe sinks (none by default — the hot loop's only
     /// disabled-case cost is one emptiness check per emission point).
     probes: Vec<Box<dyn ProbeSink>>,
+    /// Wall-clock cutoff for the run (none by default); polled every
+    /// 4096 cycles by the cycle loop.
+    deadline: Option<Instant>,
 }
 
 impl Simulator {
@@ -296,6 +370,7 @@ impl Simulator {
             stats: SimStats::default(),
             check: Checker::new(),
             probes: Vec::new(),
+            deadline: None,
         })
     }
 
@@ -350,13 +425,39 @@ impl Simulator {
         self.probes = probes;
     }
 
+    /// Arms a wall-clock deadline for the coming run: once `limit` has
+    /// elapsed the cycle loop stops (checked every 4096 cycles) and
+    /// [`try_run`](Self::try_run) returns
+    /// [`SimError::DeadlineExceeded`]. The sweep runner uses this to
+    /// bound a wedged or pathologically slow cell without killing the
+    /// worker thread.
+    pub fn set_deadline(&mut self, limit: Duration) {
+        self.deadline = Some(Instant::now() + limit);
+    }
+
     /// Runs the trace to completion and returns the statistics.
     ///
     /// # Panics
     ///
-    /// Panics if the machine deadlocks (a bug in the simulator, surfaced
-    /// rather than hidden).
-    pub fn run(mut self, trace: &Trace) -> SimStats {
+    /// Panics if the machine deadlocks or the invariant checker records
+    /// a violation (a bug in the simulator, surfaced rather than
+    /// hidden); use [`try_run`](Self::try_run) to handle those without
+    /// unwinding.
+    pub fn run(self, trace: &Trace) -> SimStats {
+        match self.try_run(trace) {
+            Ok(stats) => stats,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs the trace to completion, reporting deadlocks, checker
+    /// violations, and expired deadlines as values instead of panics —
+    /// the entry point for fault-tolerant sweep drivers.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SimError`] that stopped the run.
+    pub fn try_run(mut self, trace: &Trace) -> Result<SimStats, SimError> {
         self.run_core(trace)
     }
 
@@ -367,26 +468,40 @@ impl Simulator {
     ///
     /// # Panics
     ///
-    /// Panics if the machine deadlocks.
-    pub fn run_traced(mut self, trace: &Trace) -> (SimStats, Vec<IssueRecord>) {
+    /// Panics if the machine deadlocks or the checker records a
+    /// violation; use [`try_run_traced`](Self::try_run_traced) to handle
+    /// those without unwinding.
+    pub fn run_traced(self, trace: &Trace) -> (SimStats, Vec<IssueRecord>) {
+        match self.try_run_traced(trace) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// The non-panicking form of [`run_traced`](Self::run_traced).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SimError`] that stopped the run.
+    pub fn try_run_traced(mut self, trace: &Trace) -> Result<(SimStats, Vec<IssueRecord>), SimError> {
         let (recorder, handle) = ScheduleRecorder::new(trace.as_slice().len());
         self.attach_probe(Box::new(recorder));
-        let stats = self.run_core(trace);
+        let stats = self.run_core(trace)?;
         drop(self); // releases the recorder's clone of the handle
         let schedule = match Rc::try_unwrap(handle) {
             Ok(cell) => cell.into_inner(),
             Err(_) => unreachable!("the recorder was dropped with the simulator"),
         };
-        (stats, schedule)
+        Ok((stats, schedule))
     }
 
-    /// The cycle loop shared by [`run`](Self::run) and
-    /// [`run_traced`](Self::run_traced).
-    fn run_core(&mut self, trace: &Trace) -> SimStats {
+    /// The cycle loop shared by [`try_run`](Self::try_run) and
+    /// [`try_run_traced`](Self::try_run_traced).
+    fn run_core(&mut self, trace: &Trace) -> Result<SimStats, SimError> {
         let insts = trace.as_slice();
         if insts.is_empty() {
             self.finish_probes();
-            return self.stats.clone();
+            return Ok(self.stats.clone());
         }
 
         let mut rob: VecDeque<Entry> = VecDeque::with_capacity(self.cfg.max_inflight);
@@ -415,14 +530,31 @@ impl Simulator {
 
         while committed < insts.len() {
             cycle += 1;
-            assert!(
-                cycle < deadlock_limit,
-                "deadlock at cycle {cycle}: committed {committed}/{}, rob {}, frontq {}, \
-                 fetch_index {fetch_index}",
-                insts.len(),
-                rob.len(),
-                frontq.len()
-            );
+            if cycle >= deadlock_limit {
+                self.finish_probes();
+                return Err(SimError::Deadlock {
+                    cycle,
+                    committed: committed as u64,
+                    total: insts.len() as u64,
+                    rob: rob.len(),
+                    frontq: frontq.len(),
+                });
+            }
+            // The deadline poll sits off the per-cycle fast path: one
+            // branch normally, a clock read every 1024 cycles when armed.
+            if cycle & 0x3ff == 0 {
+                if let Some(d) = self.deadline {
+                    if Instant::now() >= d {
+                        self.finish_probes();
+                        return Err(SimError::DeadlineExceeded { cycle });
+                    }
+                }
+            }
+            if let Some(f) = self.cfg.fault {
+                if f.kind == FaultKind::PanicCell && cycle == f.at_cycle {
+                    panic!("injected fault: deliberate cell panic at cycle {cycle}");
+                }
+            }
 
             // ---- commit ------------------------------------------------
             for _ in 0..self.cfg.retire_width {
@@ -657,8 +789,8 @@ impl Simulator {
             }
 
             self.stats.occupancy_sum += self.sched.occupancy() as u64;
-            if self.cfg.check {
-                self.check.assert_clean(cycle);
+            if self.cfg.check && !self.check.violations().is_empty() {
+                return self.checker_abort(cycle);
             }
         }
 
@@ -666,12 +798,29 @@ impl Simulator {
         self.stats.committed = committed as u64;
         self.stats.dcache_accesses = self.dcache.hits() + self.dcache.misses();
         self.stats.dcache_misses = self.dcache.misses();
+        if let Some(f) = self.cfg.fault {
+            if f.kind == FaultKind::StatsCorrupt {
+                // Silent accounting corruption; the end-of-run
+                // reconciliation below is what must catch it.
+                self.stats.issued = self.stats.issued.wrapping_add(1);
+            }
+        }
         if self.cfg.check {
             self.check.on_finish(&self.stats, &self.cfg);
-            self.check.assert_clean(cycle);
+            if !self.check.violations().is_empty() {
+                return self.checker_abort(cycle);
+            }
         }
         self.finish_probes();
-        self.stats.clone()
+        Ok(self.stats.clone())
+    }
+
+    /// Ends a checked run on recorded violations: probes still get their
+    /// end-of-run flush (a pipeview log of the failing window is exactly
+    /// what one debugs with), then the violations come back as a value.
+    fn checker_abort(&mut self, cycle: u64) -> Result<SimStats, SimError> {
+        self.finish_probes();
+        Err(SimError::Checker { cycle, violations: self.check.violations().to_vec() })
     }
 
     fn note_commit(&mut self, e: &Entry) {
@@ -820,8 +969,30 @@ impl Simulator {
         let mut ports_used = 0usize;
         let mut issued = 0usize;
 
+        // Injected scheduler faults (`cfg.fault`; `None` everywhere by
+        // default, so this block costs one branch per cycle). See
+        // [`FaultKind`] for why each is detected-or-masked.
+        let mut inject_drop = false;
+        let mut inject_early_select = false;
+        if let Some(f) = self.cfg.fault {
+            if cycle == f.at_cycle {
+                match f.kind {
+                    FaultKind::DropIssueCycle => inject_drop = true,
+                    FaultKind::EarlySelect => inject_early_select = true,
+                    FaultKind::HotEntryCorrupt => {
+                        // The wakeup array lies: the first candidate's
+                        // mirrored operands vanish, so it looks ready.
+                        if let Some(c) = candidates.first() {
+                            self.hot[(c.id.0 & self.hot_mask) as usize].srcs = [None, None];
+                        }
+                    }
+                    FaultKind::StatsCorrupt | FaultKind::PanicCell => {}
+                }
+            }
+        }
+
         for &cand in candidates.iter() {
-            if issued >= self.cfg.issue_width {
+            if inject_drop || issued >= self.cfg.issue_width {
                 break;
             }
             // Reject-path checks read only the 16-byte hot entry (and the
@@ -867,7 +1038,10 @@ impl Simulator {
                         .iter()
                         .flatten()
                         .all(|&p| self.avail_in(p, c) <= cycle);
-                    if !ready {
+                    if !ready && inject_early_select {
+                        // Injected fault: select fires ahead of wakeup.
+                        inject_early_select = false;
+                    } else if !ready {
                         if attr {
                             let cause = self.operand_wait_cause(cand.id, required_srcs, cycle);
                             rejects.push(cause);
@@ -880,7 +1054,15 @@ impl Simulator {
                     // Execution-driven steering: choose the cluster whose
                     // operands arrive first, preferring cluster 0 on ties
                     // (Section 5.6.1).
-                    match self.pick_cluster(required_srcs, cycle, fu_used, fus_per_cluster) {
+                    let mut picked =
+                        self.pick_cluster(required_srcs, cycle, fu_used, fus_per_cluster);
+                    if picked.is_none() && inject_early_select {
+                        // Injected fault: select fires ahead of wakeup —
+                        // any cluster with a free FU will do.
+                        inject_early_select = false;
+                        picked = (0..self.cfg.clusters).find(|&c| fu_used[c] < fus_per_cluster);
+                    }
+                    match picked {
                         Some(c) => c,
                         None => {
                             if attr {

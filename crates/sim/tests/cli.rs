@@ -167,10 +167,70 @@ fn metrics_and_pipeview_outputs() {
 #[test]
 fn bad_arguments_fail_with_usage() {
     let out = cesim().args(["--machine", "bogus"]).output().expect("cesim runs");
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("usage:"), "{stderr}");
 
     let out = cesim().args(["--max-insts", "not-a-number"]).output().expect("cesim runs");
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+
+    // A malformed fault spec is a usage error too, with the kind list.
+    let out = cesim().args(["--inject", "bogus@5"]).output().expect("cesim runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad --inject"), "{stderr}");
+    assert!(stderr.contains("early-select"), "{stderr}");
+}
+
+/// A checker violation must surface as exit code 3 with a structured
+/// one-line `error[checker-violation]` on stderr — not a panic with a
+/// backtrace. `stats-corrupt` is always caught by the end-of-run
+/// reconciliation, so the outcome is deterministic.
+#[test]
+fn injected_fault_aborts_with_structured_error() {
+    let out = cesim()
+        .args(["--bench", "compress", "--max-insts", "5000", "--check"])
+        .args(["--inject", "stats-corrupt@0"])
+        .output()
+        .expect("cesim runs");
+    assert_eq!(out.status.code(), Some(3), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error[checker-violation]:"), "{stderr}");
+    assert!(stderr.contains("invariant checker"), "{stderr}");
+    assert_eq!(stderr.trim_end().lines().count(), 1, "one line expected: {stderr}");
+
+    // The same fault with the checker off corrupts only the `issued`
+    // counter — the run itself completes (exit 0). This is exactly the
+    // silent-skew scenario --check exists to rule out.
+    let out = cesim()
+        .args(["--bench", "compress", "--max-insts", "5000"])
+        .args(["--inject", "stats-corrupt@0"])
+        .output()
+        .expect("cesim runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+}
+
+/// The checker rides along cleanly on a healthy run: same stats, exit 0.
+#[test]
+fn check_flag_passes_on_a_clean_run() {
+    let out = cesim()
+        .args(["--bench", "compress", "--max-insts", "5000", "--check"])
+        .output()
+        .expect("cesim runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("IPC:"));
+}
+
+/// A missing trace file is an input error (exit 1) with a one-line
+/// `error:` message naming the path.
+#[test]
+fn unreadable_trace_file_fails_with_exit_1() {
+    let out = cesim()
+        .args(["--trace", "/nonexistent/no-such.trace"])
+        .output()
+        .expect("cesim runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error: reading /nonexistent/no-such.trace"), "{stderr}");
+    assert_eq!(stderr.trim_end().lines().count(), 1, "one line expected: {stderr}");
 }

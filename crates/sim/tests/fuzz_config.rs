@@ -1,0 +1,95 @@
+//! Seeded fuzz-style corpus for configuration validation: randomized
+//! `SimConfig` values must never panic `validate()` or
+//! `Simulator::try_new`, and the two must agree — every config that
+//! validates builds, every config that fails validation is refused.
+//!
+//! The fault-injection campaign (`ce-bench::fault`) perturbs configs
+//! toward the validation boundary from curated directions; this corpus
+//! sprays the whole space with a deterministic seed.
+
+use ce_sim::{machine, SchedulerKind, SimConfig, Simulator};
+use rand::{Rng, SeedableRng, StdRng};
+
+/// Draws a value from a small adversarial palette: mostly boundary
+/// values (0, 1) and small numbers, occasionally something larger —
+/// bounded so a *valid* draw never allocates more than a few MB.
+fn wild(rng: &mut StdRng) -> usize {
+    match rng.gen_range(0..6usize) {
+        0 => 0,
+        1 => 1,
+        2 => rng.gen_range(2..9usize),
+        3 => rng.gen_range(9..33usize),
+        4 => rng.gen_range(33..200usize),
+        _ => rng.gen_range(200..4096usize),
+    }
+}
+
+fn random_scheduler(rng: &mut StdRng) -> SchedulerKind {
+    match rng.gen_range(0..3usize) {
+        0 => SchedulerKind::CentralWindow { size: wild(rng) },
+        1 => SchedulerKind::SteeredWindows {
+            fifos_per_cluster: wild(rng),
+            fifo_depth: wild(rng),
+        },
+        _ => SchedulerKind::Fifos { fifos_per_cluster: wild(rng), depth: wild(rng) },
+    }
+}
+
+fn random_config(rng: &mut StdRng) -> SimConfig {
+    let bases = [
+        machine::baseline_8way(),
+        machine::dependence_8way(),
+        machine::clustered_fifos_8way(),
+        machine::clustered_windows_dispatch_8way(),
+    ];
+    let mut cfg = bases[rng.gen_range(0..bases.len())];
+    // Scramble a handful of fields per case so most configs stay near
+    // the validation boundary instead of being invalid five ways over.
+    for _ in 0..rng.gen_range(1..5usize) {
+        match rng.gen_range(0..10usize) {
+            0 => cfg.fetch_width = wild(rng),
+            1 => cfg.issue_width = wild(rng),
+            2 => cfg.retire_width = wild(rng),
+            3 => cfg.max_inflight = wild(rng),
+            4 => cfg.physical_regs = wild(rng),
+            5 => cfg.clusters = wild(rng).min(64),
+            6 => cfg.scheduler = random_scheduler(rng),
+            7 => cfg.bpred.counters = wild(rng),
+            8 => cfg.bpred.history_bits = wild(rng) as u32,
+            _ => {
+                cfg.intercluster_extra = wild(rng) as u64;
+                cfg.regwrite_delay = wild(rng) as u64;
+            }
+        }
+    }
+    cfg
+}
+
+#[test]
+fn randomized_configs_never_panic_and_validate_agrees_with_try_new() {
+    let mut rng = StdRng::seed_from_u64(0xc0f6);
+    let (mut accepted, mut rejected) = (0usize, 0usize);
+    for case in 0..300 {
+        let cfg = random_config(&mut rng);
+        match cfg.validate() {
+            Ok(()) => {
+                accepted += 1;
+                assert!(
+                    Simulator::try_new(cfg).is_ok(),
+                    "case {case}: validate passed but try_new refused: {cfg:?}"
+                );
+            }
+            Err(msg) => {
+                rejected += 1;
+                assert!(!msg.is_empty(), "case {case}: empty rejection message");
+                let err = Simulator::try_new(cfg)
+                    .err()
+                    .unwrap_or_else(|| panic!("case {case}: validate rejected but try_new built: {cfg:?}"));
+                assert!(!err.to_string().is_empty(), "case {case}");
+            }
+        }
+    }
+    // The corpus must straddle the boundary, not sit on one side.
+    assert!(accepted > 10, "only {accepted} of 300 configs validated");
+    assert!(rejected > 10, "only {rejected} of 300 configs were rejected");
+}

@@ -27,6 +27,7 @@
 //! ```
 
 pub mod emulator;
+pub mod fault;
 pub mod memory;
 pub mod programs;
 pub mod shrink;
@@ -36,9 +37,11 @@ pub mod trace;
 pub mod trace_io;
 
 pub use emulator::{EmuError, Emulator};
+pub use fault::{corrupt_trace_text, TraceCorruption};
 pub use memory::Memory;
 pub use programs::Benchmark;
 pub use trace::{DynInst, Trace};
+pub use trace_io::{parse_trace, parse_trace_with, ParseLimits, TraceParseError};
 
 use std::error::Error;
 use std::fmt;

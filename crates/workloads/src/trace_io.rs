@@ -40,6 +40,27 @@ fn err(line: usize, message: impl Into<String>) -> TraceParseError {
     TraceParseError { line, message: message.into() }
 }
 
+/// Resource ceilings for [`parse_trace_with`] — the defence against
+/// adversarial or corrupt trace files. A well-formed line is under 50
+/// bytes and a trace holds one op per line, so a multi-kilobyte line or
+/// a file promising more ops than the run could ever consume is garbage;
+/// rejecting it fast (with a line number) beats swapping the machine to
+/// death materializing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Longest acceptable line in bytes (default 4096).
+    pub max_line_bytes: usize,
+    /// Most ops a file may carry (default 64 Mi — ~128× the default
+    /// sweep cap of 2 M instructions, well past any real experiment).
+    pub max_ops: usize,
+}
+
+impl Default for ParseLimits {
+    fn default() -> ParseLimits {
+        ParseLimits { max_line_bytes: 4096, max_ops: 64 << 20 }
+    }
+}
+
 /// Serializes a trace to the text format.
 pub fn format_trace(trace: &Trace) -> String {
     let mut out = String::with_capacity(trace.len() * 32);
@@ -60,15 +81,31 @@ pub fn format_trace(trace: &Trace) -> String {
     out
 }
 
-/// Parses the text format back into a [`Trace`].
+/// Parses the text format back into a [`Trace`], under the default
+/// [`ParseLimits`].
 ///
 /// # Errors
 ///
 /// Returns [`TraceParseError`] naming the offending line for format,
 /// encoding, or field errors.
 pub fn parse_trace(text: &str) -> Result<Trace, TraceParseError> {
+    parse_trace_with(text, ParseLimits::default())
+}
+
+/// Parses the text format back into a [`Trace`], rejecting lines longer
+/// than `limits.max_line_bytes` and files with more than
+/// `limits.max_ops` operations before they can exhaust memory.
+///
+/// # Errors
+///
+/// Returns [`TraceParseError`] naming the offending line for format,
+/// encoding, field, or limit errors.
+pub fn parse_trace_with(text: &str, limits: ParseLimits) -> Result<Trace, TraceParseError> {
     let mut lines = text.lines().enumerate();
     let (_, header) = lines.next().ok_or_else(|| err(1, "empty input"))?;
+    if header.len() > limits.max_line_bytes {
+        return Err(err(1, format!("line exceeds {} bytes", limits.max_line_bytes)));
+    }
     let completed = match header.trim() {
         "ce-trace v1 completed=true" => true,
         "ce-trace v1 completed=false" => false,
@@ -78,9 +115,15 @@ pub fn parse_trace(text: &str) -> Result<Trace, TraceParseError> {
     let mut trace = Trace::new();
     for (idx, raw) in lines {
         let line = idx + 1;
+        if raw.len() > limits.max_line_bytes {
+            return Err(err(line, format!("line exceeds {} bytes", limits.max_line_bytes)));
+        }
         let l = raw.trim();
         if l.is_empty() {
             continue;
+        }
+        if trace.len() >= limits.max_ops {
+            return Err(err(line, format!("trace exceeds {} operations", limits.max_ops)));
         }
         let fields: Vec<&str> = l.split_ascii_whitespace().collect();
         if !(4..=5).contains(&fields.len()) {
@@ -206,6 +249,33 @@ mod tests {
         let e = parse_trace(&format!("{header}400000 {add:x} 400004 0 10000000\n")).unwrap_err();
         assert_eq!(e.line, 2);
         assert!(e.message.contains("non-memory"), "{}", e.message);
+    }
+
+    /// Adversarial inputs must fail fast with a line number, not
+    /// materialize unbounded state: a single multi-kilobyte line and a
+    /// file promising more ops than the ceiling are both rejected.
+    #[test]
+    fn limits_reject_adversarial_inputs() {
+        let limits = ParseLimits { max_line_bytes: 64, max_ops: 3 };
+
+        let long = format!("ce-trace v1 completed=true\n{}\n", "a".repeat(1000));
+        let e = parse_trace_with(&long, limits).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("64 bytes"), "{}", e.message);
+
+        let long_header = "x".repeat(1000);
+        let e = parse_trace_with(&long_header, limits).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("64 bytes"), "{}", e.message);
+
+        let small = trace_benchmark(Benchmark::Compress, 200).unwrap();
+        let text = format_trace(&small);
+        let e = parse_trace_with(&text, limits).unwrap_err();
+        assert_eq!(e.line, 2 + limits.max_ops);
+        assert!(e.message.contains("3 operations"), "{}", e.message);
+
+        // The same file parses under the default (generous) limits.
+        assert!(parse_trace(&text).is_ok());
     }
 
     #[test]
