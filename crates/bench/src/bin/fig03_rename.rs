@@ -1,11 +1,23 @@
 //! Figure 3: register rename delay versus issue width, with the
 //! decoder/wordline/bitline/senseamp breakdown, for all three feature
 //! sizes.
+//!
+//! ```text
+//! cargo run -p ce-bench --bin fig03_rename [--out PATH]
+//! ```
+//!
+//! Prints the table and writes `fig03_rename.csv` atomically; exits 0 on
+//! success, 1 if the delay models refuse to evaluate, 2 on usage or I/O
+//! errors.
 
+use ce_bench::cli::{finish_report, OutArgs};
+use ce_bench::delay_csv;
 use ce_delay::rename::{RenameDelay, RenameParams};
 use ce_delay::Technology;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    let args = OutArgs::parse("results/fig03_rename.csv");
     println!("Figure 3: rename delay (ps) vs issue width");
     println!(
         "{:<6} {:>5} {:>10} {:>10} {:>10} {:>10} {:>10}",
@@ -37,4 +49,5 @@ fn main() {
         d8.bitline_ps - d2.bitline_ps,
         d8.wordline_ps - d2.wordline_ps
     );
+    finish_report("fig03_rename", delay_csv::fig03_rename(), &args.out)
 }

@@ -1,9 +1,21 @@
 //! Figure 5: wakeup delay versus window size for 2/4/8-way at 0.18 µm.
+//!
+//! ```text
+//! cargo run -p ce-bench --bin fig05_wakeup [--out PATH]
+//! ```
+//!
+//! Prints the table and writes `fig05_wakeup.csv` atomically; exits 0 on
+//! success, 1 if the delay models refuse to evaluate, 2 on usage or I/O
+//! errors.
 
+use ce_bench::cli::{finish_report, OutArgs};
+use ce_bench::delay_csv;
 use ce_delay::wakeup::{WakeupDelay, WakeupParams};
 use ce_delay::{FeatureSize, Technology};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    let args = OutArgs::parse("results/fig05_wakeup.csv");
     let tech = Technology::new(FeatureSize::U018);
     println!("Figure 5: wakeup delay (ps) vs window size, 0.18 um");
     println!("{:>8} {:>10} {:>10} {:>10}", "window", "2-way", "4-way", "8-way");
@@ -19,4 +31,5 @@ fn main() {
         (d(4) / d(2) - 1.0) * 100.0,
         (d(8) / d(4) - 1.0) * 100.0
     );
+    finish_report("fig05_wakeup", delay_csv::fig05_wakeup(), &args.out)
 }

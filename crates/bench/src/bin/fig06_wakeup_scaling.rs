@@ -1,10 +1,22 @@
 //! Figure 6: wakeup delay component scaling with feature size for an
 //! 8-way, 64-entry window.
+//!
+//! ```text
+//! cargo run -p ce-bench --bin fig06_wakeup_scaling [--out PATH]
+//! ```
+//!
+//! Prints the table and writes `fig06_wakeup_scaling.csv` atomically;
+//! exits 0 on success, 1 if the delay models refuse to evaluate, 2 on
+//! usage or I/O errors.
 
+use ce_bench::cli::{finish_report, OutArgs};
+use ce_bench::delay_csv;
 use ce_delay::wakeup::{WakeupDelay, WakeupParams};
 use ce_delay::Technology;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    let args = OutArgs::parse("results/fig06_wakeup_scaling.csv");
     println!("Figure 6: wakeup delay breakdown vs feature size (8-way, 64 entries)");
     println!(
         "{:<6} {:>10} {:>10} {:>10} {:>10} {:>12}",
@@ -25,4 +37,5 @@ fn main() {
     }
     println!();
     println!("Paper: tag drive + tag match fraction grows 52% -> 65% from 0.8 um to 0.18 um.");
+    finish_report("fig06_wakeup_scaling", delay_csv::fig06_wakeup_scaling(), &args.out)
 }

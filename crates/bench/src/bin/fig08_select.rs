@@ -1,10 +1,22 @@
 //! Figure 8: selection delay versus window size, with the request/root/
 //! grant breakdown, for all three feature sizes.
+//!
+//! ```text
+//! cargo run -p ce-bench --bin fig08_select [--out PATH]
+//! ```
+//!
+//! Prints the table and writes `fig08_select.csv` atomically; exits 0 on
+//! success, 1 if the delay models refuse to evaluate, 2 on usage or I/O
+//! errors.
 
+use ce_bench::cli::{finish_report, OutArgs};
+use ce_bench::delay_csv;
 use ce_delay::select::{SelectDelay, SelectParams};
 use ce_delay::Technology;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    let args = OutArgs::parse("results/fig08_select.csv");
     println!("Figure 8: selection delay (ps) vs window size");
     println!(
         "{:<6} {:>7} {:>10} {:>10} {:>10} {:>10}",
@@ -33,4 +45,5 @@ fn main() {
         "16 -> 32 entries: {:+.1}% (paper: < +100% because the root delay is window-independent)",
         (d32 / d16 - 1.0) * 100.0
     );
+    finish_report("fig08_select", delay_csv::fig08_select(), &args.out)
 }

@@ -6,15 +6,11 @@
 //! cargo run --release -p ce-bench --bin make_report [output-dir]
 //! ```
 
+use ce_bench::checkpoint::write_atomic;
+use ce_bench::{delay_csv, runner};
 use ce_core::analysis::{mean_improvement, MachineSpec, Speedup};
-use ce_delay::bypass::{BypassDelay, BypassParams};
 use ce_delay::pipeline::ClockComparison;
-use ce_delay::rename::{RenameDelay, RenameParams};
-use ce_delay::restable::{ResTableDelay, ResTableParams};
-use ce_delay::select::{SelectDelay, SelectParams};
-use ce_delay::wakeup::{WakeupDelay, WakeupParams};
-use ce_delay::{FeatureSize, PipelineDelays, Technology};
-use ce_bench::runner;
+use ce_delay::{FeatureSize, Technology};
 use ce_sim::machine;
 use ce_workloads::Benchmark;
 use std::fmt::Write as _;
@@ -22,7 +18,7 @@ use std::path::Path;
 
 fn write_csv(dir: &Path, name: &str, content: &str) {
     let path = dir.join(name);
-    std::fs::write(&path, content)
+    write_atomic(&path, content)
         .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
     println!("wrote {}", path.display());
 }
@@ -33,102 +29,21 @@ fn main() {
     std::fs::create_dir_all(dir).expect("create output directory");
 
     // ---- delay-model artifacts ------------------------------------------
-    let mut csv = String::from("tech_um,issue_width,decode_ps,wordline_ps,bitline_ps,senseamp_ps,total_ps\n");
-    for tech in Technology::all() {
-        for iw in [2usize, 4, 8] {
-            let d = RenameDelay::compute(&tech, &RenameParams::new(iw));
-            let _ = writeln!(
-                csv,
-                "{},{iw},{:.1},{:.1},{:.1},{:.1},{:.1}",
-                tech.feature().micrometers(),
-                d.decode_ps,
-                d.wordline_ps,
-                d.bitline_ps,
-                d.senseamp_ps,
-                d.total_ps()
-            );
-        }
+    // The same canonical builders the standalone figure/table binaries use,
+    // so both regeneration paths stay byte-identical.
+    for (name, csv) in [
+        ("fig03_rename.csv", delay_csv::fig03_rename()),
+        ("fig05_wakeup.csv", delay_csv::fig05_wakeup()),
+        ("fig06_wakeup_scaling.csv", delay_csv::fig06_wakeup_scaling()),
+        ("fig08_select.csv", delay_csv::fig08_select()),
+        ("tab01_bypass.csv", delay_csv::tab01_bypass()),
+        ("tab02_overall.csv", delay_csv::tab02_overall()),
+        ("tab04_restable.csv", delay_csv::tab04_restable()),
+    ] {
+        let csv = csv.unwrap_or_else(|e| panic!("building {name}: {e}"));
+        write_csv(dir, name, &csv);
     }
-    write_csv(dir, "fig03_rename.csv", &csv);
-
-    let mut csv = String::from("window,ipc2way_ps,ipc4way_ps,ipc8way_ps\n");
     let t018 = Technology::new(FeatureSize::U018);
-    for window in (8..=64).step_by(8) {
-        let d = |iw| WakeupDelay::compute(&t018, &WakeupParams::new(iw, window)).total_ps();
-        let _ = writeln!(csv, "{window},{:.1},{:.1},{:.1}", d(2), d(4), d(8));
-    }
-    write_csv(dir, "fig05_wakeup.csv", &csv);
-
-    let mut csv = String::from("tech_um,tag_drive_ps,tag_match_ps,match_or_ps,total_ps\n");
-    for tech in Technology::all() {
-        let d = WakeupDelay::compute(&tech, &WakeupParams::new(8, 64));
-        let _ = writeln!(
-            csv,
-            "{},{:.1},{:.1},{:.1},{:.1}",
-            tech.feature().micrometers(),
-            d.tag_drive_ps,
-            d.tag_match_ps,
-            d.match_or_ps,
-            d.total_ps()
-        );
-    }
-    write_csv(dir, "fig06_wakeup_scaling.csv", &csv);
-
-    let mut csv = String::from("tech_um,window,request_ps,root_ps,grant_ps,total_ps\n");
-    for tech in Technology::all() {
-        for window in [16usize, 32, 64, 128] {
-            let d = SelectDelay::compute(&tech, &SelectParams::new(window));
-            let _ = writeln!(
-                csv,
-                "{},{window},{:.1},{:.1},{:.1},{:.1}",
-                tech.feature().micrometers(),
-                d.request_prop_ps,
-                d.root_ps,
-                d.grant_prop_ps,
-                d.total_ps()
-            );
-        }
-    }
-    write_csv(dir, "fig08_select.csv", &csv);
-
-    let mut csv = String::from("issue_width,wire_length_lambda,delay_ps,path_count\n");
-    for iw in [2usize, 4, 8, 16] {
-        let p = BypassParams::new(iw);
-        let d = BypassDelay::compute(&t018, &p);
-        let _ = writeln!(
-            csv,
-            "{iw},{:.0},{:.1},{}",
-            d.wire_length_lambda,
-            d.total_ps(),
-            p.path_count()
-        );
-    }
-    write_csv(dir, "tab01_bypass.csv", &csv);
-
-    let mut csv =
-        String::from("tech_um,issue_width,window,rename_ps,wakeup_select_ps,bypass_ps\n");
-    for tech in Technology::all() {
-        for (iw, win) in [(4usize, 32usize), (8, 64)] {
-            let d = PipelineDelays::compute(&tech, iw, win);
-            let _ = writeln!(
-                csv,
-                "{},{iw},{win},{:.1},{:.1},{:.1}",
-                tech.feature().micrometers(),
-                d.rename_ps,
-                d.window_ps(),
-                d.bypass_ps
-            );
-        }
-    }
-    write_csv(dir, "tab02_overall.csv", &csv);
-
-    let mut csv = String::from("issue_width,physical_regs,entries,delay_ps\n");
-    for iw in [2usize, 4, 8] {
-        let p = ResTableParams::new(iw);
-        let d = ResTableDelay::compute(&t018, &p).total_ps();
-        let _ = writeln!(csv, "{iw},{},{},{d:.1}", p.physical_regs, p.entries());
-    }
-    write_csv(dir, "tab04_restable.csv", &csv);
 
     // ---- simulator artifacts --------------------------------------------
     println!("running simulations (this loads and runs all seven kernels)…");

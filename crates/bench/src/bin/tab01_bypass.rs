@@ -1,10 +1,22 @@
 //! Table 1: bypass result-wire lengths and delays for 4-way and 8-way
 //! machines.
+//!
+//! ```text
+//! cargo run -p ce-bench --bin tab01_bypass [--out PATH]
+//! ```
+//!
+//! Prints the table and writes `tab01_bypass.csv` atomically; exits 0 on
+//! success, 1 if the delay models refuse to evaluate, 2 on usage or I/O
+//! errors.
 
+use ce_bench::cli::{finish_report, OutArgs};
+use ce_bench::delay_csv;
 use ce_delay::bypass::{BypassDelay, BypassParams};
 use ce_delay::{FeatureSize, Technology};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    let args = OutArgs::parse("results/tab01_bypass.csv");
     let tech = Technology::new(FeatureSize::U018);
     println!("Table 1: bypass delays (identical across technologies by the scaling model)");
     println!(
@@ -30,4 +42,5 @@ fn main() {
     let d8 = BypassDelay::compute(&tech, &BypassParams::new(8)).total_ps();
     println!();
     println!("8-way / 4-way delay ratio: {:.2}x (paper: ~5.7x)", d8 / d4);
+    finish_report("tab01_bypass", delay_csv::tab01_bypass(), &args.out)
 }

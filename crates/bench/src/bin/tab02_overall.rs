@@ -1,8 +1,19 @@
 //! Table 2: overall rename / wakeup+select / bypass delays for the 4-way,
 //! 32-entry and 8-way, 64-entry machines across the three technologies,
 //! with the paper's published values and the model's deviation.
+//!
+//! ```text
+//! cargo run -p ce-bench --bin tab02_overall [--out PATH]
+//! ```
+//!
+//! Prints the table and writes `tab02_overall.csv` atomically; exits 0 on
+//! success, 1 if the delay models refuse to evaluate, 2 on usage or I/O
+//! errors.
 
+use ce_bench::cli::{finish_report, OutArgs};
+use ce_bench::delay_csv;
 use ce_delay::{PipelineDelays, Technology};
+use std::process::ExitCode;
 
 const PAPER: [(f64, usize, usize, f64, f64, f64); 6] = [
     (0.8, 4, 32, 1577.9, 2903.7, 184.9),
@@ -13,7 +24,8 @@ const PAPER: [(f64, usize, usize, f64, f64, f64); 6] = [
     (0.18, 8, 64, 427.9, 724.0, 1056.4),
 ];
 
-fn main() {
+fn main() -> ExitCode {
+    let args = OutArgs::parse("results/tab02_overall.csv");
     println!("Table 2: overall delay results (measured vs paper, ps)");
     println!(
         "{:<6} {:>3}/{:<3} | {:>8} {:>8} {:>7} | {:>8} {:>8} {:>7} | {:>8} {:>8} {:>7}",
@@ -53,4 +65,5 @@ fn main() {
         d8.bypass_ps / d4.bypass_ps,
         if d8.bypass_ps > d8.rename_ps { "bypass dominates" } else { "rename dominates" }
     );
+    finish_report("tab02_overall", delay_csv::tab02_overall(), &args.out)
 }

@@ -1,12 +1,24 @@
 //! Table 4: reservation-table delay for the dependence-based design at
 //! 0.18 µm, versus the CAM-window wakeup it replaces.
+//!
+//! ```text
+//! cargo run -p ce-bench --bin tab04_restable [--out PATH]
+//! ```
+//!
+//! Prints the table and writes `tab04_restable.csv` atomically; exits 0 on
+//! success, 1 if the delay models refuse to evaluate, 2 on usage or I/O
+//! errors.
 
+use ce_bench::cli::{finish_report, OutArgs};
+use ce_bench::delay_csv;
 use ce_delay::restable::{ResTableDelay, ResTableParams};
 use ce_delay::wakeup::{WakeupDelay, WakeupParams};
 use ce_delay::rename::{RenameDelay, RenameParams};
 use ce_delay::{FeatureSize, Technology};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    let args = OutArgs::parse("results/tab04_restable.csv");
     let tech = Technology::new(FeatureSize::U018);
     println!("Table 4: reservation table delay, 0.18 um");
     println!(
@@ -35,4 +47,5 @@ fn main() {
     let ren = RenameDelay::compute(&tech, &RenameParams::new(8)).total_ps();
     println!("vs 4-way/32-entry CAM wakeup: {rt8:.1} < {cam:.1} ps  (paper: much smaller)");
     println!("vs 8-way rename:              {rt8:.1} < {ren:.1} ps  (rename becomes critical)");
+    finish_report("tab04_restable", delay_csv::tab04_restable(), &args.out)
 }

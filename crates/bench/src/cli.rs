@@ -76,6 +76,79 @@ impl SweepArgs {
     }
 }
 
+/// Parsed arguments of the report-style binaries (the delay figure/table
+/// binaries), which take only `--out` — they have no checkpoint journal
+/// because the delay models are pure functions with no cells to resume.
+#[derive(Debug, Clone)]
+pub struct OutArgs {
+    /// Result CSV path.
+    pub out: PathBuf,
+}
+
+impl OutArgs {
+    /// Parses `std::env::args`, exiting with code 2 and a usage message on
+    /// anything unrecognized.
+    pub fn parse(default_out: &str) -> OutArgs {
+        match OutArgs::try_parse(std::env::args().skip(1), default_out) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("{msg}");
+                eprintln!("usage: [--out PATH]   (default --out {default_out})");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// [`OutArgs::parse`] over an explicit argument iterator.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the unrecognized or incomplete argument.
+    pub fn try_parse(
+        args: impl Iterator<Item = String>,
+        default_out: &str,
+    ) -> Result<OutArgs, String> {
+        let mut out = PathBuf::from(default_out);
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--out" => {
+                    out = PathBuf::from(
+                        args.next().ok_or("--out needs a path argument")?,
+                    );
+                }
+                other => return Err(format!("unrecognized argument `{other}`")),
+            }
+        }
+        Ok(OutArgs { out })
+    }
+}
+
+/// Finishes a report-style binary: on `Ok` writes the CSV atomically
+/// (tempfile + rename); on `Err` writes nothing and reports the model
+/// failure. Exit codes mirror [`finish_sweep`]: 0 clean, 1 the models
+/// refused to evaluate, 2 I/O errors.
+pub fn finish_report(
+    name: &str,
+    csv: Result<String, impl std::fmt::Display>,
+    out: &Path,
+) -> ExitCode {
+    match csv {
+        Ok(csv) => {
+            if let Err(e) = write_atomic(out, &csv) {
+                eprintln!("{name}: error: writing {}: {e}", out.display());
+                return ExitCode::from(2);
+            }
+            eprintln!("{name}: wrote {}", out.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{name}: error: {e}; no CSV written");
+            ExitCode::from(1)
+        }
+    }
+}
+
 /// Applies the uniform end-of-sweep policy (see the module docs) and
 /// returns the process exit code: 0 clean, 1 cell failures, 2 I/O errors.
 pub fn finish_sweep(name: &str, summary: &SweepSummary, csv: &str, out: &Path) -> ExitCode {
@@ -130,5 +203,35 @@ mod tests {
     fn rejects_unknown_and_incomplete_args() {
         assert!(parse(&["--frobnicate"]).unwrap_err().contains("frobnicate"));
         assert!(parse(&["--out"]).unwrap_err().contains("path"));
+    }
+
+    fn parse_out(args: &[&str]) -> Result<OutArgs, String> {
+        OutArgs::try_parse(args.iter().map(|s| s.to_string()), "results/x.csv")
+    }
+
+    #[test]
+    fn out_args_defaults_and_flags() {
+        assert_eq!(parse_out(&[]).unwrap().out, PathBuf::from("results/x.csv"));
+        assert_eq!(
+            parse_out(&["--out", "/tmp/y.csv"]).unwrap().out,
+            PathBuf::from("/tmp/y.csv")
+        );
+        assert!(parse_out(&["--resume"]).unwrap_err().contains("resume"));
+        assert!(parse_out(&["--out"]).unwrap_err().contains("path"));
+    }
+
+    #[test]
+    fn finish_report_writes_on_ok_and_not_on_err() {
+        let dir = std::env::temp_dir().join(format!("ce-finish-report-{}", std::process::id()));
+        let out = dir.join("ok.csv");
+        let code = finish_report("t", Ok::<_, String>("a,b\n1,2\n".into()), &out);
+        assert_eq!(format!("{code:?}"), format!("{:?}", ExitCode::SUCCESS));
+        assert_eq!(std::fs::read_to_string(&out).unwrap(), "a,b\n1,2\n");
+
+        let out = dir.join("err.csv");
+        let code = finish_report("t", Err::<String, _>("model refused"), &out);
+        assert_eq!(format!("{code:?}"), format!("{:?}", ExitCode::from(1)));
+        assert!(!out.exists(), "no CSV on model failure");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,197 @@
+//! Canonical CSV builders for the delay-model artifacts.
+//!
+//! Each figure/table binary and `make_report` must emit byte-identical
+//! CSVs for the same artifact — CI regenerates them and diffs against the
+//! committed files — so the format strings live here, once. Every builder
+//! evaluates the models through their validated `try_compute` paths and
+//! returns the first [`DelayError`] instead of panicking, which is what
+//! lets the binaries exit with a structured code (1) on a model failure
+//! rather than aborting mid-write.
+
+use ce_delay::bypass::{BypassDelay, BypassParams};
+use ce_delay::rename::{RenameDelay, RenameParams};
+use ce_delay::restable::{ResTableDelay, ResTableParams};
+use ce_delay::select::{SelectDelay, SelectParams};
+use ce_delay::wakeup::{WakeupDelay, WakeupParams};
+use ce_delay::{DelayError, FeatureSize, PipelineDelays, Technology};
+use std::fmt::Write as _;
+
+/// `fig03_rename.csv`: rename breakdown vs issue width, all technologies.
+///
+/// # Errors
+///
+/// The first [`DelayError`] the rename model reports.
+pub fn fig03_rename() -> Result<String, DelayError> {
+    let mut csv = String::from(
+        "tech_um,issue_width,decode_ps,wordline_ps,bitline_ps,senseamp_ps,total_ps\n",
+    );
+    for tech in Technology::all() {
+        for iw in [2usize, 4, 8] {
+            let d = RenameDelay::try_compute(&tech, &RenameParams::new(iw))?;
+            let _ = writeln!(
+                csv,
+                "{},{iw},{:.1},{:.1},{:.1},{:.1},{:.1}",
+                tech.feature().micrometers(),
+                d.decode_ps,
+                d.wordline_ps,
+                d.bitline_ps,
+                d.senseamp_ps,
+                d.total_ps()
+            );
+        }
+    }
+    Ok(csv)
+}
+
+/// `fig05_wakeup.csv`: wakeup delay vs window size per issue width, 0.18 µm.
+///
+/// # Errors
+///
+/// The first [`DelayError`] the wakeup model reports.
+pub fn fig05_wakeup() -> Result<String, DelayError> {
+    let mut csv = String::from("window,ipc2way_ps,ipc4way_ps,ipc8way_ps\n");
+    let t018 = Technology::new(FeatureSize::U018);
+    for window in (8..=64).step_by(8) {
+        let d = |iw| -> Result<f64, DelayError> {
+            Ok(WakeupDelay::try_compute(&t018, &WakeupParams::new(iw, window))?.total_ps())
+        };
+        let _ = writeln!(csv, "{window},{:.1},{:.1},{:.1}", d(2)?, d(4)?, d(8)?);
+    }
+    Ok(csv)
+}
+
+/// `fig06_wakeup_scaling.csv`: wakeup breakdown across technologies (8-way,
+/// 64 entries).
+///
+/// # Errors
+///
+/// The first [`DelayError`] the wakeup model reports.
+pub fn fig06_wakeup_scaling() -> Result<String, DelayError> {
+    let mut csv = String::from("tech_um,tag_drive_ps,tag_match_ps,match_or_ps,total_ps\n");
+    for tech in Technology::all() {
+        let d = WakeupDelay::try_compute(&tech, &WakeupParams::new(8, 64))?;
+        let _ = writeln!(
+            csv,
+            "{},{:.1},{:.1},{:.1},{:.1}",
+            tech.feature().micrometers(),
+            d.tag_drive_ps,
+            d.tag_match_ps,
+            d.match_or_ps,
+            d.total_ps()
+        );
+    }
+    Ok(csv)
+}
+
+/// `fig08_select.csv`: selection breakdown vs window size, all technologies.
+///
+/// # Errors
+///
+/// The first [`DelayError`] the select model reports.
+pub fn fig08_select() -> Result<String, DelayError> {
+    let mut csv = String::from("tech_um,window,request_ps,root_ps,grant_ps,total_ps\n");
+    for tech in Technology::all() {
+        for window in [16usize, 32, 64, 128] {
+            let d = SelectDelay::try_compute(&tech, &SelectParams::new(window))?;
+            let _ = writeln!(
+                csv,
+                "{},{window},{:.1},{:.1},{:.1},{:.1}",
+                tech.feature().micrometers(),
+                d.request_prop_ps,
+                d.root_ps,
+                d.grant_prop_ps,
+                d.total_ps()
+            );
+        }
+    }
+    Ok(csv)
+}
+
+/// `tab01_bypass.csv`: bypass wire length, delay, and path count vs issue
+/// width, 0.18 µm.
+///
+/// # Errors
+///
+/// The first [`DelayError`] the bypass model reports.
+pub fn tab01_bypass() -> Result<String, DelayError> {
+    let mut csv = String::from("issue_width,wire_length_lambda,delay_ps,path_count\n");
+    let t018 = Technology::new(FeatureSize::U018);
+    for iw in [2usize, 4, 8, 16] {
+        let p = BypassParams::new(iw);
+        let d = BypassDelay::try_compute(&t018, &p)?;
+        let _ = writeln!(
+            csv,
+            "{iw},{:.0},{:.1},{}",
+            d.wire_length_lambda,
+            d.total_ps(),
+            p.path_count()
+        );
+    }
+    Ok(csv)
+}
+
+/// `tab02_overall.csv`: the Table 2 stage-delay roll-up.
+///
+/// # Errors
+///
+/// The first [`DelayError`] any structure model reports.
+pub fn tab02_overall() -> Result<String, DelayError> {
+    let mut csv =
+        String::from("tech_um,issue_width,window,rename_ps,wakeup_select_ps,bypass_ps\n");
+    for tech in Technology::all() {
+        for (iw, win) in [(4usize, 32usize), (8, 64)] {
+            let d = PipelineDelays::try_compute(&tech, iw, win)?;
+            let _ = writeln!(
+                csv,
+                "{},{iw},{win},{:.1},{:.1},{:.1}",
+                tech.feature().micrometers(),
+                d.rename_ps,
+                d.window_ps(),
+                d.bypass_ps
+            );
+        }
+    }
+    Ok(csv)
+}
+
+/// `tab04_restable.csv`: reservation-table delay vs issue width, 0.18 µm.
+///
+/// # Errors
+///
+/// The first [`DelayError`] the reservation-table model reports.
+pub fn tab04_restable() -> Result<String, DelayError> {
+    let mut csv = String::from("issue_width,physical_regs,entries,delay_ps\n");
+    let t018 = Technology::new(FeatureSize::U018);
+    for iw in [2usize, 4, 8] {
+        let p = ResTableParams::new(iw);
+        let d = ResTableDelay::try_compute(&t018, &p)?.total_ps();
+        let _ = writeln!(csv, "{iw},{},{},{d:.1}", p.physical_regs, p.entries());
+    }
+    Ok(csv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_headers_and_rows() {
+        for (name, csv, rows) in [
+            ("fig03", fig03_rename().unwrap(), 9),
+            ("fig05", fig05_wakeup().unwrap(), 8),
+            ("fig06", fig06_wakeup_scaling().unwrap(), 3),
+            ("fig08", fig08_select().unwrap(), 12),
+            ("tab01", tab01_bypass().unwrap(), 4),
+            ("tab02", tab02_overall().unwrap(), 6),
+            ("tab04", tab04_restable().unwrap(), 3),
+        ] {
+            let lines: Vec<&str> = csv.trim_end().lines().collect();
+            assert_eq!(lines.len(), rows + 1, "{name}: header plus {rows} data rows");
+            let cols = lines[0].split(',').count();
+            for line in &lines {
+                assert_eq!(line.split(',').count(), cols, "{name}: ragged row {line}");
+            }
+            assert!(csv.ends_with('\n'), "{name}: trailing newline");
+        }
+    }
+}

@@ -12,7 +12,7 @@
 //! and overall speedup = (IPC_dep / IPC_win) × (clk_dep / clk_win).
 
 use ce_delay::pipeline::ClockComparison;
-use ce_delay::Technology;
+use ce_delay::{DelayError, Technology};
 
 /// A machine configuration for the clock-side of the comparison.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,19 +78,43 @@ impl Speedup {
     ) -> Speedup {
         assert!(ipc_window > 0.0, "window IPC must be positive");
         assert!(ipc_dependence > 0.0, "dependence IPC must be positive");
-        let cmp = ClockComparison::compute(
+        Self::try_combine(tech, dependence, ipc_window, ipc_dependence)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked variant of [`Speedup::combine`]: returns an error instead of
+    /// panicking when an IPC is non-positive or non-finite, or when the
+    /// machine pair is outside the clock model's domain.
+    pub fn try_combine(
+        tech: &Technology,
+        dependence: MachineSpec,
+        ipc_window: f64,
+        ipc_dependence: f64,
+    ) -> Result<Speedup, DelayError> {
+        for (name, ipc) in [("ipc_window", ipc_window), ("ipc_dependence", ipc_dependence)] {
+            if !ipc.is_finite() || ipc <= 0.0 {
+                return Err(DelayError::OutOfDomain {
+                    structure: "speedup",
+                    param: name,
+                    value: ipc,
+                    min: f64::MIN_POSITIVE,
+                    max: f64::INFINITY,
+                });
+            }
+        }
+        let cmp = ClockComparison::try_compute(
             tech,
             dependence.issue_width,
             dependence.window_size,
             dependence.clusters,
-        );
+        )?;
         let clock_ratio = cmp.conservative_speedup();
-        Speedup {
+        Ok(Speedup {
             ipc_window,
             ipc_dependence,
             clock_ratio,
             speedup: ipc_dependence / ipc_window * clock_ratio,
-        }
+        })
     }
 
     /// IPC degradation of the dependence-based machine, as a fraction
@@ -174,5 +198,26 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_ipc_panics() {
         let _ = Speedup::combine(&tech(), MachineSpec::paper_dependence_machine(), 0.0, 1.0);
+    }
+
+    #[test]
+    fn try_combine_refuses_bad_inputs_without_panicking() {
+        let dep = MachineSpec::paper_dependence_machine();
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(Speedup::try_combine(&tech(), dep, bad, 2.0).is_err(), "ipc_window {bad}");
+            assert!(Speedup::try_combine(&tech(), dep, 2.0, bad).is_err(), "ipc_dep {bad}");
+        }
+        // Cluster count that does not divide the issue width is a clock-model
+        // domain error, surfaced as Err rather than a panic.
+        let lopsided = MachineSpec { issue_width: 8, window_size: 64, clusters: 3 };
+        assert!(Speedup::try_combine(&tech(), lopsided, 2.0, 2.0).is_err());
+    }
+
+    #[test]
+    fn try_combine_matches_combine_on_valid_inputs() {
+        let dep = MachineSpec::paper_dependence_machine();
+        let a = Speedup::combine(&tech(), dep, 2.0, 1.88);
+        let b = Speedup::try_combine(&tech(), dep, 2.0, 1.88).unwrap();
+        assert_eq!(a, b);
     }
 }

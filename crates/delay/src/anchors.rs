@@ -1,0 +1,535 @@
+//! Paper-anchor oracle: the delay values the paper actually prints, with
+//! recorded tolerances, plus growth-shape assertions.
+//!
+//! The calibration tests scattered through the model modules each pin one
+//! number; this module collects **every** printed anchor — Table 1 (bypass
+//! wire lengths and delays), Table 2 / Figure 3 (the six-row stage-delay
+//! roll-up), Table 4 (reservation table), Figure 5 (wakeup growth with
+//! issue width), Figure 6 (wire-bound fraction across technologies), and
+//! the Section 5.3/5.5 clock claims — into one machine-checkable list, so
+//! any calibration drift is caught as a [`DelayError::CalibrationDrift`]
+//! with the anchor named, rather than as a scattered test failure.
+//!
+//! Each anchor's tolerance is *recorded*, not aspirational: it is the
+//! known residual of the analytical model against the paper's Hspice
+//! numbers plus headroom (the Figure 5 growth anchors, for instance, carry
+//! wide tolerances because the structural model reproduces the ordering
+//! and rough scale of the growth, not the printed percentages — see
+//! `EXPERIMENTS.md`). Drift means *exceeding the recorded residual*, i.e.
+//! the model changed, not that the model was ever exact.
+//!
+//! Shape assertions cover what Figure 8 and the structural equations print
+//! qualitatively rather than numerically: rename and bypass grow
+//! quadratically in issue width (bypass exactly, rename with a small
+//! quadratic term), wakeup tag drive is linear + quadratic in window size
+//! with an issue-width-dependent quadratic coefficient, and selection is
+//! step-logarithmic (delay constant across each ⌈log₄ W⌉ tier). These are
+//! verified with exact finite differences, not curve fitting.
+
+use crate::bypass::{BypassDelay, BypassParams};
+use crate::error::DelayError;
+use crate::pipeline::{ClockComparison, PipelineDelays};
+use crate::rename::{RenameDelay, RenameParams};
+use crate::restable::{ResTableDelay, ResTableParams};
+use crate::select::{SelectDelay, SelectParams};
+use crate::wakeup::{WakeupDelay, WakeupParams};
+use crate::{FeatureSize, Technology};
+
+/// One printed value from the paper, with its recorded tolerance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Anchor {
+    /// Stable identifier, e.g. `"tab02.rename.4way.0.18um"`.
+    pub id: &'static str,
+    /// Where the paper prints it, e.g. `"Table 2"`.
+    pub artifact: &'static str,
+    /// Unit of the value (`"ps"`, `"lambda"`, `"ratio"`, `"fraction"`).
+    pub unit: &'static str,
+    /// The printed value.
+    pub expected: f64,
+    /// Recorded relative tolerance (fraction of `expected`).
+    pub tol_frac: f64,
+}
+
+/// The outcome of evaluating one anchor against the current model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnchorCheck {
+    /// The anchor that was evaluated.
+    pub anchor: Anchor,
+    /// The value the model produced.
+    pub got: f64,
+    /// `|got − expected| / |expected|`.
+    pub residual_frac: f64,
+    /// Whether the residual is inside the recorded tolerance.
+    pub pass: bool,
+}
+
+impl AnchorCheck {
+    fn new(anchor: Anchor, got: f64) -> AnchorCheck {
+        let residual_frac = (got - anchor.expected).abs() / anchor.expected.abs();
+        AnchorCheck { anchor, got, residual_frac, pass: residual_frac <= anchor.tol_frac }
+    }
+
+    /// The drift error this check represents when it fails.
+    pub fn drift(&self) -> Option<DelayError> {
+        (!self.pass).then_some(DelayError::CalibrationDrift {
+            anchor: self.anchor.id,
+            got: self.got,
+            expected: self.anchor.expected,
+            tolerance: self.anchor.tol_frac,
+        })
+    }
+}
+
+/// The outcome of one growth-shape assertion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShapeCheck {
+    /// Stable identifier, e.g. `"shape.bypass.quadratic"`.
+    pub id: &'static str,
+    /// Structure the shape belongs to.
+    pub structure: &'static str,
+    /// The asserted shape.
+    pub shape: &'static str,
+    /// Evidence (finite differences, tier values).
+    pub detail: String,
+    /// Whether the shape held.
+    pub pass: bool,
+}
+
+impl ShapeCheck {
+    /// The violation error this check represents when it fails.
+    pub fn violation(&self) -> Option<DelayError> {
+        (!self.pass).then(|| DelayError::ShapeViolation {
+            structure: self.structure,
+            shape: self.shape,
+            detail: self.detail.clone(),
+        })
+    }
+}
+
+const T2_ROWS: [(FeatureSize, &str); 3] =
+    [(FeatureSize::U080, "0.8um"), (FeatureSize::U035, "0.35um"), (FeatureSize::U018, "0.18um")];
+
+/// Paper Table 2: (rename, wakeup+select, bypass) per technology, for the
+/// (4-way, 32-entry) and (8-way, 64-entry) configurations.
+const TABLE2_PS: [[(f64, f64, f64); 2]; 3] = [
+    [(1577.9, 2903.7, 184.9), (1710.5, 3369.4, 1056.4)],
+    [(627.2, 1248.4, 184.9), (726.6, 1484.8, 1056.4)],
+    [(351.0, 578.0, 184.9), (427.9, 724.0, 1056.4)],
+];
+
+/// Recorded tolerances for Table 2: rename is within 5 % at 4-way and
+/// 15 % at 8-way; wakeup+select within 15 %; bypass within 3 %.
+const T2_TOL: [(f64, f64, f64); 2] = [(0.05, 0.15, 0.03), (0.15, 0.15, 0.03)];
+
+macro_rules! t2_anchors {
+    ($($tech:literal, $cfg:literal, $ti:expr, $ci:expr);* $(;)?) => {
+        [$(
+            [
+                Anchor {
+                    id: concat!("tab02.rename.", $cfg, ".", $tech),
+                    artifact: "Table 2 / Figure 3",
+                    unit: "ps",
+                    expected: TABLE2_PS[$ti][$ci].0,
+                    tol_frac: T2_TOL[$ci].0,
+                },
+                Anchor {
+                    id: concat!("tab02.window.", $cfg, ".", $tech),
+                    artifact: "Table 2",
+                    unit: "ps",
+                    expected: TABLE2_PS[$ti][$ci].1,
+                    tol_frac: T2_TOL[$ci].1,
+                },
+                Anchor {
+                    id: concat!("tab02.bypass.", $cfg, ".", $tech),
+                    artifact: "Table 2 / Table 1",
+                    unit: "ps",
+                    expected: TABLE2_PS[$ti][$ci].2,
+                    tol_frac: T2_TOL[$ci].2,
+                },
+            ],
+        )*]
+    };
+}
+
+/// All Table 2 anchors in row order (tech-major, configuration-minor).
+const TABLE2_ANCHORS: [[Anchor; 3]; 6] = t2_anchors![
+    "0.8um", "4way", 0, 0;
+    "0.8um", "8way", 0, 1;
+    "0.35um", "4way", 1, 0;
+    "0.35um", "8way", 1, 1;
+    "0.18um", "4way", 2, 0;
+    "0.18um", "8way", 2, 1;
+];
+
+/// Evaluates every printed anchor against the current model, via the
+/// validated `try_compute` paths.
+///
+/// # Errors
+///
+/// A [`DelayError`] from the underlying models (domain or finite-ness
+/// failures) — *not* calibration drift; drift is reported per-check in the
+/// returned list so a report can show every residual.
+pub fn evaluate_all() -> Result<Vec<AnchorCheck>, DelayError> {
+    let mut checks = Vec::new();
+    let u018 = Technology::new(FeatureSize::U018);
+
+    // Table 1: bypass result-wire lengths (technology-independent λ) and
+    // delays (identical across technologies under the scaling model).
+    let b4 = BypassDelay::try_compute(&u018, &BypassParams::new(4))?;
+    let b8 = BypassDelay::try_compute(&u018, &BypassParams::new(8))?;
+    checks.push(AnchorCheck::new(
+        Anchor {
+            id: "tab01.length.4way",
+            artifact: "Table 1",
+            unit: "lambda",
+            expected: 20_500.0,
+            tol_frac: 0.01,
+        },
+        b4.wire_length_lambda,
+    ));
+    checks.push(AnchorCheck::new(
+        Anchor {
+            id: "tab01.length.8way",
+            artifact: "Table 1",
+            unit: "lambda",
+            expected: 49_000.0,
+            tol_frac: 0.01,
+        },
+        b8.wire_length_lambda,
+    ));
+    checks.push(AnchorCheck::new(
+        Anchor {
+            id: "tab01.delay.4way",
+            artifact: "Table 1",
+            unit: "ps",
+            expected: 184.9,
+            tol_frac: 0.03,
+        },
+        b4.total_ps(),
+    ));
+    checks.push(AnchorCheck::new(
+        Anchor {
+            id: "tab01.delay.8way",
+            artifact: "Table 1",
+            unit: "ps",
+            expected: 1056.4,
+            tol_frac: 0.03,
+        },
+        b8.total_ps(),
+    ));
+
+    // Table 2 (the rename column doubles as Figure 3's printed points).
+    for (row, (feature, _)) in T2_ROWS.iter().enumerate() {
+        let tech = Technology::new(*feature);
+        for (cfg, (iw, w)) in [(4usize, 32usize), (8, 64)].iter().enumerate() {
+            let d = PipelineDelays::try_compute(&tech, *iw, *w)?;
+            let [rename, window, bypass] = TABLE2_ANCHORS[row * 2 + cfg];
+            checks.push(AnchorCheck::new(rename, d.rename_ps));
+            checks.push(AnchorCheck::new(window, d.window_ps()));
+            checks.push(AnchorCheck::new(bypass, d.bypass_ps));
+        }
+    }
+
+    // Table 4: reservation-table access at 0.18 µm.
+    for (id, iw, expected) in [
+        ("tab04.restable.4way", 4usize, 192.1),
+        ("tab04.restable.8way", 8, 251.7),
+    ] {
+        let d = ResTableDelay::try_compute(&u018, &ResTableParams::new(iw))?;
+        checks.push(AnchorCheck::new(
+            Anchor { id, artifact: "Table 4", unit: "ps", expected, tol_frac: 0.05 },
+            d.total_ps(),
+        ));
+    }
+
+    // Figure 5: wakeup growth with issue width at a 64-entry window. The
+    // model reproduces the ordering and rough magnitude, not the printed
+    // percentages — hence the deliberately wide recorded tolerances.
+    let w2 = WakeupDelay::try_compute(&u018, &WakeupParams::new(2, 64))?.total_ps();
+    let w4 = WakeupDelay::try_compute(&u018, &WakeupParams::new(4, 64))?.total_ps();
+    let w8 = WakeupDelay::try_compute(&u018, &WakeupParams::new(8, 64))?.total_ps();
+    checks.push(AnchorCheck::new(
+        Anchor {
+            id: "fig05.growth.2to4way",
+            artifact: "Figure 5",
+            unit: "fraction",
+            expected: 0.34,
+            tol_frac: 0.55,
+        },
+        w4 / w2 - 1.0,
+    ));
+    checks.push(AnchorCheck::new(
+        Anchor {
+            id: "fig05.growth.4to8way",
+            artifact: "Figure 5",
+            unit: "fraction",
+            expected: 0.46,
+            tol_frac: 0.35,
+        },
+        w8 / w4 - 1.0,
+    ));
+
+    // Figure 6: wire-bound fraction of wakeup (tag drive + tag match) for
+    // the 8-way, 64-entry window, rising as features shrink.
+    for (id, feature, expected) in [
+        ("fig06.wire_fraction.0.8um", FeatureSize::U080, 0.52),
+        ("fig06.wire_fraction.0.18um", FeatureSize::U018, 0.65),
+    ] {
+        let d = WakeupDelay::try_compute(&Technology::new(feature), &WakeupParams::new(8, 64))?;
+        checks.push(AnchorCheck::new(
+            Anchor { id, artifact: "Figure 6", unit: "fraction", expected, tol_frac: 0.12 },
+            d.wire_bound_fraction(),
+        ));
+    }
+
+    // Section 5.5: clk_dep / clk_win ≈ 1.25 at 0.18 µm (8-way vs 2×4-way).
+    let cmp = ClockComparison::try_compute(&u018, 8, 64, 2)?;
+    checks.push(AnchorCheck::new(
+        Anchor {
+            id: "sec5.5.clock_ratio",
+            artifact: "Section 5.5",
+            unit: "ratio",
+            expected: 1.25,
+            tol_frac: 0.08,
+        },
+        cmp.conservative_speedup(),
+    ));
+    // Section 5.3: the "admittedly optimistic" 39 % clock improvement for
+    // the 4-way machine once rename becomes critical.
+    let d4 = PipelineDelays::try_compute(&u018, 4, 32)?;
+    checks.push(AnchorCheck::new(
+        Anchor {
+            id: "sec5.3.optimistic_improvement",
+            artifact: "Section 5.3",
+            unit: "fraction",
+            expected: 0.39,
+            tol_frac: 0.21,
+        },
+        1.0 - d4.rename_ps / d4.window_ps(),
+    ));
+
+    Ok(checks)
+}
+
+/// Relative scale used to call a finite difference "zero".
+const FD_EPS: f64 = 1e-6;
+
+fn third_difference_vanishes(d: &[f64; 4]) -> (f64, bool) {
+    // For samples at equal parameter spacing, a quadratic has an exactly
+    // zero third difference; allow only floating-point noise.
+    let third = (d[3] - 3.0 * d[2] + 3.0 * d[1] - d[0]).abs();
+    let scale = d.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+    (third, third <= FD_EPS * scale)
+}
+
+/// Verifies the growth shapes the paper's structural analysis mandates.
+/// Each check's `pass` flag records the outcome; the function itself only
+/// fails if the models cannot be evaluated at all.
+///
+/// # Errors
+///
+/// A [`DelayError`] from the underlying models.
+pub fn verify_shapes() -> Result<Vec<ShapeCheck>, DelayError> {
+    let tech = Technology::new(FeatureSize::U018);
+    let mut checks = Vec::new();
+
+    // Bypass: wire length is an exact quadratic in issue width (FU stack
+    // linear, register-file height quadratic in ports), so the delay is
+    // superlinear and the length's third difference vanishes.
+    let len: [f64; 4] = [2usize, 4, 6, 8].map(|iw| BypassParams::new(iw).wire_length_lambda());
+    let (third, quad) = third_difference_vanishes(&len);
+    let second = (len[2] - len[1]) - (len[1] - len[0]);
+    checks.push(ShapeCheck {
+        id: "shape.bypass.quadratic-in-width",
+        structure: "bypass",
+        shape: "quadratic-in-width",
+        detail: format!("third difference {third:.3e}, second difference {second:.1}"),
+        pass: quad && second > 0.0,
+    });
+
+    // Rename (RAM scheme): total delay is linear in issue width plus a
+    // *small* quadratic wire term (Section 4.1.2) — quadratic fit exact,
+    // curvature positive but well below the linear slope.
+    let ren: [f64; 4] = {
+        let mut out = [0.0; 4];
+        for (i, iw) in [2usize, 4, 6, 8].iter().enumerate() {
+            out[i] = RenameDelay::try_compute(&tech, &RenameParams::new(*iw))?.total_ps();
+        }
+        out
+    };
+    let (third, quad) = third_difference_vanishes(&ren);
+    let first = ren[1] - ren[0];
+    let second = (ren[2] - ren[1]) - (ren[1] - ren[0]);
+    checks.push(ShapeCheck {
+        id: "shape.rename.linear-plus-small-quadratic",
+        structure: "rename",
+        shape: "linear-plus-small-quadratic",
+        detail: format!(
+            "third difference {third:.3e}, curvature {second:.2} vs slope {first:.2}"
+        ),
+        pass: quad && second > 0.0 && second < first,
+    });
+
+    // Wakeup: tag drive is linear + quadratic in window size, and the
+    // quadratic coefficient grows with issue width (taller CAM cells make
+    // longer tag lines); tag match and match OR are window-independent.
+    let mut curvature = [0.0f64; 2];
+    let mut tag_quad = true;
+    let mut third_max = 0.0f64;
+    for (slot, iw) in [2usize, 8].iter().enumerate() {
+        let mut drive = [0.0; 4];
+        for (i, w) in [16usize, 32, 48, 64].iter().enumerate() {
+            drive[i] = WakeupDelay::try_compute(&tech, &WakeupParams::new(*iw, *w))?.tag_drive_ps;
+        }
+        let (third, quad) = third_difference_vanishes(&drive);
+        third_max = third_max.max(third);
+        tag_quad &= quad;
+        curvature[slot] = (drive[2] - drive[1]) - (drive[1] - drive[0]);
+    }
+    let near = WakeupDelay::try_compute(&tech, &WakeupParams::new(4, 16))?;
+    let far = WakeupDelay::try_compute(&tech, &WakeupParams::new(4, 64))?;
+    checks.push(ShapeCheck {
+        id: "shape.wakeup.linear-plus-quadratic-in-window",
+        structure: "wakeup",
+        shape: "linear-plus-quadratic-in-window",
+        detail: format!(
+            "third difference {third_max:.3e}, curvature 2-way {:.3} vs 8-way {:.3}, \
+             match/OR window shift {:.3e}",
+            curvature[0],
+            curvature[1],
+            (far.tag_match_ps - near.tag_match_ps).abs()
+                + (far.match_or_ps - near.match_or_ps).abs(),
+        ),
+        pass: tag_quad
+            && curvature[0] > 0.0
+            && curvature[1] > curvature[0]
+            && far.tag_match_ps == near.tag_match_ps
+            && far.match_or_ps == near.match_or_ps,
+    });
+
+    // Select: step-logarithmic in window size — constant across each
+    // ⌈log₄ W⌉ tier, stepping up at tier boundaries, with the root-cell
+    // delay window-independent.
+    let sel = |w: usize| -> Result<SelectDelay, DelayError> {
+        SelectDelay::try_compute(&tech, &SelectParams::new(w))
+    };
+    let d17 = sel(17)?;
+    let d64 = sel(64)?;
+    let d65 = sel(65)?;
+    let d16 = sel(16)?;
+    checks.push(ShapeCheck {
+        id: "shape.select.step-logarithmic",
+        structure: "select",
+        shape: "step-logarithmic",
+        detail: format!(
+            "tier(17..64) {:.2}/{:.2} ps, step at 65 {:.2} ps, root {:.2}/{:.2} ps",
+            d17.total_ps(),
+            d64.total_ps(),
+            d65.total_ps(),
+            d16.root_ps,
+            d65.root_ps,
+        ),
+        pass: d17.total_ps() == d64.total_ps()
+            && d65.total_ps() > d64.total_ps()
+            && d16.total_ps() < d17.total_ps()
+            && d16.root_ps == d65.root_ps,
+    });
+
+    Ok(checks)
+}
+
+/// Runs the full oracle: every anchor and every shape assertion.
+///
+/// # Errors
+///
+/// The first failure, as a typed [`DelayError`]: model evaluation errors
+/// pass through, a failing anchor becomes
+/// [`DelayError::CalibrationDrift`], a failing shape becomes
+/// [`DelayError::ShapeViolation`].
+pub fn check() -> Result<(), DelayError> {
+    for c in evaluate_all()? {
+        if let Some(err) = c.drift() {
+            return Err(err);
+        }
+    }
+    for s in verify_shapes()? {
+        if let Some(err) = s.violation() {
+            return Err(err);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_anchor_is_within_its_recorded_tolerance() {
+        for c in evaluate_all().unwrap() {
+            assert!(
+                c.pass,
+                "{}: got {:.3}, expected {:.3} (±{:.0} %), residual {:.1} %",
+                c.anchor.id,
+                c.got,
+                c.anchor.expected,
+                c.anchor.tol_frac * 100.0,
+                c.residual_frac * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn every_shape_holds() {
+        for s in verify_shapes().unwrap() {
+            assert!(s.pass, "{}: {}", s.id, s.detail);
+        }
+    }
+
+    #[test]
+    fn check_passes_on_the_shipped_calibration() {
+        check().unwrap();
+    }
+
+    #[test]
+    fn anchor_ids_are_unique_and_well_formed() {
+        let checks = evaluate_all().unwrap();
+        let mut ids: Vec<&str> = checks.iter().map(|c| c.anchor.id).collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "duplicate anchor ids");
+        for c in &checks {
+            assert!(c.anchor.tol_frac > 0.0 && c.anchor.tol_frac < 1.0, "{}", c.anchor.id);
+            assert!(c.anchor.expected.is_finite() && c.got.is_finite(), "{}", c.anchor.id);
+        }
+        // The full oracle covers all four tables/figures plus both clock
+        // claims: 4 (Table 1) + 18 (Table 2) + 2 (Table 4) + 2 (Figure 5)
+        // + 2 (Figure 6) + 2 (Sections 5.3/5.5).
+        assert_eq!(n, 30);
+    }
+
+    #[test]
+    fn drift_is_reported_as_a_typed_error() {
+        let c = AnchorCheck::new(
+            Anchor {
+                id: "test.anchor",
+                artifact: "Table 0",
+                unit: "ps",
+                expected: 100.0,
+                tol_frac: 0.05,
+            },
+            110.0,
+        );
+        assert!(!c.pass);
+        match c.drift().unwrap() {
+            DelayError::CalibrationDrift { anchor, got, expected, tolerance } => {
+                assert_eq!(anchor, "test.anchor");
+                assert_eq!(got, 110.0);
+                assert_eq!(expected, 100.0);
+                assert_eq!(tolerance, 0.05);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+}

@@ -12,6 +12,7 @@
 //! al. that the paper quotes: `I² · 2S + I²` paths for issue width `I` and
 //! `S` pipe stages after the first result-producing stage.
 
+use crate::error::{domain, ensure_finite, DelayError};
 use crate::wire::Wire;
 use crate::{calib, Technology};
 
@@ -47,6 +48,22 @@ impl BypassParams {
         let i = self.issue_width;
         2 * self.pipestages_after_exec * i * i + i * i
     }
+
+    /// Validates the parameters against the modeled domains
+    /// ([`domain::ISSUE_WIDTH`], [`domain::PIPESTAGES`]).
+    ///
+    /// # Errors
+    ///
+    /// [`DelayError::OutOfDomain`] naming the first violated parameter.
+    pub fn validate(&self) -> Result<(), DelayError> {
+        domain::ISSUE_WIDTH.check_usize("bypass", "issue_width", self.issue_width)?;
+        domain::PIPESTAGES.check_usize(
+            "bypass",
+            "pipestages_after_exec",
+            self.pipestages_after_exec,
+        )?;
+        Ok(())
+    }
 }
 
 /// Bypass delay result.
@@ -63,14 +80,32 @@ impl BypassDelay {
     ///
     /// # Panics
     ///
-    /// Panics if `issue_width` is zero.
+    /// Panics if the parameters fail [`BypassParams::validate`] — in
+    /// release builds too; use [`BypassDelay::try_compute`] for a checked
+    /// path.
     pub fn compute(tech: &Technology, params: &BypassParams) -> BypassDelay {
         assert!(params.issue_width > 0, "issue width must be positive");
-        let length = params.wire_length_lambda();
-        BypassDelay {
+        Self::try_compute(tech, params).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked form of [`BypassDelay::compute`]: validates the parameters
+    /// and verifies the derived wire length and delay are finite and
+    /// non-negative.
+    ///
+    /// # Errors
+    ///
+    /// [`DelayError::OutOfDomain`] for parameters outside the modeled
+    /// domain; [`DelayError::NonFinite`] if an intermediate still came
+    /// out NaN, infinite, or negative.
+    pub fn try_compute(tech: &Technology, params: &BypassParams) -> Result<BypassDelay, DelayError> {
+        params.validate()?;
+        let length = ensure_finite("bypass", "wire_length_lambda", params.wire_length_lambda())?;
+        let d = BypassDelay {
             wire_length_lambda: length,
-            wire_delay_ps: Wire::new(length).delay_ps(tech),
-        }
+            wire_delay_ps: Wire::try_new(length)?.delay_ps(tech),
+        };
+        ensure_finite("bypass", "wire_delay_ps", d.wire_delay_ps)?;
+        Ok(d)
     }
 
     /// Total bypass delay, picoseconds.
@@ -133,6 +168,36 @@ mod tests {
         assert_eq!(BypassParams { issue_width: 4, pipestages_after_exec: 1 }.path_count(), 48);
         assert_eq!(BypassParams { issue_width: 8, pipestages_after_exec: 1 }.path_count(), 192);
         assert_eq!(BypassParams { issue_width: 8, pipestages_after_exec: 3 }.path_count(), 448);
+    }
+
+    #[test]
+    fn try_compute_rejects_out_of_domain_params() {
+        let tech = Technology::new(FeatureSize::U018);
+        for bad in [
+            BypassParams { issue_width: 0, pipestages_after_exec: 1 },
+            BypassParams { issue_width: 65, pipestages_after_exec: 1 },
+            BypassParams { issue_width: 8, pipestages_after_exec: 65 },
+        ] {
+            assert!(
+                matches!(
+                    BypassDelay::try_compute(&tech, &bad),
+                    Err(crate::error::DelayError::OutOfDomain { structure: "bypass", .. })
+                ),
+                "{bad:?} must be refused"
+            );
+        }
+    }
+
+    #[test]
+    fn try_compute_matches_compute_on_valid_params() {
+        let tech = Technology::new(FeatureSize::U018);
+        for iw in [1, 2, 4, 8, 16, 64] {
+            let p = BypassParams::new(iw);
+            assert_eq!(
+                BypassDelay::try_compute(&tech, &p).unwrap(),
+                BypassDelay::compute(&tech, &p)
+            );
+        }
     }
 
     #[test]

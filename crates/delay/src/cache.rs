@@ -15,6 +15,7 @@
 //! * tag path — the same over the (narrower) tag array, plus a comparator,
 //! * output — way select / column mux, fan-in = associativity.
 
+use crate::error::{domain, ensure_finite, DelayError};
 use crate::wire::Wire;
 use crate::{calib, gates, Technology};
 
@@ -50,21 +51,41 @@ impl CacheParams {
         32 - offset_bits - index_bits
     }
 
-    /// Validates the geometry.
+    /// Validates the geometry: every dimension inside its modeled domain
+    /// ([`domain::CACHE_BYTES`], [`domain::CACHE_WAYS`],
+    /// [`domain::CACHE_LINE_BYTES`], [`domain::CACHE_PORTS`]) and a
+    /// realizable set structure (power-of-two line size and set count).
     ///
     /// # Errors
     ///
-    /// Describes the first violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
-        if self.bytes == 0 || self.ways == 0 || self.line_bytes == 0 || self.ports == 0 {
-            return Err("all cache parameters must be positive".into());
-        }
+    /// [`DelayError::OutOfDomain`] for a dimension outside its domain;
+    /// [`DelayError::ShapeViolation`] for a geometry that no power-of-two
+    /// decoder can index.
+    pub fn validate(&self) -> Result<(), DelayError> {
+        domain::CACHE_BYTES.check_usize("cache", "bytes", self.bytes)?;
+        domain::CACHE_WAYS.check_usize("cache", "ways", self.ways)?;
+        domain::CACHE_LINE_BYTES.check_usize("cache", "line_bytes", self.line_bytes)?;
+        domain::CACHE_PORTS.check_usize("cache", "ports", self.ports)?;
         if !self.line_bytes.is_power_of_two() {
-            return Err("line size must be a power of two".into());
+            return Err(DelayError::ShapeViolation {
+                structure: "cache",
+                shape: "power-of-two line size",
+                detail: format!("line_bytes = {}", self.line_bytes),
+            });
         }
         let lines = self.bytes / self.line_bytes;
-        if !lines.is_multiple_of(self.ways) || !(lines / self.ways).is_power_of_two() {
-            return Err("sets must be a power of two".into());
+        if lines == 0
+            || !lines.is_multiple_of(self.ways)
+            || !(lines / self.ways).is_power_of_two()
+        {
+            return Err(DelayError::ShapeViolation {
+                structure: "cache",
+                shape: "power-of-two set count",
+                detail: format!(
+                    "{} bytes / {}-byte lines / {} ways",
+                    self.bytes, self.line_bytes, self.ways
+                ),
+            });
         }
         Ok(())
     }
@@ -86,11 +107,24 @@ impl CacheDelay {
     ///
     /// # Panics
     ///
-    /// Panics if the geometry fails [`CacheParams::validate`].
+    /// Panics if the geometry fails [`CacheParams::validate`]; use
+    /// [`CacheDelay::try_compute`] for a checked path.
     pub fn compute(tech: &Technology, params: &CacheParams) -> CacheDelay {
-        if let Err(msg) = params.validate() {
-            panic!("invalid cache geometry: {msg}");
-        }
+        Self::try_compute(tech, params)
+            .unwrap_or_else(|e| panic!("invalid cache geometry: {e}"))
+    }
+
+    /// Checked form of [`CacheDelay::compute`]: validates the geometry and
+    /// verifies every path delay is a finite non-negative number.
+    ///
+    /// # Errors
+    ///
+    /// [`DelayError::OutOfDomain`] / [`DelayError::ShapeViolation`] for a
+    /// geometry outside the model (see [`CacheParams::validate`]);
+    /// [`DelayError::NonFinite`] if a path delay still came out NaN,
+    /// infinite, or negative.
+    pub fn try_compute(tech: &Technology, params: &CacheParams) -> Result<CacheDelay, DelayError> {
+        params.validate()?;
         // Multi-ported cells, as in the rename model. Large arrays are
         // banked into subarrays of at most 256 rows x 256 columns; what a
         // bigger cache pays is the *global routing* from the banks to the
@@ -105,15 +139,15 @@ impl CacheDelay {
         let drive = |w: &Wire| {
             calib::R_DRIVER_OHM * w.capacitance_ff(tech) * 1e-3 + w.delay_ps(tech)
         };
-        let bitline = Wire::new(rows * cell);
-        let wordline = Wire::new(cols * cell);
+        let bitline = Wire::try_new(rows * cell)?;
+        let wordline = Wire::try_new(cols * cell)?;
         // Bank-to-output routing spans the physical array edge.
-        let routing = Wire::new(side * 8.0);
+        let routing = Wire::try_new(side * 8.0)?;
         let array_stages = calib::RENAME_DECODE_STAGES
             + calib::RENAME_WORDLINE_STAGES
             + calib::RENAME_BITLINE_STAGES
             + calib::RENAME_SENSE_STAGES;
-        let data_path_ps = gates::stages_ps(tech, array_stages)
+        let data_path_ps = gates::try_stages_ps(tech, array_stages)?
             + drive(&bitline) * 2.0 // predecode + bitline, as in rename
             + drive(&wordline)
             + drive(&routing);
@@ -121,10 +155,10 @@ impl CacheDelay {
         // The tag array is narrow (tag_bits per way) but has the same row
         // count per bank; the compare adds log-depth XOR/NOR stages.
         let tag_rows = (params.sets() as f64).min(256.0);
-        let tag_bitline = Wire::new(tag_rows * cell);
-        let tag_wordline = Wire::new(params.tag_bits() as f64 * cell);
-        let cmp_stages = 2.0 + gates::tree_height(params.tag_bits().max(2), 4) as f64;
-        let tag_path_ps = gates::stages_ps(tech, array_stages + cmp_stages)
+        let tag_bitline = Wire::try_new(tag_rows * cell)?;
+        let tag_wordline = Wire::try_new(params.tag_bits() as f64 * cell)?;
+        let cmp_stages = 2.0 + gates::try_tree_height(params.tag_bits().max(2), 4)? as f64;
+        let tag_path_ps = gates::try_stages_ps(tech, array_stages + cmp_stages)?
             + drive(&tag_bitline) * 2.0
             + drive(&tag_wordline)
             + drive(&routing);
@@ -132,11 +166,17 @@ impl CacheDelay {
         // Way select: mux fan-in plus the select-signal drive across the
         // ways -- the part of the access that associativity makes slower.
         let select_stages = 1.0
-            + gates::tree_height(params.ways.max(2), 4) as f64
+            + gates::try_tree_height(params.ways.max(2), 4)? as f64
             + 0.4 * params.ways as f64;
-        let select_ps = gates::stages_ps(tech, select_stages);
+        let select_ps = gates::try_stages_ps(tech, select_stages)?;
 
-        CacheDelay { data_path_ps, tag_path_ps, select_ps }
+        let d = CacheDelay {
+            data_path_ps: ensure_finite("cache", "data_path_ps", data_path_ps)?,
+            tag_path_ps: ensure_finite("cache", "tag_path_ps", tag_path_ps)?,
+            select_ps: ensure_finite("cache", "select_ps", select_ps)?,
+        };
+        ensure_finite("cache", "total_ps", d.total_ps())?;
+        Ok(d)
     }
 
     /// Total access time: the slower of the two parallel paths plus the
@@ -215,5 +255,51 @@ mod tests {
             &tech(),
             &CacheParams { bytes: 1000, ways: 3, line_bytes: 24, ports: 1 },
         );
+    }
+
+    #[test]
+    fn try_compute_rejects_bad_geometry() {
+        use crate::error::DelayError;
+        let base = CacheParams::table3_dcache();
+        // Dimension outside its domain.
+        for bad in [
+            CacheParams { bytes: 0, ..base },
+            CacheParams { ways: 0, ..base },
+            CacheParams { ports: 65, ..base },
+            CacheParams { line_bytes: 8192, ..base },
+        ] {
+            assert!(
+                matches!(
+                    CacheDelay::try_compute(&tech(), &bad),
+                    Err(DelayError::OutOfDomain { structure: "cache", .. })
+                ),
+                "{bad:?} must be out of domain"
+            );
+        }
+        // In-domain dimensions that form an unrealizable set structure.
+        for bad in [
+            CacheParams { line_bytes: 24, ..base },
+            CacheParams { ways: 3, ..base },
+            CacheParams { bytes: 16, line_bytes: 32, ways: 1, ports: 1 },
+        ] {
+            assert!(
+                matches!(
+                    CacheDelay::try_compute(&tech(), &bad),
+                    Err(DelayError::ShapeViolation { structure: "cache", .. })
+                ),
+                "{bad:?} must be a shape violation"
+            );
+        }
+    }
+
+    #[test]
+    fn try_compute_matches_compute_on_valid_params() {
+        for bytes in [8 * 1024, 32 * 1024, 256 * 1024] {
+            let p = CacheParams { bytes, ..CacheParams::table3_dcache() };
+            assert_eq!(
+                CacheDelay::try_compute(&tech(), &p).unwrap(),
+                CacheDelay::compute(&tech(), &p)
+            );
+        }
     }
 }

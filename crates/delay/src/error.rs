@@ -1,0 +1,301 @@
+//! Structured error taxonomy and parameter domains for the delay models.
+//!
+//! Every fallible entry point in this crate (`try_compute`, `validate`,
+//! the anchor/shape verification in [`anchors`](crate::anchors)) reports
+//! failures through [`DelayError`], so callers can distinguish *your
+//! inputs were outside the modeled domain* from *the model itself
+//! produced garbage* from *the calibration no longer matches the paper*.
+//! The panicking `compute` wrappers remain for the common "parameters are
+//! known-good constants" case and simply unwrap the `try_` path, so both
+//! roads run the same validation — in release builds too, unlike the
+//! `debug_assert!` guards this module replaced.
+//!
+//! ## Parameter domains
+//!
+//! The models are calibrated against the paper's 2–8-way, 8–128-entry
+//! design points and extrapolate cleanly some distance beyond; the
+//! [`domain`] constants bound how far. Outside a domain the structural
+//! equations still evaluate, but the results would be physically
+//! meaningless (kilometre-long wires, megaport register files), so the
+//! `try_` paths refuse with [`DelayError::OutOfDomain`] instead of
+//! returning a number nobody should trust.
+
+use std::fmt;
+
+/// Everything that can go wrong when evaluating a delay model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DelayError {
+    /// A parameter lies outside the modeled domain (see [`domain`]).
+    OutOfDomain {
+        /// Structure whose model rejected the parameter (`"rename"`, …).
+        structure: &'static str,
+        /// Parameter name (`"issue_width"`, `"window_size"`, …).
+        param: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Smallest accepted value.
+        min: f64,
+        /// Largest accepted value.
+        max: f64,
+    },
+    /// A stage-level intermediate came out NaN, infinite, or negative —
+    /// the model produced garbage even though the inputs validated.
+    NonFinite {
+        /// Structure whose model produced the value.
+        structure: &'static str,
+        /// Which intermediate (`"bitline_ps"`, `"tag_drive_ps"`, …).
+        stage: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A computed quantity drifted outside the recorded tolerance of a
+    /// paper anchor (see [`anchors`](crate::anchors)).
+    CalibrationDrift {
+        /// Anchor identifier (`"tab02.rename.4way.0.18um"`, …).
+        anchor: &'static str,
+        /// The value the model produced.
+        got: f64,
+        /// The paper's printed value.
+        expected: f64,
+        /// Recorded relative tolerance (fraction of `expected`).
+        tolerance: f64,
+    },
+    /// A growth-shape assertion failed: the model no longer grows
+    /// linearly / quadratically / logarithmically where the paper's
+    /// structural analysis says it must.
+    ShapeViolation {
+        /// Structure whose shape broke (`"bypass"`, `"select"`, …).
+        structure: &'static str,
+        /// The shape that was asserted (`"quadratic-in-width"`, …).
+        shape: &'static str,
+        /// Human-readable evidence (finite differences, fitted terms).
+        detail: String,
+    },
+}
+
+impl fmt::Display for DelayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DelayError::OutOfDomain { structure, param, value, min, max } => write!(
+                f,
+                "{structure}: {param} = {value} outside modeled domain [{min}, {max}]"
+            ),
+            DelayError::NonFinite { structure, stage, value } => write!(
+                f,
+                "{structure}: intermediate {stage} is not a finite non-negative \
+                 delay (got {value})"
+            ),
+            DelayError::CalibrationDrift { anchor, got, expected, tolerance } => write!(
+                f,
+                "calibration drift at {anchor}: got {got:.1}, paper prints {expected:.1} \
+                 (recorded tolerance ±{:.1} %)",
+                tolerance * 100.0
+            ),
+            DelayError::ShapeViolation { structure, shape, detail } => {
+                write!(f, "{structure}: {shape} shape violated: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DelayError {}
+
+/// An inclusive parameter domain, checkable against any numeric input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Domain {
+    /// Smallest accepted value.
+    pub min: f64,
+    /// Largest accepted value.
+    pub max: f64,
+}
+
+impl Domain {
+    /// Returns `Ok(())` when `value` is finite and inside the domain.
+    ///
+    /// # Errors
+    ///
+    /// [`DelayError::OutOfDomain`] naming the structure and parameter.
+    pub fn check(
+        &self,
+        structure: &'static str,
+        param: &'static str,
+        value: f64,
+    ) -> Result<(), DelayError> {
+        if value.is_finite() && (self.min..=self.max).contains(&value) {
+            Ok(())
+        } else {
+            Err(DelayError::OutOfDomain {
+                structure,
+                param,
+                value,
+                min: self.min,
+                max: self.max,
+            })
+        }
+    }
+
+    /// [`Domain::check`] for integer-valued parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`DelayError::OutOfDomain`] naming the structure and parameter.
+    pub fn check_usize(
+        &self,
+        structure: &'static str,
+        param: &'static str,
+        value: usize,
+    ) -> Result<(), DelayError> {
+        self.check(structure, param, value as f64)
+    }
+}
+
+/// Documented parameter domains for every model input.
+///
+/// The paper's own design space is 2–8-way machines with 8–128-entry
+/// windows in 0.8/0.35/0.18 µm CMOS; the domains extend far enough beyond
+/// to support the sweeps in `ce-bench` (16-way bypass, 256-entry select
+/// trees, megabyte caches) while refusing inputs the structural layout
+/// model could only answer with nonsense.
+pub mod domain {
+    use super::Domain;
+
+    /// Instructions renamed/issued per cycle. Paper: 2–8; model: up to 64
+    /// (beyond that the quadratic register-file height term dominates
+    /// everything and the flat-layout assumption has long broken down).
+    pub const ISSUE_WIDTH: Domain = Domain { min: 1.0, max: 64.0 };
+    /// Issue-window / selection-tree entries. Paper: 8–128.
+    pub const WINDOW_SIZE: Domain = Domain { min: 1.0, max: 1024.0 };
+    /// Physical registers (CAM rename entries, reservation-table bits).
+    pub const PHYSICAL_REGS: Domain = Domain { min: 1.0, max: 4096.0 };
+    /// Wire length in λ. Zero is legal (a degenerate wire); the cap is an
+    /// order of magnitude above the longest sweep wire (16-way bypass,
+    /// ~131 kλ).
+    pub const WIRE_LENGTH_LAMBDA: Domain = Domain { min: 0.0, max: 1.0e7 };
+    /// FO4-equivalent logic depth of one structure stage.
+    pub const LOGIC_STAGES: Domain = Domain { min: 0.0, max: 1.0e4 };
+    /// Buffer-chain capacitance ratio (load over minimum inverter input).
+    pub const CAP_RATIO: Domain = Domain { min: 1.0e-6, max: 1.0e12 };
+    /// Driver size in multiples of a minimum inverter.
+    pub const DRIVER_SIZE: Domain = Domain { min: 1.0, max: 1.0e6 };
+    /// Arbiter-cell fan-in (the paper found 4 optimal).
+    pub const ARBITER_FANIN: Domain = Domain { min: 2.0, max: 64.0 };
+    /// Simultaneous grants from one selection block.
+    pub const GRANTS: Domain = Domain { min: 1.0, max: 64.0 };
+    /// Pipe stages after the first result-producing stage (bypass paths).
+    pub const PIPESTAGES: Domain = Domain { min: 0.0, max: 64.0 };
+    /// Register-file ports (read + write).
+    pub const REGFILE_PORTS: Domain = Domain { min: 1.0, max: 256.0 };
+    /// Register-file data width in bits.
+    pub const REGFILE_BITS: Domain = Domain { min: 1.0, max: 1024.0 };
+    /// Cache capacity in bytes (up to 1 GiB).
+    pub const CACHE_BYTES: Domain = Domain { min: 1.0, max: (1u64 << 30) as f64 };
+    /// Cache associativity.
+    pub const CACHE_WAYS: Domain = Domain { min: 1.0, max: 64.0 };
+    /// Cache line size in bytes.
+    pub const CACHE_LINE_BYTES: Domain = Domain { min: 1.0, max: 4096.0 };
+    /// Cache read ports.
+    pub const CACHE_PORTS: Domain = Domain { min: 1.0, max: 64.0 };
+    /// Target clock period in picoseconds.
+    pub const CLOCK_PS: Domain = Domain { min: 1.0e-3, max: 1.0e9 };
+    /// Clusters in a clustered machine.
+    pub const CLUSTERS: Domain = Domain { min: 1.0, max: 64.0 };
+}
+
+/// Checks that a stage-level intermediate is a finite, non-negative delay
+/// and passes it through.
+///
+/// # Errors
+///
+/// [`DelayError::NonFinite`] naming the structure and stage.
+pub fn ensure_finite(
+    structure: &'static str,
+    stage: &'static str,
+    value: f64,
+) -> Result<f64, DelayError> {
+    if value.is_finite() && value >= 0.0 {
+        Ok(value)
+    } else {
+        Err(DelayError::NonFinite { structure, stage, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_check_accepts_interior_and_edges() {
+        let d = Domain { min: 1.0, max: 8.0 };
+        assert!(d.check("s", "p", 1.0).is_ok());
+        assert!(d.check("s", "p", 8.0).is_ok());
+        assert!(d.check("s", "p", 4.5).is_ok());
+        assert!(d.check_usize("s", "p", 3).is_ok());
+    }
+
+    #[test]
+    fn domain_check_rejects_outside_and_nonfinite() {
+        let d = Domain { min: 1.0, max: 8.0 };
+        for bad in [0.0, 9.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = d.check("wakeup", "window_size", bad).unwrap_err();
+            match err {
+                DelayError::OutOfDomain { structure, param, min, max, .. } => {
+                    assert_eq!(structure, "wakeup");
+                    assert_eq!(param, "window_size");
+                    assert_eq!((min, max), (1.0, 8.0));
+                }
+                other => panic!("wrong variant: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ensure_finite_passes_values_through() {
+        assert_eq!(ensure_finite("s", "stage", 12.5).unwrap(), 12.5);
+        assert_eq!(ensure_finite("s", "stage", 0.0).unwrap(), 0.0);
+        for bad in [f64::NAN, f64::INFINITY, -1.0e-9] {
+            assert!(ensure_finite("s", "stage", bad).is_err());
+        }
+    }
+
+    #[test]
+    fn display_forms_name_the_failure() {
+        let e = DelayError::OutOfDomain {
+            structure: "rename",
+            param: "issue_width",
+            value: 0.0,
+            min: 1.0,
+            max: 64.0,
+        };
+        let s = e.to_string();
+        assert!(s.contains("rename") && s.contains("issue_width") && s.contains("domain"));
+
+        let e = DelayError::NonFinite {
+            structure: "wakeup",
+            stage: "tag_drive_ps",
+            value: f64::NAN,
+        };
+        assert!(e.to_string().contains("tag_drive_ps"));
+
+        let e = DelayError::CalibrationDrift {
+            anchor: "tab01.delay.4way",
+            got: 200.0,
+            expected: 184.9,
+            tolerance: 0.03,
+        };
+        let s = e.to_string();
+        assert!(s.contains("drift") && s.contains("184.9"));
+
+        let e = DelayError::ShapeViolation {
+            structure: "select",
+            shape: "logarithmic",
+            detail: "step changed".into(),
+        };
+        assert!(e.to_string().contains("logarithmic"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&DelayError::NonFinite { structure: "s", stage: "t", value: 0.0 });
+    }
+}

@@ -7,6 +7,7 @@
 //! gates (the wakeup comparators) and sense amplifiers are expressed as
 //! fractional stage counts in [`calib`](crate::calib).
 
+use crate::error::{domain, DelayError};
 use crate::Technology;
 
 /// Delay of `stages` FO4-equivalent logic levels, in picoseconds.
@@ -18,9 +19,24 @@ use crate::Technology;
 /// let t = Technology::new(FeatureSize::U018);
 /// assert_eq!(stages_ps(&t, 2.0), 2.0 * t.tau_fo4_ps());
 /// ```
+///
+/// # Panics
+///
+/// Panics if `stages` is outside [`domain::LOGIC_STAGES`] — in release
+/// builds too; use [`try_stages_ps`] for a checked path.
 pub fn stages_ps(tech: &Technology, stages: f64) -> f64 {
-    debug_assert!(stages >= 0.0);
-    stages * tech.tau_fo4_ps()
+    try_stages_ps(tech, stages).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Checked form of [`stages_ps`].
+///
+/// # Errors
+///
+/// [`DelayError::OutOfDomain`] if `stages` is negative, non-finite, or
+/// beyond [`domain::LOGIC_STAGES`].
+pub fn try_stages_ps(tech: &Technology, stages: f64) -> Result<f64, DelayError> {
+    domain::LOGIC_STAGES.check("gates", "stages", stages)?;
+    Ok(stages * tech.tau_fo4_ps())
 }
 
 /// Delay of an optimally tapered buffer chain driving a load `cap_ratio`
@@ -29,10 +45,25 @@ pub fn stages_ps(tech: &Technology, stages: f64) -> f64 {
 /// Classical sizing: a fan-out-of-4 chain needs `log4(cap_ratio)` stages,
 /// each costing one FO4 delay. Ratios at or below 1 cost a single stage
 /// (you still need a driver).
+///
+/// # Panics
+///
+/// Panics if `cap_ratio` is outside [`domain::CAP_RATIO`]; use
+/// [`try_buffer_chain_ps`] for a checked path.
 pub fn buffer_chain_ps(tech: &Technology, cap_ratio: f64) -> f64 {
-    debug_assert!(cap_ratio.is_finite() && cap_ratio > 0.0);
+    try_buffer_chain_ps(tech, cap_ratio).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Checked form of [`buffer_chain_ps`].
+///
+/// # Errors
+///
+/// [`DelayError::OutOfDomain`] if `cap_ratio` is zero, negative,
+/// non-finite, or beyond [`domain::CAP_RATIO`].
+pub fn try_buffer_chain_ps(tech: &Technology, cap_ratio: f64) -> Result<f64, DelayError> {
+    domain::CAP_RATIO.check("gates", "cap_ratio", cap_ratio)?;
     let stages = if cap_ratio <= 1.0 { 1.0 } else { cap_ratio.log(4.0).max(1.0) };
-    stages * tech.tau_fo4_ps()
+    Ok(stages * tech.tau_fo4_ps())
 }
 
 /// Effective output resistance of a driver sized `size` times a minimum
@@ -41,17 +72,47 @@ pub fn buffer_chain_ps(tech: &Technology, cap_ratio: f64) -> f64 {
 /// The minimum-inverter resistance is chosen so that `R_min · C_min` equals
 /// one FO4 delay at each technology; larger drivers scale resistance down
 /// linearly.
+///
+/// # Panics
+///
+/// Panics if `size` is outside [`domain::DRIVER_SIZE`]; use
+/// [`try_driver_resistance_ohm`] for a checked path.
 pub fn driver_resistance_ohm(tech: &Technology, size: f64) -> f64 {
-    debug_assert!(size >= 1.0);
-    crate::calib::R_MIN_DRIVER_OHM * tech.tau_fo4_ps() / crate::calib::TAU_FO4_018_PS / size
+    try_driver_resistance_ohm(tech, size).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Checked form of [`driver_resistance_ohm`].
+///
+/// # Errors
+///
+/// [`DelayError::OutOfDomain`] if `size` is below 1 (drivers are at least
+/// minimum-size), non-finite, or beyond [`domain::DRIVER_SIZE`].
+pub fn try_driver_resistance_ohm(tech: &Technology, size: f64) -> Result<f64, DelayError> {
+    domain::DRIVER_SIZE.check("gates", "driver_size", size)?;
+    Ok(crate::calib::R_MIN_DRIVER_OHM * tech.tau_fo4_ps() / crate::calib::TAU_FO4_018_PS / size)
 }
 
 /// Number of arbitration-tree levels needed to select among `n` requesters
 /// with `fanin`-input arbiter cells: `ceil(log_fanin(n))`, minimum 1.
+///
+/// # Panics
+///
+/// Panics if `fanin < 2`; use [`try_tree_height`] for a checked path.
 pub fn tree_height(n: usize, fanin: usize) -> u32 {
     assert!(fanin >= 2, "arbiter cells need at least two inputs");
+    try_tree_height(n, fanin).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Checked form of [`tree_height`].
+///
+/// # Errors
+///
+/// [`DelayError::OutOfDomain`] if `fanin` is outside
+/// [`domain::ARBITER_FANIN`].
+pub fn try_tree_height(n: usize, fanin: usize) -> Result<u32, DelayError> {
+    domain::ARBITER_FANIN.check_usize("gates", "arbiter_fanin", fanin)?;
     if n <= 1 {
-        return 1;
+        return Ok(1);
     }
     let mut height = 0u32;
     let mut covered = 1usize;
@@ -59,7 +120,7 @@ pub fn tree_height(n: usize, fanin: usize) -> u32 {
         covered = covered.saturating_mul(fanin);
         height += 1;
     }
-    height
+    Ok(height)
 }
 
 #[cfg(test)]
@@ -109,5 +170,31 @@ mod tests {
     #[should_panic(expected = "at least two")]
     fn tree_height_rejects_unary_fanin() {
         let _ = tree_height(8, 1);
+    }
+
+    #[test]
+    fn try_paths_reject_garbage_in_release_builds() {
+        // These guards used to be debug_assert!s that vanished in release
+        // builds; the typed errors must fire regardless of build profile.
+        let t = Technology::new(FeatureSize::U018);
+        assert!(try_stages_ps(&t, -1.0).is_err());
+        assert!(try_stages_ps(&t, f64::NAN).is_err());
+        assert!(try_buffer_chain_ps(&t, 0.0).is_err());
+        assert!(try_buffer_chain_ps(&t, f64::INFINITY).is_err());
+        assert!(try_driver_resistance_ohm(&t, 0.5).is_err());
+        assert!(try_tree_height(8, 1).is_err());
+        assert!(try_tree_height(8, 0).is_err());
+    }
+
+    #[test]
+    fn try_paths_agree_with_panicking_paths() {
+        let t = Technology::new(FeatureSize::U018);
+        assert_eq!(try_stages_ps(&t, 3.0).unwrap(), stages_ps(&t, 3.0));
+        assert_eq!(try_buffer_chain_ps(&t, 64.0).unwrap(), buffer_chain_ps(&t, 64.0));
+        assert_eq!(
+            try_driver_resistance_ohm(&t, 8.0).unwrap(),
+            driver_resistance_ohm(&t, 8.0)
+        );
+        assert_eq!(try_tree_height(64, 4).unwrap(), tree_height(64, 4));
     }
 }

@@ -29,6 +29,15 @@
 //! the paper; the growth *shapes* — linear, quadratic, logarithmic — come
 //! from the structural equations, not from the calibration.
 //!
+//! ## Validation
+//!
+//! Every model pairs its panicking `compute` with a checked `try_compute`
+//! returning [`DelayError`] ([`error`] documents the taxonomy and the
+//! parameter domains); the [`anchors`] module embeds the paper's printed
+//! Table 1/2/4 and Figure 3/5/6/8 values with per-anchor tolerances so
+//! calibration drift and shape regressions are detectable mechanically
+//! (the `delaycheck` binary in `ce-bench` runs the full campaign).
+//!
 //! ## Example
 //!
 //! ```
@@ -41,9 +50,11 @@
 //! assert!(slow.total_ps() > fast.total_ps());
 //! ```
 
+pub mod anchors;
 pub mod bypass;
 pub mod cache;
 pub mod calib;
+pub mod error;
 pub mod gates;
 pub mod pipeline;
 pub mod regfile;
@@ -54,5 +65,6 @@ pub mod technology;
 pub mod wakeup;
 pub mod wire;
 
+pub use error::DelayError;
 pub use pipeline::{PipelineDelays, StageDelay};
 pub use technology::{FeatureSize, Technology};

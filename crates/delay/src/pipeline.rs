@@ -2,6 +2,7 @@
 //! Sections 5.3 / 5.5).
 
 use crate::bypass::{BypassDelay, BypassParams};
+use crate::error::{domain, DelayError};
 use crate::rename::{RenameDelay, RenameParams};
 use crate::restable::{ResTableDelay, ResTableParams};
 use crate::select::{SelectDelay, SelectParams};
@@ -61,16 +62,41 @@ pub struct PipelineDelays {
 
 impl PipelineDelays {
     /// Computes all stage delays for a window-based machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any underlying structure model rejects the parameters;
+    /// use [`PipelineDelays::try_compute`] for a checked path.
     pub fn compute(tech: &Technology, issue_width: usize, window_size: usize) -> PipelineDelays {
-        PipelineDelays {
+        Self::try_compute(tech, issue_width, window_size).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked form of [`PipelineDelays::compute`]: every underlying
+    /// structure model runs through its own validated `try_compute` path.
+    ///
+    /// # Errors
+    ///
+    /// The first [`DelayError`] any structure model reports.
+    pub fn try_compute(
+        tech: &Technology,
+        issue_width: usize,
+        window_size: usize,
+    ) -> Result<PipelineDelays, DelayError> {
+        Ok(PipelineDelays {
             issue_width,
             window_size,
-            rename_ps: RenameDelay::compute(tech, &RenameParams::new(issue_width)).total_ps(),
-            wakeup_ps: WakeupDelay::compute(tech, &WakeupParams::new(issue_width, window_size))
+            rename_ps: RenameDelay::try_compute(tech, &RenameParams::new(issue_width))?
                 .total_ps(),
-            select_ps: SelectDelay::compute(tech, &SelectParams::new(window_size)).total_ps(),
-            bypass_ps: BypassDelay::compute(tech, &BypassParams::new(issue_width)).total_ps(),
-        }
+            wakeup_ps: WakeupDelay::try_compute(
+                tech,
+                &WakeupParams::new(issue_width, window_size),
+            )?
+            .total_ps(),
+            select_ps: SelectDelay::try_compute(tech, &SelectParams::new(window_size))?
+                .total_ps(),
+            bypass_ps: BypassDelay::try_compute(tech, &BypassParams::new(issue_width))?
+                .total_ps(),
+        })
     }
 
     /// The atomic window-logic delay (wakeup + select), ps.
@@ -118,15 +144,28 @@ impl PipelineDelays {
     ///
     /// # Panics
     ///
-    /// Panics unless `clock_ps` is positive.
+    /// Panics unless `clock_ps` is positive; use
+    /// [`PipelineDelays::try_stages_at`] for a checked path.
     pub fn stages_at(&self, clock_ps: f64) -> [(Stage, u32, bool); 3] {
         assert!(clock_ps > 0.0, "clock period must be positive");
+        self.try_stages_at(clock_ps).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked form of [`PipelineDelays::stages_at`]: validates the target
+    /// clock against [`domain::CLOCK_PS`].
+    ///
+    /// # Errors
+    ///
+    /// [`DelayError::OutOfDomain`] when `clock_ps` is non-finite or
+    /// outside the modeled range.
+    pub fn try_stages_at(&self, clock_ps: f64) -> Result<[(Stage, u32, bool); 3], DelayError> {
+        domain::CLOCK_PS.check("pipeline", "clock_ps", clock_ps)?;
         let need = |d: f64| (d / clock_ps).ceil().max(1.0) as u32;
-        [
+        Ok([
             (Stage::Rename, need(self.rename_ps), false),
             (Stage::WakeupSelect, need(self.window_ps()), true),
             (Stage::Bypass, need(self.bypass_ps), true),
-        ]
+        ])
     }
 
     /// The fastest clock this machine can run without pipelining any
@@ -165,7 +204,9 @@ impl ClockComparison {
     ///
     /// # Panics
     ///
-    /// Panics if `clusters` is zero or does not divide `issue_width`.
+    /// Panics if `clusters` is zero or does not divide `issue_width`, or
+    /// if any structure model rejects the derived per-cluster parameters;
+    /// use [`ClockComparison::try_compute`] for a checked path.
     pub fn compute(
         tech: &Technology,
         issue_width: usize,
@@ -174,25 +215,56 @@ impl ClockComparison {
     ) -> ClockComparison {
         assert!(clusters > 0, "need at least one cluster");
         assert_eq!(issue_width % clusters, 0, "clusters must divide issue width");
+        Self::try_compute(tech, issue_width, window_size, clusters)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked form of [`ClockComparison::compute`]: validates the cluster
+    /// count against [`domain::CLUSTERS`], requires it to divide the issue
+    /// width and leave at least one window entry per cluster, and runs
+    /// every structure model through its validated path.
+    ///
+    /// # Errors
+    ///
+    /// [`DelayError::OutOfDomain`] for a cluster count outside the domain
+    /// or incompatible with the machine shape, or the first error any
+    /// structure model reports.
+    pub fn try_compute(
+        tech: &Technology,
+        issue_width: usize,
+        window_size: usize,
+        clusters: usize,
+    ) -> Result<ClockComparison, DelayError> {
+        domain::CLUSTERS.check_usize("pipeline", "clusters", clusters)?;
+        if !issue_width.is_multiple_of(clusters) || window_size / clusters == 0 {
+            return Err(DelayError::OutOfDomain {
+                structure: "pipeline",
+                param: "clusters",
+                value: clusters as f64,
+                min: 1.0,
+                max: issue_width.min(window_size) as f64,
+            });
+        }
         let cluster_width = issue_width / clusters;
         let cluster_window = window_size / clusters;
 
-        let win = PipelineDelays::compute(tech, issue_width, window_size);
-        let per_cluster = PipelineDelays::compute(tech, cluster_width, cluster_window);
+        let win = PipelineDelays::try_compute(tech, issue_width, window_size)?;
+        let per_cluster = PipelineDelays::try_compute(tech, cluster_width, cluster_window)?;
 
         let restable =
-            ResTableDelay::compute(tech, &ResTableParams::new(issue_width)).total_ps();
+            ResTableDelay::try_compute(tech, &ResTableParams::new(issue_width))?.total_ps();
         // Selection in the dependence-based design only arbitrates over the
         // FIFO heads (8 in the paper's configuration).
         let head_select =
-            SelectDelay::compute(tech, &SelectParams::new(8.max(cluster_width))).total_ps();
+            SelectDelay::try_compute(tech, &SelectParams::new(8.max(cluster_width)))?
+                .total_ps();
 
-        ClockComparison {
+        Ok(ClockComparison {
             window_clock_ps: win.window_ps(),
             dependence_clock_ps: per_cluster.window_ps(),
             dependence_window_ps: restable + head_select,
             rename_ps: per_cluster.rename_ps,
-        }
+        })
     }
 
     /// Conservative clock-speed advantage of the dependence-based design:
@@ -345,6 +417,49 @@ mod tests {
     fn stages_at_rejects_zero_clock() {
         let tech = Technology::new(FeatureSize::U018);
         let _ = PipelineDelays::compute(&tech, 4, 32).stages_at(0.0);
+    }
+
+    #[test]
+    fn try_compute_rejects_out_of_domain_machines() {
+        let tech = Technology::new(FeatureSize::U018);
+        assert!(matches!(
+            PipelineDelays::try_compute(&tech, 0, 32),
+            Err(DelayError::OutOfDomain { .. })
+        ));
+        assert!(matches!(
+            PipelineDelays::try_compute(&tech, 4, 0),
+            Err(DelayError::OutOfDomain { .. })
+        ));
+        // A cluster count that divides the width but leaves no window.
+        assert!(matches!(
+            ClockComparison::try_compute(&tech, 8, 4, 8),
+            Err(DelayError::OutOfDomain { structure: "pipeline", .. })
+        ));
+        assert!(matches!(
+            ClockComparison::try_compute(&tech, 8, 64, 3),
+            Err(DelayError::OutOfDomain { structure: "pipeline", .. })
+        ));
+        assert!(matches!(
+            ClockComparison::try_compute(&tech, 8, 64, 0),
+            Err(DelayError::OutOfDomain { structure: "pipeline", .. })
+        ));
+    }
+
+    #[test]
+    fn try_paths_match_panicking_paths() {
+        let tech = Technology::new(FeatureSize::U018);
+        let d = PipelineDelays::compute(&tech, 8, 64);
+        assert_eq!(PipelineDelays::try_compute(&tech, 8, 64).unwrap(), d);
+        assert_eq!(d.try_stages_at(500.0).unwrap(), d.stages_at(500.0));
+        assert!(matches!(
+            d.try_stages_at(0.0),
+            Err(DelayError::OutOfDomain { structure: "pipeline", .. })
+        ));
+        assert!(d.try_stages_at(f64::NAN).is_err());
+        assert_eq!(
+            ClockComparison::try_compute(&tech, 8, 64, 2).unwrap(),
+            ClockComparison::compute(&tech, 8, 64, 2)
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! numbers are indicative; the *relative* claim (a clustered copy beats
 //! the centralized file) is what the model is for.
 
+use crate::error::{domain, ensure_finite, DelayError};
 use crate::wire::Wire;
 use crate::{calib, gates, Technology};
 
@@ -49,6 +50,20 @@ impl RegfileParams {
         let remote_writes = issue_width - local;
         RegfileParams { registers: 120, ports: 3 * local + remote_writes, bits: 64 }
     }
+
+    /// Validates the parameters against the modeled domains
+    /// ([`domain::PHYSICAL_REGS`], [`domain::REGFILE_PORTS`],
+    /// [`domain::REGFILE_BITS`]).
+    ///
+    /// # Errors
+    ///
+    /// [`DelayError::OutOfDomain`] naming the first violated parameter.
+    pub fn validate(&self) -> Result<(), DelayError> {
+        domain::PHYSICAL_REGS.check_usize("regfile", "registers", self.registers)?;
+        domain::REGFILE_PORTS.check_usize("regfile", "ports", self.ports)?;
+        domain::REGFILE_BITS.check_usize("regfile", "bits", self.bits)?;
+        Ok(())
+    }
 }
 
 /// Register-file access delay breakdown, picoseconds.
@@ -69,27 +84,54 @@ impl RegfileDelay {
     ///
     /// # Panics
     ///
-    /// Panics if any parameter is zero.
+    /// Panics if any parameter is zero, or if the parameters fail
+    /// [`RegfileParams::validate`] — in release builds too; use
+    /// [`RegfileDelay::try_compute`] for a checked path.
     pub fn compute(tech: &Technology, params: &RegfileParams) -> RegfileDelay {
         assert!(
             params.registers > 0 && params.ports > 0 && params.bits > 0,
             "register file parameters must be positive"
         );
+        Self::try_compute(tech, params).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked form of [`RegfileDelay::compute`]: validates the parameters
+    /// and verifies every stage-level intermediate is a finite
+    /// non-negative delay.
+    ///
+    /// # Errors
+    ///
+    /// [`DelayError::OutOfDomain`] for parameters outside the modeled
+    /// domain; [`DelayError::NonFinite`] if a component still came out
+    /// NaN, infinite, or negative.
+    pub fn try_compute(
+        tech: &Technology,
+        params: &RegfileParams,
+    ) -> Result<RegfileDelay, DelayError> {
+        params.validate()?;
         let cell = calib::RENAME_CELL_BASE_LAMBDA
             + calib::RENAME_CELL_PER_PORT_LAMBDA * params.ports as f64;
-        let wordline = Wire::new(params.bits as f64 * cell);
-        let bitline = Wire::new(params.registers as f64 * cell);
+        let wordline = Wire::try_new(params.bits as f64 * cell)?;
+        let bitline = Wire::try_new(params.registers as f64 * cell)?;
         let drive = |w: &Wire| {
             calib::R_DRIVER_OHM * w.capacitance_ff(tech) * 1e-3 + w.delay_ps(tech)
         };
-        RegfileDelay {
-            decode_ps: gates::stages_ps(tech, calib::RENAME_DECODE_STAGES) + drive(&bitline),
-            wordline_ps: gates::stages_ps(tech, calib::RENAME_WORDLINE_STAGES)
+        let d = RegfileDelay {
+            decode_ps: gates::try_stages_ps(tech, calib::RENAME_DECODE_STAGES)?
+                + drive(&bitline),
+            wordline_ps: gates::try_stages_ps(tech, calib::RENAME_WORDLINE_STAGES)?
                 + drive(&wordline),
-            bitline_ps: gates::stages_ps(tech, calib::RENAME_BITLINE_STAGES) + drive(&bitline),
-            senseamp_ps: gates::stages_ps(tech, calib::RENAME_SENSE_STAGES)
+            bitline_ps: gates::try_stages_ps(tech, calib::RENAME_BITLINE_STAGES)?
+                + drive(&bitline),
+            senseamp_ps: gates::try_stages_ps(tech, calib::RENAME_SENSE_STAGES)?
                 + 0.1 * drive(&bitline),
-        }
+        };
+        ensure_finite("regfile", "decode_ps", d.decode_ps)?;
+        ensure_finite("regfile", "wordline_ps", d.wordline_ps)?;
+        ensure_finite("regfile", "bitline_ps", d.bitline_ps)?;
+        ensure_finite("regfile", "senseamp_ps", d.senseamp_ps)?;
+        ensure_finite("regfile", "total_ps", d.total_ps())?;
+        Ok(d)
     }
 
     /// Total access delay, picoseconds.
@@ -155,5 +197,34 @@ mod tests {
     #[should_panic(expected = "divide")]
     fn bad_cluster_split_panics() {
         let _ = RegfileParams::clustered_copy(8, 3);
+    }
+
+    #[test]
+    fn try_compute_rejects_out_of_domain_params() {
+        for bad in [
+            RegfileParams { registers: 0, ports: 12, bits: 64 },
+            RegfileParams { registers: 120, ports: 0, bits: 64 },
+            RegfileParams { registers: 120, ports: 257, bits: 64 },
+            RegfileParams { registers: 120, ports: 12, bits: 2048 },
+        ] {
+            assert!(
+                matches!(
+                    RegfileDelay::try_compute(&tech(), &bad),
+                    Err(crate::error::DelayError::OutOfDomain { structure: "regfile", .. })
+                ),
+                "{bad:?} must be refused"
+            );
+        }
+    }
+
+    #[test]
+    fn try_compute_matches_compute_on_valid_params() {
+        for iw in [2, 4, 8, 16] {
+            let p = RegfileParams::centralized(iw);
+            assert_eq!(
+                RegfileDelay::try_compute(&tech(), &p).unwrap(),
+                RegfileDelay::compute(&tech(), &p)
+            );
+        }
     }
 }

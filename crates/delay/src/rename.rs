@@ -12,6 +12,7 @@
 //! Section 4.1.1 comparison: its array has one entry per *physical* register,
 //! so it scales worse as machines get wider.
 
+use crate::error::{domain, ensure_finite, DelayError};
 use crate::wire::Wire;
 use crate::{calib, gates, Technology};
 
@@ -50,6 +51,18 @@ impl RenameParams {
     pub fn ports(&self) -> usize {
         3 * self.issue_width
     }
+
+    /// Validates the parameters against the modeled domains
+    /// ([`domain::ISSUE_WIDTH`], [`domain::PHYSICAL_REGS`]).
+    ///
+    /// # Errors
+    ///
+    /// [`DelayError::OutOfDomain`] naming the first violated parameter.
+    pub fn validate(&self) -> Result<(), DelayError> {
+        domain::ISSUE_WIDTH.check_usize("rename", "issue_width", self.issue_width)?;
+        domain::PHYSICAL_REGS.check_usize("rename", "physical_regs", self.physical_regs)?;
+        Ok(())
+    }
 }
 
 /// Delay breakdown of the rename logic, all in picoseconds.
@@ -73,13 +86,35 @@ impl RenameDelay {
     ///
     /// # Panics
     ///
-    /// Panics if `issue_width` is zero.
+    /// Panics if the parameters fail [`RenameParams::validate`] — in
+    /// release builds too; use [`RenameDelay::try_compute`] for a checked
+    /// path.
     pub fn compute(tech: &Technology, params: &RenameParams) -> RenameDelay {
         assert!(params.issue_width > 0, "issue width must be positive");
-        match params.scheme {
+        Self::try_compute(tech, params).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked form of [`RenameDelay::compute`]: validates the parameters
+    /// and verifies every stage-level intermediate is a finite
+    /// non-negative delay.
+    ///
+    /// # Errors
+    ///
+    /// [`DelayError::OutOfDomain`] for parameters outside the modeled
+    /// domain; [`DelayError::NonFinite`] if a component still came out
+    /// NaN, infinite, or negative.
+    pub fn try_compute(tech: &Technology, params: &RenameParams) -> Result<RenameDelay, DelayError> {
+        params.validate()?;
+        let d = match params.scheme {
             RenameScheme::Ram => Self::compute_ram(tech, params),
             RenameScheme::Cam => Self::compute_cam(tech, params),
-        }
+        };
+        ensure_finite("rename", "decode_ps", d.decode_ps)?;
+        ensure_finite("rename", "wordline_ps", d.wordline_ps)?;
+        ensure_finite("rename", "bitline_ps", d.bitline_ps)?;
+        ensure_finite("rename", "senseamp_ps", d.senseamp_ps)?;
+        ensure_finite("rename", "total_ps", d.total_ps())?;
+        Ok(d)
     }
 
     fn compute_ram(tech: &Technology, params: &RenameParams) -> RenameDelay {
@@ -157,10 +192,25 @@ impl RenameDelay {
 /// the current rename group.
 pub fn dependence_check_ps(tech: &Technology, issue_width: usize) -> f64 {
     assert!(issue_width > 0);
+    try_dependence_check_ps(tech, issue_width).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Checked form of [`dependence_check_ps`].
+///
+/// # Errors
+///
+/// [`DelayError::OutOfDomain`] if `issue_width` is outside
+/// [`domain::ISSUE_WIDTH`].
+pub fn try_dependence_check_ps(
+    tech: &Technology,
+    issue_width: usize,
+) -> Result<f64, DelayError> {
+    domain::ISSUE_WIDTH.check_usize("rename", "issue_width", issue_width)?;
     // Compare against up to (issue_width - 1) earlier destinations, then
     // priority-select the youngest: log-depth comparator + mux tree.
-    let levels = gates::tree_height(issue_width.max(2), 2) as f64;
-    gates::stages_ps(tech, 2.0 + 1.5 * levels)
+    let levels = gates::try_tree_height(issue_width.max(2), 2)? as f64;
+    let d = gates::try_stages_ps(tech, 2.0 + 1.5 * levels)?;
+    ensure_finite("rename", "dependence_check_ps", d)
 }
 
 #[cfg(test)]
@@ -280,5 +330,40 @@ mod tests {
     fn zero_issue_width_panics() {
         let tech = Technology::new(FeatureSize::U018);
         let _ = ram(&tech, 0);
+    }
+
+    #[test]
+    fn try_compute_rejects_out_of_domain_params() {
+        let tech = Technology::new(FeatureSize::U018);
+        for bad in [
+            RenameParams { issue_width: 0, physical_regs: 120, scheme: RenameScheme::Ram },
+            RenameParams { issue_width: 65, physical_regs: 120, scheme: RenameScheme::Ram },
+            RenameParams { issue_width: 4, physical_regs: 0, scheme: RenameScheme::Cam },
+            RenameParams { issue_width: 4, physical_regs: 1 << 20, scheme: RenameScheme::Cam },
+        ] {
+            assert!(
+                matches!(
+                    RenameDelay::try_compute(&tech, &bad),
+                    Err(DelayError::OutOfDomain { structure: "rename", .. })
+                ),
+                "{bad:?} must be refused"
+            );
+        }
+    }
+
+    #[test]
+    fn try_compute_matches_compute_on_valid_params() {
+        for tech in Technology::all() {
+            for iw in [1, 2, 4, 8, 16] {
+                let p = RenameParams::new(iw);
+                assert_eq!(RenameDelay::try_compute(&tech, &p).unwrap(), ram(&tech, iw));
+                let c = RenameParams { scheme: RenameScheme::Cam, ..p };
+                assert_eq!(
+                    RenameDelay::try_compute(&tech, &c).unwrap(),
+                    RenameDelay::compute(&tech, &c)
+                );
+            }
+        }
+        assert!(try_dependence_check_ps(&Technology::new(FeatureSize::U018), 0).is_err());
     }
 }

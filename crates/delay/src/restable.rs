@@ -9,6 +9,7 @@
 //! below both the CAM-window wakeup delay and the rename delay — the
 //! quantitative heart of the paper's complexity-effectiveness argument.
 
+use crate::error::{domain, ensure_finite, DelayError};
 use crate::wire::Wire;
 use crate::{calib, gates, Technology};
 
@@ -37,6 +38,18 @@ impl ResTableParams {
     pub fn entries(&self) -> usize {
         self.physical_regs.div_ceil(calib::RESTABLE_ROW_BITS)
     }
+
+    /// Validates the parameters against the modeled domains
+    /// ([`domain::ISSUE_WIDTH`], [`domain::PHYSICAL_REGS`]).
+    ///
+    /// # Errors
+    ///
+    /// [`DelayError::OutOfDomain`] naming the first violated parameter.
+    pub fn validate(&self) -> Result<(), DelayError> {
+        domain::ISSUE_WIDTH.check_usize("restable", "issue_width", self.issue_width)?;
+        domain::PHYSICAL_REGS.check_usize("restable", "physical_regs", self.physical_regs)?;
+        Ok(())
+    }
 }
 
 /// Reservation-table access delay.
@@ -53,29 +66,52 @@ impl ResTableDelay {
     ///
     /// # Panics
     ///
-    /// Panics if `issue_width` or `physical_regs` is zero.
+    /// Panics if the parameters fail [`ResTableParams::validate`] — in
+    /// release builds too; use [`ResTableDelay::try_compute`] for a
+    /// checked path.
     pub fn compute(tech: &Technology, params: &ResTableParams) -> ResTableDelay {
         assert!(params.issue_width > 0, "issue width must be positive");
         assert!(params.physical_regs > 0, "physical registers must be positive");
+        Self::try_compute(tech, params).unwrap_or_else(|e| panic!("{e}"))
+    }
 
+    /// Checked form of [`ResTableDelay::compute`]: validates the
+    /// parameters and verifies every stage-level intermediate is a finite
+    /// non-negative delay.
+    ///
+    /// # Errors
+    ///
+    /// [`DelayError::OutOfDomain`] for parameters outside the modeled
+    /// domain; [`DelayError::NonFinite`] if a component still came out
+    /// NaN, infinite, or negative.
+    pub fn try_compute(
+        tech: &Technology,
+        params: &ResTableParams,
+    ) -> Result<ResTableDelay, DelayError> {
+        params.validate()?;
         // Port circuitry, word-select, and column-mux fan-in all grow with
         // issue width; the array itself is tiny.
         let stages = calib::RESTABLE_BASE_STAGES
             + calib::RESTABLE_STAGES_PER_SLOT * params.issue_width as f64;
-        let access_ps = gates::stages_ps(tech, stages);
+        let access_ps = gates::try_stages_ps(tech, stages)?;
 
         let ports = 3.0 * params.issue_width as f64;
         let cell =
             calib::RESTABLE_CELL_BASE_LAMBDA + calib::RESTABLE_CELL_PER_PORT_LAMBDA * ports;
-        let bitline = Wire::new(params.entries() as f64 * cell);
-        let wordline = Wire::new(calib::RESTABLE_ROW_BITS as f64 * cell);
+        let bitline = Wire::try_new(params.entries() as f64 * cell)?;
+        let wordline = Wire::try_new(calib::RESTABLE_ROW_BITS as f64 * cell)?;
         let wire_ps = calib::R_DRIVER_OHM
             * (bitline.capacitance_ff(tech) + wordline.capacitance_ff(tech))
             * 1e-3
             + bitline.delay_ps(tech)
             + wordline.delay_ps(tech);
 
-        ResTableDelay { access_ps, wire_ps }
+        let d = ResTableDelay {
+            access_ps: ensure_finite("restable", "access_ps", access_ps)?,
+            wire_ps: ensure_finite("restable", "wire_ps", wire_ps)?,
+        };
+        ensure_finite("restable", "total_ps", d.total_ps())?;
+        Ok(d)
     }
 
     /// Total access delay, picoseconds.

@@ -12,6 +12,7 @@
 //! term is window-independent, which is why doubling the window raises the
 //! delay by less than 100 %.
 
+use crate::error::{domain, ensure_finite, DelayError};
 use crate::{calib, gates, Technology};
 
 /// Parameters of the selection logic.
@@ -49,6 +50,20 @@ impl SelectParams {
     pub fn tree_height(&self) -> u32 {
         gates::tree_height(self.window_size, self.arbiter_fanin)
     }
+
+    /// Validates the parameters against the modeled domains
+    /// ([`domain::WINDOW_SIZE`], [`domain::ARBITER_FANIN`],
+    /// [`domain::GRANTS`]).
+    ///
+    /// # Errors
+    ///
+    /// [`DelayError::OutOfDomain`] naming the first violated parameter.
+    pub fn validate(&self) -> Result<(), DelayError> {
+        domain::WINDOW_SIZE.check_usize("select", "window_size", self.window_size)?;
+        domain::ARBITER_FANIN.check_usize("select", "arbiter_fanin", self.arbiter_fanin)?;
+        domain::GRANTS.check_usize("select", "grants", self.grants)?;
+        Ok(())
+    }
 }
 
 /// Delay breakdown of the selection logic, all in picoseconds.
@@ -67,26 +82,48 @@ impl SelectDelay {
     ///
     /// # Panics
     ///
-    /// Panics if `window_size` is zero or `arbiter_fanin < 2`.
+    /// Panics if the parameters fail [`SelectParams::validate`] — in
+    /// release builds too; use [`SelectDelay::try_compute`] for a checked
+    /// path.
     pub fn compute(tech: &Technology, params: &SelectParams) -> SelectDelay {
         assert!(params.window_size > 0, "window size must be positive");
         assert!(params.grants > 0, "need at least one grant");
-        let levels_below_root = (params.tree_height() - 1) as f64;
+        Self::try_compute(tech, params).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked form of [`SelectDelay::compute`]: validates the parameters
+    /// and verifies every stage-level intermediate is a finite
+    /// non-negative delay.
+    ///
+    /// # Errors
+    ///
+    /// [`DelayError::OutOfDomain`] for parameters outside the modeled
+    /// domain; [`DelayError::NonFinite`] if a component still came out
+    /// NaN, infinite, or negative.
+    pub fn try_compute(tech: &Technology, params: &SelectParams) -> Result<SelectDelay, DelayError> {
+        params.validate()?;
+        let height = gates::try_tree_height(params.window_size, params.arbiter_fanin)?;
+        let levels_below_root = (height - 1) as f64;
         // Extra grants deepen the root arbitration (stacked priority
         // encoding) but leave the request/grant propagation untouched.
         let root_stages = calib::SELECT_ROOT_STAGES
             + calib::SELECT_EXTRA_GRANT_STAGES * (params.grants as f64 - 1.0);
-        SelectDelay {
-            request_prop_ps: gates::stages_ps(
+        let d = SelectDelay {
+            request_prop_ps: gates::try_stages_ps(
                 tech,
                 calib::SELECT_REQ_STAGES_PER_LEVEL * levels_below_root,
-            ),
-            root_ps: gates::stages_ps(tech, root_stages),
-            grant_prop_ps: gates::stages_ps(
+            )?,
+            root_ps: gates::try_stages_ps(tech, root_stages)?,
+            grant_prop_ps: gates::try_stages_ps(
                 tech,
                 calib::SELECT_GRANT_STAGES_PER_LEVEL * levels_below_root,
-            ),
-        }
+            )?,
+        };
+        ensure_finite("select", "request_prop_ps", d.request_prop_ps)?;
+        ensure_finite("select", "root_ps", d.root_ps)?;
+        ensure_finite("select", "grant_prop_ps", d.grant_prop_ps)?;
+        ensure_finite("select", "total_ps", d.total_ps())?;
+        Ok(d)
     }
 
     /// Total selection delay, picoseconds.
@@ -177,6 +214,36 @@ mod tests {
     #[should_panic(expected = "at least one grant")]
     fn zero_grants_panics() {
         let _ = SelectParams::with_grants(64, 0);
+    }
+
+    #[test]
+    fn try_compute_rejects_out_of_domain_params() {
+        let tech = Technology::new(FeatureSize::U018);
+        for bad in [
+            SelectParams { window_size: 0, arbiter_fanin: 4, grants: 1 },
+            SelectParams { window_size: 2048, arbiter_fanin: 4, grants: 1 },
+            SelectParams { window_size: 64, arbiter_fanin: 1, grants: 1 },
+            SelectParams { window_size: 64, arbiter_fanin: 4, grants: 0 },
+            SelectParams { window_size: 64, arbiter_fanin: 4, grants: 65 },
+        ] {
+            assert!(
+                matches!(
+                    SelectDelay::try_compute(&tech, &bad),
+                    Err(DelayError::OutOfDomain { structure: "select", .. })
+                ),
+                "{bad:?} must be refused"
+            );
+        }
+    }
+
+    #[test]
+    fn try_compute_matches_compute_on_valid_params() {
+        for tech in Technology::all() {
+            for w in [1, 16, 32, 64, 128, 1024] {
+                let p = SelectParams::new(w);
+                assert_eq!(SelectDelay::try_compute(&tech, &p).unwrap(), select(&tech, w));
+            }
+        }
     }
 
     #[test]

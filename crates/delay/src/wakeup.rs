@@ -16,6 +16,7 @@
 //!   grows linearly with issue width.
 //! * **match OR** — pure logic; fan-in grows with issue width.
 
+use crate::error::{domain, ensure_finite, DelayError};
 use crate::wire::Wire;
 use crate::{calib, gates, Technology};
 
@@ -44,6 +45,18 @@ impl WakeupParams {
     pub fn tag_line_lambda(&self) -> f64 {
         self.window_size as f64 * self.cell_height_lambda()
     }
+
+    /// Validates the parameters against the modeled domains
+    /// ([`domain::ISSUE_WIDTH`], [`domain::WINDOW_SIZE`]).
+    ///
+    /// # Errors
+    ///
+    /// [`DelayError::OutOfDomain`] naming the first violated parameter.
+    pub fn validate(&self) -> Result<(), DelayError> {
+        domain::ISSUE_WIDTH.check_usize("wakeup", "issue_width", self.issue_width)?;
+        domain::WINDOW_SIZE.check_usize("wakeup", "window_size", self.window_size)?;
+        Ok(())
+    }
 }
 
 /// Delay breakdown of the wakeup logic, all in picoseconds.
@@ -62,11 +75,26 @@ impl WakeupDelay {
     ///
     /// # Panics
     ///
-    /// Panics if either parameter is zero.
+    /// Panics if the parameters fail [`WakeupParams::validate`] — in
+    /// release builds too; use [`WakeupDelay::try_compute`] for a checked
+    /// path.
     pub fn compute(tech: &Technology, params: &WakeupParams) -> WakeupDelay {
         assert!(params.issue_width > 0, "issue width must be positive");
         assert!(params.window_size > 0, "window size must be positive");
+        Self::try_compute(tech, params).unwrap_or_else(|e| panic!("{e}"))
+    }
 
+    /// Checked form of [`WakeupDelay::compute`]: validates the parameters
+    /// and verifies every stage-level intermediate is a finite
+    /// non-negative delay.
+    ///
+    /// # Errors
+    ///
+    /// [`DelayError::OutOfDomain`] for parameters outside the modeled
+    /// domain; [`DelayError::NonFinite`] if a component still came out
+    /// NaN, infinite, or negative.
+    pub fn try_compute(tech: &Technology, params: &WakeupParams) -> Result<WakeupDelay, DelayError> {
+        params.validate()?;
         let entries = params.window_size as f64;
         let tag_line = Wire::new(params.tag_line_lambda());
 
@@ -90,9 +118,14 @@ impl WakeupDelay {
 
         let or_stages = calib::MATCH_OR_BASE_STAGES
             + calib::MATCH_OR_STAGES_PER_LOG2 * (params.issue_width as f64).log2();
-        let match_or_ps = gates::stages_ps(tech, or_stages);
+        let match_or_ps = gates::try_stages_ps(tech, or_stages)?;
 
-        WakeupDelay { tag_drive_ps, tag_match_ps, match_or_ps }
+        ensure_finite("wakeup", "tag_drive_ps", tag_drive_ps)?;
+        ensure_finite("wakeup", "tag_match_ps", tag_match_ps)?;
+        ensure_finite("wakeup", "match_or_ps", match_or_ps)?;
+        let d = WakeupDelay { tag_drive_ps, tag_match_ps, match_or_ps };
+        ensure_finite("wakeup", "total_ps", d.total_ps())?;
+        Ok(d)
     }
 
     /// Total wakeup delay, picoseconds.
@@ -203,5 +236,29 @@ mod tests {
     fn zero_window_panics() {
         let tech = Technology::new(FeatureSize::U018);
         let _ = wakeup(&tech, 4, 0);
+    }
+
+    #[test]
+    fn try_compute_rejects_out_of_domain_params() {
+        let tech = Technology::new(FeatureSize::U018);
+        for (iw, w) in [(0, 32), (4, 0), (65, 32), (4, 2048)] {
+            assert!(
+                matches!(
+                    WakeupDelay::try_compute(&tech, &WakeupParams::new(iw, w)),
+                    Err(DelayError::OutOfDomain { structure: "wakeup", .. })
+                ),
+                "({iw}, {w}) must be refused"
+            );
+        }
+    }
+
+    #[test]
+    fn try_compute_matches_compute_on_valid_params() {
+        for tech in Technology::all() {
+            for (iw, w) in [(1, 1), (2, 16), (4, 32), (8, 64), (16, 256)] {
+                let p = WakeupParams::new(iw, w);
+                assert_eq!(WakeupDelay::try_compute(&tech, &p).unwrap(), wakeup(&tech, iw, w));
+            }
+        }
     }
 }

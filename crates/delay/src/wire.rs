@@ -4,6 +4,7 @@
 //! distributed factor the paper quotes for its bypass analysis), with
 //! resistance and capacitance per λ taken from the [`Technology`].
 
+use crate::error::{domain, DelayError};
 use crate::Technology;
 
 /// Elmore coefficient for a distributed RC line driven at one end.
@@ -31,13 +32,26 @@ impl Wire {
     ///
     /// # Panics
     ///
-    /// Panics if the length is negative or not finite.
+    /// Panics if the length is negative, not finite, or beyond
+    /// [`domain::WIRE_LENGTH_LAMBDA`]; use [`Wire::try_new`] for a
+    /// checked path.
     pub fn new(length_lambda: f64) -> Wire {
         assert!(
             length_lambda.is_finite() && length_lambda >= 0.0,
             "wire length must be a non-negative finite number of λ"
         );
-        Wire { length_lambda }
+        Wire::try_new(length_lambda).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked form of [`Wire::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`DelayError::OutOfDomain`] if the length is negative, non-finite,
+    /// or beyond [`domain::WIRE_LENGTH_LAMBDA`].
+    pub fn try_new(length_lambda: f64) -> Result<Wire, DelayError> {
+        domain::WIRE_LENGTH_LAMBDA.check("wire", "length_lambda", length_lambda)?;
+        Ok(Wire { length_lambda })
     }
 
     /// The wire length in λ.
@@ -76,16 +90,59 @@ impl Wire {
     ///
     /// Model: segments of `segment_lambda` λ, each costing its own
     /// distributed RC plus one repeater stage delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment_lambda` is not a positive finite length or
+    /// `repeater_stage_ps` is not a finite non-negative delay — in
+    /// release builds too; use [`Wire::try_repeatered_delay_ps`] for a
+    /// checked path.
     pub fn repeatered_delay_ps(
         &self,
         tech: &Technology,
         segment_lambda: f64,
         repeater_stage_ps: f64,
     ) -> f64 {
-        debug_assert!(segment_lambda > 0.0);
+        self.try_repeatered_delay_ps(tech, segment_lambda, repeater_stage_ps)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked form of [`Wire::repeatered_delay_ps`].
+    ///
+    /// # Errors
+    ///
+    /// [`DelayError::OutOfDomain`] if either argument is outside its
+    /// domain (`segment_lambda` must be a positive length within
+    /// [`domain::WIRE_LENGTH_LAMBDA`]; `repeater_stage_ps` must be a
+    /// finite non-negative delay).
+    pub fn try_repeatered_delay_ps(
+        &self,
+        tech: &Technology,
+        segment_lambda: f64,
+        repeater_stage_ps: f64,
+    ) -> Result<f64, DelayError> {
+        domain::WIRE_LENGTH_LAMBDA.check("wire", "segment_lambda", segment_lambda)?;
+        if segment_lambda <= 0.0 {
+            return Err(DelayError::OutOfDomain {
+                structure: "wire",
+                param: "segment_lambda",
+                value: segment_lambda,
+                min: f64::MIN_POSITIVE,
+                max: domain::WIRE_LENGTH_LAMBDA.max,
+            });
+        }
+        if !(repeater_stage_ps.is_finite() && repeater_stage_ps >= 0.0) {
+            return Err(DelayError::OutOfDomain {
+                structure: "wire",
+                param: "repeater_stage_ps",
+                value: repeater_stage_ps,
+                min: 0.0,
+                max: f64::MAX,
+            });
+        }
         let segments = (self.length_lambda / segment_lambda).ceil().max(1.0);
         let per_segment = Wire::new(self.length_lambda / segments).delay_ps(tech);
-        segments * (per_segment + repeater_stage_ps)
+        Ok(segments * (per_segment + repeater_stage_ps))
     }
 
     /// Delay of the wire when driven by a driver of resistance
@@ -165,5 +222,31 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_length_panics() {
         let _ = Wire::new(-1.0);
+    }
+
+    #[test]
+    fn try_new_rejects_garbage_in_release_builds() {
+        assert!(Wire::try_new(-1.0).is_err());
+        assert!(Wire::try_new(f64::NAN).is_err());
+        assert!(Wire::try_new(f64::INFINITY).is_err());
+        assert!(Wire::try_new(1e12).is_err(), "beyond the modeled domain");
+        assert_eq!(Wire::try_new(500.0).unwrap(), Wire::new(500.0));
+    }
+
+    #[test]
+    fn try_repeatered_rejects_bad_segments() {
+        // This guard used to be a debug_assert! that vanished in release
+        // builds (a zero segment length silently produced inf/NaN delay).
+        let t = tech();
+        let w = Wire::new(10_000.0);
+        assert!(w.try_repeatered_delay_ps(&t, 0.0, 20.0).is_err());
+        assert!(w.try_repeatered_delay_ps(&t, -5.0, 20.0).is_err());
+        assert!(w.try_repeatered_delay_ps(&t, f64::NAN, 20.0).is_err());
+        assert!(w.try_repeatered_delay_ps(&t, 5_000.0, f64::NAN).is_err());
+        assert!(w.try_repeatered_delay_ps(&t, 5_000.0, -1.0).is_err());
+        assert_eq!(
+            w.try_repeatered_delay_ps(&t, 5_000.0, 20.0).unwrap(),
+            w.repeatered_delay_ps(&t, 5_000.0, 20.0)
+        );
     }
 }

@@ -1,0 +1,209 @@
+//! Seeded fuzz-style corpus for the checked delay APIs: randomized
+//! parameters must never panic `validate()` or `try_compute`, and the two
+//! must agree — every parameter set that validates evaluates to a finite
+//! delay, every set that fails validation is refused with an error.
+//!
+//! The `delaycheck` bench binary runs a similar campaign as a release
+//! gate; this test keeps the guarantee enforced by `cargo test` alone,
+//! mirroring the simulator-side `fuzz_config` corpus.
+
+use ce_delay::bypass::{BypassDelay, BypassParams};
+use ce_delay::cache::{CacheDelay, CacheParams};
+use ce_delay::error::DelayError;
+use ce_delay::pipeline::ClockComparison;
+use ce_delay::regfile::{RegfileDelay, RegfileParams};
+use ce_delay::rename::{RenameDelay, RenameParams, RenameScheme};
+use ce_delay::restable::{ResTableDelay, ResTableParams};
+use ce_delay::select::{SelectDelay, SelectParams};
+use ce_delay::wakeup::{WakeupDelay, WakeupParams};
+use ce_delay::{PipelineDelays, Technology};
+use rand::{Rng, SeedableRng, StdRng};
+
+/// Draws a value from a small adversarial palette: boundary values (0, 1),
+/// plausible design points, and far-out-of-domain garbage.
+fn wild(rng: &mut StdRng) -> usize {
+    match rng.gen_range(0..6usize) {
+        0 => 0,
+        1 => 1,
+        2 => rng.gen_range(2..9usize),
+        3 => rng.gen_range(9..129usize),
+        4 => rng.gen_range(129..5000usize),
+        _ => rng.gen_range(5000..2_000_000usize),
+    }
+}
+
+/// Runs one checked evaluation under `catch_unwind` and asserts the
+/// validate/try_compute agreement contract.
+fn check<P: std::fmt::Debug + std::panic::RefUnwindSafe>(
+    case: usize,
+    structure: &str,
+    params: &P,
+    validated: Result<(), DelayError>,
+    computed: std::thread::Result<Result<f64, DelayError>>,
+    tally: &mut (usize, usize),
+) {
+    let outcome = computed.unwrap_or_else(|_| {
+        panic!("case {case}: {structure} try_compute panicked on {params:?}")
+    });
+    match (validated, outcome) {
+        (Ok(()), Ok(d)) => {
+            assert!(d.is_finite() && d > 0.0, "case {case}: {structure} delay {d} on {params:?}");
+            tally.0 += 1;
+        }
+        (Err(v), Err(c)) => {
+            assert!(!v.to_string().is_empty() && !c.to_string().is_empty());
+            tally.1 += 1;
+        }
+        (Ok(()), Err(e)) => {
+            panic!("case {case}: {structure} validated but try_compute refused ({e}): {params:?}")
+        }
+        (Err(e), Ok(_)) => {
+            panic!("case {case}: {structure} rejected ({e}) but try_compute evaluated: {params:?}")
+        }
+    }
+}
+
+#[test]
+fn randomized_params_never_panic_and_validate_agrees_with_try_compute() {
+    let mut rng = StdRng::seed_from_u64(0xd_e1a);
+    let techs = Technology::all();
+    let mut tally = (0usize, 0usize);
+    for case in 0..400 {
+        let tech = techs[rng.gen_range(0..techs.len())];
+
+        let p = RenameParams {
+            issue_width: wild(&mut rng),
+            physical_regs: wild(&mut rng),
+            scheme: if rng.gen_range(0..2usize) == 0 {
+                RenameScheme::Ram
+            } else {
+                RenameScheme::Cam
+            },
+        };
+        check(
+            case,
+            "rename",
+            &p,
+            p.validate(),
+            std::panic::catch_unwind(|| {
+                RenameDelay::try_compute(&tech, &p).map(|d| d.total_ps())
+            }),
+            &mut tally,
+        );
+
+        let p = WakeupParams::new(wild(&mut rng), wild(&mut rng));
+        check(
+            case,
+            "wakeup",
+            &p,
+            p.validate(),
+            std::panic::catch_unwind(|| {
+                WakeupDelay::try_compute(&tech, &p).map(|d| d.total_ps())
+            }),
+            &mut tally,
+        );
+
+        let p = SelectParams {
+            window_size: wild(&mut rng),
+            arbiter_fanin: wild(&mut rng),
+            grants: wild(&mut rng),
+        };
+        check(
+            case,
+            "select",
+            &p,
+            p.validate(),
+            std::panic::catch_unwind(|| {
+                SelectDelay::try_compute(&tech, &p).map(|d| d.total_ps())
+            }),
+            &mut tally,
+        );
+
+        let p = BypassParams {
+            issue_width: wild(&mut rng),
+            pipestages_after_exec: wild(&mut rng),
+        };
+        check(
+            case,
+            "bypass",
+            &p,
+            p.validate(),
+            std::panic::catch_unwind(|| {
+                BypassDelay::try_compute(&tech, &p).map(|d| d.total_ps())
+            }),
+            &mut tally,
+        );
+
+        let p = ResTableParams { issue_width: wild(&mut rng), physical_regs: wild(&mut rng) };
+        check(
+            case,
+            "restable",
+            &p,
+            p.validate(),
+            std::panic::catch_unwind(|| {
+                ResTableDelay::try_compute(&tech, &p).map(|d| d.total_ps())
+            }),
+            &mut tally,
+        );
+
+        let p = RegfileParams {
+            registers: wild(&mut rng),
+            ports: wild(&mut rng),
+            bits: wild(&mut rng),
+        };
+        check(
+            case,
+            "regfile",
+            &p,
+            p.validate(),
+            std::panic::catch_unwind(|| {
+                RegfileDelay::try_compute(&tech, &p).map(|d| d.total_ps())
+            }),
+            &mut tally,
+        );
+
+        let p = CacheParams {
+            bytes: wild(&mut rng),
+            ways: wild(&mut rng),
+            line_bytes: wild(&mut rng),
+            ports: wild(&mut rng),
+        };
+        check(
+            case,
+            "cache",
+            &p,
+            p.validate(),
+            std::panic::catch_unwind(|| {
+                CacheDelay::try_compute(&tech, &p).map(|d| d.total_ps())
+            }),
+            &mut tally,
+        );
+
+        // The pipeline roll-up and clustered-clock comparison have no
+        // standalone validate(); they must still refuse garbage via Err.
+        let (iw, w, clusters) = (wild(&mut rng), wild(&mut rng), wild(&mut rng));
+        let outcome = std::panic::catch_unwind(|| {
+            PipelineDelays::try_compute(&tech, iw, w)
+                .and_then(|d| d.try_stages_at(w as f64).map(|_| d.window_ps()))
+                .and_then(|_| {
+                    ClockComparison::try_compute(&tech, iw, w, clusters)
+                        .map(|c| c.window_clock_ps)
+                })
+        })
+        .unwrap_or_else(|_| panic!("case {case}: pipeline panicked on ({iw}, {w}, {clusters})"));
+        match outcome {
+            Ok(d) => {
+                assert!(d.is_finite() && d > 0.0, "case {case}");
+                tally.0 += 1;
+            }
+            Err(e) => {
+                assert!(!e.to_string().is_empty(), "case {case}");
+                tally.1 += 1;
+            }
+        }
+    }
+    // The corpus must straddle the validation boundary, not sit on one side.
+    let (accepted, rejected) = tally;
+    assert!(accepted > 100, "only {accepted} evaluations accepted");
+    assert!(rejected > 100, "only {rejected} evaluations rejected");
+}

@@ -2,11 +2,13 @@
 //! shape invariants over randomly drawn design points.
 
 use ce_delay::bypass::{BypassDelay, BypassParams};
+use ce_delay::cache::{CacheDelay, CacheParams};
+use ce_delay::regfile::{RegfileDelay, RegfileParams};
 use ce_delay::rename::{RenameDelay, RenameParams};
 use ce_delay::restable::{ResTableDelay, ResTableParams};
 use ce_delay::select::{SelectDelay, SelectParams};
 use ce_delay::wakeup::{WakeupDelay, WakeupParams};
-use ce_delay::{FeatureSize, Technology};
+use ce_delay::{FeatureSize, PipelineDelays, Technology};
 use proptest::prelude::*;
 
 fn arb_tech() -> impl Strategy<Value = Technology> {
@@ -103,5 +105,105 @@ proptest! {
         prop_assert!(
             (w.total_ps() - (w.tag_drive_ps + w.tag_match_ps + w.match_or_ps)).abs() < 1e-9
         );
+        let s = SelectDelay::compute(&tech, &SelectParams::new(window.max(2)));
+        prop_assert!(
+            (s.total_ps() - (s.request_prop_ps + s.root_ps + s.grant_prop_ps)).abs() < 1e-9
+        );
+        let rt = ResTableDelay::compute(&tech, &ResTableParams::new(iw));
+        prop_assert!((rt.total_ps() - (rt.access_ps + rt.wire_ps)).abs() < 1e-9);
+        let rf = RegfileDelay::compute(&tech, &RegfileParams::centralized(iw));
+        prop_assert!(
+            (rf.total_ps() - (rf.decode_ps + rf.wordline_ps + rf.bitline_ps + rf.senseamp_ps))
+                .abs()
+                < 1e-9
+        );
+        let c = CacheDelay::compute(
+            &tech,
+            &CacheParams { bytes: 8192, ways: 2, line_bytes: 32, ports: 1 },
+        );
+        prop_assert!(
+            (c.total_ps() - (c.data_path_ps.max(c.tag_path_ps) + c.select_ps)).abs() < 1e-9
+        );
+    }
+
+    /// Every logic-dominated delay strictly improves as the process shrinks:
+    /// 0.18 µm is faster than 0.35 µm, which is faster than 0.8 µm, at every
+    /// design point. Bypass is the lone exception — wire-dominated, it is
+    /// identical across technologies (the paper's central observation).
+    #[test]
+    fn technology_ordering(iw in 1usize..12, window in 2usize..128) {
+        let t080 = Technology::new(FeatureSize::U080);
+        let t035 = Technology::new(FeatureSize::U035);
+        let t018 = Technology::new(FeatureSize::U018);
+        let per_tech = |t: &Technology| -> [f64; 5] {
+            [
+                RenameDelay::compute(t, &RenameParams::new(iw)).total_ps(),
+                WakeupDelay::compute(t, &WakeupParams::new(iw, window)).total_ps(),
+                SelectDelay::compute(t, &SelectParams::new(window)).total_ps(),
+                ResTableDelay::compute(t, &ResTableParams::new(iw)).total_ps(),
+                RegfileDelay::compute(t, &RegfileParams::centralized(iw)).total_ps(),
+            ]
+        };
+        let (d080, d035, d018) = (per_tech(&t080), per_tech(&t035), per_tech(&t018));
+        for i in 0..5 {
+            prop_assert!(d018[i] < d035[i], "structure {i}: {} !< {}", d018[i], d035[i]);
+            prop_assert!(d035[i] < d080[i], "structure {i}: {} !< {}", d035[i], d080[i]);
+        }
+        let b080 = BypassDelay::compute(&t080, &BypassParams::new(iw)).total_ps();
+        let b018 = BypassDelay::compute(&t018, &BypassParams::new(iw)).total_ps();
+        prop_assert!((b080 - b018).abs() < 1e-9);
+    }
+
+    /// The pipeline roll-up reports exactly the per-structure delays it was
+    /// built from — no hidden rescaling between the structure models and the
+    /// machine-level summary.
+    #[test]
+    fn pipeline_matches_structures(tech in arb_tech(), iw in 1usize..12, window in 2usize..128) {
+        let p = PipelineDelays::compute(&tech, iw, window);
+        let r = RenameDelay::compute(&tech, &RenameParams::new(iw)).total_ps();
+        let w = WakeupDelay::compute(&tech, &WakeupParams::new(iw, window)).total_ps();
+        let s = SelectDelay::compute(&tech, &SelectParams::new(window)).total_ps();
+        let b = BypassDelay::compute(&tech, &BypassParams::new(iw)).total_ps();
+        prop_assert!((p.rename_ps - r).abs() < 1e-9);
+        prop_assert!((p.wakeup_ps - w).abs() < 1e-9);
+        prop_assert!((p.select_ps - s).abs() < 1e-9);
+        prop_assert!((p.bypass_ps - b).abs() < 1e-9);
+        prop_assert!((p.window_ps() - (w + s)).abs() < 1e-9);
+    }
+
+    /// Selection delay grows logarithmically: quadrupling the window adds a
+    /// constant increment (one arbitration tier), independent of where in
+    /// the range the quadrupling happens.
+    #[test]
+    fn select_log_shape(tech in arb_tech(), tier in 1usize..4) {
+        let d = |w| SelectDelay::compute(&tech, &SelectParams::new(w)).total_ps();
+        // Window sizes 4^k sit at exact tier boundaries.
+        let w = 4usize.pow(tier as u32);
+        let step_low = d(w * 4) - d(w);
+        let step_high = d(w * 16) - d(w * 4);
+        prop_assert!(step_low > 0.0);
+        prop_assert!((step_low - step_high).abs() < 1e-9, "{step_low} vs {step_high}");
+        // The root stage never grows with window size.
+        let root_small = SelectDelay::compute(&tech, &SelectParams::new(w)).root_ps;
+        let root_large = SelectDelay::compute(&tech, &SelectParams::new(w * 16)).root_ps;
+        prop_assert_eq!(root_small, root_large);
+    }
+
+    /// The checked constructors agree with the panicking ones on every
+    /// in-domain point: `try_compute` is a strict refinement, not a fork.
+    #[test]
+    fn try_paths_agree(tech in arb_tech(), iw in 1usize..12, window in 2usize..128) {
+        let r = RenameDelay::try_compute(&tech, &RenameParams::new(iw)).unwrap();
+        prop_assert_eq!(
+            r.total_ps(),
+            RenameDelay::compute(&tech, &RenameParams::new(iw)).total_ps()
+        );
+        let w = WakeupDelay::try_compute(&tech, &WakeupParams::new(iw, window)).unwrap();
+        prop_assert_eq!(
+            w.total_ps(),
+            WakeupDelay::compute(&tech, &WakeupParams::new(iw, window)).total_ps()
+        );
+        let p = PipelineDelays::try_compute(&tech, iw, window).unwrap();
+        prop_assert_eq!(p.window_ps(), PipelineDelays::compute(&tech, iw, window).window_ps());
     }
 }
