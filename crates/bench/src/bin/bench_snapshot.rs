@@ -1,6 +1,9 @@
 //! Performance snapshot of the simulator: runs the full Figure 17 sweep
-//! (5 organizations × 7 kernels) and writes `BENCH_sim.json` with per-cell
-//! wall time, simulated cycles per second, and total suite time.
+//! (5 organizations × 7 kernels) — full-detail *and* sampled — and writes
+//! `BENCH_sim.json` with per-cell wall time, simulated cycles per second,
+//! the worker count and longest-first dispatch schedule actually used
+//! (so a bench gate reproduces schedule-and-all on another machine), and
+//! the sampled sweep's per-cell IPC error against the full runs.
 //!
 //! ```text
 //! cargo run --release -p ce-bench --bin bench_snapshot [out.json]
@@ -8,15 +11,18 @@
 //!
 //! The output path defaults to `results/BENCH_sim.json`. If a recorded
 //! pre-change baseline exists at `results/BENCH_baseline.json`, the
-//! snapshot reports the wall-clock speedup against it. `CE_THREADS` and
-//! `CE_MAX_INSTS` apply as everywhere in `ce-bench`.
+//! snapshot reports the wall-clock speedup against it — both full-detail
+//! and *effective* (baseline full sweep vs sampled sweep). `CE_THREADS`
+//! and `CE_MAX_INSTS` apply as everywhere in `ce-bench`.
 
 use std::fmt::Write as _;
 use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use ce_bench::runner;
-use ce_sim::machine;
+use ce_sim::{machine, run_sampled, SampledStats, SamplingConfig};
 use ce_workloads::{trace_cached, Benchmark};
 
 fn main() {
@@ -67,23 +73,66 @@ fn main() {
     }
     let cells = cells.trim_end().trim_end_matches(',').to_owned();
 
+    // Sampled sweep over the same grid: default geometry, same worker
+    // pool and dispatch order as the full sweep, errors judged against
+    // the full-detail cycles just measured.
+    let sampling = SamplingConfig::default();
+    let order = runner::schedule_order(&jobs, cap);
+    let sampled_start = Instant::now();
+    let sampled = run_sampled_grid(&jobs, cap, sampling, &order);
+    let sampled_sweep_wall_s = sampled_start.elapsed().as_secs_f64();
+
+    let mut sampled_cells = String::new();
+    let mut max_abs_err = 0.0_f64;
+    for (i, ((bench, _), (stats, wall_s))) in jobs.iter().zip(&sampled).enumerate() {
+        let err = stats.cycle_error_vs(results[i].stats.cycles);
+        max_abs_err = max_abs_err.max(err.abs());
+        let _ = writeln!(
+            sampled_cells,
+            "      {{\"benchmark\": \"{}\", \"machine\": \"{}\", \"est_cycles\": {}, \
+             \"full_cycles\": {}, \"cycle_err\": {:.6}, \"wall_s\": {:.6}}},",
+            bench.name(),
+            machines[i % machines.len()].0,
+            stats.est_cycles,
+            results[i].stats.cycles,
+            err,
+            wall_s,
+        );
+    }
+    let sampled_cells = sampled_cells.trim_end().trim_end_matches(',').to_owned();
+    let schedule_json =
+        order.iter().map(usize::to_string).collect::<Vec<_>>().join(", ");
+
     let baseline = read_baseline_sweep_wall("results/BENCH_baseline.json");
-    let (baseline_json, speedup_json) = match baseline {
+    let (baseline_json, speedup_json, effective_json) = match baseline {
         Some(base) => (
             format!("{base:.6}"),
             format!("{:.3}", base / sweep_wall_s.max(1e-9)),
+            format!("{:.3}", base / sampled_sweep_wall_s.max(1e-9)),
         ),
-        None => ("null".to_owned(), "null".to_owned()),
+        None => ("null".to_owned(), "null".to_owned(), "null".to_owned()),
     };
 
     let json = format!(
-        "{{\n  \"schema\": \"ce-bench.BENCH_sim.v1\",\n  \"sweep\": \"fig17\",\n  \
-         \"max_insts\": {cap},\n  \"threads\": {},\n  \"cells\": [\n{cells}\n  ],\n  \
+        "{{\n  \"schema\": \"ce-bench.BENCH_sim.v2\",\n  \"sweep\": \"fig17\",\n  \
+         \"max_insts\": {cap},\n  \"threads\": {},\n  \"schedule\": [{schedule_json}],\n  \
+         \"cells\": [\n{cells}\n  ],\n  \
+         \"sampled\": {{\n    \
+         \"config\": {{\"warmup_insts\": {}, \"window_insts\": {}, \
+         \"cooldown_insts\": {}, \"period_insts\": {}}},\n    \
+         \"cells\": [\n{sampled_cells}\n    ],\n    \
+         \"max_abs_cycle_err\": {max_abs_err:.6},\n    \
+         \"sweep_wall_s\": {sampled_sweep_wall_s:.6}\n  }},\n  \
          \"trace_load_s\": {trace_load_s:.6},\n  \"sweep_wall_s\": {sweep_wall_s:.6},\n  \
          \"serial_cell_wall_s\": {serial_wall_s:.6},\n  \"total_wall_s\": {total_wall_s:.6},\n  \
          \"sim_mcycles_per_s\": {:.3},\n  \"baseline_sweep_wall_s\": {baseline_json},\n  \
-         \"speedup_vs_baseline\": {speedup_json}\n}}\n",
+         \"speedup_vs_baseline\": {speedup_json},\n  \
+         \"effective_speedup_vs_baseline\": {effective_json}\n}}\n",
         runner::threads(),
+        sampling.warmup_insts,
+        sampling.window_insts,
+        sampling.cooldown_insts,
+        sampling.period_insts,
         total_cycles as f64 / sweep_wall_s.max(1e-9) / 1e6,
     );
 
@@ -105,14 +154,58 @@ fn main() {
         "throughput   {:>8.1} M simulated cycles/s",
         total_cycles as f64 / sweep_wall_s.max(1e-9) / 1e6
     );
+    println!(
+        "sampled      {sampled_sweep_wall_s:>8.3} s  (max |cycle err| {:.2}%)",
+        max_abs_err * 100.0
+    );
     match baseline {
         Some(base) => println!(
-            "baseline     {base:>8.3} s → speedup {:.2}x",
-            base / sweep_wall_s.max(1e-9)
+            "baseline     {base:>8.3} s → speedup {:.2}x full, {:.2}x effective (sampled)",
+            base / sweep_wall_s.max(1e-9),
+            base / sampled_sweep_wall_s.max(1e-9)
         ),
         None => println!("baseline     (none recorded at results/BENCH_baseline.json)"),
     }
     println!("wrote {out_path}");
+}
+
+/// Runs the sampled sweep over the grid with the same worker-pool shape
+/// as the full sweep (`CE_THREADS` workers pulling cells longest-first),
+/// returning per-cell `(stats, wall_s)` in input order.
+fn run_sampled_grid(
+    jobs: &[runner::Job],
+    cap: u64,
+    sampling: SamplingConfig,
+    order: &[usize],
+) -> Vec<(SampledStats, f64)> {
+    let n = jobs.len();
+    let workers = runner::threads().min(n.max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<(SampledStats, f64)>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                if k >= n {
+                    break;
+                }
+                let i = order[k];
+                let (bench, cfg) = jobs[i];
+                let trace = trace_cached(bench, cap)
+                    .unwrap_or_else(|e| panic!("tracing {bench}: {e}"));
+                let start = Instant::now();
+                let stats = run_sampled(cfg, &trace, sampling)
+                    .unwrap_or_else(|e| panic!("sampled {bench}: {e}"));
+                *slots[i].lock().expect("slot poisoned") =
+                    Some((stats, start.elapsed().as_secs_f64()));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("slot poisoned").expect("all cells run"))
+        .collect()
 }
 
 /// Pulls `"sweep_wall_s": <number>` out of a previously written snapshot.

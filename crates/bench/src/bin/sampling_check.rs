@@ -1,0 +1,91 @@
+//! Sampled-vs-full IPC error check — the CI smoke gate for sampled
+//! simulation.
+//!
+//! ```text
+//! cargo run --release -p ce-bench --bin sampling_check -- \
+//!     [--bench NAME|all] [--max-err F]
+//! ```
+//!
+//! Runs each requested kernel both ways on the baseline machine — a full
+//! detailed run and a sampled run with the default
+//! [`SamplingConfig`] geometry — and fails (exit 1) if any kernel's
+//! estimated cycle count is off by more than `--max-err` (default 0.02,
+//! the 2% bound the sampling error model in DESIGN.md promises).
+//! `CE_MAX_INSTS` applies as everywhere in `ce-bench`.
+//!
+//! Exit codes: 0 within bounds, 1 error bound exceeded, 2 usage error.
+
+use ce_sim::{machine, run_sampled, SamplingConfig, Simulator};
+use ce_workloads::Benchmark;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut benches: Vec<Benchmark> = vec![Benchmark::Compress];
+    let mut max_err = 0.02_f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--bench" => {
+                let Some(name) = args.next() else {
+                    eprintln!("error: --bench needs a value");
+                    return ExitCode::from(2);
+                };
+                if name == "all" {
+                    benches = Benchmark::all().to_vec();
+                } else {
+                    let Some(b) = Benchmark::all().into_iter().find(|b| b.name() == name)
+                    else {
+                        eprintln!("error: unknown benchmark `{name}`");
+                        return ExitCode::from(2);
+                    };
+                    benches = vec![b];
+                }
+            }
+            "--max-err" => {
+                let Some(value) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("error: --max-err needs a number");
+                    return ExitCode::from(2);
+                };
+                max_err = value;
+            }
+            other => {
+                eprintln!("error: unexpected argument `{other}`");
+                eprintln!("usage: sampling_check [--bench NAME|all] [--max-err F]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let cap = ce_bench::max_insts();
+    let cfg = machine::baseline_8way();
+    let sampling = SamplingConfig::default();
+    let mut worst = 0.0_f64;
+    for bench in benches {
+        let trace = ce_workloads::trace_cached(bench, cap)
+            .unwrap_or_else(|e| panic!("tracing {bench}: {e}"));
+        let full = Simulator::new(cfg).run(&trace);
+        let sampled =
+            run_sampled(cfg, &trace, sampling).unwrap_or_else(|e| panic!("{bench}: {e}"));
+        let err = sampled.cycle_error_vs(full.cycles);
+        worst = worst.max(err.abs());
+        println!(
+            "{:<10} full {:>8} cyc (ipc {:.3})  sampled {:>8} cyc (ipc {:.3})  \
+             err {:+.4}  [{} windows, {:.0}% detailed]",
+            bench.name(),
+            full.cycles,
+            full.ipc(),
+            sampled.est_cycles,
+            sampled.est_ipc(),
+            err,
+            sampled.windows,
+            sampled.detailed_insts as f64 / sampled.total_insts as f64 * 100.0,
+        );
+    }
+    println!("worst |cycle err| {:.4} (bound {max_err:.4})", worst);
+    if worst > max_err {
+        eprintln!("error: sampled-simulation error {worst:.4} exceeds the {max_err:.4} bound");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -36,7 +36,13 @@
 //!   (see [`crate::checkpoint`]) so a killed sweep resumes where it died.
 //!
 //! Worker count comes from the `CE_THREADS` environment variable,
-//! defaulting to [`std::thread::available_parallelism`].
+//! defaulting to [`std::thread::available_parallelism`] — sweeps are
+//! parallel out of the box. Workers pull cells **longest-first** (see
+//! [`schedule_order`]): cost-sorted dispatch keeps the expensive
+//! gcc/m88ksim central-window cells off the tail, so the idle tail with
+//! `T` workers is bounded by one short cell instead of one long one. The
+//! dispatch order and thread count are surfaced in [`SweepSummary`] and
+//! recorded in BENCH_sim.json.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -276,6 +282,13 @@ pub struct SweepSummary {
     pub min_cell_wall: Duration,
     /// Slowest completed cell (the sweep's critical path lower bound).
     pub max_cell_wall: Duration,
+    /// Worker threads the sweep ran with.
+    pub threads: usize,
+    /// The longest-cell-first dispatch order actually used: `schedule[k]`
+    /// is the input-order index of the `k`-th cell handed to a worker.
+    /// Recorded in BENCH_sim.json so bench gates reproduce across
+    /// machines.
+    pub schedule: Vec<usize>,
 }
 
 impl SweepSummary {
@@ -300,6 +313,35 @@ impl SweepSummary {
             0.0
         }
     }
+}
+
+/// Estimated relative cost of one cell, for scheduling only. Dominant
+/// term: how many instructions the cell will actually simulate (the
+/// kernel's natural length, clamped by the cap). Windowed schedulers scan
+/// wider wakeup/select structures per cycle than the FIFO machines, so
+/// they get a constant weighting on top. Exactness is irrelevant — the
+/// estimate only decides *queue order*, never results.
+fn cell_cost((bench, cfg): &Job, max_insts: u64) -> u64 {
+    let insts = bench.approx_dynamic_insts().min(max_insts);
+    let weight = match cfg.scheduler {
+        ce_sim::SchedulerKind::Fifos { .. } => 2,
+        _ => 3,
+    };
+    insts * weight
+}
+
+/// Longest-cell-first queue order for a sweep: indices into `jobs`,
+/// sorted by estimated cost, descending (stable, so equal-cost cells keep
+/// input order). Workers pull cells in this order, which keeps the
+/// expensive gcc/m88ksim central-window cells off the tail of the sweep —
+/// with `T` workers, the worst idle tail is one *short* cell instead of
+/// one long one. Results are still returned in input order; this is purely
+/// the dispatch sequence, and it is recorded in BENCH_sim.json so a bench
+/// gate can be reproduced schedule-and-all on another machine.
+pub fn schedule_order(jobs: &[Job], max_insts: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(cell_cost(&jobs[i], max_insts)));
+    order
 }
 
 /// Worker-pool size: `CE_THREADS` if set to a positive integer, else the
@@ -402,6 +444,7 @@ where
     install_cell_panic_hook();
     let n = jobs.len();
     let workers = threads().min(n.max(1));
+    let order = schedule_order(jobs, max_insts);
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<CellOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
     // Deterministic failures by job, for quarantine: job → (first failing
@@ -413,10 +456,11 @@ where
             std::thread::Builder::new()
                 .name(format!("ce-cell-{w}"))
                 .spawn_scoped(scope, || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= n {
                         break;
                     }
+                    let i = order[k];
                     if skip[i] {
                         continue;
                     }
@@ -626,6 +670,8 @@ pub fn run_sweep_ft(
         total_cycles,
         min_cell_wall,
         max_cell_wall,
+        threads: threads().min(jobs.len()),
+        schedule: schedule_order(jobs, max_insts),
     })
 }
 
@@ -649,6 +695,39 @@ mod tests {
     #[test]
     fn threads_is_positive() {
         assert!(threads() >= 1);
+    }
+
+    /// The dispatch order is a cost-descending permutation of the input:
+    /// every index appears exactly once, costs never increase along it,
+    /// and equal-cost cells keep input order (stable sort), so the same
+    /// jobs always produce the same recorded schedule.
+    #[test]
+    fn schedule_order_is_a_stable_longest_first_permutation() {
+        use ce_sim::machine;
+        let jobs = grid(&machine::figure17_machines());
+        let order = schedule_order(&jobs, u64::MAX);
+        let mut seen = vec![false; jobs.len()];
+        for &i in &order {
+            assert!(!seen[i], "index {i} dispatched twice");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some cell never dispatched");
+        for pair in order.windows(2) {
+            let (a, b) = (cell_cost(&jobs[pair[0]], u64::MAX), cell_cost(&jobs[pair[1]], u64::MAX));
+            assert!(a > b || (a == b && pair[0] < pair[1]), "order not stable-descending");
+        }
+        // The most expensive kernel on a windowed machine goes first; the
+        // cheapest kernel on a FIFO machine goes last.
+        assert_eq!(jobs[order[0]].0, Benchmark::M88ksim);
+        assert_eq!(jobs[*order.last().unwrap()].0, Benchmark::Compress);
+        // An instruction cap collapses the kernel-length differences.
+        let capped = schedule_order(&jobs, 1_000);
+        for pair in capped.windows(2) {
+            assert!(
+                cell_cost(&jobs[pair[0]], 1_000) >= cell_cost(&jobs[pair[1]], 1_000),
+                "capped order not cost-descending"
+            );
+        }
     }
 
     /// A bad grid cell must be reported — classified, by name — while its

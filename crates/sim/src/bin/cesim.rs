@@ -1,7 +1,8 @@
 //! `cesim` — command-line driver for the timing simulator.
 //!
 //! ```text
-//! cesim [--machine NAME] [--bench NAME | --asm FILE] [--max-insts N] [--schedule]
+//! cesim [--machine NAME] [--bench NAME | --asm FILE] [--max-insts N]
+//!       [--schedule | --profile]
 //!
 //!   --machine    window | fifos | clustered-fifos | clustered-windows |
 //!                exec-steer | random          (default: window)
@@ -10,6 +11,7 @@
 //!   --trace FILE replay a saved trace file instead of emulating
 //!   --max-insts  dynamic instruction cap      (default: 2000000)
 //!   --schedule   print the first 32 issue records
+//!   --profile    print a per-phase wall-clock cost breakdown
 //!   --save-trace FILE  write the dynamic trace to FILE and exit
 //!   --metrics FILE     write a ce-sim.metrics.v1 JSON report (enables
 //!                      stall attribution and prints the breakdown)
@@ -51,6 +53,7 @@ struct Options {
     source: Source,
     max_insts: u64,
     schedule: bool,
+    profile: bool,
     save_trace: Option<String>,
     metrics: Option<String>,
     pipeview: Option<String>,
@@ -71,6 +74,7 @@ fn parse_args() -> Result<Options, String> {
         source: Source::Bench(Benchmark::Compress),
         max_insts: 2_000_000,
         schedule: false,
+        profile: false,
         save_trace: None,
         metrics: None,
         pipeview: None,
@@ -106,6 +110,7 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|e| format!("bad --max-insts: {e}"))?;
             }
             "--schedule" => opts.schedule = true,
+            "--profile" => opts.profile = true,
             "--check" => opts.check = true,
             "--inject" => {
                 let spec = value("--inject")?;
@@ -116,6 +121,9 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
         }
+    }
+    if opts.profile && opts.schedule {
+        return Err("--profile and --schedule are mutually exclusive".into());
     }
     Ok(opts)
 }
@@ -152,7 +160,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: cesim [--machine window|fifos|clustered-fifos|clustered-windows|\
                  exec-steer|random] [--bench NAME | --asm FILE | --trace FILE] \
-                 [--max-insts N] [--schedule] [--save-trace FILE] \
+                 [--max-insts N] [--schedule | --profile] [--save-trace FILE] \
                  [--metrics FILE] [--pipeview FILE] [--check] [--inject KIND@CYCLE]"
             );
             return ExitCode::from(2);
@@ -201,7 +209,13 @@ fn main() -> ExitCode {
             }
         }
     }
-    let (stats, schedule) = match sim.try_run_traced(&trace) {
+    let run = if opts.profile {
+        sim.try_run_profiled(&trace)
+            .map(|(stats, profile)| (stats, Vec::new(), Some(profile)))
+    } else {
+        sim.try_run_traced(&trace).map(|(stats, schedule)| (stats, schedule, None))
+    };
+    let (stats, schedule, profile) = match run {
         Ok(run) => run,
         Err(e) => {
             // One structured line, newlines flattened, so scripts can
@@ -255,6 +269,24 @@ fn main() -> ExitCode {
                 cause.key(),
                 n,
                 if slots == 0 { 0.0 } else { n as f64 / slots as f64 * 100.0 }
+            );
+        }
+    }
+
+    if let Some(profile) = &profile {
+        let total = profile.total();
+        println!();
+        println!(
+            "phase profile ({:.3}s instrumented, {:.0} ns/cycle):",
+            total.as_secs_f64(),
+            if stats.cycles == 0 { 0.0 } else { total.as_secs_f64() * 1e9 / stats.cycles as f64 }
+        );
+        for (name, cost) in profile.rows() {
+            println!(
+                "  {:<10} {:>9.3} ms  ({:>5.1}%)",
+                name,
+                cost.as_secs_f64() * 1e3,
+                if total.is_zero() { 0.0 } else { cost.as_secs_f64() / total.as_secs_f64() * 100.0 }
             );
         }
     }

@@ -41,6 +41,7 @@ pub mod oracle;
 pub mod pipeline;
 pub mod probe;
 pub mod rename;
+pub mod sampling;
 pub mod scheduler;
 pub mod stats;
 pub mod trace_writer;
@@ -55,7 +56,8 @@ pub use config::{
 pub use fault::{FaultKind, FaultSpec};
 pub use metrics::metrics_json;
 pub use oracle::OracleSimulator;
-pub use pipeline::{IssueRecord, SimError, Simulator};
+pub use pipeline::{IssueRecord, PhaseProfile, SimError, Simulator};
 pub use probe::{DispatchStallCause, EventLog, ProbeEvent, ProbeSink, ScheduleRecorder};
+pub use sampling::{run_sampled, SampledStats, SamplingConfig};
 pub use stats::SimStats;
 pub use trace_writer::KonataWriter;

@@ -345,6 +345,106 @@ pub struct Simulator {
     /// Wall-clock cutoff for the run (none by default); polled every
     /// 4096 cycles by the cycle loop.
     deadline: Option<Instant>,
+    /// Tag-broadcast wakeup bookkeeping, rings keyed `seq & hot_mask` like
+    /// the [`HotEntry`] ring. `wake_pending[h]` counts source operands
+    /// whose producers have not issued; `wake_min_ready[h]` is a lower
+    /// bound (over all clusters) on the cycle the operands could be ready;
+    /// `wake_token[h]` stamps which dispatch owns the ring slot, so a
+    /// producer's broadcast ignores waiters registered by a squashed
+    /// wrong-path instruction whose sequence number was later reused.
+    wake_pending: Vec<u8>,
+    wake_min_ready: Vec<u64>,
+    wake_token: Vec<u64>,
+    /// Per-physical-register waiter lists: `(seq, token)` of dispatched
+    /// instructions whose operand `p` is still unproduced. Drained by
+    /// [`broadcast_ready`](Self::broadcast_ready) when the producer
+    /// issues — the software analogue of the paper's tag broadcast, which
+    /// is what lets the select loop scan only *awake* entries.
+    waiters: Vec<Vec<(u64, u64)>>,
+    /// Monotone dispatch counter backing `wake_token`.
+    dispatch_count: u64,
+    /// Whether the issue scan may prune asleep / not-yet-ready candidates.
+    /// Off when the checker, the stall accountant, or fault injection is
+    /// active: those observe (or deliberately violate) the per-candidate
+    /// rejection sequence the pruned scan skips. Pruning never changes
+    /// which instructions issue — only how many certainly-rejected
+    /// candidates the scan touches — so timing is bit-identical either
+    /// way; the differential and golden tests pin that.
+    fast_wakeup: bool,
+    /// Whether the tag-broadcast bookkeeping is maintained at all. Only
+    /// central-window schedulers consume it (the awake-bitset scan), so
+    /// FIFO and per-cluster-window machines skip the dispatch/issue-side
+    /// bookkeeping entirely rather than pay for state they never read.
+    track_wakeup: bool,
+    /// Per-phase wall-clock accumulator (`None` unless profiling was
+    /// requested — the disabled-case cost is an `is_some` check per
+    /// phase boundary, like the probe emptiness check).
+    profile: Option<PhaseProfile>,
+    /// Sampled simulation: commit-count watermarks bounding the measured
+    /// region. When `committed` crosses `measure_start` / `measure_end`,
+    /// the cycle is recorded in the corresponding mark. Measuring an
+    /// *interior* region (a cooldown follows the measured window) keeps
+    /// the end-of-slice pipeline drain — cycles a continuous run would
+    /// overlap with later work — out of the measurement. `u64::MAX` when
+    /// unused: two compares per commit.
+    measure_start: u64,
+    measure_end: u64,
+    measure_mark_start: Option<u64>,
+    measure_mark_end: Option<u64>,
+}
+
+/// Wall-clock cost of each pipeline phase over a profiled run — what
+/// `cesim --profile` prints. Phases follow the paper's Figure 1 stage
+/// names; "wakeup" is candidate generation (the window/FIFO scan) and
+/// "select" the per-candidate readiness/resource arbitration loop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseProfile {
+    /// In-order retirement of finished ROB heads.
+    pub commit: Duration,
+    /// Result completion (event-heap drain) and wrong-path squash.
+    pub execute: Duration,
+    /// Candidate generation: the wakeup scan over the issue structure.
+    pub wakeup: Duration,
+    /// Selection and issue of the generated candidates.
+    pub select: Duration,
+    /// Rename, steer, and insertion into the issue structure.
+    pub dispatch: Duration,
+    /// Fetch, branch prediction, and wrong-path synthesis.
+    pub fetch: Duration,
+}
+
+impl PhaseProfile {
+    /// Total instrumented time across all phases.
+    pub fn total(&self) -> Duration {
+        self.commit + self.execute + self.wakeup + self.select + self.dispatch + self.fetch
+    }
+
+    /// The phases in pipeline order with display names.
+    pub fn rows(&self) -> [(&'static str, Duration); 6] {
+        [
+            ("fetch", self.fetch),
+            ("dispatch", self.dispatch),
+            ("wakeup", self.wakeup),
+            ("select", self.select),
+            ("execute", self.execute),
+            ("commit", self.commit),
+        ]
+    }
+}
+
+/// Advances a profiling timestamp, returning the elapsed span (zero when
+/// profiling is off and `mark` is `None`).
+#[inline]
+fn lap(mark: &mut Option<Instant>) -> Duration {
+    match mark {
+        Some(m) => {
+            let now = Instant::now();
+            let d = now - *m;
+            *m = now;
+            d
+        }
+        None => Duration::ZERO,
+    }
 }
 
 impl Simulator {
@@ -371,6 +471,21 @@ impl Simulator {
             check: Checker::new(),
             probes: Vec::new(),
             deadline: None,
+            wake_pending: vec![0; cfg.max_inflight.max(1).next_power_of_two()],
+            wake_min_ready: vec![0; cfg.max_inflight.max(1).next_power_of_two()],
+            wake_token: vec![0; cfg.max_inflight.max(1).next_power_of_two()],
+            waiters: vec![Vec::new(); cfg.physical_regs],
+            dispatch_count: 0,
+            fast_wakeup: !cfg.check && !cfg.attribution && cfg.fault.is_none(),
+            track_wakeup: matches!(
+                cfg.scheduler,
+                crate::config::SchedulerKind::CentralWindow { .. }
+            ),
+            profile: None,
+            measure_start: u64::MAX,
+            measure_end: u64::MAX,
+            measure_mark_start: None,
+            measure_mark_end: None,
         })
     }
 
@@ -458,7 +573,69 @@ impl Simulator {
     ///
     /// Returns the [`SimError`] that stopped the run.
     pub fn try_run(mut self, trace: &Trace) -> Result<SimStats, SimError> {
-        self.run_core(trace)
+        self.run_core(trace.as_slice())
+    }
+
+    /// Runs the trace with per-phase wall-clock profiling enabled,
+    /// returning the statistics and the phase breakdown (`cesim
+    /// --profile`). Off this path the instrumentation costs one `is_some`
+    /// check per phase boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SimError`] that stopped the run.
+    pub fn try_run_profiled(
+        mut self,
+        trace: &Trace,
+    ) -> Result<(SimStats, PhaseProfile), SimError> {
+        self.profile = Some(PhaseProfile::default());
+        let stats = self.run_core(trace.as_slice())?;
+        Ok((stats, self.profile.expect("enabled above")))
+    }
+
+    /// Replaces the cold branch predictor and D-cache with warmed copies —
+    /// the state a sampled-simulation driver carried through its
+    /// functional fast-forward. The copies must have been built from this
+    /// simulator's own configuration (same geometry).
+    pub fn warm_start(&mut self, bpred: Gshare, dcache: Dcache) {
+        self.bpred = bpred;
+        self.dcache = dcache;
+    }
+
+    /// Consumes the simulator, handing back the (now further-warmed)
+    /// predictor and cache for the next fast-forward leg.
+    pub(crate) fn into_warm_state(self) -> (Gshare, Dcache) {
+        (self.bpred, self.dcache)
+    }
+
+    /// Arms the measurement region for sampled runs: record the cycle at
+    /// which `start` instructions have committed (warmup done) and the
+    /// cycle at which `end` have (measured window done; cooldown follows).
+    pub(crate) fn set_measure_window(&mut self, start: u64, end: u64) {
+        if start == 0 {
+            // No warmup: the measurement starts at cycle zero.
+            self.measure_mark_start = Some(0);
+            self.measure_start = u64::MAX;
+        } else {
+            self.measure_start = start;
+        }
+        self.measure_end = end;
+    }
+
+    /// The cycles the measurement boundaries were crossed, if they were.
+    pub(crate) fn measure_marks(&self) -> (Option<u64>, Option<u64>) {
+        (self.measure_mark_start, self.measure_mark_end)
+    }
+
+    /// Runs a raw instruction slice (a sampled-simulation window) to
+    /// completion. Identical to [`try_run`](Self::try_run) modulo the
+    /// input type; sequence numbers need not start at zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SimError`] that stopped the run.
+    pub(crate) fn run_slice(&mut self, insts: &[DynInst]) -> Result<SimStats, SimError> {
+        self.run_core(insts)
     }
 
     /// Runs the trace, returning both the statistics and a per-instruction
@@ -486,7 +663,7 @@ impl Simulator {
     pub fn try_run_traced(mut self, trace: &Trace) -> Result<(SimStats, Vec<IssueRecord>), SimError> {
         let (recorder, handle) = ScheduleRecorder::new(trace.as_slice().len());
         self.attach_probe(Box::new(recorder));
-        let stats = self.run_core(trace)?;
+        let stats = self.run_core(trace.as_slice())?;
         drop(self); // releases the recorder's clone of the handle
         let schedule = match Rc::try_unwrap(handle) {
             Ok(cell) => cell.into_inner(),
@@ -497,8 +674,7 @@ impl Simulator {
 
     /// The cycle loop shared by [`try_run`](Self::try_run) and
     /// [`try_run_traced`](Self::try_run_traced).
-    fn run_core(&mut self, trace: &Trace) -> Result<SimStats, SimError> {
-        let insts = trace.as_slice();
+    fn run_core(&mut self, insts: &[DynInst]) -> Result<SimStats, SimError> {
         if insts.is_empty() {
             self.finish_probes();
             return Ok(self.stats.clone());
@@ -528,7 +704,9 @@ impl Simulator {
         let mut committed = 0usize;
         let deadlock_limit = 1_000 + 60 * insts.len() as u64;
 
+        let profiling = self.profile.is_some();
         while committed < insts.len() {
+            let mut mark = if profiling { Some(Instant::now()) } else { None };
             cycle += 1;
             if cycle >= deadlock_limit {
                 self.finish_probes();
@@ -583,9 +761,18 @@ impl Simulator {
                             });
                         }
                         committed += 1;
+                        if committed as u64 == self.measure_start {
+                            self.measure_mark_start = Some(cycle);
+                        }
+                        if committed as u64 == self.measure_end {
+                            self.measure_mark_end = Some(cycle);
+                        }
                     }
                     _ => break,
                 }
+            }
+            if let Some(p) = &mut self.profile {
+                p.commit += lap(&mut mark);
             }
 
             // ---- complete (results produced this cycle) -----------------
@@ -665,6 +852,10 @@ impl Simulator {
                 stores.on_squash(branch_seq);
             }
 
+            if let Some(p) = &mut self.profile {
+                p.execute += lap(&mut mark);
+            }
+
             // ---- wakeup + select + execute ------------------------------
             let front = FrontState {
                 fetch_stalled: fetch_stalled_on.is_some(),
@@ -674,12 +865,21 @@ impl Simulator {
                 cycle, &mut rob, &mut stores, &mut events, &mut cand_buf, &mut fu_used,
                 &mut rejects, front,
             );
+            if profiling {
+                mark = Some(Instant::now()); // issue timed itself (wakeup/select)
+            }
 
             // ---- dispatch (rename + steer) ------------------------------
             self.dispatch_cycle(cycle, insts, &mut frontq, &mut rob, &mut stores);
             if self.cfg.check {
                 self.check_after_dispatch(cycle, &rob);
+                if self.track_wakeup {
+                    self.check_wakeup_state(cycle, &rob);
+                }
                 self.check_store_tracker(cycle, &rob, &stores);
+            }
+            if let Some(p) = &mut self.profile {
+                p.dispatch += lap(&mut mark);
             }
 
             // ---- fetch ---------------------------------------------------
@@ -786,6 +986,10 @@ impl Simulator {
                         });
                     }
                 }
+            }
+
+            if let Some(p) = &mut self.profile {
+                p.fetch += lap(&mut mark);
             }
 
             self.stats.occupancy_sum += self.sched.occupancy() as u64;
@@ -935,22 +1139,49 @@ impl Simulator {
         rejects: &mut Vec<StallCause>,
         front: FrontState,
     ) {
+        let wake_mark = if self.profile.is_some() { Some(Instant::now()) } else { None };
+        // The pruned scans enumerate only *awake* entries (operands all
+        // produced) — the bit the tag-broadcast bookkeeping maintains.
+        // Asleep entries would be rejected by the operand checks below, so
+        // the pruned candidate list issues identically; it just skips the
+        // certainly-fruitless probes that dominated central-window runs.
+        let fast = self.fast_wakeup && self.track_wakeup;
         match self.cfg.selection {
             crate::config::SelectionPolicy::OldestFirst => {
-                // Age order comes from the scheduler's own structures
-                // (central age list / FIFO merge) — no per-cycle sort.
-                self.sched.candidates_into_sorted(candidates);
+                if fast && self.sched.is_central() {
+                    self.sched.awake_candidates_into_aged(candidates);
+                } else {
+                    // Age order comes from the scheduler's own structures
+                    // (central age list / FIFO merge) — no per-cycle sort.
+                    self.sched.candidates_into_sorted(candidates);
+                }
             }
             crate::config::SelectionPolicy::Position => {
-                // Keep the scheduler's slot order: physical position, not
-                // age (the HP PA-8000-style policy the paper assumes).
-                self.sched.candidates_into(candidates);
+                if fast && self.sched.is_central() {
+                    self.sched.awake_candidates_into(candidates);
+                } else {
+                    // Keep the scheduler's slot order: physical position,
+                    // not age (the HP PA-8000-style policy the paper
+                    // assumes).
+                    self.sched.candidates_into(candidates);
+                }
             }
             crate::config::SelectionPolicy::YoungestFirst => {
-                self.sched.candidates_into(candidates);
+                if fast && self.sched.is_central() {
+                    self.sched.awake_candidates_into(candidates);
+                } else {
+                    self.sched.candidates_into(candidates);
+                }
                 candidates.sort_unstable_by_key(|c| std::cmp::Reverse(c.id));
             }
         }
+        let select_mark = wake_mark.map(|m| {
+            let now = Instant::now();
+            if let Some(p) = &mut self.profile {
+                p.wakeup += now - m;
+            }
+            now
+        });
         let attr = self.cfg.attribution;
         rejects.clear();
         if candidates.is_empty() {
@@ -960,6 +1191,9 @@ impl Simulator {
                 self.stats
                     .stall_breakdown
                     .charge(background_cause(front), self.cfg.issue_width as u64);
+            }
+            if let (Some(m), Some(p)) = (select_mark, &mut self.profile) {
+                p.select += Instant::now() - m;
             }
             return;
         }
@@ -995,10 +1229,19 @@ impl Simulator {
             if inject_drop || issued >= self.cfg.issue_width {
                 break;
             }
+            // Pruned scan (central windows prune in the scheduler via the
+            // awake bitset; pooled organizations prune here): a candidate
+            // with an unproduced operand, or whose best-case operand
+            // arrival is still in the future, fails the readiness checks
+            // below in every cluster — skip it without probing.
+            let h = (cand.id.0 & self.hot_mask) as usize;
+            if fast && (self.wake_pending[h] != 0 || self.wake_min_ready[h] > cycle) {
+                continue;
+            }
             // Reject-path checks read only the 16-byte hot entry (and the
             // small preg/store tables); the ROB entry is touched once the
             // candidate is committed to issuing.
-            let hot = self.hot[(cand.id.0 & self.hot_mask) as usize];
+            let hot = self.hot[h];
             debug_assert!((cand.id.0 - rob_base) < rob.len() as u64);
             debug_assert!(rob[(cand.id.0 - rob_base) as usize].issued_at.is_none());
 
@@ -1172,6 +1415,11 @@ impl Simulator {
             if let Some(dest) = entry.dest {
                 self.pregs[dest as usize] =
                     PregInfo { ready: cycle + latency, cluster: Some(cluster) };
+                // Tag broadcast: consumers waiting on `dest` learn its
+                // arrival time; the last outstanding operand wakes them.
+                if self.track_wakeup {
+                    self.broadcast_ready(dest);
+                }
             }
             events.push(Reverse((cycle + latency, cand.id.0)));
             if is_store {
@@ -1222,6 +1470,146 @@ impl Simulator {
             self.check_after_issue(
                 cycle, candidates, rob, rob_base, stores, fu_used, ports_used, issued,
             );
+        }
+        if let (Some(m), Some(p)) = (select_mark, &mut self.profile) {
+            p.select += Instant::now() - m;
+        }
+    }
+
+    /// Best-case counterpart of [`avail_in`](Self::avail_in): the earliest
+    /// cycle the value in a *produced* register could feed any cluster —
+    /// the cross-cluster penalty taken as zero, every other delay kept.
+    /// `min_ready` bounds built from this can only under-estimate, which
+    /// is the safe direction for pruning. Architectural values (no
+    /// producing cluster) are available at `ready` exactly.
+    fn best_case_avail(&self, info: PregInfo) -> u64 {
+        debug_assert_ne!(info.ready, u64::MAX);
+        if info.cluster.is_none() {
+            return info.ready;
+        }
+        let mut avail = info.ready;
+        if self.cfg.bypass_model == crate::config::BypassModel::None {
+            avail += self.cfg.regwrite_delay;
+        }
+        if self.cfg.pipelined_wakeup_select {
+            avail += 1;
+        }
+        avail
+    }
+
+    /// Registers a just-dispatched instruction with the tag-broadcast
+    /// bookkeeping: counts unproduced operands (and enlists on their
+    /// producers' waiter lists), folds already-known operands into the
+    /// best-case readiness bound, and wakes the entry immediately when
+    /// nothing is outstanding.
+    fn register_wakeup(&mut self, seq: u64, srcs: [Option<Preg>; 2], kind: OperationKind) {
+        let h = (seq & self.hot_mask) as usize;
+        self.dispatch_count += 1;
+        let token = self.dispatch_count;
+        self.wake_token[h] = token;
+        let split_store = kind == OperationKind::Store && self.cfg.split_store_issue;
+        let mut pending = 0u8;
+        let mut bound = 0u64;
+        for (i, &src) in srcs.iter().enumerate() {
+            let Some(p) = src else { continue };
+            let info = self.pregs[p as usize];
+            if info.ready == u64::MAX {
+                pending += 1;
+                self.waiters[p as usize].push((seq, token));
+            } else if !(split_store && i == 1) {
+                // A split store's data operand only needs a *known*
+                // arrival, not a ready value — it never constrains the
+                // earliest issue cycle, so it stays out of the bound.
+                bound = bound.max(self.best_case_avail(info));
+            }
+        }
+        self.wake_pending[h] = pending;
+        self.wake_min_ready[h] = bound;
+        if pending == 0 {
+            self.sched.set_awake(InstId(seq));
+        }
+    }
+
+    /// Drains the waiter list of a register whose producer just issued:
+    /// each still-valid waiter loses one pending operand, absorbs the
+    /// value's best-case arrival into its readiness bound, and wakes when
+    /// its last operand is accounted for. Waiters whose ring token
+    /// mismatches belong to a squashed instruction whose sequence number
+    /// was reused — ignored.
+    fn broadcast_ready(&mut self, p: Preg) {
+        if self.waiters[p as usize].is_empty() {
+            return;
+        }
+        // Take the list to end the borrow; the loop may push to *other*
+        // registers' lists never this one (a producer issues once).
+        let mut ws = std::mem::take(&mut self.waiters[p as usize]);
+        let contribution = self.best_case_avail(self.pregs[p as usize]);
+        for &(seq, token) in &ws {
+            let h = (seq & self.hot_mask) as usize;
+            if self.wake_token[h] != token {
+                continue;
+            }
+            let hot = self.hot[h];
+            let split_store =
+                hot.kind == OperationKind::Store && self.cfg.split_store_issue;
+            let data_only =
+                split_store && hot.srcs[1] == Some(p) && hot.srcs[0] != Some(p);
+            if !data_only {
+                let b = &mut self.wake_min_ready[h];
+                *b = (*b).max(contribution);
+            }
+            let left = self.wake_pending[h].saturating_sub(1);
+            self.wake_pending[h] = left;
+            if left == 0 {
+                self.sched.set_awake(InstId(seq));
+            }
+        }
+        ws.clear();
+        self.waiters[p as usize] = ws; // hand the allocation back
+    }
+
+    /// Checker audit of the tag-broadcast bookkeeping: for every resident
+    /// (unissued) entry, the pending count and readiness bound must equal
+    /// a recomputation from primary state. Exact equality holds because a
+    /// register's `ready`/`cluster` never change between the producer's
+    /// issue and the consumer's departure, so each contribution is the
+    /// same whenever it is computed.
+    fn check_wakeup_state(&mut self, cycle: u64, rob: &VecDeque<Entry>) {
+        for e in rob.iter().filter(|e| e.issued_at.is_none()) {
+            let h = (e.seq & self.hot_mask) as usize;
+            let split_store = e.d.inst.opcode.kind() == OperationKind::Store
+                && self.cfg.split_store_issue;
+            let mut pending = 0u8;
+            let mut bound = 0u64;
+            for (i, &src) in e.srcs.iter().enumerate() {
+                let Some(p) = src else { continue };
+                let info = self.pregs[p as usize];
+                if info.ready == u64::MAX {
+                    pending += 1;
+                } else if !(split_store && i == 1) {
+                    bound = bound.max(self.best_case_avail(info));
+                }
+            }
+            if self.wake_pending[h] != pending {
+                self.check.violation(
+                    cycle,
+                    Some(e.seq),
+                    format!(
+                        "wakeup pending count desynced: tracked {}, recomputed {pending}",
+                        self.wake_pending[h]
+                    ),
+                );
+            }
+            if self.wake_min_ready[h] != bound {
+                self.check.violation(
+                    cycle,
+                    Some(e.seq),
+                    format!(
+                        "wakeup readiness bound desynced: tracked {}, recomputed {bound}",
+                        self.wake_min_ready[h]
+                    ),
+                );
+            }
         }
     }
 
@@ -1648,6 +2036,10 @@ impl Simulator {
                 Some(r) => {
                     let (new, prev) = self.rename.rename_dest(r).expect("checked has_free");
                     self.pregs[new as usize] = PregInfo { ready: u64::MAX, cluster: None };
+                    // A freshly allocated register has no consumers yet;
+                    // its waiter list is empty in normal operation, but a
+                    // fault-injected early issue can leave stale entries.
+                    self.waiters[new as usize].clear();
                     (Some(new), Some(prev))
                 }
                 None => (None, None),
@@ -1656,6 +2048,9 @@ impl Simulator {
             stores.on_dispatch(d);
             self.hot[(d.seq & self.hot_mask) as usize] =
                 HotEntry { srcs, kind: d.inst.opcode.kind(), mem_addr: d.mem_addr };
+            if self.track_wakeup {
+                self.register_wakeup(d.seq, srcs, d.inst.opcode.kind());
+            }
             rob.push_back(Entry {
                 seq: d.seq,
                 d: *d,

@@ -89,6 +89,13 @@ pub struct Scheduler {
     age_prev: Vec<u32>,
     age_head: u32,
     age_tail: u32,
+    /// Bit `s` set iff `window[s]` holds an instruction whose source
+    /// operands have all been produced (the tag-match result of the
+    /// paper's wakeup broadcast, cached as a bit per slot). Maintained by
+    /// the pipeline via [`set_awake`](Self::set_awake); cleared when a slot
+    /// is recycled. Pad bits stay clear, so `occ & awake` is exactly the
+    /// set of occupied, woken slots. Central window only.
+    awake_words: Vec<u64>,
 }
 
 /// Sentinel for the age-list links.
@@ -167,6 +174,7 @@ impl Scheduler {
             age_prev: vec![AGE_NONE; central_capacity],
             age_head: AGE_NONE,
             age_tail: AGE_NONE,
+            awake_words: vec![0u64; words],
         }
     }
 
@@ -208,6 +216,7 @@ impl Scheduler {
                 debug_assert!(slot < self.central_capacity);
                 debug_assert!(self.window[slot].is_none());
                 self.occ_words[word] |= 1u64 << (slot % 64);
+                self.awake_words[word] &= !(1u64 << (slot % 64));
                 self.window[slot] = Some(id);
                 self.place[(id.0 & self.place_mask) as usize] = Some(slot as u32);
                 self.central_len += 1;
@@ -349,6 +358,58 @@ impl Scheduler {
         }
     }
 
+    /// Marks a resident central-window instruction as awake: every source
+    /// operand has been produced, so it is a real wakeup/select candidate.
+    /// The pipeline calls this from its tag-broadcast bookkeeping (at
+    /// dispatch when no operand is outstanding, and when the last
+    /// outstanding producer issues). No-op for pooled organizations and
+    /// for ids that are not (or are no longer) resident — a broadcast can
+    /// race an early-selected or squashed consumer under fault injection.
+    pub fn set_awake(&mut self, id: InstId) {
+        if self.pool.is_some() {
+            return;
+        }
+        if let Some(slot) = self.place[(id.0 & self.place_mask) as usize] {
+            self.awake_words[slot as usize / 64] |= 1u64 << (slot % 64);
+        }
+    }
+
+    /// Appends the occupied **and awake** central-window slots to `out`
+    /// (cleared first) in slot order — one `occ & awake` word scan with
+    /// `trailing_zeros`, touching only set bits. Subset of
+    /// [`candidates_into`](Self::candidates_into) restricted to awake
+    /// entries; asleep entries could never pass the pipeline's operand
+    /// checks, so pruning them here is selection-invisible.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if called on a FIFO organization.
+    pub fn awake_candidates_into(&self, out: &mut Vec<Candidate>) {
+        debug_assert!(self.is_central());
+        out.clear();
+        for (w, (&occ, &awake)) in self.occ_words.iter().zip(&self.awake_words).enumerate() {
+            let mut bits = occ & awake;
+            while bits != 0 {
+                let slot = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let id = self.window[slot].expect("awake∧occupied bit ⇒ filled slot");
+                out.push(Candidate { id, cluster: None });
+            }
+        }
+    }
+
+    /// [`awake_candidates_into`](Self::awake_candidates_into) in **age
+    /// order**: the bitset scan plus a sort of the (few) awake entries.
+    /// Resident ids are ROB-contiguous and dispatch appends in sequence
+    /// order, so ascending id *is* age order — this matches
+    /// [`candidates_into_aged`](Self::candidates_into_aged) filtered to
+    /// awake entries (the property pinned by the randomized scan-order
+    /// test).
+    pub fn awake_candidates_into_aged(&self, out: &mut Vec<Candidate>) {
+        self.awake_candidates_into(out);
+        out.sort_unstable_by_key(|c| c.id);
+    }
+
     /// The instructions eligible for selection this cycle (allocating
     /// convenience over [`candidates_into`](Self::candidates_into)).
     pub fn candidates(&self) -> Vec<Candidate> {
@@ -375,6 +436,7 @@ impl Scheduler {
                     "issued instruction must be in the window"
                 );
                 self.occ_words[slot / 64] &= !(1u64 << (slot % 64));
+                self.awake_words[slot / 64] &= !(1u64 << (slot % 64));
                 self.central_len -= 1;
                 let (p, n) = (self.age_prev[slot], self.age_next[slot]);
                 match p {
@@ -681,6 +743,113 @@ mod tests {
                 assert_eq!(c, p.cluster, "inst {i}");
             }
         }
+    }
+
+    /// Property: on randomized windows (random insert/remove/wake
+    /// histories, with fragmentation so slot order ≠ age order), the
+    /// bitset-scanned awake candidates match the age-list walk filtered to
+    /// awake entries, and the slot-order variant matches `candidates_into`
+    /// filtered the same way.
+    #[test]
+    fn awake_bitset_scan_matches_age_list_on_random_windows() {
+        let mut rng: u64 = 0x5eed_cafe_f00d_0001;
+        let mut next = move || {
+            // xorshift64* — deterministic, no external crates.
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        };
+        for trial in 0..200 {
+            let size = 1 + (next() % 100) as usize; // spans multiple words
+            // Ring sized past the whole trial: the random removal order
+            // lets resident ids spread wider than a real pipeline's
+            // in-flight limit would allow.
+            let mut s = Scheduler::new(
+                SchedulerKind::CentralWindow { size },
+                1,
+                SteeringPolicy::Dependence,
+                512,
+            );
+            let mut seq = trial * 10_000; // distinct ids per trial
+            let mut resident: Vec<InstId> = Vec::new();
+            let mut awake: Vec<InstId> = Vec::new();
+            for _ in 0..300 {
+                match next() % 4 {
+                    // Dispatch (ids ascend, like real sequence numbers).
+                    0 | 1 => {
+                        let id = InstId(seq);
+                        if s.try_insert(id, &alu(10, 1, 2)).is_ok() {
+                            seq += 1;
+                            resident.push(id);
+                            if next() % 2 == 0 {
+                                s.set_awake(id);
+                                awake.push(id);
+                            }
+                        }
+                    }
+                    // Issue an arbitrary resident (fragments the window).
+                    2 => {
+                        if !resident.is_empty() {
+                            let victim = resident.remove((next() % resident.len() as u64) as usize);
+                            awake.retain(|&id| id != victim);
+                            s.remove(victim);
+                        }
+                    }
+                    // Wake a sleeping resident.
+                    _ => {
+                        if let Some(&id) =
+                            resident.iter().find(|id| !awake.contains(id))
+                        {
+                            s.set_awake(id);
+                            awake.push(id);
+                        }
+                    }
+                }
+                // Slot order: candidates_into filtered to the awake set.
+                let mut all = Vec::new();
+                s.candidates_into(&mut all);
+                let expect_slot: Vec<Candidate> = all
+                    .iter()
+                    .copied()
+                    .filter(|c| awake.contains(&c.id))
+                    .collect();
+                let mut got = Vec::new();
+                s.awake_candidates_into(&mut got);
+                assert_eq!(got, expect_slot, "trial {trial}: slot-order scan");
+                // Age order: candidates_into_aged filtered to the awake set.
+                s.candidates_into_aged(&mut all);
+                let expect_aged: Vec<Candidate> = all
+                    .iter()
+                    .copied()
+                    .filter(|c| awake.contains(&c.id))
+                    .collect();
+                s.awake_candidates_into_aged(&mut got);
+                assert_eq!(got, expect_aged, "trial {trial}: age-order scan");
+            }
+        }
+    }
+
+    #[test]
+    fn set_awake_tolerates_pooled_and_absent_ids() {
+        let mut pooled = Scheduler::new(
+            SchedulerKind::Fifos { fifos_per_cluster: 2, depth: 4 },
+            1,
+            SteeringPolicy::Dependence,
+            128,
+        );
+        pooled.try_insert(InstId(0), &alu(10, 1, 2)).unwrap();
+        pooled.set_awake(InstId(0)); // no-op, must not panic
+        let mut central = Scheduler::new(
+            SchedulerKind::CentralWindow { size: 4 },
+            1,
+            SteeringPolicy::Dependence,
+            128,
+        );
+        central.set_awake(InstId(7)); // absent id: no-op
+        let mut out = Vec::new();
+        central.awake_candidates_into(&mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

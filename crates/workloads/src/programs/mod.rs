@@ -68,6 +68,28 @@ impl Benchmark {
         }
     }
 
+    /// Approximate dynamic instruction count of the kernel when run to
+    /// completion (its natural length, uncapped).
+    ///
+    /// These are measured constants, not guarantees — kernels are fixed
+    /// programs so the real count only moves when a kernel's source
+    /// changes, and `programs::tests::approx_dynamic_insts_tracks_reality`
+    /// pins each constant to within 10% of the measured length. Callers
+    /// use this for *scheduling*, not correctness: the bench runner sorts
+    /// sweep cells longest-first so gcc and m88ksim don't serialize the
+    /// tail of a parallel sweep.
+    pub fn approx_dynamic_insts(self) -> u64 {
+        match self {
+            Benchmark::Compress => 61_000,
+            Benchmark::Gcc => 581_000,
+            Benchmark::Go => 337_000,
+            Benchmark::Li => 254_000,
+            Benchmark::M88ksim => 703_000,
+            Benchmark::Perl => 193_000,
+            Benchmark::Vortex => 176_000,
+        }
+    }
+
     /// The kernel's assembly source text.
     pub fn source(self) -> &'static str {
         match self {
@@ -183,6 +205,23 @@ mod tests {
             names,
             vec!["compress", "gcc", "go", "li", "m88ksim", "perl", "vortex"]
         );
+    }
+
+    #[test]
+    fn approx_dynamic_insts_tracks_reality() {
+        for bench in Benchmark::all() {
+            let program = bench.program().unwrap();
+            let mut emu = Emulator::new(&program);
+            let trace = emu.run_to_completion(BUDGET).unwrap();
+            let actual = trace.len() as f64;
+            let approx = bench.approx_dynamic_insts() as f64;
+            let rel = (approx - actual).abs() / actual;
+            assert!(
+                rel < 0.10,
+                "{bench}: approx_dynamic_insts {approx} is {:.1}% off the measured {actual}",
+                rel * 100.0
+            );
+        }
     }
 
     #[test]
