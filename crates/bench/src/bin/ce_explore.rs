@@ -1,0 +1,85 @@
+//! `ce-explore` — closed-loop design-space exploration (Section 6).
+//!
+//! Enumerates issue width × scheduler geometry × cluster count × steering
+//! across the three technology nodes, scores every point with
+//! BIPS = IPC × 1000 / clock_ps (clock from the delay models, IPC from
+//! the simulator — sampled by default, exact with `--full`), and writes:
+//!
+//! * `results/pareto.csv` — every design point with delay/IPC/BIPS
+//!   provenance, a structured skip status for refused corners, and a
+//!   per-technology Pareto frontier flag;
+//! * `results/tab02_explore.csv` — a Table 2-style roll-up extending the
+//!   paper's §5.6 organizations with the best-BIPS point the grid found.
+//!
+//! The IPC sweep checkpoints next to the output CSV; kill it at any point
+//! and rerun with `--resume` for byte-identical results. On any cell
+//! failure neither CSV is written and the journal is kept, matching every
+//! other sweep binary.
+//!
+//! ```text
+//! usage: [--out PATH] [--resume] [--full] [--grid tiny|full]
+//! ```
+
+use std::process::ExitCode;
+
+use ce_bench::checkpoint::write_atomic;
+use ce_bench::cli::ExploreArgs;
+use ce_bench::explore::{
+    explore, pareto_csv, row_census, tab02_explore_csv, tab02_path, ExploreOptions,
+};
+
+fn main() -> ExitCode {
+    let args = ExploreArgs::parse();
+    let report = match explore(&ExploreOptions {
+        scale: args.grid,
+        exact: args.full,
+        max_insts: ce_bench::max_insts(),
+        checkpoint: Some(args.checkpoint()),
+    }) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("ce-explore: error: checkpoint journal: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(summary) = &report.summary {
+        if summary.resumed > 0 {
+            eprintln!(
+                "ce-explore: resumed {} of {} cells from {}",
+                summary.resumed,
+                summary.cells.len(),
+                args.checkpoint().path.display()
+            );
+        }
+        if !summary.failures.is_empty() {
+            for failure in &summary.failures {
+                eprintln!("ce-explore: error: {failure}");
+            }
+            eprintln!(
+                "ce-explore: {} of {} cells failed; no CSV written, checkpoint kept for --resume",
+                summary.failures.len(),
+                summary.cells.len()
+            );
+            return ExitCode::from(1);
+        }
+    }
+
+    let tab02_out = tab02_path(&args.out);
+    for (path, csv) in [(&args.out, pareto_csv(&report)), (&tab02_out, tab02_explore_csv(&report))]
+    {
+        if let Err(e) = write_atomic(path, &csv) {
+            eprintln!("ce-explore: error: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("ce-explore: wrote {}", path.display());
+    }
+    let (ok, skip_delay, skip_sim) = row_census(&report);
+    eprintln!(
+        "ce-explore: {} design points × 3 technologies: {ok} scored, \
+         {skip_delay} skip-delay, {skip_sim} skip-sim ({} mode)",
+        report.points.len(),
+        if report.sampled { "sampled" } else { "exact" }
+    );
+    ExitCode::SUCCESS
+}

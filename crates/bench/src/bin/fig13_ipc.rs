@@ -30,7 +30,7 @@ fn main() -> ExitCode {
     let machines = [("window", machine::baseline_8way()), ("fifos", machine::dependence_8way())];
     let jobs = runner::grid(&machines);
     let opts = SweepOptions {
-        run: RunOptions { attribution: true },
+        run: RunOptions { attribution: true, ..RunOptions::default() },
         checkpoint: Some(args.checkpoint()),
         ..SweepOptions::default()
     };

@@ -22,7 +22,7 @@ fn main() -> ExitCode {
     let machines = machine::figure17_machines();
     let jobs = runner::grid(&machines);
     let opts = SweepOptions {
-        run: RunOptions { attribution: true },
+        run: RunOptions { attribution: true, ..RunOptions::default() },
         checkpoint: Some(args.checkpoint()),
         ..SweepOptions::default()
     };

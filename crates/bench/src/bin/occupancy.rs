@@ -37,7 +37,7 @@ fn main() -> ExitCode {
     ];
     let jobs = runner::grid(&machines);
     let opts = SweepOptions {
-        run: RunOptions { attribution: true },
+        run: RunOptions { attribution: true, ..RunOptions::default() },
         checkpoint: Some(args.checkpoint()),
         ..SweepOptions::default()
     };

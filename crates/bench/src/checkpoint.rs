@@ -8,8 +8,14 @@
 //! ```text
 //! {"ce_sweep_ckpt": 1, "sweep": "<16-hex sweep id>", "cells": N}
 //! {"cell": 3, "wall_us": 1234, "stats": {...every SimStats counter...}}
+//! {"cell": 7, "wall_us": 99, "stats": {...}, "sampled": {...SampledStats...}}
 //! …
 //! ```
+//!
+//! Cells run under sampled simulation append a `"sampled"` block with the
+//! full measurement ([`SampledStats`]); exact cells omit it. The sampling
+//! geometry is part of the run options and therefore of the sweep id, so
+//! an exact journal can never be replayed into a sampled sweep.
 //!
 //! The header pins a *sweep identity* — a hash over the job list, the
 //! instruction cap, and the run options — so a stale journal from a
@@ -35,7 +41,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write as _};
 use std::path::{Path, PathBuf};
 
-use ce_sim::{SimStats, StallCause};
+use ce_sim::{SampledStats, SimStats, StallCause};
 
 use crate::json::Json;
 use crate::runner::{Job, RunOptions, TimedResult};
@@ -141,9 +147,13 @@ impl Journal {
     ///
     /// I/O errors from the append or flush.
     pub fn record(&mut self, cell: usize, result: &TimedResult) -> std::io::Result<()> {
+        let sampled = match &result.sampled {
+            Some(s) => format!(", \"sampled\": {}", sampled_to_json(s)),
+            None => String::new(),
+        };
         writeln!(
             self.writer,
-            "{{\"cell\": {cell}, \"wall_us\": {}, \"stats\": {}}}",
+            "{{\"cell\": {cell}, \"wall_us\": {}, \"stats\": {}{sampled}}}",
             result.wall.as_micros(),
             stats_to_json(&result.stats)
         )?;
@@ -179,12 +189,19 @@ fn load_journal(text: &str, id: u64, cells: usize) -> Option<Vec<Option<TimedRes
             let cell = doc.at("cell")?.as_u64()? as usize;
             let wall_us = doc.at("wall_us")?.as_u64()?;
             let stats = stats_from_json(doc.at("stats")?)?;
-            Some((cell, wall_us, stats))
+            // A cell journaled without a sampled block was an exact run; a
+            // present-but-malformed block is corruption like any other.
+            let sampled = match doc.at("sampled") {
+                Some(s) => Some(sampled_from_json(s)?),
+                None => None,
+            };
+            Some((cell, wall_us, stats, sampled))
         });
         match parsed {
-            Some((cell, wall_us, stats)) if cell < cells => {
+            Some((cell, wall_us, stats, sampled)) if cell < cells => {
                 recovered[cell] = Some(TimedResult {
                     stats,
+                    sampled,
                     wall: std::time::Duration::from_micros(wall_us),
                 });
             }
@@ -236,6 +253,39 @@ fn stats_to_json(s: &SimStats) -> String {
         hist,
         stalls,
     )
+}
+
+/// Serializes a [`SampledStats`] measurement to a JSON object,
+/// losslessly (all counters are `u64`, well under the reader's 2^53
+/// mantissa limit — and held exact as [`Json::Int`] anyway).
+fn sampled_to_json(s: &SampledStats) -> String {
+    format!(
+        "{{\"total_insts\": {}, \"windows\": {}, \"detailed_insts\": {}, \
+         \"measured_insts\": {}, \"measured_cycles\": {}, \"est_cycles\": {}, \
+         \"exact\": {}}}",
+        s.total_insts,
+        s.windows,
+        s.detailed_insts,
+        s.measured_insts,
+        s.measured_cycles,
+        s.est_cycles,
+        s.exact,
+    )
+}
+
+/// Reads a [`sampled_to_json`] object back; `None` on any missing or
+/// ill-typed field.
+fn sampled_from_json(doc: &Json) -> Option<SampledStats> {
+    let field = |name: &str| doc.at(name).and_then(Json::as_u64);
+    Some(SampledStats {
+        total_insts: field("total_insts")?,
+        windows: u32::try_from(field("windows")?).ok()?,
+        detailed_insts: field("detailed_insts")?,
+        measured_insts: field("measured_insts")?,
+        measured_cycles: field("measured_cycles")?,
+        est_cycles: field("est_cycles")?,
+        exact: doc.at("exact")?.as_bool()?,
+    })
 }
 
 /// Reads a [`stats_to_json`] object back; `None` on any missing or
@@ -345,7 +395,7 @@ mod tests {
 
         let (mut j, recovered) = Journal::open(&spec, 42, 3).unwrap();
         assert!(recovered.iter().all(Option::is_none));
-        j.record(1, &TimedResult { stats: sample_stats(1), wall: Duration::from_micros(7) })
+        j.record(1, &TimedResult { stats: sample_stats(1), sampled: None, wall: Duration::from_micros(7) })
             .unwrap();
         drop(j); // simulate dying mid-sweep
 
@@ -358,12 +408,52 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    /// A sampled cell's measurement block round-trips exactly alongside
+    /// its stats, and exact cells keep journaling without one — the two
+    /// kinds coexist in one journal.
+    #[test]
+    fn sampled_cells_round_trip_through_the_journal() {
+        let dir = temp_dir("sampled");
+        let spec = CheckpointSpec::for_output(&dir.join("t.csv"), true);
+        let sampled = SampledStats {
+            total_insts: 1_000_000,
+            windows: 326,
+            detailed_insts: 250_000,
+            measured_insts: 166_912,
+            measured_cycles: 61_234,
+            est_cycles: 366_894,
+            exact: false,
+        };
+        let (mut j, _) = Journal::open(&spec, 11, 2).unwrap();
+        j.record(
+            0,
+            &TimedResult {
+                stats: sample_stats(0),
+                sampled: Some(sampled),
+                wall: Duration::from_micros(3),
+            },
+        )
+        .unwrap();
+        j.record(1, &TimedResult { stats: sample_stats(1), sampled: None, wall: Duration::ZERO })
+            .unwrap();
+        drop(j);
+
+        let (_j, recovered) = Journal::open(&spec, 11, 2).unwrap();
+        let got = recovered[0].as_ref().expect("sampled cell recovered");
+        assert_eq!(got.sampled, Some(sampled));
+        assert_eq!(got.stats, sample_stats(0));
+        assert_eq!(got.wall, Duration::from_micros(3));
+        assert!(recovered[1].as_ref().expect("exact cell recovered").sampled.is_none());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     #[test]
     fn mismatched_sweep_id_or_geometry_discards_the_journal() {
         let dir = temp_dir("mismatch");
         let spec = CheckpointSpec::for_output(&dir.join("t.csv"), true);
         let (mut j, _) = Journal::open(&spec, 42, 3).unwrap();
-        j.record(0, &TimedResult { stats: sample_stats(0), wall: Duration::ZERO }).unwrap();
+        j.record(0, &TimedResult { stats: sample_stats(0), sampled: None, wall: Duration::ZERO }).unwrap();
         drop(j);
 
         let (_j, recovered) = Journal::open(&spec, 43, 3).unwrap(); // different sweep
@@ -379,8 +469,8 @@ mod tests {
         let dir = temp_dir("torn");
         let spec = CheckpointSpec::for_output(&dir.join("t.csv"), true);
         let (mut j, _) = Journal::open(&spec, 7, 2).unwrap();
-        j.record(0, &TimedResult { stats: sample_stats(0), wall: Duration::ZERO }).unwrap();
-        j.record(1, &TimedResult { stats: sample_stats(1), wall: Duration::ZERO }).unwrap();
+        j.record(0, &TimedResult { stats: sample_stats(0), sampled: None, wall: Duration::ZERO }).unwrap();
+        j.record(1, &TimedResult { stats: sample_stats(1), sampled: None, wall: Duration::ZERO }).unwrap();
         drop(j);
 
         // Tear the last line the way kill -9 mid-append does.
@@ -408,7 +498,7 @@ mod tests {
         let dir = temp_dir("trunc");
         let spec = CheckpointSpec::for_output(&dir.join("t.csv"), true);
         let (mut j, _) = Journal::open(&spec, 9, 2).unwrap();
-        j.record(0, &TimedResult { stats: sample_stats(0), wall: Duration::ZERO }).unwrap();
+        j.record(0, &TimedResult { stats: sample_stats(0), sampled: None, wall: Duration::ZERO }).unwrap();
         drop(j);
 
         let fresh = CheckpointSpec { resume: false, ..spec.clone() };
@@ -428,7 +518,23 @@ mod tests {
         assert_eq!(a, sweep_id(&jobs, 1000, RunOptions::default()), "stable");
         assert_ne!(a, sweep_id(&other, 1000, RunOptions::default()));
         assert_ne!(a, sweep_id(&jobs, 2000, RunOptions::default()));
-        assert_ne!(a, sweep_id(&jobs, 1000, RunOptions { attribution: true }));
+        assert_ne!(
+            a,
+            sweep_id(&jobs, 1000, RunOptions { attribution: true, ..RunOptions::default() })
+        );
+        // An exact journal must never satisfy a sampled resume (or vice
+        // versa): the sampling geometry is part of the sweep identity.
+        assert_ne!(
+            a,
+            sweep_id(
+                &jobs,
+                1000,
+                RunOptions {
+                    sampled: Some(ce_sim::SamplingConfig::default()),
+                    ..RunOptions::default()
+                }
+            )
+        );
     }
 
     #[test]

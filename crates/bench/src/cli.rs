@@ -76,6 +76,86 @@ impl SweepArgs {
     }
 }
 
+/// Parsed arguments of `ce-explore`: the sweep flags plus the explorer's
+/// own knobs.
+///
+/// ```text
+/// --out PATH      write pareto.csv to PATH (tab02_explore.csv lands next
+///                 to it; default results/pareto.csv)
+/// --resume        resume from PATH's checkpoint journal
+/// --full          exact full-detail simulation instead of sampled
+/// --grid NAME     tiny | full (default full)
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExploreArgs {
+    /// `pareto.csv` path.
+    pub out: PathBuf,
+    /// Resume from the checkpoint journal next to `out`.
+    pub resume: bool,
+    /// Exact simulation (`--full`) instead of the sampled default.
+    pub full: bool,
+    /// Grid scale.
+    pub grid: crate::explore::GridScale,
+}
+
+impl ExploreArgs {
+    /// Parses `std::env::args`, exiting with code 2 and a usage message on
+    /// anything unrecognized.
+    pub fn parse() -> ExploreArgs {
+        match ExploreArgs::try_parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("{msg}");
+                eprintln!(
+                    "usage: [--out PATH] [--resume] [--full] [--grid tiny|full]   \
+                     (default --out {})",
+                    crate::explore::DEFAULT_OUT
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// [`ExploreArgs::parse`] over an explicit argument iterator.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the unrecognized or incomplete argument.
+    pub fn try_parse(args: impl Iterator<Item = String>) -> Result<ExploreArgs, String> {
+        let mut parsed = ExploreArgs {
+            out: PathBuf::from(crate::explore::DEFAULT_OUT),
+            resume: false,
+            full: false,
+            grid: crate::explore::GridScale::Full,
+        };
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--resume" => parsed.resume = true,
+                "--full" => parsed.full = true,
+                "--out" => {
+                    parsed.out =
+                        PathBuf::from(args.next().ok_or("--out needs a path argument")?);
+                }
+                "--grid" => {
+                    parsed.grid = args
+                        .next()
+                        .ok_or("--grid needs a scale argument (tiny|full)")?
+                        .parse()?;
+                }
+                other => return Err(format!("unrecognized argument `{other}`")),
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// The checkpoint spec for this invocation (journal lives next to the
+    /// CSV as `<stem>.ckpt.jsonl`).
+    pub fn checkpoint(&self) -> CheckpointSpec {
+        CheckpointSpec::for_output(&self.out, self.resume)
+    }
+}
+
 /// Parsed arguments of the report-style binaries (the delay figure/table
 /// binaries), which take only `--out` — they have no checkpoint journal
 /// because the delay models are pure functions with no cells to resume.
@@ -203,6 +283,25 @@ mod tests {
     fn rejects_unknown_and_incomplete_args() {
         assert!(parse(&["--frobnicate"]).unwrap_err().contains("frobnicate"));
         assert!(parse(&["--out"]).unwrap_err().contains("path"));
+    }
+
+    #[test]
+    fn explore_args_defaults_flags_and_rejections() {
+        let parse = |args: &[&str]| ExploreArgs::try_parse(args.iter().map(|s| s.to_string()));
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.out, PathBuf::from("results/pareto.csv"));
+        assert!(!a.resume && !a.full);
+        assert_eq!(a.grid, crate::explore::GridScale::Full);
+
+        let a = parse(&["--grid", "tiny", "--full", "--resume", "--out", "/tmp/p.csv"]).unwrap();
+        assert!(a.resume && a.full);
+        assert_eq!(a.grid, crate::explore::GridScale::Tiny);
+        assert_eq!(a.out, PathBuf::from("/tmp/p.csv"));
+        assert!(a.checkpoint().path.ends_with("p.ckpt.jsonl"));
+
+        assert!(parse(&["--grid", "huge"]).unwrap_err().contains("huge"));
+        assert!(parse(&["--grid"]).unwrap_err().contains("scale"));
+        assert!(parse(&["--frobnicate"]).unwrap_err().contains("frobnicate"));
     }
 
     fn parse_out(args: &[&str]) -> Result<OutArgs, String> {

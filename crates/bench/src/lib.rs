@@ -36,6 +36,7 @@ use ce_workloads::{trace_cached, Benchmark, Trace};
 pub mod checkpoint;
 pub mod cli;
 pub mod delay_csv;
+pub mod explore;
 pub mod fault;
 pub mod json;
 pub mod metrics_check;

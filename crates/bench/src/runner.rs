@@ -51,7 +51,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use ce_sim::{SimConfig, SimError, SimStats, Simulator};
+use ce_sim::{
+    try_run_sampled, SampleError, SampledStats, SamplingConfig, SimConfig, SimError, SimStats,
+    Simulator,
+};
 use ce_workloads::{trace_cached, Benchmark};
 
 use crate::checkpoint::{sweep_id, CheckpointSpec, Journal};
@@ -156,6 +159,16 @@ pub struct RunOptions {
     /// `SimStats::stall_breakdown`; timing is unchanged, wall time pays a
     /// small bookkeeping cost).
     pub attribution: bool,
+    /// Run every cell under sampled simulation with this geometry instead
+    /// of a full detailed run (see [`ce_sim::run_sampled`]). The cell's
+    /// [`TimedResult::stats`] then carries the *estimated* cycle count and
+    /// the whole-trace instruction count (so `SimStats::ipc` is the
+    /// sampled IPC estimate), with the full [`SampledStats`] in
+    /// [`TimedResult::sampled`]. Sampled cells are not bounded by
+    /// [`RunPolicy::cell_timeout`] — the detailed windows they run are a
+    /// small fraction of a full run. Changing this (like any option)
+    /// changes the sweep id, so exact and sampled journals never mix.
+    pub sampled: Option<SamplingConfig>,
 }
 
 /// Failure-handling policy for a sweep.
@@ -187,8 +200,15 @@ impl Default for RunPolicy {
 /// A completed [`Job`] with its wall-clock cost.
 #[derive(Debug, Clone)]
 pub struct TimedResult {
-    /// The simulation statistics (deterministic per job).
+    /// The simulation statistics (deterministic per job). For a sampled
+    /// cell ([`RunOptions::sampled`]) only `cycles` (the estimate) and
+    /// `committed` (the whole trace) are populated; the detailed counters
+    /// of the measurement windows are not whole-trace quantities and are
+    /// left zero rather than reported misleadingly.
     pub stats: SimStats,
+    /// The sampling measurement behind `stats`, when the cell ran under
+    /// [`RunOptions::sampled`]; `None` for exact cells.
+    pub sampled: Option<SampledStats>,
     /// Wall time of the simulation proper (excludes trace generation).
     pub wall: Duration,
 }
@@ -374,24 +394,55 @@ pub(crate) fn install_cell_panic_hook() {
     });
 }
 
+/// Maps a sampled-run error onto the runner taxonomy: invalid machine
+/// configurations and invalid sampling geometries are both the caller's
+/// configuration at fault; window failures classify like any sim error.
+fn classify_sample_error(e: &SampleError) -> RunError {
+    match e {
+        SampleError::Config(_) | SampleError::Sampling(_) => {
+            RunError::ConfigInvalid(e.to_string())
+        }
+        SampleError::Sim(sim) => classify_sim_error(sim),
+    }
+}
+
 /// Runs one cell once: validate, trace, arm the deadline, simulate under
-/// `catch_unwind`.
+/// `catch_unwind`. With `sampled` set the cell runs the sampled estimator
+/// instead of a full detailed run (no deadline: the detailed windows are a
+/// bounded fraction of the trace).
 fn run_cell(
     bench: Benchmark,
     cfg: SimConfig,
     max_insts: u64,
     timeout: Option<Duration>,
+    sampled: Option<SamplingConfig>,
 ) -> Result<TimedResult, RunError> {
     let mut sim =
         Simulator::try_new(cfg).map_err(|e| RunError::ConfigInvalid(e.to_string()))?;
     let trace = trace_cached(bench, max_insts)
         .map_err(|e| RunError::TraceCorrupt(format!("tracing failed: {e}")))?;
+    if let Some(sampling) = sampled {
+        let start = Instant::now();
+        return match catch_unwind(AssertUnwindSafe(|| try_run_sampled(cfg, &trace, sampling))) {
+            Ok(Ok(s)) => Ok(TimedResult {
+                stats: SimStats {
+                    cycles: s.est_cycles,
+                    committed: s.total_insts,
+                    ..SimStats::default()
+                },
+                sampled: Some(s),
+                wall: start.elapsed(),
+            }),
+            Ok(Err(e)) => Err(classify_sample_error(&e)),
+            Err(payload) => Err(classify_panic(payload)),
+        };
+    }
     if let Some(limit) = timeout {
         sim.set_deadline(limit);
     }
     let start = Instant::now();
     match catch_unwind(AssertUnwindSafe(move || sim.try_run(&trace))) {
-        Ok(Ok(stats)) => Ok(TimedResult { stats, wall: start.elapsed() }),
+        Ok(Ok(stats)) => Ok(TimedResult { stats, sampled: None, wall: start.elapsed() }),
         Ok(Err(e)) => Err(classify_sim_error(&e)),
         Err(payload) => Err(classify_panic(payload)),
     }
@@ -404,11 +455,12 @@ fn run_cell_with_retry(
     cfg: SimConfig,
     max_insts: u64,
     policy: &RunPolicy,
+    sampled: Option<SamplingConfig>,
 ) -> (Result<TimedResult, RunError>, u32) {
     let max_attempts = policy.max_attempts.max(1);
     let mut attempt = 1;
     loop {
-        match run_cell(bench, cfg, max_insts, policy.cell_timeout) {
+        match run_cell(bench, cfg, max_insts, policy.cell_timeout, sampled) {
             Err(e) if e.is_transient() && attempt < max_attempts => {
                 std::thread::sleep(policy.backoff_base * 2u32.pow(attempt - 1));
                 attempt += 1;
@@ -479,7 +531,7 @@ where
                         }
                     } else {
                         let (result, attempts) =
-                            run_cell_with_retry(bench, cfg, max_insts, policy);
+                            run_cell_with_retry(bench, cfg, max_insts, policy, run.sampled);
                         if let Err(e) = &result {
                             if policy.quarantine && !e.is_transient() {
                                 quarantine
@@ -764,7 +816,8 @@ mod tests {
             (Benchmark::Compress, machine::clustered_fifos_8way()),
         ];
         let plain = run_timed(&jobs, 5_000);
-        let summary = run_sweep(&jobs, 5_000, RunOptions { attribution: true });
+        let summary =
+            run_sweep(&jobs, 5_000, RunOptions { attribution: true, ..RunOptions::default() });
         assert_eq!(summary.cells.len(), jobs.len());
         assert!(summary.all_ok());
         assert_eq!(summary.resumed, 0);
@@ -786,6 +839,40 @@ mod tests {
             summary.ok_cells().map(|c| c.wall).sum::<Duration>()
         );
         assert!(summary.sim_mcycles_per_s() > 0.0);
+    }
+
+    /// Sampled sweeps flow through the same worker pool: each cell's
+    /// estimate matches a direct `try_run_sampled` call, the measurement
+    /// detail rides along in `TimedResult::sampled`, and an invalid
+    /// sampling geometry classifies as config-invalid instead of
+    /// panicking a worker.
+    #[test]
+    fn sampled_cells_match_direct_estimates_and_classify_bad_geometry() {
+        use ce_sim::machine;
+        let jobs = vec![
+            (Benchmark::Compress, machine::baseline_8way()),
+            (Benchmark::Compress, machine::clustered_fifos_8way()),
+        ];
+        let sampling = SamplingConfig::default();
+        let opts = RunOptions { sampled: Some(sampling), ..RunOptions::default() };
+        let results = try_run_timed_with(&jobs, 20_000, opts);
+        for (i, r) in results.iter().enumerate() {
+            let r = r.as_ref().expect("sampled cell runs");
+            let trace = trace_cached(jobs[i].0, 20_000).unwrap();
+            let direct = try_run_sampled(jobs[i].1, &trace, sampling).unwrap();
+            assert_eq!(r.sampled, Some(direct), "cell {i}");
+            assert_eq!(r.stats.cycles, direct.est_cycles, "cell {i}");
+            assert_eq!(r.stats.committed, direct.total_insts, "cell {i}");
+        }
+
+        let bad = RunOptions {
+            sampled: Some(SamplingConfig { window_insts: 0, ..SamplingConfig::default() }),
+            ..RunOptions::default()
+        };
+        let results = try_run_timed_with(&jobs[..1], 2_000, bad);
+        let err = results[0].as_ref().unwrap_err();
+        assert_eq!(err.category(), "config-invalid");
+        assert!(err.to_string().contains("sampling"), "{err}");
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod cache;
 pub mod calib;
 pub mod error;
 pub mod gates;
+pub mod machine_clock;
 pub mod pipeline;
 pub mod regfile;
 pub mod rename;
@@ -66,5 +67,6 @@ pub mod wakeup;
 pub mod wire;
 
 pub use error::DelayError;
+pub use machine_clock::{MachineClock, MachineParams, SchedulerGeometry};
 pub use pipeline::{PipelineDelays, StageDelay};
 pub use technology::{FeatureSize, Technology};

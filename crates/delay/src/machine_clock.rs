@@ -1,0 +1,341 @@
+//! Unified clock-period model for arbitrary machine organizations — the
+//! delay half of the closed-loop design-space explorer.
+//!
+//! [`PipelineDelays`] answers "what does the paper's window machine cost"
+//! and [`ClockComparison`](crate::pipeline::ClockComparison) answers "how
+//! do the paper's two 8-way designs compare", but the explorer needs one
+//! question answered for *every* point of a joint design space: given an
+//! issue width, a cluster count, and a scheduler geometry (flexible
+//! window or dependence-based FIFOs), what clock period does the delay
+//! model imply? This module rolls the per-structure models into that
+//! single number, with the same structural assumptions the paper's
+//! comparisons use:
+//!
+//! * **Rename** runs at the full machine width — steering happens after
+//!   rename, so the map table sees every dispatched instruction.
+//! * **Window logic** is per-cluster. A flexible window pays CAM wakeup
+//!   over its per-cluster entries plus selection over those entries; a
+//!   FIFO scheduler pays the reservation table (at machine width — every
+//!   result updates it) plus selection over the FIFO heads only.
+//! * **Bypass** is the intra-cluster network at cluster width; the
+//!   slower inter-cluster paths are an IPC cost the simulator charges,
+//!   not a cycle-time cost (Section 5.4's premise).
+//!
+//! The minimum clock is the slowest of the three, matching
+//! [`PipelineDelays::clock_period_ps`]'s critical-stage rule: wakeup +
+//! select and bypass are atomic (Section 4.5), and rename — pipelineable
+//! in principle — is the floor the paper's §5.3 "optimistic" improvement
+//! bottoms out at.
+
+use crate::bypass::{BypassDelay, BypassParams};
+use crate::error::{domain, DelayError};
+use crate::rename::{RenameDelay, RenameParams};
+use crate::restable::{ResTableDelay, ResTableParams};
+use crate::select::{SelectDelay, SelectParams};
+use crate::wakeup::{WakeupDelay, WakeupParams};
+use crate::Technology;
+
+/// The scheduler organization of a design point, as the delay model sees
+/// it (the simulator distinguishes more variants — steered windows,
+/// steering heuristics — but those differ in IPC, not cycle time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulerGeometry {
+    /// Flexible issue window(s): CAM wakeup + full selection over the
+    /// per-cluster entries. Covers the paper's central window and the
+    /// §5.6.2/5.6.3 per-cluster windows alike.
+    Window,
+    /// Dependence-based FIFOs: reservation-table wakeup + selection over
+    /// the FIFO heads only (Section 5.2).
+    Fifos {
+        /// Issue FIFOs per cluster (the paper's configuration has 8).
+        fifos_per_cluster: usize,
+    },
+}
+
+/// A design point's geometry, technology-independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MachineParams {
+    /// Machine issue width, summed over clusters.
+    pub issue_width: usize,
+    /// Execution clusters (1 = unclustered).
+    pub clusters: usize,
+    /// Total scheduler entries machine-wide (window entries, or FIFO
+    /// count × depth).
+    pub window_size: usize,
+    /// Scheduler organization.
+    pub geometry: SchedulerGeometry,
+}
+
+/// The delay roll-up for one design point in one technology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineClock {
+    /// Rename delay at machine width, ps.
+    pub rename_ps: f64,
+    /// Per-cluster window logic (wakeup + select, or reservation table +
+    /// head select), ps.
+    pub window_logic_ps: f64,
+    /// Intra-cluster bypass delay at cluster width, ps.
+    pub bypass_ps: f64,
+}
+
+impl MachineClock {
+    /// Computes the clock-period roll-up for one design point.
+    ///
+    /// # Errors
+    ///
+    /// [`DelayError::OutOfDomain`] for a geometry the structural models
+    /// cannot answer (cluster count outside [`domain::CLUSTERS`], a
+    /// cluster count that does not divide the width or leaves an empty
+    /// per-cluster scheduler, a FIFO count that does not divide the
+    /// per-cluster capacity), or the first error any structure model
+    /// reports for the derived per-structure parameters.
+    pub fn try_compute(
+        tech: &Technology,
+        params: &MachineParams,
+    ) -> Result<MachineClock, DelayError> {
+        let MachineParams { issue_width, clusters, window_size, geometry } = *params;
+        domain::CLUSTERS.check_usize("machine", "clusters", clusters)?;
+        if clusters == 0 || !issue_width.is_multiple_of(clusters) || window_size / clusters == 0
+        {
+            return Err(DelayError::OutOfDomain {
+                structure: "machine",
+                param: "clusters",
+                value: clusters as f64,
+                min: 1.0,
+                max: issue_width.min(window_size) as f64,
+            });
+        }
+        let cluster_width = issue_width / clusters;
+        let cluster_window = window_size / clusters;
+
+        let rename_ps =
+            RenameDelay::try_compute(tech, &RenameParams::new(issue_width))?.total_ps();
+        let bypass_ps =
+            BypassDelay::try_compute(tech, &BypassParams::new(cluster_width))?.total_ps();
+        let window_logic_ps = match geometry {
+            SchedulerGeometry::Window => {
+                let wakeup = WakeupDelay::try_compute(
+                    tech,
+                    &WakeupParams::new(cluster_width, cluster_window),
+                )?
+                .total_ps();
+                let select =
+                    SelectDelay::try_compute(tech, &SelectParams::new(cluster_window))?
+                        .total_ps();
+                wakeup + select
+            }
+            SchedulerGeometry::Fifos { fifos_per_cluster } => {
+                if fifos_per_cluster == 0
+                    || !cluster_window.is_multiple_of(fifos_per_cluster)
+                {
+                    return Err(DelayError::OutOfDomain {
+                        structure: "machine",
+                        param: "fifos_per_cluster",
+                        value: fifos_per_cluster as f64,
+                        min: 1.0,
+                        max: cluster_window as f64,
+                    });
+                }
+                let restable =
+                    ResTableDelay::try_compute(tech, &ResTableParams::new(issue_width))?
+                        .total_ps();
+                // Selection arbitrates over the FIFO heads; grant capacity
+                // still has to cover the cluster's issue width (matching
+                // ClockComparison's `8.max(cluster_width)` head select).
+                let heads = fifos_per_cluster.max(cluster_width);
+                let select =
+                    SelectDelay::try_compute(tech, &SelectParams::new(heads))?.total_ps();
+                restable + select
+            }
+        };
+
+        Ok(MachineClock { rename_ps, window_logic_ps, bypass_ps })
+    }
+
+    /// Minimum clock period: the slowest of rename, window logic, and
+    /// bypass — the same critical-stage rule as
+    /// [`PipelineDelays::clock_period_ps`].
+    ///
+    /// [`PipelineDelays::clock_period_ps`]: crate::PipelineDelays::clock_period_ps
+    pub fn clock_ps(&self) -> f64 {
+        self.rename_ps.max(self.window_logic_ps).max(self.bypass_ps)
+    }
+
+    /// Which structure limits the clock, as a stable label for reports.
+    pub fn critical(&self) -> &'static str {
+        if self.window_logic_ps >= self.rename_ps && self.window_logic_ps >= self.bypass_ps {
+            "window"
+        } else if self.rename_ps >= self.bypass_ps {
+            "rename"
+        } else {
+            "bypass"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::ClockComparison;
+    use crate::{FeatureSize, PipelineDelays};
+
+    #[test]
+    fn unclustered_window_matches_pipeline_delays() {
+        for tech in Technology::all() {
+            for (iw, win) in [(4usize, 32usize), (8, 64)] {
+                let p = MachineParams {
+                    issue_width: iw,
+                    clusters: 1,
+                    window_size: win,
+                    geometry: SchedulerGeometry::Window,
+                };
+                let m = MachineClock::try_compute(&tech, &p).unwrap();
+                let d = PipelineDelays::try_compute(&tech, iw, win).unwrap();
+                assert_eq!(m.rename_ps, d.rename_ps, "{tech} {iw}/{win}");
+                assert_eq!(m.window_logic_ps, d.window_ps(), "{tech} {iw}/{win}");
+                assert_eq!(m.bypass_ps, d.bypass_ps, "{tech} {iw}/{win}");
+                assert_eq!(m.clock_ps(), d.clock_period_ps(), "{tech} {iw}/{win}");
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_window_matches_the_paper_comparison_clock() {
+        // The §5.5 comparison pins the clustered machine's clock to the
+        // per-cluster window logic; MachineClock must agree on that
+        // component for the same 8-way/64-entry/2-cluster machine.
+        for tech in Technology::all() {
+            let cmp = ClockComparison::try_compute(&tech, 8, 64, 2).unwrap();
+            let m = MachineClock::try_compute(
+                &tech,
+                &MachineParams {
+                    issue_width: 8,
+                    clusters: 2,
+                    window_size: 64,
+                    geometry: SchedulerGeometry::Window,
+                },
+            )
+            .unwrap();
+            assert_eq!(m.window_logic_ps, cmp.dependence_clock_ps, "{tech}");
+        }
+    }
+
+    #[test]
+    fn paper_fifo_machine_matches_the_dependence_window_path() {
+        // The paper's 2×4-way, 4-FIFO/cluster machine: reservation table
+        // at width 8 plus an 8-head select (ClockComparison's
+        // `8.max(cluster_width)` with 4-wide clusters) — identical inputs,
+        // identical delay.
+        for tech in Technology::all() {
+            let cmp = ClockComparison::try_compute(&tech, 8, 64, 2).unwrap();
+            let m = MachineClock::try_compute(
+                &tech,
+                &MachineParams {
+                    issue_width: 8,
+                    clusters: 2,
+                    window_size: 64,
+                    geometry: SchedulerGeometry::Fifos { fifos_per_cluster: 8 },
+                },
+            )
+            .unwrap();
+            assert_eq!(m.window_logic_ps, cmp.dependence_window_ps, "{tech}");
+        }
+    }
+
+    #[test]
+    fn fifo_window_logic_undercuts_the_cam_window() {
+        // The whole dependence-based argument: FIFO-head wakeup must be
+        // cheaper than CAM wakeup for the same machine shape.
+        for tech in Technology::all() {
+            let base = MachineParams {
+                issue_width: 8,
+                clusters: 2,
+                window_size: 64,
+                geometry: SchedulerGeometry::Window,
+            };
+            let win = MachineClock::try_compute(&tech, &base).unwrap();
+            let fifo = MachineClock::try_compute(
+                &tech,
+                &MachineParams {
+                    geometry: SchedulerGeometry::Fifos { fifos_per_cluster: 8 },
+                    ..base
+                },
+            )
+            .unwrap();
+            assert!(
+                fifo.window_logic_ps < win.window_logic_ps,
+                "{tech}: fifo {:.1} !< window {:.1}",
+                fifo.window_logic_ps,
+                win.window_logic_ps
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_geometries_are_refused_not_panicked() {
+        let tech = Technology::new(FeatureSize::U018);
+        let bad = [
+            // clusters don't divide width
+            MachineParams {
+                issue_width: 8,
+                clusters: 3,
+                window_size: 64,
+                geometry: SchedulerGeometry::Window,
+            },
+            // empty per-cluster window
+            MachineParams {
+                issue_width: 8,
+                clusters: 8,
+                window_size: 4,
+                geometry: SchedulerGeometry::Window,
+            },
+            // FIFO count doesn't divide the per-cluster capacity
+            MachineParams {
+                issue_width: 8,
+                clusters: 2,
+                window_size: 64,
+                geometry: SchedulerGeometry::Fifos { fifos_per_cluster: 3 },
+            },
+            // zero FIFOs
+            MachineParams {
+                issue_width: 8,
+                clusters: 1,
+                window_size: 64,
+                geometry: SchedulerGeometry::Fifos { fifos_per_cluster: 0 },
+            },
+            // window outside the modeled domain
+            MachineParams {
+                issue_width: 8,
+                clusters: 1,
+                window_size: 2048,
+                geometry: SchedulerGeometry::Window,
+            },
+        ];
+        for p in bad {
+            assert!(
+                matches!(
+                    MachineClock::try_compute(&tech, &p),
+                    Err(DelayError::OutOfDomain { .. })
+                ),
+                "{p:?} should be out of domain"
+            );
+        }
+    }
+
+    #[test]
+    fn critical_structure_labels_track_the_max() {
+        let tech = Technology::new(FeatureSize::U018);
+        let m = MachineClock::try_compute(
+            &tech,
+            &MachineParams {
+                issue_width: 4,
+                clusters: 1,
+                window_size: 32,
+                geometry: SchedulerGeometry::Window,
+            },
+        )
+        .unwrap();
+        assert_eq!(m.critical(), "window", "4-way window logic dominates (Table 2)");
+        assert_eq!(m.clock_ps(), m.window_logic_ps);
+    }
+}

@@ -160,7 +160,22 @@ impl PipelineDelays {
     /// outside the modeled range.
     pub fn try_stages_at(&self, clock_ps: f64) -> Result<[(Stage, u32, bool); 3], DelayError> {
         domain::CLOCK_PS.check("pipeline", "clock_ps", clock_ps)?;
-        let need = |d: f64| (d / clock_ps).ceil().max(1.0) as u32;
+        // Epsilon-tolerant ceiling: a clock that exactly divides a stage
+        // delay produces ratios like 3.0000000000000004 from the division
+        // rounding, and a bare `ceil` would report 4 stages where 3 fit.
+        // A ratio within one part in 10^9 of an integer is that integer —
+        // far wider than f64 division noise, far tighter than any real
+        // stage-count margin.
+        let need = |d: f64| {
+            let ratio = d / clock_ps;
+            let nearest = ratio.round();
+            let stages = if nearest >= 1.0 && (ratio - nearest).abs() <= nearest * 1e-9 {
+                nearest
+            } else {
+                ratio.ceil()
+            };
+            stages.max(1.0) as u32
+        };
         Ok([
             (Stage::Rename, need(self.rename_ps), false),
             (Stage::WakeupSelect, need(self.window_ps()), true),
@@ -279,6 +294,59 @@ impl ClockComparison {
     /// 0.18 µm): `1 − rename / window`.
     pub fn optimistic_improvement(&self) -> f64 {
         1.0 - self.rename_ps / self.dependence_clock_ps
+    }
+
+    /// Checked form of [`ClockComparison::conservative_speedup`] for sweep
+    /// and explorer code: a degenerate comparison (zero, negative, or
+    /// non-finite clock on either side — e.g. an extrapolated point whose
+    /// atomic limit collapsed) becomes a [`DelayError`] instead of a
+    /// silent `inf`/`NaN`/negative ratio flowing into a score.
+    ///
+    /// # Errors
+    ///
+    /// [`DelayError::NonFinite`] naming the degenerate quantity.
+    pub fn try_conservative_speedup(&self) -> Result<f64, DelayError> {
+        ensure_positive("pipeline", "window_clock_ps", self.window_clock_ps)?;
+        ensure_positive("pipeline", "dependence_clock_ps", self.dependence_clock_ps)?;
+        crate::error::ensure_finite(
+            "pipeline",
+            "conservative_speedup",
+            self.window_clock_ps / self.dependence_clock_ps,
+        )
+    }
+
+    /// Checked form of [`ClockComparison::optimistic_improvement`]: errors
+    /// when the comparison is degenerate *or* the "improvement" comes out
+    /// negative (rename slower than the dependence-based clock — the
+    /// bypass-dominated corner where the optimistic model stops meaning
+    /// anything), instead of silently reporting a negative gain.
+    ///
+    /// # Errors
+    ///
+    /// [`DelayError::NonFinite`] naming the degenerate quantity.
+    pub fn try_optimistic_improvement(&self) -> Result<f64, DelayError> {
+        ensure_positive("pipeline", "rename_ps", self.rename_ps)?;
+        ensure_positive("pipeline", "dependence_clock_ps", self.dependence_clock_ps)?;
+        crate::error::ensure_finite(
+            "pipeline",
+            "optimistic_improvement",
+            1.0 - self.rename_ps / self.dependence_clock_ps,
+        )
+    }
+}
+
+/// Requires a strictly positive, finite delay; reports anything else as
+/// [`DelayError::NonFinite`] (the taxonomy's "model produced garbage"
+/// bucket covers zero and negative delays too).
+fn ensure_positive(
+    structure: &'static str,
+    stage: &'static str,
+    value: f64,
+) -> Result<f64, DelayError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(value)
+    } else {
+        Err(DelayError::NonFinite { structure, stage, value })
     }
 }
 
@@ -401,6 +469,115 @@ mod tests {
         for (_, n, _) in d.stages_at(10_000.0) {
             assert_eq!(n, 1);
         }
+    }
+
+    /// Regression test: a clock that *exactly divides* a stage delay must
+    /// need exactly that many stages. The old bare `(d / clock).ceil()`
+    /// turned `d / (d / 3)` = 3.0000000000000004 into 4 stages from FP
+    /// division noise — and the explorer sweeps precisely these
+    /// exact-divisor boundaries when it pipelines rename to a candidate
+    /// clock.
+    #[test]
+    fn stages_at_exact_divisor_clocks_do_not_round_up() {
+        for tech in Technology::all() {
+            for (iw, win) in [(4usize, 32usize), (8, 64)] {
+                let d = PipelineDelays::compute(&tech, iw, win);
+                for k in 1..=12u32 {
+                    for (stage, delay) in [
+                        (Stage::Rename, d.rename_ps),
+                        (Stage::WakeupSelect, d.window_ps()),
+                        (Stage::Bypass, d.bypass_ps),
+                    ] {
+                        let clock = delay / f64::from(k);
+                        let stages = d.try_stages_at(clock).unwrap();
+                        let (_, n, _) =
+                            stages.iter().find(|(s, _, _)| *s == stage).unwrap();
+                        assert_eq!(
+                            *n, k,
+                            "{tech} {iw}-way {stage}: clock {clock:.6} = delay/{k} \
+                             needs {n} stages, want exactly {k}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The tolerance is for FP noise only: a clock genuinely 1% short of
+    /// an exact divisor still rounds up.
+    #[test]
+    fn stages_at_near_miss_clocks_still_round_up() {
+        let tech = Technology::new(FeatureSize::U018);
+        let d = PipelineDelays::compute(&tech, 8, 64);
+        let clock = d.window_ps() / 3.0 * 0.99;
+        let stages = d.try_stages_at(clock).unwrap();
+        let (_, n, _) =
+            stages.iter().find(|(s, _, _)| *s == Stage::WakeupSelect).unwrap();
+        assert_eq!(*n, 4, "a real shortfall must still cost a stage");
+    }
+
+    /// The checked comparison metrics reproduce the paper anchors exactly
+    /// where the unchecked ones do (§5.5's ≈1.25 ratio, §5.3's ≈0.39
+    /// optimistic improvement)…
+    #[test]
+    fn checked_comparison_metrics_reproduce_the_paper_anchors() {
+        let tech = Technology::new(FeatureSize::U018);
+        let cmp = ClockComparison::compute(&tech, 8, 64, 2);
+        let ratio = cmp.try_conservative_speedup().unwrap();
+        assert_eq!(ratio, cmp.conservative_speedup());
+        assert!((ratio - 1.25).abs() < 0.10, "ratio {ratio:.3}");
+
+        // §5.3 compares the 4-way machine's rename against its window
+        // logic; express it as a ClockComparison whose dependence clock is
+        // the 4-way window.
+        let d4 = PipelineDelays::compute(&tech, 4, 32);
+        let cmp4 = ClockComparison {
+            window_clock_ps: d4.window_ps(),
+            dependence_clock_ps: d4.window_ps(),
+            dependence_window_ps: 0.0,
+            rename_ps: d4.rename_ps,
+        };
+        let improvement = cmp4.try_optimistic_improvement().unwrap();
+        assert_eq!(improvement, cmp4.optimistic_improvement());
+        assert!((improvement - 0.39).abs() < 0.08, "improvement {improvement:.3}");
+    }
+
+    /// …and refuse the degenerate points the unchecked ones silently let
+    /// through: zero/negative/non-finite clocks yield `inf`, `NaN`, or a
+    /// negative "speedup" from the raw arithmetic, and a bypass-dominated
+    /// atomic limit makes the optimistic improvement negative.
+    #[test]
+    fn checked_comparison_metrics_reject_degenerate_points() {
+        let good = ClockComparison {
+            window_clock_ps: 724.0,
+            dependence_clock_ps: 578.0,
+            dependence_window_ps: 400.0,
+            rename_ps: 351.0,
+        };
+        assert!(good.try_conservative_speedup().is_ok());
+        assert!(good.try_optimistic_improvement().is_ok());
+
+        for bad_clock in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let cmp = ClockComparison { dependence_clock_ps: bad_clock, ..good };
+            // The unchecked path hands back inf / a negative ratio / NaN…
+            let raw = cmp.conservative_speedup();
+            assert!(!raw.is_finite() || raw <= 0.0 || raw.is_nan() || bad_clock.is_nan());
+            // …the checked path names the degenerate quantity instead.
+            assert!(matches!(
+                cmp.try_conservative_speedup(),
+                Err(DelayError::NonFinite { structure: "pipeline", .. })
+            ));
+            assert!(cmp.try_optimistic_improvement().is_err());
+        }
+
+        // Bypass-dominated corner: rename slower than the dependence
+        // clock. The unchecked improvement goes negative; checked errors.
+        let inverted = ClockComparison { rename_ps: 600.0, dependence_clock_ps: 578.0, ..good };
+        assert!(inverted.optimistic_improvement() < 0.0);
+        assert!(matches!(
+            inverted.try_optimistic_improvement(),
+            Err(DelayError::NonFinite { stage: "optimistic_improvement", .. })
+        ));
     }
 
     #[test]

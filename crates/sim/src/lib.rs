@@ -58,6 +58,6 @@ pub use metrics::metrics_json;
 pub use oracle::OracleSimulator;
 pub use pipeline::{IssueRecord, PhaseProfile, SimError, Simulator};
 pub use probe::{DispatchStallCause, EventLog, ProbeEvent, ProbeSink, ScheduleRecorder};
-pub use sampling::{run_sampled, SampledStats, SamplingConfig};
+pub use sampling::{run_sampled, try_run_sampled, SampleError, SampledStats, SamplingConfig};
 pub use stats::SimStats;
 pub use trace_writer::KonataWriter;

@@ -22,11 +22,40 @@
 //! Figure 17 fingerprints stay bit-identical.
 
 use crate::bpred::Gshare;
-use crate::config::SimConfig;
+use crate::config::{ConfigError, SimConfig};
 use crate::dcache::Dcache;
 use crate::pipeline::{SimError, Simulator};
 use ce_isa::OperationKind;
 use ce_workloads::{DynInst, Trace};
+use std::fmt;
+
+/// Everything that can go wrong starting or running a sampled simulation —
+/// the checked surface sweep drivers (and the design-space explorer) use,
+/// where an invalid grid cell must become a structured skip, never a
+/// panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SampleError {
+    /// The machine configuration failed [`SimConfig::validate`].
+    Config(ConfigError),
+    /// The sampling geometry failed [`SamplingConfig::validate`].
+    Sampling(String),
+    /// A detailed window failed mid-run (deadlock, expired deadline).
+    Sim(SimError),
+}
+
+impl fmt::Display for SampleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SampleError::Config(e) => write!(f, "{e}"),
+            SampleError::Sampling(msg) => {
+                write!(f, "invalid sampling configuration: {msg}")
+            }
+            SampleError::Sim(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SampleError {}
 
 /// Geometry of a sampled run: every `period_insts`, run `warmup_insts +
 /// window_insts` through the detailed model (measuring only the window)
@@ -159,14 +188,42 @@ pub fn run_sampled(
     trace: &Trace,
     sampling: SamplingConfig,
 ) -> Result<SampledStats, SimError> {
-    if let Err(msg) = sampling.validate() {
-        panic!("invalid sampling configuration: {msg}");
+    match try_run_sampled(cfg, trace, sampling) {
+        Ok(stats) => Ok(stats),
+        Err(SampleError::Sim(e)) => Err(e),
+        Err(e @ (SampleError::Config(_) | SampleError::Sampling(_))) => panic!("{e}"),
     }
+}
+
+/// Checked form of [`run_sampled`]: an invalid machine configuration or
+/// sampling geometry is a classified [`SampleError`] instead of a panic,
+/// so sweep drivers probing risky corners of a design grid can record the
+/// cell as a structured skip and move on.
+///
+/// # Errors
+///
+/// [`SampleError::Config`] / [`SampleError::Sampling`] for inputs that
+/// fail validation; [`SampleError::Sim`] for a detailed window that fails
+/// mid-run.
+pub fn try_run_sampled(
+    cfg: SimConfig,
+    trace: &Trace,
+    sampling: SamplingConfig,
+) -> Result<SampledStats, SampleError> {
+    sampling.validate().map_err(SampleError::Sampling)?;
+    cfg.validate().map_err(|msg| SampleError::Config(ConfigError(msg)))?;
     let insts = trace.as_slice();
     let total = insts.len() as u64;
-    // Degenerate but exact: the whole trace fits in one detailed region.
-    if total <= sampling.warmup_insts.saturating_add(sampling.window_insts) {
-        let stats = Simulator::new(cfg).try_run(trace)?;
+    // Degenerate but exact: the whole trace fits inside one detailed
+    // region (warmup + window + cooldown), so sampling would simulate
+    // every instruction in detail anyway — there is nothing to
+    // fast-forward and nothing to save. Collapse to a plain full run with
+    // zero scaling error rather than extrapolating whole-trace cycles
+    // from a truncated measured window (which discards the fill and drain
+    // cycles that dominate at these lengths: up to −29% observed on a
+    // trace one cooldown past the measured window).
+    if total <= sampling.detailed_insts() {
+        let stats = Simulator::new(cfg).try_run(trace).map_err(SampleError::Sim)?;
         return Ok(SampledStats {
             total_insts: total,
             windows: 1,
@@ -195,7 +252,7 @@ pub fn run_sampled(
             sampling.warmup_insts,
             sampling.warmup_insts + sampling.window_insts,
         );
-        let stats = sim.run_slice(&insts[start..det_end])?;
+        let stats = sim.run_slice(&insts[start..det_end]).map_err(SampleError::Sim)?;
         // Boundary marks fall back to "end of slice" for a short final
         // window: a slice ending inside the warmup measures nothing; one
         // ending inside the window measures up to the slice end (and
@@ -288,6 +345,72 @@ mod tests {
         assert!(sampled.windows > 1);
         let err = sampled.cycle_error_vs(full.cycles).abs();
         assert!(err < 0.02, "sampled cycle error {err:.4} exceeds 2%");
+    }
+
+    /// Regression test (short-trace seam): any trace no longer than one
+    /// detailed region (`warmup + window + cooldown`) must degenerate to
+    /// a plain full run — exact flag set, estimated cycles *equal* to the
+    /// full run's, zero scaling error — rather than extrapolating
+    /// whole-trace cycles from a truncated measured window. The old
+    /// boundary stopped at `warmup + window`, so a trace ending inside
+    /// the cooldown was simulated entirely in detail (zero sampling
+    /// savings) yet still "estimated", −29% low on compress. The
+    /// explorer's capped smoke grids hit exactly this seam on every
+    /// kernel.
+    #[test]
+    fn short_traces_degenerate_to_exact_full_runs() {
+        let cfg = machine::baseline_8way();
+        let sampling = SamplingConfig::default();
+        let prefix = sampling.warmup_insts + sampling.window_insts; // 768
+        let detailed = prefix + sampling.cooldown_insts; // 896
+        // Shorter than the warmup alone, inside the window, at the old
+        // (buggy) boundary, inside the cooldown, and exactly at the
+        // detailed-region boundary.
+        for cap in [50, sampling.warmup_insts - 1, 300, prefix, prefix + 64, detailed] {
+            let trace = trace_benchmark(Benchmark::Compress, cap).expect("trace");
+            assert!(trace.len() as u64 <= detailed, "cap {cap} grew past the region");
+            let full = Simulator::new(cfg).run(&trace);
+            let sampled = run_sampled(cfg, &trace, sampling).expect("sampled run");
+            assert!(sampled.exact, "cap {cap}: short trace must be exact");
+            assert_eq!(sampled.windows, 1, "cap {cap}");
+            assert_eq!(sampled.est_cycles, full.cycles, "cap {cap}: scaling error");
+            assert_eq!(sampled.measured_insts, full.committed, "cap {cap}");
+            assert_eq!(sampled.cycle_error_vs(full.cycles), 0.0, "cap {cap}");
+        }
+        // Past the detailed region there is genuinely something to
+        // fast-forward, so the run becomes a (single-window) estimate.
+        let trace = trace_benchmark(Benchmark::Compress, detailed + 256).expect("trace");
+        assert!(trace.len() as u64 > detailed);
+        let sampled = run_sampled(cfg, &trace, sampling).expect("sampled run");
+        assert!(!sampled.exact);
+        assert_eq!(sampled.windows, 1);
+        assert!(sampled.est_cycles > 0);
+    }
+
+    /// The checked entry classifies bad inputs instead of panicking, and
+    /// agrees with `run_sampled` on good ones.
+    #[test]
+    fn try_run_sampled_classifies_bad_inputs() {
+        let trace = trace_benchmark(Benchmark::Compress, 2_000).expect("trace");
+        let good = machine::baseline_8way();
+
+        let ok = try_run_sampled(good, &trace, SamplingConfig::default()).expect("runs");
+        assert_eq!(ok, run_sampled(good, &trace, SamplingConfig::default()).unwrap());
+
+        let bad_sampling = SamplingConfig { window_insts: 0, ..SamplingConfig::default() };
+        match try_run_sampled(good, &trace, bad_sampling) {
+            Err(SampleError::Sampling(msg)) => assert!(msg.contains("window"), "{msg}"),
+            other => panic!("want Sampling error, got {other:?}"),
+        }
+        let err = try_run_sampled(good, &trace, bad_sampling).unwrap_err();
+        assert!(err.to_string().contains("invalid sampling configuration"), "{err}");
+
+        let mut bad_cfg = good;
+        bad_cfg.bpred.history_bits = 40;
+        match try_run_sampled(bad_cfg, &trace, SamplingConfig::default()) {
+            Err(SampleError::Config(e)) => assert!(e.to_string().contains("history"), "{e}"),
+            other => panic!("want Config error, got {other:?}"),
+        }
     }
 
     #[test]
