@@ -45,18 +45,29 @@ fn main() {
     let trace_load_s = load_start.elapsed().as_secs_f64();
 
     let jobs = runner::grid(&machines);
-    let sweep_start = Instant::now();
-    let results = runner::run_timed(&jobs, cap);
-    let sweep_wall_s = sweep_start.elapsed().as_secs_f64();
+    let summary = runner::run_sweep(&jobs, cap, runner::RunOptions::default());
+    let results: Vec<&runner::TimedResult> = summary
+        .cells
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            c.as_ref().unwrap_or_else(|| panic!("cell {i} failed: {:?}", summary.failures))
+        })
+        .collect();
+    // The sweep's own clocks (satellite of the telemetry PR): wall and
+    // per-cell extremes come from the SweepSummary, not ad-hoc timers,
+    // so this snapshot agrees byte-for-byte with what manifests record.
+    let sweep_wall_s = summary.sweep_wall.as_secs_f64();
+    let serial_wall_s = summary.serial_cell_wall.as_secs_f64();
+    let min_cell_wall_s = summary.min_cell_wall.as_secs_f64();
+    let max_cell_wall_s = summary.max_cell_wall.as_secs_f64();
     let total_wall_s = total_start.elapsed().as_secs_f64();
 
     let mut cells = String::new();
-    let mut serial_wall_s = 0.0;
     let mut total_cycles = 0u64;
     for (i, ((bench, _), result)) in jobs.iter().zip(&results).enumerate() {
         let machine_name = machines[i % machines.len()].0;
         let wall = result.wall.as_secs_f64();
-        serial_wall_s += wall;
         total_cycles += result.stats.cycles;
         let _ = writeln!(
             cells,
@@ -114,7 +125,7 @@ fn main() {
     };
 
     let json = format!(
-        "{{\n  \"schema\": \"ce-bench.BENCH_sim.v2\",\n  \"sweep\": \"fig17\",\n  \
+        "{{\n  \"schema\": \"ce-bench.BENCH_sim.v3\",\n  \"sweep\": \"fig17\",\n  \
          \"max_insts\": {cap},\n  \"threads\": {},\n  \"schedule\": [{schedule_json}],\n  \
          \"cells\": [\n{cells}\n  ],\n  \
          \"sampled\": {{\n    \
@@ -124,7 +135,9 @@ fn main() {
          \"max_abs_cycle_err\": {max_abs_err:.6},\n    \
          \"sweep_wall_s\": {sampled_sweep_wall_s:.6}\n  }},\n  \
          \"trace_load_s\": {trace_load_s:.6},\n  \"sweep_wall_s\": {sweep_wall_s:.6},\n  \
-         \"serial_cell_wall_s\": {serial_wall_s:.6},\n  \"total_wall_s\": {total_wall_s:.6},\n  \
+         \"serial_cell_wall_s\": {serial_wall_s:.6},\n  \
+         \"min_cell_wall_s\": {min_cell_wall_s:.6},\n  \
+         \"max_cell_wall_s\": {max_cell_wall_s:.6},\n  \"total_wall_s\": {total_wall_s:.6},\n  \
          \"sim_mcycles_per_s\": {:.3},\n  \"baseline_sweep_wall_s\": {baseline_json},\n  \
          \"speedup_vs_baseline\": {speedup_json},\n  \
          \"effective_speedup_vs_baseline\": {effective_json}\n}}\n",
@@ -149,7 +162,12 @@ fn main() {
         runner::threads()
     );
     println!("trace load   {trace_load_s:>8.3} s");
-    println!("sweep wall   {sweep_wall_s:>8.3} s  (sum of cells {serial_wall_s:.3} s)");
+    println!(
+        "sweep wall   {sweep_wall_s:>8.3} s  (sum of cells {serial_wall_s:.3} s, \
+         cells {:.0}-{:.0} ms)",
+        min_cell_wall_s * 1e3,
+        max_cell_wall_s * 1e3,
+    );
     println!(
         "throughput   {:>8.1} M simulated cycles/s",
         total_cycles as f64 / sweep_wall_s.max(1e-9) / 1e6

@@ -9,15 +9,21 @@
 //!   provenance, a structured skip status for refused corners, and a
 //!   per-technology Pareto frontier flag;
 //! * `results/tab02_explore.csv` — a Table 2-style roll-up extending the
-//!   paper's §5.6 organizations with the best-BIPS point the grid found.
+//!   paper's §5.6 organizations with the best-BIPS point the grid found;
+//! * `results/pareto.manifest.json` — the content-addressed run manifest
+//!   vouching for both CSVs (see `ce_bench::manifest`).
 //!
 //! The IPC sweep checkpoints next to the output CSV; kill it at any point
 //! and rerun with `--resume` for byte-identical results. On any cell
 //! failure neither CSV is written and the journal is kept, matching every
-//! other sweep binary.
+//! other sweep binary. The shared observability flags (`--telemetry`,
+//! `--trace-out`, `--manifest`, `--progress`, `--quiet`) behave exactly
+//! as in the sweep binaries.
 //!
 //! ```text
 //! usage: [--out PATH] [--resume] [--full] [--grid tiny|full]
+//!        [--telemetry PATH] [--trace-out PATH] [--manifest PATH]
+//!        [--progress] [--quiet]
 //! ```
 
 use std::process::ExitCode;
@@ -25,16 +31,28 @@ use std::process::ExitCode;
 use ce_bench::checkpoint::write_atomic;
 use ce_bench::cli::ExploreArgs;
 use ce_bench::explore::{
-    explore, pareto_csv, row_census, tab02_explore_csv, tab02_path, ExploreOptions,
+    explore, explore_jobs, pareto_csv, row_census, tab02_explore_csv, tab02_path,
+    ExploreOptions,
 };
+use ce_bench::manifest;
 
 fn main() -> ExitCode {
     let args = ExploreArgs::parse();
+    let max_insts = ce_bench::max_insts();
+    let jobs = explore_jobs(args.grid);
+    let telemetry = match args.obs.telemetry("ce-explore", &jobs, max_insts, args.resume) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("ce-explore: error: telemetry journal: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let report = match explore(&ExploreOptions {
         scale: args.grid,
         exact: args.full,
-        max_insts: ce_bench::max_insts(),
+        max_insts,
         checkpoint: Some(args.checkpoint()),
+        telemetry,
     }) {
         Ok(report) => report,
         Err(e) => {
@@ -44,7 +62,7 @@ fn main() -> ExitCode {
     };
 
     if let Some(summary) = &report.summary {
-        if summary.resumed > 0 {
+        if summary.resumed > 0 && !args.obs.quiet {
             eprintln!(
                 "ce-explore: resumed {} of {} cells from {}",
                 summary.resumed,
@@ -72,14 +90,36 @@ fn main() -> ExitCode {
             eprintln!("ce-explore: error: writing {}: {e}", path.display());
             return ExitCode::from(2);
         }
-        eprintln!("ce-explore: wrote {}", path.display());
+        if !args.obs.quiet {
+            eprintln!("ce-explore: wrote {}", path.display());
+        }
     }
-    let (ok, skip_delay, skip_sim) = row_census(&report);
-    eprintln!(
-        "ce-explore: {} design points × 3 technologies: {ok} scored, \
-         {skip_delay} skip-delay, {skip_sim} skip-sim ({} mode)",
-        report.points.len(),
-        if report.sampled { "sampled" } else { "exact" }
-    );
+    if let Some(summary) = &report.summary {
+        let manifest_out = args.obs.manifest_path(&args.out);
+        if let Err(e) = manifest::write_manifest(
+            &manifest_out,
+            "ce-explore",
+            &report.jobs,
+            max_insts,
+            report.run,
+            summary,
+            &[&args.out, &tab02_out],
+        ) {
+            eprintln!("ce-explore: error: manifest: {e}");
+            return ExitCode::from(2);
+        }
+        if !args.obs.quiet {
+            eprintln!("ce-explore: wrote {}", manifest_out.display());
+        }
+    }
+    if !args.obs.quiet {
+        let (ok, skip_delay, skip_sim) = row_census(&report);
+        eprintln!(
+            "ce-explore: {} design points × 3 technologies: {ok} scored, \
+             {skip_delay} skip-delay, {skip_sim} skip-sim ({} mode)",
+            report.points.len(),
+            if report.sampled { "sampled" } else { "exact" }
+        );
+    }
     ExitCode::SUCCESS
 }

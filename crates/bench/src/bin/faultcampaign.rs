@@ -10,11 +10,18 @@
 //! Exit code 0 when every fault was detected, harmless, visible, or
 //! masked; 1 when any fault was **silent** (it corrupted state without
 //! any validation layer noticing — a bug). The seed defaults to `0xce`
-//! and can also be set via `CE_FAULT_SEED`.
+//! and can also be set via `CE_FAULT_SEED`. Per-class wall time and the
+//! slowest case are reported; a failing run ends with one
+//! machine-readable line:
+//!
+//! ```text
+//! faultcampaign: error[silent-fault] silent=2 cases=118 seed=0xce
+//! ```
 
 use std::process::ExitCode;
+use std::time::Duration;
 
-use ce_bench::fault::{run_campaign, Outcome};
+use ce_bench::fault::{run_campaign, CaseReport, Outcome};
 
 fn main() -> ExitCode {
     let seed = std::env::args()
@@ -34,35 +41,49 @@ fn main() -> ExitCode {
 
     let classes = [("trace/", "trace corruption"), ("config/", "config perturbation"), ("sched/", "scheduler injection")];
     println!(
-        "{:<22} {:>6} {:>9} {:>9} {:>8} {:>7} {:>7}",
-        "class", "cases", "detected", "harmless", "visible", "masked", "SILENT"
+        "{:<22} {:>6} {:>9} {:>9} {:>8} {:>7} {:>7} {:>8}",
+        "class", "cases", "detected", "harmless", "visible", "masked", "SILENT", "wall"
     );
-    ce_bench::rule(74);
+    ce_bench::rule(83);
+    let wall_of = |cases: &mut dyn Iterator<Item = &CaseReport>| {
+        cases.map(|c| c.wall).sum::<Duration>()
+    };
     for (prefix, label) in classes {
         let in_class =
             |o: Outcome| report.cases.iter().filter(|c| c.name.starts_with(prefix) && c.outcome == o).count();
         let total = report.cases.iter().filter(|c| c.name.starts_with(prefix)).count();
+        let wall = wall_of(&mut report.cases.iter().filter(|c| c.name.starts_with(prefix)));
         println!(
-            "{:<22} {:>6} {:>9} {:>9} {:>8} {:>7} {:>7}",
+            "{:<22} {:>6} {:>9} {:>9} {:>8} {:>7} {:>7} {:>7.2}s",
             label,
             total,
             in_class(Outcome::Detected),
             in_class(Outcome::Harmless),
             in_class(Outcome::Visible),
             in_class(Outcome::Masked),
-            in_class(Outcome::Silent)
+            in_class(Outcome::Silent),
+            wall.as_secs_f64(),
         );
     }
     println!(
-        "{:<22} {:>6} {:>9} {:>9} {:>8} {:>7} {:>7}",
+        "{:<22} {:>6} {:>9} {:>9} {:>8} {:>7} {:>7} {:>7.2}s",
         "total",
         report.cases.len(),
         report.count(Outcome::Detected),
         report.count(Outcome::Harmless),
         report.count(Outcome::Visible),
         report.count(Outcome::Masked),
-        report.count(Outcome::Silent)
+        report.count(Outcome::Silent),
+        wall_of(&mut report.cases.iter()).as_secs_f64(),
     );
+    if let Some(slowest) = report.cases.iter().max_by_key(|c| c.wall) {
+        println!(
+            "slowest case: {} ({:.1} ms, {})",
+            slowest.name,
+            slowest.wall.as_secs_f64() * 1e3,
+            slowest.outcome.name(),
+        );
+    }
 
     if report.is_clean() {
         println!();
@@ -74,7 +95,7 @@ fn main() -> ExitCode {
             eprintln!("faultcampaign: SILENT: {}: {}", case.name, case.detail);
         }
         eprintln!(
-            "faultcampaign: {} silent fault(s) out of {} cases",
+            "faultcampaign: error[silent-fault] silent={} cases={} seed={seed:#x}",
             report.count(Outcome::Silent),
             report.cases.len()
         );

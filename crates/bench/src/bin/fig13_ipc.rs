@@ -29,12 +29,21 @@ fn main() -> ExitCode {
     let args = SweepArgs::parse("results/fig13_ipc.csv");
     let machines = [("window", machine::baseline_8way()), ("fifos", machine::dependence_8way())];
     let jobs = runner::grid(&machines);
+    let max_insts = ce_bench::max_insts();
+    let telemetry = match args.obs.telemetry("fig13_ipc", &jobs, max_insts, args.resume) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("fig13_ipc: error: telemetry journal: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let opts = SweepOptions {
         run: RunOptions { attribution: true, ..RunOptions::default() },
         checkpoint: Some(args.checkpoint()),
+        telemetry,
         ..SweepOptions::default()
     };
-    let summary = match runner::run_sweep_ft(&jobs, ce_bench::max_insts(), &opts) {
+    let summary = match runner::run_sweep_ft(&jobs, max_insts, &opts) {
         Ok(summary) => summary,
         Err(e) => {
             eprintln!("fig13_ipc: error: checkpoint journal: {e}");
@@ -77,5 +86,5 @@ fn main() -> ExitCode {
         println!("mean degradation {mean:.1}%, max {max:.1}% (paper: most <5%, max 8%)");
         println!();
     }
-    finish_sweep("fig13_ipc", &summary, &csv, &args.out)
+    finish_sweep("fig13_ipc", &args, &jobs, max_insts, opts.run, &summary, &csv)
 }

@@ -26,8 +26,20 @@ fn main() -> ExitCode {
     let machines =
         [("window", machine::baseline_8way()), ("2x4", machine::clustered_fifos_8way())];
     let jobs = runner::grid(&machines);
-    let opts = SweepOptions { checkpoint: Some(args.checkpoint()), ..SweepOptions::default() };
-    let summary = match runner::run_sweep_ft(&jobs, ce_bench::max_insts(), &opts) {
+    let max_insts = ce_bench::max_insts();
+    let telemetry = match args.obs.telemetry("fig15_clustered", &jobs, max_insts, args.resume) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("fig15_clustered: error: telemetry journal: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let opts = SweepOptions {
+        checkpoint: Some(args.checkpoint()),
+        telemetry,
+        ..SweepOptions::default()
+    };
+    let summary = match runner::run_sweep_ft(&jobs, max_insts, &opts) {
         Ok(summary) => summary,
         Err(e) => {
             eprintln!("fig15_clustered: error: checkpoint journal: {e}");
@@ -85,5 +97,5 @@ fn main() -> ExitCode {
         );
         println!();
     }
-    finish_sweep("fig15_clustered", &summary, &csv, &args.out)
+    finish_sweep("fig15_clustered", &args, &jobs, max_insts, opts.run, &summary, &csv)
 }

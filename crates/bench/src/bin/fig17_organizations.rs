@@ -21,12 +21,21 @@ fn main() -> ExitCode {
     let args = SweepArgs::parse("results/fig17_organizations.csv");
     let machines = machine::figure17_machines();
     let jobs = runner::grid(&machines);
+    let max_insts = ce_bench::max_insts();
+    let telemetry = match args.obs.telemetry("fig17_organizations", &jobs, max_insts, args.resume) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("fig17_organizations: error: telemetry journal: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let opts = SweepOptions {
         run: RunOptions { attribution: true, ..RunOptions::default() },
         checkpoint: Some(args.checkpoint()),
+        telemetry,
         ..SweepOptions::default()
     };
-    let summary = match runner::run_sweep_ft(&jobs, ce_bench::max_insts(), &opts) {
+    let summary = match runner::run_sweep_ft(&jobs, max_insts, &opts) {
         Ok(summary) => summary,
         Err(e) => {
             eprintln!("fig17_organizations: error: checkpoint journal: {e}");
@@ -112,7 +121,7 @@ fn main() -> ExitCode {
         println!("both dispatch-steered organizations sit in between.");
         println!();
     }
-    finish_sweep("fig17_organizations", &summary, &csv, &args.out)
+    finish_sweep("fig17_organizations", &args, &jobs, max_insts, opts.run, &summary, &csv)
 }
 
 fn short(name: &str) -> &str {

@@ -36,12 +36,21 @@ fn main() -> ExitCode {
         ("2c-windows", machine::clustered_windows_dispatch_8way()),
     ];
     let jobs = runner::grid(&machines);
+    let max_insts = ce_bench::max_insts();
+    let telemetry = match args.obs.telemetry("occupancy", &jobs, max_insts, args.resume) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("occupancy: error: telemetry journal: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let opts = SweepOptions {
         run: RunOptions { attribution: true, ..RunOptions::default() },
         checkpoint: Some(args.checkpoint()),
+        telemetry,
         ..SweepOptions::default()
     };
-    let summary = match runner::run_sweep_ft(&jobs, ce_bench::max_insts(), &opts) {
+    let summary = match runner::run_sweep_ft(&jobs, max_insts, &opts) {
         Ok(summary) => summary,
         Err(e) => {
             eprintln!("occupancy: error: checkpoint journal: {e}");
@@ -118,5 +127,5 @@ fn main() -> ExitCode {
         println!("dataflow latency, which no scheduler organization can recover.");
         println!();
     }
-    finish_sweep("occupancy", &summary, &csv, &args.out)
+    finish_sweep("occupancy", &args, &jobs, max_insts, opts.run, &summary, &csv)
 }

@@ -14,10 +14,17 @@
 //! `CE_MAX_INSTS` applies as everywhere in `ce-bench`.
 //!
 //! Exit codes: 0 within bounds, 1 error bound exceeded, 2 usage error.
+//! Each kernel reports the wall time of both runs; a failing run ends
+//! with one machine-readable line:
+//!
+//! ```text
+//! sampling_check: error[sampling-bound] worst=0.0312 bound=0.0200 bench=li
+//! ```
 
 use ce_sim::{machine, run_sampled, SamplingConfig, Simulator};
 use ce_workloads::Benchmark;
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     let mut benches: Vec<Benchmark> = vec![Benchmark::Compress];
@@ -60,22 +67,32 @@ fn main() -> ExitCode {
     let cfg = machine::baseline_8way();
     let sampling = SamplingConfig::default();
     let mut worst = 0.0_f64;
+    let mut worst_bench = benches[0];
     for bench in benches {
         let trace = ce_workloads::trace_cached(bench, cap)
             .unwrap_or_else(|e| panic!("tracing {bench}: {e}"));
+        let full_start = Instant::now();
         let full = Simulator::new(cfg).run(&trace);
+        let full_wall = full_start.elapsed();
+        let sampled_start = Instant::now();
         let sampled =
             run_sampled(cfg, &trace, sampling).unwrap_or_else(|e| panic!("{bench}: {e}"));
+        let sampled_wall = sampled_start.elapsed();
         let err = sampled.cycle_error_vs(full.cycles);
-        worst = worst.max(err.abs());
+        if err.abs() > worst {
+            worst = err.abs();
+            worst_bench = bench;
+        }
         println!(
-            "{:<10} full {:>8} cyc (ipc {:.3})  sampled {:>8} cyc (ipc {:.3})  \
-             err {:+.4}  [{} windows, {:.0}% detailed]",
+            "{:<10} full {:>8} cyc (ipc {:.3}, {:.2}s)  sampled {:>8} cyc \
+             (ipc {:.3}, {:.2}s)  err {:+.4}  [{} windows, {:.0}% detailed]",
             bench.name(),
             full.cycles,
             full.ipc(),
+            full_wall.as_secs_f64(),
             sampled.est_cycles,
             sampled.est_ipc(),
+            sampled_wall.as_secs_f64(),
             err,
             sampled.windows,
             sampled.detailed_insts as f64 / sampled.total_insts as f64 * 100.0,
@@ -83,7 +100,11 @@ fn main() -> ExitCode {
     }
     println!("worst |cycle err| {:.4} (bound {max_err:.4})", worst);
     if worst > max_err {
-        eprintln!("error: sampled-simulation error {worst:.4} exceeds the {max_err:.4} bound");
+        eprintln!(
+            "sampling_check: error[sampling-bound] worst={worst:.4} bound={max_err:.4} \
+             bench={}",
+            worst_bench.name()
+        );
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

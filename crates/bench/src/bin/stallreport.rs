@@ -29,12 +29,21 @@ fn main() -> ExitCode {
     let args = SweepArgs::parse("results/stall_report.csv");
     let machines = machine::figure17_machines();
     let jobs = runner::grid(&machines);
+    let max_insts = ce_bench::max_insts();
+    let telemetry = match args.obs.telemetry("stallreport", &jobs, max_insts, args.resume) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("stallreport: error: telemetry journal: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let opts = SweepOptions {
         run: RunOptions { attribution: true, ..RunOptions::default() },
         checkpoint: Some(args.checkpoint()),
+        telemetry,
         ..SweepOptions::default()
     };
-    let summary = match runner::run_sweep_ft(&jobs, ce_bench::max_insts(), &opts) {
+    let summary = match runner::run_sweep_ft(&jobs, max_insts, &opts) {
         Ok(summary) => summary,
         Err(e) => {
             eprintln!("stallreport: error: checkpoint journal: {e}");
@@ -111,7 +120,7 @@ fn main() -> ExitCode {
         );
         println!();
     }
-    finish_sweep("stallreport", &summary, &csv, &args.out)
+    finish_sweep("stallreport", &args, &jobs, max_insts, opts.run, &summary, &csv)
 }
 
 fn short(name: &str) -> &str {

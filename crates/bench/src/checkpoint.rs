@@ -71,18 +71,12 @@ impl CheckpointSpec {
 /// grid get the same id; any change to the grid, cap, or options changes
 /// it and invalidates old journals.
 pub fn sweep_id(jobs: &[Job], max_insts: u64, opts: RunOptions) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    };
-    eat(format!("max_insts={max_insts} opts={opts:?}").as_bytes());
+    let mut h = crate::manifest::Fnv64::default();
+    h.eat(format!("max_insts={max_insts} opts={opts:?}").as_bytes());
     for job in jobs {
-        eat(format!("{job:?}").as_bytes());
+        h.eat(format!("{job:?}").as_bytes());
     }
-    h
+    h.digest()
 }
 
 /// An open, appendable sweep journal.

@@ -1,24 +1,142 @@
 //! Shared command-line plumbing for the sweep binaries.
 //!
-//! Every figure/table binary accepts the same two flags:
+//! Every figure/table binary accepts the same flags:
 //!
 //! ```text
-//! --out PATH    write the result CSV to PATH (default results/<name>.csv)
-//! --resume      resume from PATH's checkpoint journal, re-simulating only
-//!               unfinished cells
+//! --out PATH        write the result CSV to PATH (default results/<name>.csv)
+//! --resume          resume from PATH's checkpoint journal, re-simulating only
+//!                   unfinished cells
+//! --telemetry PATH  write the JSONL engine-telemetry journal to PATH
+//! --trace-out PATH  write a Chrome trace_event timeline (Perfetto) to PATH
+//! --manifest PATH   write the run manifest to PATH (default: next to the
+//!                   CSV as <stem>.manifest.json — always written)
+//! --progress        force the live progress line on (default: on when
+//!                   stderr is a TTY and not resuming)
+//! --quiet           suppress the progress line and info messages
 //! ```
 //!
 //! and finishes through [`finish_sweep`], which enforces one policy
-//! everywhere: a fully-successful sweep writes its CSV atomically and
-//! deletes the journal; a sweep with failures writes **no** CSV, keeps
-//! the journal for a later `--resume`, reports every failure with its
-//! [`RunError`](crate::runner::RunError) category, and exits nonzero.
+//! everywhere: a fully-successful sweep writes its CSV atomically, writes
+//! a content-addressed [`manifest`](crate::manifest) next to it, and
+//! deletes the journal; a sweep with failures writes **no** CSV and no
+//! manifest, keeps the journal for a later `--resume`, reports every
+//! failure with its [`RunError`](crate::runner::RunError) category, and
+//! exits nonzero.
 
+use std::io::IsTerminal as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use crate::checkpoint::{write_atomic, CheckpointSpec};
-use crate::runner::SweepSummary;
+use crate::manifest;
+use crate::runner::{cell_weights, Job, RunOptions, SweepSummary};
+use crate::telemetry::{Telemetry, TelemetryConfig};
+
+/// The usage fragment for the shared observability flags.
+const OBS_USAGE: &str =
+    "[--telemetry PATH] [--trace-out PATH] [--manifest PATH] [--progress] [--quiet]";
+
+/// The shared observability flags every sweep/explore binary accepts.
+#[derive(Debug, Clone, Default)]
+pub struct ObsFlags {
+    /// `--telemetry PATH`: write the JSONL engine-telemetry journal.
+    pub telemetry: Option<PathBuf>,
+    /// `--trace-out PATH`: write a Chrome `trace_event` timeline.
+    pub trace_out: Option<PathBuf>,
+    /// `--manifest PATH`: override the manifest path (default: next to
+    /// the CSV).
+    pub manifest: Option<PathBuf>,
+    /// `--progress`: force the live progress line on.
+    pub progress: bool,
+    /// `--quiet`: no progress line, no info messages (failures still
+    /// print — errors are not chatter).
+    pub quiet: bool,
+}
+
+impl ObsFlags {
+    /// Tries to consume `arg` (and its value, if any) as one of the
+    /// shared observability flags. Returns `false` when the flag is not
+    /// ours — the caller then reports it unrecognized.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the incomplete argument.
+    fn try_match<I: Iterator<Item = String>>(
+        &mut self,
+        arg: &str,
+        args: &mut I,
+    ) -> Result<bool, String> {
+        match arg {
+            "--telemetry" => {
+                self.telemetry =
+                    Some(PathBuf::from(args.next().ok_or("--telemetry needs a path argument")?));
+            }
+            "--trace-out" => {
+                self.trace_out =
+                    Some(PathBuf::from(args.next().ok_or("--trace-out needs a path argument")?));
+            }
+            "--manifest" => {
+                self.manifest =
+                    Some(PathBuf::from(args.next().ok_or("--manifest needs a path argument")?));
+            }
+            "--progress" => self.progress = true,
+            "--quiet" => self.quiet = true,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Validates flag combinations after parsing.
+    fn validate(&self) -> Result<(), String> {
+        if self.progress && self.quiet {
+            return Err("--progress conflicts with --quiet".into());
+        }
+        Ok(())
+    }
+
+    /// Whether the live progress line should render: forced on by
+    /// `--progress`, forced off by `--quiet`, otherwise on exactly when
+    /// stderr is a TTY and the run is not a `--resume` replay (resumed
+    /// runs are usually scripted recovery; their logs should stay clean).
+    pub fn progress_enabled(&self, resume: bool) -> bool {
+        if self.quiet {
+            return false;
+        }
+        self.progress || (std::io::stderr().is_terminal() && !resume)
+    }
+
+    /// Builds the [`Telemetry`] handle these flags ask for, with ETA
+    /// weights for the given sweep. Returns the zero-cost disabled handle
+    /// when nothing is requested.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the telemetry journal.
+    pub fn telemetry(
+        &self,
+        name: &str,
+        jobs: &[Job],
+        max_insts: u64,
+        resume: bool,
+    ) -> std::io::Result<Telemetry> {
+        Telemetry::create(
+            &TelemetryConfig {
+                name: name.to_owned(),
+                journal: self.telemetry.clone(),
+                chrome_out: self.trace_out.clone(),
+                progress: self.progress_enabled(resume),
+            },
+            cell_weights(jobs, max_insts),
+            max_insts,
+        )
+    }
+
+    /// Where the run manifest goes: `--manifest` when given, else next to
+    /// the result file.
+    pub fn manifest_path(&self, out: &Path) -> PathBuf {
+        self.manifest.clone().unwrap_or_else(|| manifest::manifest_path(out))
+    }
+}
 
 /// Parsed sweep-binary arguments.
 #[derive(Debug, Clone)]
@@ -27,6 +145,8 @@ pub struct SweepArgs {
     pub out: PathBuf,
     /// Resume from the checkpoint journal next to `out`.
     pub resume: bool,
+    /// Shared observability flags.
+    pub obs: ObsFlags,
 }
 
 impl SweepArgs {
@@ -37,7 +157,10 @@ impl SweepArgs {
             Ok(args) => args,
             Err(msg) => {
                 eprintln!("{msg}");
-                eprintln!("usage: [--out PATH] [--resume]   (default --out {default_out})");
+                eprintln!(
+                    "usage: [--out PATH] [--resume] {OBS_USAGE}   \
+                     (default --out {default_out})"
+                );
                 std::process::exit(2);
             }
         }
@@ -54,6 +177,7 @@ impl SweepArgs {
     ) -> Result<SweepArgs, String> {
         let mut out = PathBuf::from(default_out);
         let mut resume = false;
+        let mut obs = ObsFlags::default();
         let mut args = args.peekable();
         while let Some(arg) = args.next() {
             match arg.as_str() {
@@ -63,10 +187,15 @@ impl SweepArgs {
                         args.next().ok_or("--out needs a path argument")?,
                     );
                 }
-                other => return Err(format!("unrecognized argument `{other}`")),
+                other => {
+                    if !obs.try_match(other, &mut args)? {
+                        return Err(format!("unrecognized argument `{other}`"));
+                    }
+                }
             }
         }
-        Ok(SweepArgs { out, resume })
+        obs.validate()?;
+        Ok(SweepArgs { out, resume, obs })
     }
 
     /// The checkpoint spec for this invocation (journal lives next to the
@@ -96,6 +225,8 @@ pub struct ExploreArgs {
     pub full: bool,
     /// Grid scale.
     pub grid: crate::explore::GridScale,
+    /// Shared observability flags.
+    pub obs: ObsFlags,
 }
 
 impl ExploreArgs {
@@ -107,8 +238,8 @@ impl ExploreArgs {
             Err(msg) => {
                 eprintln!("{msg}");
                 eprintln!(
-                    "usage: [--out PATH] [--resume] [--full] [--grid tiny|full]   \
-                     (default --out {})",
+                    "usage: [--out PATH] [--resume] [--full] [--grid tiny|full] \
+                     {OBS_USAGE}   (default --out {})",
                     crate::explore::DEFAULT_OUT
                 );
                 std::process::exit(2);
@@ -127,6 +258,7 @@ impl ExploreArgs {
             resume: false,
             full: false,
             grid: crate::explore::GridScale::Full,
+            obs: ObsFlags::default(),
         };
         let mut args = args.peekable();
         while let Some(arg) = args.next() {
@@ -143,9 +275,14 @@ impl ExploreArgs {
                         .ok_or("--grid needs a scale argument (tiny|full)")?
                         .parse()?;
                 }
-                other => return Err(format!("unrecognized argument `{other}`")),
+                other => {
+                    if !parsed.obs.try_match(other, &mut args)? {
+                        return Err(format!("unrecognized argument `{other}`"));
+                    }
+                }
             }
         }
+        parsed.obs.validate()?;
         Ok(parsed)
     }
 
@@ -231,8 +368,22 @@ pub fn finish_report(
 
 /// Applies the uniform end-of-sweep policy (see the module docs) and
 /// returns the process exit code: 0 clean, 1 cell failures, 2 I/O errors.
-pub fn finish_sweep(name: &str, summary: &SweepSummary, csv: &str, out: &Path) -> ExitCode {
-    if summary.resumed > 0 {
+///
+/// On success the CSV is written atomically and a content-addressed run
+/// manifest lands next to it (or at `--manifest`), vouching for the CSV's
+/// bytes and carrying the cache key of `(code version, traces, configs,
+/// options)`. A sweep with failures writes neither.
+pub fn finish_sweep(
+    name: &str,
+    args: &SweepArgs,
+    jobs: &[Job],
+    max_insts: u64,
+    run: RunOptions,
+    summary: &SweepSummary,
+    csv: &str,
+) -> ExitCode {
+    let out = args.out.as_path();
+    if summary.resumed > 0 && !args.obs.quiet {
         eprintln!(
             "{name}: resumed {} of {} cells from {}",
             summary.resumed,
@@ -245,7 +396,23 @@ pub fn finish_sweep(name: &str, summary: &SweepSummary, csv: &str, out: &Path) -
             eprintln!("{name}: error: writing {}: {e}", out.display());
             return ExitCode::from(2);
         }
-        eprintln!("{name}: wrote {}", out.display());
+        let manifest_out = args.obs.manifest_path(out);
+        if let Err(e) = manifest::write_manifest(
+            &manifest_out,
+            name,
+            jobs,
+            max_insts,
+            run,
+            summary,
+            &[out],
+        ) {
+            eprintln!("{name}: error: manifest: {e}");
+            return ExitCode::from(2);
+        }
+        if !args.obs.quiet {
+            eprintln!("{name}: wrote {}", out.display());
+            eprintln!("{name}: wrote {}", manifest_out.display());
+        }
         ExitCode::SUCCESS
     } else {
         for failure in &summary.failures {
@@ -317,6 +484,85 @@ mod tests {
         );
         assert!(parse_out(&["--resume"]).unwrap_err().contains("resume"));
         assert!(parse_out(&["--out"]).unwrap_err().contains("path"));
+    }
+
+    #[test]
+    fn obs_flags_parse_on_both_arg_types() {
+        let a = parse(&[
+            "--telemetry", "/tmp/t.jsonl", "--trace-out", "/tmp/t.trace.json",
+            "--manifest", "/tmp/t.manifest.json", "--quiet",
+        ])
+        .unwrap();
+        assert_eq!(a.obs.telemetry, Some(PathBuf::from("/tmp/t.jsonl")));
+        assert_eq!(a.obs.trace_out, Some(PathBuf::from("/tmp/t.trace.json")));
+        assert_eq!(a.obs.manifest, Some(PathBuf::from("/tmp/t.manifest.json")));
+        assert!(a.obs.quiet && !a.obs.progress);
+
+        let e = ExploreArgs::try_parse(
+            ["--progress", "--telemetry", "/tmp/e.jsonl"].iter().map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert!(e.obs.progress);
+        assert_eq!(e.obs.telemetry, Some(PathBuf::from("/tmp/e.jsonl")));
+
+        assert!(parse(&["--telemetry"]).unwrap_err().contains("path"));
+        assert!(parse(&["--progress", "--quiet"]).unwrap_err().contains("conflicts"));
+    }
+
+    #[test]
+    fn progress_rules() {
+        // Test processes have no TTY on stderr, so auto mode is off and
+        // only the explicit flags matter.
+        let auto = ObsFlags::default();
+        assert!(!auto.progress_enabled(false), "no TTY in tests");
+        let forced = ObsFlags { progress: true, ..ObsFlags::default() };
+        assert!(forced.progress_enabled(false));
+        assert!(forced.progress_enabled(true), "explicit --progress wins over --resume");
+        let quiet = ObsFlags { quiet: true, ..ObsFlags::default() };
+        assert!(!quiet.progress_enabled(false));
+    }
+
+    #[test]
+    fn manifest_path_defaults_next_to_csv_and_obeys_override() {
+        let obs = ObsFlags::default();
+        assert_eq!(
+            obs.manifest_path(Path::new("results/fig13_ipc.csv")),
+            PathBuf::from("results/fig13_ipc.manifest.json")
+        );
+        let obs = ObsFlags { manifest: Some(PathBuf::from("/tmp/m.json")), ..obs };
+        assert_eq!(obs.manifest_path(Path::new("results/fig13_ipc.csv")), PathBuf::from("/tmp/m.json"));
+    }
+
+    /// A successful sweep finishes into a CSV *and* a schema-tagged
+    /// manifest whose artifact entry hashes the CSV bytes.
+    #[test]
+    fn finish_sweep_writes_csv_and_manifest() {
+        use ce_workloads::Benchmark;
+        let dir = std::env::temp_dir().join(format!("ce-finish-sweep-{}", std::process::id()));
+        let out = dir.join("mini.csv");
+        let jobs: Vec<Job> =
+            vec![(Benchmark::Compress, ce_sim::machine::baseline_8way())];
+        let summary = crate::runner::run_sweep(&jobs, 2_000, RunOptions::default());
+        let args = SweepArgs {
+            out: out.clone(),
+            resume: false,
+            obs: ObsFlags { quiet: true, ..ObsFlags::default() },
+        };
+        let code =
+            finish_sweep("mini", &args, &jobs, 2_000, RunOptions::default(), &summary, "a,b\n");
+        assert_eq!(format!("{code:?}"), format!("{:?}", ExitCode::SUCCESS));
+        assert_eq!(std::fs::read_to_string(&out).unwrap(), "a,b\n");
+        let manifest_text = std::fs::read_to_string(dir.join("mini.manifest.json")).unwrap();
+        let doc = crate::json::Json::parse(&manifest_text).unwrap();
+        use crate::json::Json;
+        assert_eq!(
+            doc.at("schema").and_then(Json::as_str),
+            Some(crate::manifest::MANIFEST_SCHEMA)
+        );
+        assert_eq!(doc.at("cells").and_then(Json::as_u64), Some(1));
+        assert_eq!(doc.at("artifacts.0.bytes").and_then(Json::as_u64), Some(4));
+        assert_eq!(doc.at("cache_key").and_then(Json::as_str).map(str::len), Some(16));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -49,6 +49,7 @@ use ce_workloads::Benchmark;
 
 use crate::checkpoint::CheckpointSpec;
 use crate::runner::{run_sweep_ft, Job, RunOptions, RunPolicy, SweepOptions, SweepSummary};
+use crate::telemetry::Telemetry;
 use std::fmt::Write as _;
 
 /// Which slice of the joint design space to enumerate.
@@ -350,6 +351,12 @@ pub struct ExploreReport {
     pub summary: Option<SweepSummary>,
     /// Whether IPC came from sampled runs (`false` = exact `--full`).
     pub sampled: bool,
+    /// The IPC sweep's job list (simulatable point × kernel, the grid the
+    /// summary indexes) and per-cell options — what a caller needs to
+    /// write a [`crate::manifest`] for the run.
+    pub jobs: Vec<Job>,
+    /// Per-cell run options the sweep used.
+    pub run: RunOptions,
 }
 
 /// How to run the explorer.
@@ -364,6 +371,39 @@ pub struct ExploreOptions {
     /// Checkpoint the IPC sweep here (`None` disables journaling — unit
     /// tests).
     pub checkpoint: Option<CheckpointSpec>,
+    /// Engine telemetry sink for the IPC sweep (disabled by default; see
+    /// [`crate::telemetry`]).
+    pub telemetry: Telemetry,
+}
+
+/// The indices of the grid points that become simulation jobs: valid for
+/// the simulator and clockable by at least one technology.
+fn simulated_indices(points: &[DesignPoint]) -> Vec<usize> {
+    let techs = Technology::all();
+    (0..points.len())
+        .filter(|&i| {
+            points[i].cfg.validate().is_ok() && {
+                let mp = machine_params(&points[i].cfg);
+                techs.iter().any(|t| MachineClock::try_compute(t, &mp).is_ok())
+            }
+        })
+        .collect()
+}
+
+/// The exact sweep jobs [`explore`] will run for this grid scale, in
+/// sweep order: every (simulatable point × kernel) cell. Exposed so the
+/// `ce-explore` binary can build telemetry ETA weights and the manifest
+/// cache key from the same job list the explorer uses.
+pub fn explore_jobs(scale: GridScale) -> Vec<Job> {
+    let points = grid(scale);
+    let benches = Benchmark::all();
+    simulated_indices(&points)
+        .into_iter()
+        .flat_map(|i| {
+            let cfg = points[i].cfg;
+            benches.iter().map(move |&b| (b, cfg))
+        })
+        .collect()
 }
 
 /// Runs the explorer: enumerate, price the delay side, sweep the IPC
@@ -400,9 +440,14 @@ pub fn explore(opts: &ExploreOptions) -> std::io::Result<ExploreReport> {
 
     // The IPC half: one sweep over (simulatable point × kernel).
     let benches = Benchmark::all();
-    let simulated: Vec<usize> = (0..points.len())
-        .filter(|&i| sim_valid[i].is_ok() && delay[i].iter().any(Result::is_ok))
-        .collect();
+    let simulated = simulated_indices(&points);
+    debug_assert_eq!(
+        simulated,
+        (0..points.len())
+            .filter(|&i| sim_valid[i].is_ok() && delay[i].iter().any(Result::is_ok))
+            .collect::<Vec<_>>(),
+        "explore_jobs and explore must agree on the simulated set"
+    );
     let jobs: Vec<Job> = simulated
         .iter()
         .flat_map(|&i| {
@@ -411,6 +456,7 @@ pub fn explore(opts: &ExploreOptions) -> std::io::Result<ExploreReport> {
         })
         .collect();
     let sampling = (!opts.exact).then(SamplingConfig::default);
+    let run = RunOptions { sampled: sampling, ..RunOptions::default() };
     let summary = if jobs.is_empty() {
         None
     } else {
@@ -418,9 +464,10 @@ pub fn explore(opts: &ExploreOptions) -> std::io::Result<ExploreReport> {
             &jobs,
             opts.max_insts,
             &SweepOptions {
-                run: RunOptions { sampled: sampling, ..RunOptions::default() },
+                run,
                 policy: RunPolicy::default(),
                 checkpoint: opts.checkpoint.clone(),
+                telemetry: opts.telemetry.clone(),
             },
         )?)
     };
@@ -473,7 +520,7 @@ pub fn explore(opts: &ExploreOptions) -> std::io::Result<ExploreReport> {
     }
     mark_frontier(&mut rows);
 
-    Ok(ExploreReport { points, rows, summary, sampled: !opts.exact })
+    Ok(ExploreReport { points, rows, summary, sampled: !opts.exact, jobs, run })
 }
 
 /// Marks `dominated` on every scored row: within one technology, a point
@@ -732,6 +779,7 @@ mod tests {
             exact: false,
             max_insts: 3_000,
             checkpoint: None,
+            telemetry: Telemetry::default(),
         })
         .expect("no journal, no I/O");
         assert_eq!(report.rows.len(), 8 * 3, "every point × technology has a row");
@@ -829,6 +877,7 @@ mod tests {
                 exact,
                 max_insts: 800,
                 checkpoint: None,
+                telemetry: Telemetry::default(),
             })
             .expect("no journal, no I/O")
         };

@@ -15,6 +15,8 @@
 //! | config perturbation | seeded field mutation | `validate()` rejection; clean checked run |
 //! | scheduler fault | [`FaultSpec`] gate | checker abort; deadlock/panic containment; bit-identical stats (masked) |
 
+use std::time::{Duration, Instant};
+
 use ce_sim::{machine, FaultKind, FaultSpec, SimConfig, SimError, SimStats, Simulator};
 use ce_workloads::{
     corrupt_trace_text, parse_trace, trace_cached, trace_io::format_trace, Benchmark, Trace,
@@ -64,6 +66,8 @@ pub struct CaseReport {
     pub outcome: Outcome,
     /// The detecting error, or what made the case harmless/visible.
     pub detail: String,
+    /// Wall time of this case: injection, parse, and any checked runs.
+    pub wall: Duration,
 }
 
 /// The full campaign result.
@@ -138,6 +142,7 @@ fn trace_corruption_cases(seed: u64, cases: &mut Vec<CaseReport>) {
     for kind in TraceCorruption::ALL {
         for s in 0..12u64 {
             let name = format!("trace/{kind} seed={s}");
+            let start = Instant::now();
             let mutated = corrupt_trace_text(&text, kind, seed ^ (s << 8) ^ kind as u64);
             let (outcome, detail) = match parse_trace(&mutated) {
                 Err(e) => (Outcome::Detected, format!("parser: {e}")),
@@ -159,7 +164,7 @@ fn trace_corruption_cases(seed: u64, cases: &mut Vec<CaseReport>) {
                     Err(e) => (Outcome::Silent, format!("escaped validation: {e}")),
                 },
             };
-            cases.push(CaseReport { name, outcome, detail });
+            cases.push(CaseReport { name, outcome, detail, wall: start.elapsed() });
         }
     }
 }
@@ -172,6 +177,7 @@ fn config_perturbation_cases(seed: u64, cases: &mut Vec<CaseReport>) {
         trace_cached(Benchmark::Li, CAMPAIGN_INSTS).expect("bundled kernel traces");
     let mut rng = StdRng::seed_from_u64(seed ^ 0xc0f1);
     for i in 0..40 {
+        let start = Instant::now();
         let mut cfg = match rng.gen_range(0..3u32) {
             0 => machine::baseline_8way(),
             1 => machine::dependence_8way(),
@@ -237,7 +243,7 @@ fn config_perturbation_cases(seed: u64, cases: &mut Vec<CaseReport>) {
                 Err(e) => (Outcome::Silent, format!("validation accepted it, then: {e}")),
             },
         };
-        cases.push(CaseReport { name, outcome, detail });
+        cases.push(CaseReport { name, outcome, detail, wall: start.elapsed() });
     }
 }
 
@@ -257,6 +263,7 @@ fn scheduler_injection_cases(seed: u64, cases: &mut Vec<CaseReport>) {
             // with different seeds probe different cycles.
             let at_cycle = if c == 5 { horizon } else { rng.gen_range(0..clean.cycles) };
             let name = format!("sched/{kind} cycle={at_cycle}");
+            let start = Instant::now();
             let mut faulty = cfg;
             faulty.fault = Some(FaultSpec { kind, at_cycle });
             faulty.check = true;
@@ -290,7 +297,7 @@ fn scheduler_injection_cases(seed: u64, cases: &mut Vec<CaseReport>) {
                     }
                 }
             };
-            cases.push(CaseReport { name, outcome, detail });
+            cases.push(CaseReport { name, outcome, detail, wall: start.elapsed() });
         }
     }
 }

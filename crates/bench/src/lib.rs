@@ -39,8 +39,10 @@ pub mod delay_csv;
 pub mod explore;
 pub mod fault;
 pub mod json;
+pub mod manifest;
 pub mod metrics_check;
 pub mod runner;
+pub mod telemetry;
 
 /// Default per-benchmark dynamic instruction cap. Every kernel completes
 /// below this, so by default the experiments run each program to

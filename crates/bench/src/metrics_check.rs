@@ -46,16 +46,25 @@ fn type_matches(value: &Json, ty: &str) -> bool {
     }
 }
 
-/// Validates a metrics document against a schema file, returning every
-/// problem found (empty means the document passes).
-pub fn validate(doc: &Json, schema: &Json) -> Vec<String> {
+/// The generic half of schema validation, shared by the metrics and
+/// manifest checkers: the schema file must carry `schema_file_tag`, the
+/// document must carry `doc_tag`, and every path in the schema file's
+/// `required` map must be present in the document with a matching type
+/// (`|`-joined unions allowed). Returns every problem found; semantic
+/// invariants beyond shape are the caller's job.
+pub fn check_required(
+    doc: &Json,
+    schema: &Json,
+    schema_file_tag: &str,
+    doc_tag: &str,
+) -> Vec<String> {
     let mut problems = Vec::new();
 
     match schema.at("schema").and_then(Json::as_str) {
-        Some(SCHEMA_FILE_SCHEMA) => {}
+        Some(tag) if tag == schema_file_tag => {}
         other => {
             problems.push(format!(
-                "schema file: expected \"schema\": \"{SCHEMA_FILE_SCHEMA}\", found {other:?}"
+                "schema file: expected \"schema\": \"{schema_file_tag}\", found {other:?}"
             ));
             return problems;
         }
@@ -65,7 +74,6 @@ pub fn validate(doc: &Json, schema: &Json) -> Vec<String> {
         return problems;
     };
 
-    // Shape: every required path present with a matching type.
     for (path, ty) in required {
         let Some(ty) = ty.as_str() else {
             problems.push(format!("schema file: type for `{path}` is not a string"));
@@ -84,12 +92,24 @@ pub fn validate(doc: &Json, schema: &Json) -> Vec<String> {
         }
     }
 
-    // Semantics: the document tag.
     match doc.at("schema").and_then(Json::as_str) {
-        Some(METRICS_SCHEMA) => {}
-        other => problems.push(format!(
-            "expected \"schema\": \"{METRICS_SCHEMA}\", found {other:?}"
-        )),
+        Some(tag) if tag == doc_tag => {}
+        other => {
+            problems.push(format!("expected \"schema\": \"{doc_tag}\", found {other:?}"));
+        }
+    }
+
+    problems
+}
+
+/// Validates a metrics document against a schema file, returning every
+/// problem found (empty means the document passes).
+pub fn validate(doc: &Json, schema: &Json) -> Vec<String> {
+    // Shape + tags are the generic checker; the rest is this document
+    // family's semantics.
+    let mut problems = check_required(doc, schema, SCHEMA_FILE_SCHEMA, METRICS_SCHEMA);
+    if problems.iter().any(|p| p.starts_with("schema file:")) {
+        return problems;
     }
 
     // Semantics: the issue histogram covers widths 0..=16.

@@ -58,6 +58,7 @@ use ce_sim::{
 use ce_workloads::{trace_cached, Benchmark};
 
 use crate::checkpoint::{sweep_id, CheckpointSpec, Journal};
+use crate::telemetry::{Event, Telemetry, TelemetrySink as _};
 
 /// One unit of simulation work: a benchmark kernel on a machine config.
 pub type Job = (Benchmark, SimConfig);
@@ -275,6 +276,13 @@ pub struct SweepOptions {
     /// Journal completed cells here (and resume from it when its `resume`
     /// flag is set). `None` disables checkpointing.
     pub checkpoint: Option<CheckpointSpec>,
+    /// Engine telemetry sink (see [`crate::telemetry`]). The default
+    /// disabled handle costs one branch per would-be event; enabled
+    /// telemetry observes timing only and can never change results.
+    /// Deliberately *not* part of [`RunOptions`]: the sweep id and the
+    /// cache key hash those, and observability must not invalidate
+    /// checkpoints.
+    pub telemetry: Telemetry,
 }
 
 /// Aggregate result of one sweep, as returned by [`run_sweep_ft`] /
@@ -364,6 +372,14 @@ pub fn schedule_order(jobs: &[Job], max_insts: u64) -> Vec<usize> {
     order
 }
 
+/// The per-cell cost estimates behind [`schedule_order`], in input order.
+/// The telemetry progress line weights its ETA with these — the same
+/// estimates that decide dispatch order — so progress tracks simulated
+/// work, not cell count.
+pub fn cell_weights(jobs: &[Job], max_insts: u64) -> Vec<u64> {
+    jobs.iter().map(|job| cell_cost(job, max_insts)).collect()
+}
+
 /// Worker-pool size: `CE_THREADS` if set to a positive integer, else the
 /// machine's available parallelism.
 pub fn threads() -> usize {
@@ -448,25 +464,56 @@ fn run_cell(
     }
 }
 
-/// [`run_cell`] under the retry policy. Returns the final outcome and how
-/// many attempts were made.
+/// [`run_cell`] under the retry policy, narrated to the telemetry sink:
+/// every attempt gets a start/end span (the end marked `last` when no
+/// retry follows) and every retry sleep a backoff event. Returns the
+/// final outcome and how many attempts were made.
 fn run_cell_with_retry(
-    bench: Benchmark,
-    cfg: SimConfig,
+    cell: usize,
+    worker: usize,
+    (bench, cfg): Job,
     max_insts: u64,
     policy: &RunPolicy,
     sampled: Option<SamplingConfig>,
+    tel: &Telemetry,
 ) -> (Result<TimedResult, RunError>, u32) {
     let max_attempts = policy.max_attempts.max(1);
     let mut attempt = 1;
     loop {
-        match run_cell(bench, cfg, max_insts, policy.cell_timeout, sampled) {
-            Err(e) if e.is_transient() && attempt < max_attempts => {
-                std::thread::sleep(policy.backoff_base * 2u32.pow(attempt - 1));
-                attempt += 1;
-            }
-            outcome => return (outcome, attempt),
+        if tel.enabled() {
+            tel.emit(Event::AttemptStart { cell, bench, worker, attempt });
         }
+        let start = Instant::now();
+        let outcome = run_cell(bench, cfg, max_insts, policy.cell_timeout, sampled);
+        let retrying = matches!(&outcome, Err(e) if e.is_transient() && attempt < max_attempts);
+        if tel.enabled() {
+            tel.emit(Event::AttemptEnd {
+                cell,
+                worker,
+                attempt,
+                outcome: match &outcome {
+                    Ok(_) => "ok",
+                    Err(e) => e.category(),
+                },
+                wall_us: u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX),
+                cycles: outcome.as_ref().map_or(0, |r| r.stats.cycles),
+                last: !retrying,
+            });
+        }
+        if !retrying {
+            return (outcome, attempt);
+        }
+        let sleep = policy.backoff_base * 2u32.pow(attempt - 1);
+        if tel.enabled() {
+            tel.emit(Event::Backoff {
+                cell,
+                worker,
+                attempt,
+                sleep_us: u64::try_from(sleep.as_micros()).unwrap_or(u64::MAX),
+            });
+        }
+        std::thread::sleep(sleep);
+        attempt += 1;
     }
 }
 
@@ -488,6 +535,7 @@ fn execute<F>(
     run: RunOptions,
     policy: &RunPolicy,
     skip: &[bool],
+    tel: &Telemetry,
     on_done: F,
 ) -> Vec<Option<CellOutcome>>
 where
@@ -504,10 +552,12 @@ where
     let quarantine: Mutex<HashMap<Job, (usize, RunError)>> = Mutex::new(HashMap::new());
 
     std::thread::scope(|scope| {
+        let (next, order, slots, quarantine, on_done) =
+            (&next, &order, &slots, &quarantine, &on_done);
         for w in 0..workers {
             std::thread::Builder::new()
                 .name(format!("ce-cell-{w}"))
-                .spawn_scoped(scope, || loop {
+                .spawn_scoped(scope, move || loop {
                     let k = next.fetch_add(1, Ordering::Relaxed);
                     if k >= n {
                         break;
@@ -524,14 +574,18 @@ where
                         None
                     };
                     let outcome = if let Some((first, error)) = known_bad {
+                        if tel.enabled() {
+                            tel.emit(Event::Quarantined { cell: i, worker: w, first });
+                        }
                         CellOutcome {
                             result: Err(error),
                             attempts: 0,
                             quarantined_after: Some(first),
                         }
                     } else {
-                        let (result, attempts) =
-                            run_cell_with_retry(bench, cfg, max_insts, policy, run.sampled);
+                        let (result, attempts) = run_cell_with_retry(
+                            i, w, (bench, cfg), max_insts, policy, run.sampled, tel,
+                        );
                         if let Err(e) = &result {
                             if policy.quarantine && !e.is_transient() {
                                 quarantine
@@ -606,7 +660,7 @@ pub fn try_run_timed_with(
     opts: RunOptions,
 ) -> Vec<Result<TimedResult, RunError>> {
     let skip = vec![false; jobs.len()];
-    execute(jobs, max_insts, opts, &RunPolicy::default(), &skip, |_, _| {})
+    execute(jobs, max_insts, opts, &RunPolicy::default(), &skip, &Telemetry::default(), |_, _| {})
         .into_iter()
         .map(|o| o.expect("unskipped slot filled").result)
         .collect()
@@ -628,7 +682,7 @@ pub fn run_sweep(jobs: &[Job], max_insts: u64, opts: RunOptions) -> SweepSummary
     let summary = run_sweep_ft(
         jobs,
         max_insts,
-        &SweepOptions { run: opts, policy: RunPolicy::default(), checkpoint: None },
+        &SweepOptions { run: opts, ..SweepOptions::default() },
     )
     .expect("no checkpoint, no I/O to fail");
     if let Some(failure) = summary.failures.first() {
@@ -673,10 +727,37 @@ pub fn run_sweep_ft(
     let resumed = recovered.iter().filter(|c| c.is_some()).count();
     let skip: Vec<bool> = recovered.iter().map(Option::is_some).collect();
 
+    let tel = &opts.telemetry;
+    if tel.enabled() {
+        tel.emit(Event::SweepBegin {
+            cells: jobs.len(),
+            threads: threads().min(jobs.len()),
+            resumed,
+            max_insts,
+        });
+        for (i, cell) in recovered.iter().enumerate() {
+            if let Some(r) = cell {
+                tel.emit(Event::CellResumed {
+                    cell: i,
+                    wall_us: u64::try_from(r.wall.as_micros()).unwrap_or(u64::MAX),
+                });
+            }
+        }
+    }
+
     let journal_err: Mutex<Option<std::io::Error>> = Mutex::new(None);
-    let outcomes = execute(jobs, max_insts, opts.run, &opts.policy, &skip, |i, result| {
+    let outcomes = execute(jobs, max_insts, opts.run, &opts.policy, &skip, tel, |i, result| {
         if let Some(journal) = &journal {
-            if let Err(e) = journal.lock().expect("journal poisoned").record(i, result) {
+            let write_start = Instant::now();
+            let appended = journal.lock().expect("journal poisoned").record(i, result);
+            if tel.enabled() {
+                tel.emit(Event::CheckpointWrite {
+                    cell: i,
+                    write_us: u64::try_from(write_start.elapsed().as_micros())
+                        .unwrap_or(u64::MAX),
+                });
+            }
+            if let Err(e) = appended {
                 journal_err.lock().expect("journal error slot").get_or_insert(e);
             }
         }
@@ -706,6 +787,14 @@ pub fn run_sweep_ft(
         if let Some(journal) = journal {
             journal.into_inner().expect("journal poisoned").finish();
         }
+    }
+
+    if tel.enabled() {
+        tel.emit(Event::SweepEnd {
+            ok: cells.iter().flatten().count(),
+            failed: failures.len(),
+            wall_us: u64::try_from(sweep_wall.as_micros()).unwrap_or(u64::MAX),
+        });
     }
 
     let ok = || cells.iter().flatten();
