@@ -87,7 +87,7 @@ fn main() -> ExitCode {
     for (path, csv) in [(&args.out, pareto_csv(&report)), (&tab02_out, tab02_explore_csv(&report))]
     {
         if let Err(e) = write_atomic(path, &csv) {
-            eprintln!("ce-explore: error: writing {}: {e}", path.display());
+            eprintln!("ce-explore: error[io]: writing {}: {e}", path.display());
             return ExitCode::from(2);
         }
         if !args.obs.quiet {
@@ -105,7 +105,7 @@ fn main() -> ExitCode {
             summary,
             &[&args.out, &tab02_out],
         ) {
-            eprintln!("ce-explore: error: manifest: {e}");
+            eprintln!("ce-explore: error[io]: manifest: {e}");
             return ExitCode::from(2);
         }
         if !args.obs.quiet {

@@ -1,0 +1,95 @@
+//! `cesimd` — the persistent experiment daemon.
+//!
+//! ```text
+//! cesimd [--socket PATH] [--state DIR] [--max-pending N]
+//!        [--degrade-pending N] [--quiet]
+//!
+//!   --socket PATH       Unix socket to listen on
+//!                       (default: <state>/cesimd.sock)
+//!   --state DIR         state directory: WAL, result store, journals,
+//!                       artifacts (default: cesimd-state)
+//!   --max-pending N     reject submissions beyond N pending jobs (8)
+//!   --degrade-pending N degrade opt-in jobs to sampled mode at N (4)
+//!   --quiet             suppress informational stderr lines
+//! ```
+//!
+//! Protocol, store layout, and the crash-recovery contract are
+//! documented in `ce_bench::service` and DESIGN.md. Talk to it with
+//! `cesimctl`. Stop it with SIGTERM (drains, then exits 0); `kill -9`
+//! is recoverable — the next start resumes every interrupted job.
+//!
+//! Exit codes: 0 clean shutdown, 2 startup/usage errors (reported as a
+//! structured `error[io]`/usage line).
+
+#[cfg(unix)]
+fn main() -> std::process::ExitCode {
+    use ce_bench::service::{run, ServiceConfig};
+    use std::path::PathBuf;
+
+    let mut state_dir = PathBuf::from("cesimd-state");
+    let mut socket: Option<PathBuf> = None;
+    let mut max_pending = 8usize;
+    let mut degrade_pending = 4usize;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    let usage = || {
+        eprintln!(
+            "usage: cesimd [--socket PATH] [--state DIR] [--max-pending N] \
+             [--degrade-pending N] [--quiet]"
+        );
+        std::process::ExitCode::from(2)
+    };
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next().ok_or_else(|| format!("{what} requires a value"))
+        };
+        let result: Result<(), String> = (|| {
+            match arg.as_str() {
+                "--socket" => socket = Some(PathBuf::from(value("--socket")?)),
+                "--state" => state_dir = PathBuf::from(value("--state")?),
+                "--max-pending" => {
+                    max_pending = value("--max-pending")?
+                        .parse()
+                        .map_err(|e| format!("bad --max-pending: {e}"))?;
+                }
+                "--degrade-pending" => {
+                    degrade_pending = value("--degrade-pending")?
+                        .parse()
+                        .map_err(|e| format!("bad --degrade-pending: {e}"))?;
+                }
+                "--quiet" => quiet = true,
+                "--help" | "-h" => return Err(String::new()),
+                other => return Err(format!("unknown argument `{other}`")),
+            }
+            Ok(())
+        })();
+        if let Err(msg) = result {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            return usage();
+        }
+    }
+
+    let config = ServiceConfig {
+        socket: socket.unwrap_or_else(|| state_dir.join("cesimd.sock")),
+        state_dir,
+        max_pending,
+        degrade_pending,
+        quiet,
+    };
+    match run(config) {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("cesimd: error[io]: {e}");
+            std::process::ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(not(unix))]
+fn main() -> std::process::ExitCode {
+    eprintln!("cesimd: error[io]: Unix domain sockets are unavailable on this platform");
+    std::process::ExitCode::from(2)
+}

@@ -228,7 +228,7 @@ fn main() -> ExitCode {
     failures += usize::from(!fuzz_pass);
 
     if let Err(e) = write_atomic(&args.out, &csv) {
-        eprintln!("delaycheck: error: writing {}: {e}", args.out.display());
+        eprintln!("delaycheck: error[io]: writing {}: {e}", args.out.display());
         return ExitCode::from(2);
     }
     eprintln!("delaycheck: wrote {}", args.out.display());

@@ -17,28 +17,32 @@
 //! killed run restarted with `--resume` re-simulates only unfinished
 //! cells and writes a byte-identical CSV.
 
-use std::fmt::Write as _;
 use std::process::ExitCode;
 
+use ce_bench::api::{self, SweepKind};
 use ce_bench::cli::{finish_sweep, SweepArgs};
-use ce_bench::runner::{self, RunOptions, SweepOptions};
-use ce_sim::{machine, StallCause};
+use ce_bench::runner::{self, SweepOptions};
+use ce_sim::StallCause;
 use ce_workloads::Benchmark;
 
 fn main() -> ExitCode {
     let args = SweepArgs::parse("results/fig13_ipc.csv");
-    let machines = [("window", machine::baseline_8way()), ("fifos", machine::dependence_8way())];
-    let jobs = runner::grid(&machines);
+    // The computation (grid + options) and the CSV renderer come from the
+    // shared api plan, so this binary and the cesimd service provably
+    // produce the same bytes.
+    let machines = api::fig13_machines();
+    let plan = api::plan(SweepKind::Fig13);
+    let jobs = plan.jobs;
     let max_insts = ce_bench::max_insts();
     let telemetry = match args.obs.telemetry("fig13_ipc", &jobs, max_insts, args.resume) {
         Ok(t) => t,
         Err(e) => {
-            eprintln!("fig13_ipc: error: telemetry journal: {e}");
+            eprintln!("fig13_ipc: error[io]: telemetry journal: {e}");
             return ExitCode::from(2);
         }
     };
     let opts = SweepOptions {
-        run: RunOptions { attribution: true, ..RunOptions::default() },
+        run: plan.run,
         checkpoint: Some(args.checkpoint()),
         telemetry,
         ..SweepOptions::default()
@@ -46,13 +50,14 @@ fn main() -> ExitCode {
     let summary = match runner::run_sweep_ft(&jobs, max_insts, &opts) {
         Ok(summary) => summary,
         Err(e) => {
-            eprintln!("fig13_ipc: error: checkpoint journal: {e}");
+            eprintln!("fig13_ipc: error[io]: checkpoint journal: {e}");
             return ExitCode::from(2);
         }
     };
 
-    let mut csv = String::from("benchmark,window_ipc,dependence_ipc\n");
+    let mut csv = String::new();
     if summary.all_ok() {
+        csv = api::fig13_csv(&summary);
         println!("Figure 13: IPC, baseline window vs dependence-based FIFOs (8-way)");
         println!(
             "{:<10} {:>10} {:>12} {:>12} {:>10}",
@@ -78,7 +83,6 @@ fn main() -> ExitCode {
                 degradation,
                 fifo_head
             );
-            let _ = writeln!(csv, "{},{:.3},{:.3}", bench.name(), win.ipc(), dep.ipc());
         }
         let mean = degradations.iter().sum::<f64>() / degradations.len() as f64;
         let max = degradations.iter().cloned().fold(f64::MIN, f64::max);

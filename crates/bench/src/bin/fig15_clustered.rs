@@ -10,31 +10,32 @@
 //! killed run restarted with `--resume` re-simulates only unfinished
 //! cells and writes a byte-identical CSV.
 
-use std::fmt::Write as _;
 use std::process::ExitCode;
 
+use ce_bench::api::{self, SweepKind};
 use ce_bench::cli::{finish_sweep, SweepArgs};
 use ce_bench::runner::{self, SweepOptions};
 use ce_core::analysis::{mean_improvement, MachineSpec, Speedup};
 use ce_delay::{FeatureSize, Technology};
-use ce_sim::machine;
 use ce_workloads::Benchmark;
 
 fn main() -> ExitCode {
     let args = SweepArgs::parse("results/fig15_clustered.csv");
     let tech = Technology::new(FeatureSize::U018);
-    let machines =
-        [("window", machine::baseline_8way()), ("2x4", machine::clustered_fifos_8way())];
-    let jobs = runner::grid(&machines);
+    // Grid, options, and the CSV renderer come from the shared api plan
+    // (see `ce_bench::api`): this binary and cesimd emit the same bytes.
+    let plan = api::plan(SweepKind::Fig15);
+    let jobs = plan.jobs;
     let max_insts = ce_bench::max_insts();
     let telemetry = match args.obs.telemetry("fig15_clustered", &jobs, max_insts, args.resume) {
         Ok(t) => t,
         Err(e) => {
-            eprintln!("fig15_clustered: error: telemetry journal: {e}");
+            eprintln!("fig15_clustered: error[io]: telemetry journal: {e}");
             return ExitCode::from(2);
         }
     };
     let opts = SweepOptions {
+        run: plan.run,
         checkpoint: Some(args.checkpoint()),
         telemetry,
         ..SweepOptions::default()
@@ -42,13 +43,14 @@ fn main() -> ExitCode {
     let summary = match runner::run_sweep_ft(&jobs, max_insts, &opts) {
         Ok(summary) => summary,
         Err(e) => {
-            eprintln!("fig15_clustered: error: checkpoint journal: {e}");
+            eprintln!("fig15_clustered: error[io]: checkpoint journal: {e}");
             return ExitCode::from(2);
         }
     };
 
-    let mut csv = String::from("benchmark,window_ipc,clustered_ipc,ic_bypass_pct,speedup\n");
+    let mut csv = String::new();
     if summary.all_ok() {
+        csv = api::fig15_csv(&summary);
         println!("Figure 15: IPC, 64-entry window 8-way vs 2-cluster dependence-based 8-way");
         println!(
             "{:<10} {:>10} {:>12} {:>12} {:>10} {:>9}",
@@ -72,15 +74,6 @@ fn main() -> ExitCode {
                 win.ipc(),
                 dep.ipc(),
                 s.ipc_degradation() * 100.0,
-                dep.intercluster_bypass_frequency() * 100.0,
-                s.speedup
-            );
-            let _ = writeln!(
-                csv,
-                "{},{:.3},{:.3},{:.1},{:.3}",
-                bench.name(),
-                win.ipc(),
-                dep.ipc(),
                 dep.intercluster_bypass_frequency() * 100.0,
                 s.speedup
             );

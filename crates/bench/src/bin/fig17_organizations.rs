@@ -9,28 +9,31 @@
 //! killed run restarted with `--resume` re-simulates only unfinished
 //! cells and writes a byte-identical CSV.
 
-use std::fmt::Write as _;
 use std::process::ExitCode;
 
+use ce_bench::api::{self, SweepKind};
 use ce_bench::cli::{finish_sweep, SweepArgs};
-use ce_bench::runner::{self, RunOptions, SweepOptions};
+use ce_bench::runner::{self, SweepOptions};
 use ce_sim::{machine, StallCause};
 use ce_workloads::Benchmark;
 
 fn main() -> ExitCode {
     let args = SweepArgs::parse("results/fig17_organizations.csv");
     let machines = machine::figure17_machines();
-    let jobs = runner::grid(&machines);
+    // Grid, options, and the CSV renderer come from the shared api plan
+    // (see `ce_bench::api`): this binary and cesimd emit the same bytes.
+    let plan = api::plan(SweepKind::Fig17);
+    let jobs = plan.jobs;
     let max_insts = ce_bench::max_insts();
     let telemetry = match args.obs.telemetry("fig17_organizations", &jobs, max_insts, args.resume) {
         Ok(t) => t,
         Err(e) => {
-            eprintln!("fig17_organizations: error: telemetry journal: {e}");
+            eprintln!("fig17_organizations: error[io]: telemetry journal: {e}");
             return ExitCode::from(2);
         }
     };
     let opts = SweepOptions {
-        run: RunOptions { attribution: true, ..RunOptions::default() },
+        run: plan.run,
         checkpoint: Some(args.checkpoint()),
         telemetry,
         ..SweepOptions::default()
@@ -38,13 +41,14 @@ fn main() -> ExitCode {
     let summary = match runner::run_sweep_ft(&jobs, max_insts, &opts) {
         Ok(summary) => summary,
         Err(e) => {
-            eprintln!("fig17_organizations: error: checkpoint journal: {e}");
+            eprintln!("fig17_organizations: error[io]: checkpoint journal: {e}");
             return ExitCode::from(2);
         }
     };
 
-    let mut csv = String::from("benchmark,machine,ipc,ic_bypass_pct\n");
+    let mut csv = String::new();
     if summary.all_ok() {
+        csv = api::fig17_csv(&summary);
         println!("Figure 17 (top): IPC of clustered organizations");
         print!("{:<10}", "benchmark");
         for (name, _) in &machines {
@@ -60,7 +64,7 @@ fn main() -> ExitCode {
             print!("{:<10}", bench.name());
             let mut row = Vec::new();
             let mut xrow = Vec::new();
-            for (name, cfg) in &machines {
+            for (_, cfg) in &machines {
                 let stats = results.next().expect("one result per cell");
                 print!(" {:>13.3}", stats.ipc());
                 row.push(stats.intercluster_bypass_frequency() * 100.0);
@@ -69,14 +73,6 @@ fn main() -> ExitCode {
                     stats.stall_breakdown.get(StallCause::InterclusterWait) as f64
                         / slots as f64
                         * 100.0,
-                );
-                let _ = writeln!(
-                    csv,
-                    "{},{},{:.3},{:.1}",
-                    bench.name(),
-                    name,
-                    stats.ipc(),
-                    stats.intercluster_bypass_frequency() * 100.0
                 );
             }
             println!();

@@ -19,33 +19,31 @@
 //! killed run restarted with `--resume` re-simulates only unfinished
 //! cells and writes a byte-identical CSV.
 
-use std::fmt::Write as _;
 use std::process::ExitCode;
 
+use ce_bench::api::{self, SweepKind};
 use ce_bench::cli::{finish_sweep, SweepArgs};
-use ce_bench::runner::{self, RunOptions, SweepOptions};
-use ce_sim::{machine, StallCause};
+use ce_bench::runner::{self, SweepOptions};
+use ce_sim::StallCause;
 use ce_workloads::Benchmark;
 
 fn main() -> ExitCode {
     let args = SweepArgs::parse("results/occupancy.csv");
-    let machines = [
-        ("window", machine::baseline_8way()),
-        ("fifos", machine::dependence_8way()),
-        ("2c-fifos", machine::clustered_fifos_8way()),
-        ("2c-windows", machine::clustered_windows_dispatch_8way()),
-    ];
-    let jobs = runner::grid(&machines);
+    // Grid, options, and the CSV renderer come from the shared api plan
+    // (see `ce_bench::api`): this binary and cesimd emit the same bytes.
+    let machines = api::occupancy_machines();
+    let plan = api::plan(SweepKind::Occupancy);
+    let jobs = plan.jobs;
     let max_insts = ce_bench::max_insts();
     let telemetry = match args.obs.telemetry("occupancy", &jobs, max_insts, args.resume) {
         Ok(t) => t,
         Err(e) => {
-            eprintln!("occupancy: error: telemetry journal: {e}");
+            eprintln!("occupancy: error[io]: telemetry journal: {e}");
             return ExitCode::from(2);
         }
     };
     let opts = SweepOptions {
-        run: RunOptions { attribution: true, ..RunOptions::default() },
+        run: plan.run,
         checkpoint: Some(args.checkpoint()),
         telemetry,
         ..SweepOptions::default()
@@ -53,16 +51,14 @@ fn main() -> ExitCode {
     let summary = match runner::run_sweep_ft(&jobs, max_insts, &opts) {
         Ok(summary) => summary,
         Err(e) => {
-            eprintln!("occupancy: error: checkpoint journal: {e}");
+            eprintln!("occupancy: error[io]: checkpoint journal: {e}");
             return ExitCode::from(2);
         }
     };
 
-    let mut csv = String::from(
-        "benchmark,machine,ipc,occupancy,sched_stalls,inflight_stalls,preg_stalls,\
-         idle_pct,operand_pct,fifohead_pct,empty_pct\n",
-    );
+    let mut csv = String::new();
     if summary.all_ok() {
+        csv = api::occupancy_csv(&summary);
         println!("Scheduler occupancy, dispatch stalls, and issue-slot attribution");
         println!(
             "{:<10} {:<11} {:>8} {:>10} {:>12} {:>10} {:>9} {:>8} {:>8} {:>9} {:>7}",
@@ -89,21 +85,6 @@ fn main() -> ExitCode {
                 };
                 println!(
                     "{:<10} {:<11} {:>8.3} {:>10.1} {:>12} {:>10} {:>9} {:>7.1}% {:>7.1}% {:>8.1}% {:>6.1}%",
-                    bench.name(),
-                    name,
-                    stats.ipc(),
-                    stats.mean_occupancy(),
-                    stats.scheduler_stalls,
-                    stats.inflight_stalls,
-                    stats.preg_stalls,
-                    stats.idle_issue_fraction() * 100.0,
-                    pct(StallCause::OperandWait),
-                    pct(StallCause::FifoHeadNotReady),
-                    pct(StallCause::EmptyWindow)
-                );
-                let _ = writeln!(
-                    csv,
-                    "{},{},{:.3},{:.1},{},{},{},{:.1},{:.1},{:.1},{:.1}",
                     bench.name(),
                     name,
                     stats.ipc(),

@@ -18,6 +18,11 @@
 //! sweephealth: error[unhealthy] journals=2 unhealthy=1 failed=3
 //! ```
 //!
+//! Journals written through `cesimd` carry result-cache and trace-cache
+//! events; when any are present the ok line gains
+//! ` cache_hits=H cache_misses=M trace_evictions=E` (CI's incremental
+//! re-sweep gate greps these).
+//!
 //! Exit codes follow the repo contract: 0 every journal healthy, 1 any
 //! unhealthy, 2 I/O, parse, or usage errors.
 
@@ -51,6 +56,9 @@ fn main() -> ExitCode {
     let mut cells = 0usize;
     let mut failed = 0usize;
     let mut unhealthy = 0usize;
+    let mut cache_hits = 0usize;
+    let mut cache_misses = 0usize;
+    let mut trace_evictions = 0u64;
     for (i, path) in journals.iter().enumerate() {
         let text = match std::fs::read_to_string(path) {
             Ok(text) => text,
@@ -73,13 +81,29 @@ fn main() -> ExitCode {
         print!("{}", report.render(top));
         cells += report.completed;
         failed += report.failed;
+        cache_hits += report.cache_hits;
+        cache_misses += report.cache_misses;
+        trace_evictions += report.trace_evictions;
         if !report.healthy() {
             unhealthy += 1;
         }
     }
 
     if unhealthy == 0 {
-        println!("sweephealth: ok journals={} cells={cells} failed=0", journals.len());
+        // Cache fields appear only when the journals carry cache events
+        // (i.e. the sweep ran through cesimd), so plain sweeps keep the
+        // historical line format.
+        let mut cache = String::new();
+        if cache_hits + cache_misses > 0 || trace_evictions > 0 {
+            cache = format!(
+                " cache_hits={cache_hits} cache_misses={cache_misses} \
+                 trace_evictions={trace_evictions}"
+            );
+        }
+        println!(
+            "sweephealth: ok journals={} cells={cells} failed=0{cache}",
+            journals.len()
+        );
         ExitCode::SUCCESS
     } else {
         println!(

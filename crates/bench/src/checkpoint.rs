@@ -211,7 +211,7 @@ fn load_journal(text: &str, id: u64, cells: usize) -> Option<Vec<Option<TimedRes
 }
 
 /// Serializes every [`SimStats`] counter to a JSON object, losslessly.
-fn stats_to_json(s: &SimStats) -> String {
+pub(crate) fn stats_to_json(s: &SimStats) -> String {
     let hist =
         s.issue_histogram.iter().map(u64::to_string).collect::<Vec<_>>().join(", ");
     let stalls = StallCause::ALL
@@ -252,7 +252,7 @@ fn stats_to_json(s: &SimStats) -> String {
 /// Serializes a [`SampledStats`] measurement to a JSON object,
 /// losslessly (all counters are `u64`, well under the reader's 2^53
 /// mantissa limit — and held exact as [`Json::Int`] anyway).
-fn sampled_to_json(s: &SampledStats) -> String {
+pub(crate) fn sampled_to_json(s: &SampledStats) -> String {
     format!(
         "{{\"total_insts\": {}, \"windows\": {}, \"detailed_insts\": {}, \
          \"measured_insts\": {}, \"measured_cycles\": {}, \"est_cycles\": {}, \
@@ -269,7 +269,7 @@ fn sampled_to_json(s: &SampledStats) -> String {
 
 /// Reads a [`sampled_to_json`] object back; `None` on any missing or
 /// ill-typed field.
-fn sampled_from_json(doc: &Json) -> Option<SampledStats> {
+pub(crate) fn sampled_from_json(doc: &Json) -> Option<SampledStats> {
     let field = |name: &str| doc.at(name).and_then(Json::as_u64);
     Some(SampledStats {
         total_insts: field("total_insts")?,
@@ -284,7 +284,7 @@ fn sampled_from_json(doc: &Json) -> Option<SampledStats> {
 
 /// Reads a [`stats_to_json`] object back; `None` on any missing or
 /// ill-typed field.
-fn stats_from_json(doc: &Json) -> Option<SimStats> {
+pub(crate) fn stats_from_json(doc: &Json) -> Option<SimStats> {
     let field = |name: &str| doc.at(name).and_then(Json::as_u64);
     let mut s = SimStats {
         cycles: field("cycles")?,

@@ -353,7 +353,7 @@ pub fn finish_report(
     match csv {
         Ok(csv) => {
             if let Err(e) = write_atomic(out, &csv) {
-                eprintln!("{name}: error: writing {}: {e}", out.display());
+                eprintln!("{name}: error[io]: writing {}: {e}", out.display());
                 return ExitCode::from(2);
             }
             eprintln!("{name}: wrote {}", out.display());
@@ -393,7 +393,7 @@ pub fn finish_sweep(
     }
     if summary.failures.is_empty() {
         if let Err(e) = write_atomic(out, csv) {
-            eprintln!("{name}: error: writing {}: {e}", out.display());
+            eprintln!("{name}: error[io]: writing {}: {e}", out.display());
             return ExitCode::from(2);
         }
         let manifest_out = args.obs.manifest_path(out);
@@ -406,7 +406,7 @@ pub fn finish_sweep(
             summary,
             &[out],
         ) {
-            eprintln!("{name}: error: manifest: {e}");
+            eprintln!("{name}: error[io]: manifest: {e}");
             return ExitCode::from(2);
         }
         if !args.obs.quiet {

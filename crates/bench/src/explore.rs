@@ -417,7 +417,37 @@ pub fn explore_jobs(scale: GridScale) -> Vec<Job> {
 /// CSVs, matching [`crate::cli::finish_sweep`] policy); grid corners the
 /// models refuse are structured skips in `report.rows`, not errors.
 pub fn explore(opts: &ExploreOptions) -> std::io::Result<ExploreReport> {
-    let points = grid(opts.scale);
+    let jobs = explore_jobs(opts.scale);
+    let sampling = (!opts.exact).then(SamplingConfig::default);
+    let run = RunOptions { sampled: sampling, ..RunOptions::default() };
+    let summary = if jobs.is_empty() {
+        None
+    } else {
+        Some(run_sweep_ft(
+            &jobs,
+            opts.max_insts,
+            &SweepOptions {
+                run,
+                policy: RunPolicy::default(),
+                checkpoint: opts.checkpoint.clone(),
+                telemetry: opts.telemetry.clone(),
+                ..SweepOptions::default()
+            },
+        )?)
+    };
+    Ok(score(opts.scale, opts.exact, summary))
+}
+
+/// Scores a (possibly absent) sweep summary into the full explorer
+/// report: price the delay side, fold per-cell IPC into harmonic means,
+/// and mark the Pareto frontier. Pure — everything except the sweep
+/// itself — so the experiment service can produce byte-identical
+/// `pareto.csv`/`tab02_explore.csv` from a summary it assembled out of
+/// cached cells. `summary`, when present, must come from a sweep over
+/// exactly [`explore_jobs`]`(scale)` with the [`RunOptions`] this
+/// function derives from `exact` (that is: what [`explore`] runs).
+pub fn score(scale: GridScale, exact: bool, summary: Option<SweepSummary>) -> ExploreReport {
+    let points = grid(scale);
     let techs = Technology::all();
 
     // Delay side first: it is pure and cheap, and pricing it up front
@@ -438,7 +468,9 @@ pub fn explore(opts: &ExploreOptions) -> std::io::Result<ExploreReport> {
     let sim_valid: Vec<Result<(), String>> =
         points.iter().map(|p| p.cfg.validate()).collect();
 
-    // The IPC half: one sweep over (simulatable point × kernel).
+    // The IPC half's geometry: the sweep (run by [`explore`], or
+    // assembled from the result store by the service) covers exactly
+    // (simulatable point × kernel).
     let benches = Benchmark::all();
     let simulated = simulated_indices(&points);
     debug_assert_eq!(
@@ -455,22 +487,8 @@ pub fn explore(opts: &ExploreOptions) -> std::io::Result<ExploreReport> {
             benches.iter().map(move |&b| (b, cfg))
         })
         .collect();
-    let sampling = (!opts.exact).then(SamplingConfig::default);
+    let sampling = (!exact).then(SamplingConfig::default);
     let run = RunOptions { sampled: sampling, ..RunOptions::default() };
-    let summary = if jobs.is_empty() {
-        None
-    } else {
-        Some(run_sweep_ft(
-            &jobs,
-            opts.max_insts,
-            &SweepOptions {
-                run,
-                policy: RunPolicy::default(),
-                checkpoint: opts.checkpoint.clone(),
-                telemetry: opts.telemetry.clone(),
-            },
-        )?)
-    };
 
     // Score: harmonic-mean IPC per simulated point (the paper's Figure 13
     // aggregates the same way — slow kernels must not be averaged away).
@@ -520,7 +538,7 @@ pub fn explore(opts: &ExploreOptions) -> std::io::Result<ExploreReport> {
     }
     mark_frontier(&mut rows);
 
-    Ok(ExploreReport { points, rows, summary, sampled: !opts.exact, jobs, run })
+    ExploreReport { points, rows, summary, sampled: !exact, jobs, run }
 }
 
 /// Marks `dominated` on every scored row: within one technology, a point

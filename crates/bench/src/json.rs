@@ -47,6 +47,29 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Escapes `s` for embedding inside a JSON string literal (quotes not
+/// included). The writer-side complement of the parser above: everything
+/// it emits, [`Json::parse`] reads back verbatim — the experiment service
+/// ships CSV contents (embedded newlines and all) through this.
+pub fn escape(s: &str) -> String {
+    use fmt::Write as _;
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 impl Json {
     /// Parses a complete JSON document (trailing whitespace allowed,
     /// trailing garbage rejected).
@@ -339,6 +362,22 @@ mod tests {
     fn string_escapes_round_trip() {
         let v = Json::parse(r#"{"k": "a\"b\\c\ndAé"}"#).expect("parse");
         assert_eq!(v.at("k").and_then(Json::as_str), Some("a\"b\\c\ndAé"));
+    }
+
+    /// Whatever [`escape`] writes, the parser reads back verbatim —
+    /// including embedded CSVs (newlines, quotes) and raw control bytes.
+    #[test]
+    fn escape_emits_what_parse_reads() {
+        for s in [
+            "plain",
+            "a,b,c\n1,2,3\n",
+            "quote\" backslash\\ tab\t cr\r bell\u{7} é✓",
+            "",
+        ] {
+            let doc = format!("{{\"k\": \"{}\"}}", escape(s));
+            let v = Json::parse(&doc).expect("escaped string parses");
+            assert_eq!(v.at("k").and_then(Json::as_str), Some(s), "{doc}");
+        }
     }
 
     #[test]

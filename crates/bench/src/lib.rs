@@ -33,6 +33,7 @@ use std::sync::Arc;
 
 use ce_workloads::{trace_cached, Benchmark, Trace};
 
+pub mod api;
 pub mod checkpoint;
 pub mod cli;
 pub mod delay_csv;
@@ -42,6 +43,9 @@ pub mod json;
 pub mod manifest;
 pub mod metrics_check;
 pub mod runner;
+#[cfg(unix)]
+pub mod service;
+pub mod store;
 pub mod telemetry;
 
 /// Default per-benchmark dynamic instruction cap. Every kernel completes

@@ -158,6 +158,45 @@ pub fn cache_key(jobs: &[Job], max_insts: u64, run: RunOptions) -> Result<String
     cache_key_with(&code_version(), jobs, max_insts, run)
 }
 
+/// The content-addressed key for a *single cell* — what the experiment
+/// service's result store indexes by. Same components as the sweep-level
+/// [`cache_key_with`] (code version, instruction cap, run options, trace
+/// fingerprint, config fingerprint), hashed for one job, with a distinct
+/// domain prefix so a one-cell sweep key and its cell key never collide.
+///
+/// # Errors
+///
+/// Trace-generation errors from [`trace_fingerprint`].
+pub fn cell_key_with(
+    code_version: &str,
+    (bench, cfg): &Job,
+    max_insts: u64,
+    run: RunOptions,
+) -> Result<String, String> {
+    let mut h = Fnv64::default();
+    h.eat(
+        format!(
+            "cell code={code_version}\nmax_insts={max_insts}\nrun={run:?}\n\
+             bench={} trace={} config={}\n",
+            bench.name(),
+            trace_fingerprint(*bench, max_insts)?,
+            config_fingerprint(cfg),
+        )
+        .as_bytes(),
+    );
+    Ok(h.hex())
+}
+
+/// The cell key as invoked: [`cell_key_with`] under the ambient
+/// [`code_version`].
+///
+/// # Errors
+///
+/// Trace-generation errors from [`trace_fingerprint`].
+pub fn cell_key(job: &Job, max_insts: u64, run: RunOptions) -> Result<String, String> {
+    cell_key_with(&code_version(), job, max_insts, run)
+}
+
 /// One result file the manifest vouches for.
 #[derive(Debug, Clone)]
 pub struct Artifact {
@@ -331,6 +370,28 @@ mod tests {
         let mut via_fmt = Fnv64::default();
         write!(via_fmt, "a").unwrap();
         assert_eq!(via_fmt.digest(), h.digest());
+    }
+
+    /// Cell keys are deterministic, sensitive to every component (code
+    /// version, cap, run options, bench, config), and domain-separated
+    /// from the sweep-level key of the same single-job sweep.
+    #[test]
+    fn cell_keys_track_every_component() {
+        let job = (Benchmark::Compress, machine::baseline_8way());
+        let run = RunOptions::default();
+        let base = cell_key_with("v1", &job, 2_000, run).unwrap();
+        assert_eq!(base, cell_key_with("v1", &job, 2_000, run).unwrap());
+        assert_eq!(base.len(), 16);
+        assert_ne!(base, cell_key_with("v2", &job, 2_000, run).unwrap());
+        assert_ne!(base, cell_key_with("v1", &job, 3_000, run).unwrap());
+        let attributed = RunOptions { attribution: true, ..RunOptions::default() };
+        assert_ne!(base, cell_key_with("v1", &job, 2_000, attributed).unwrap());
+        let other = (Benchmark::Li, machine::baseline_8way());
+        assert_ne!(base, cell_key_with("v1", &other, 2_000, run).unwrap());
+        let reconfigured = (Benchmark::Compress, machine::dependence_8way());
+        assert_ne!(base, cell_key_with("v1", &reconfigured, 2_000, run).unwrap());
+        let sweep = cache_key_with("v1", std::slice::from_ref(&job), 2_000, run).unwrap();
+        assert_ne!(base, sweep, "cell and sweep keys must not collide");
     }
 
     #[test]

@@ -79,6 +79,11 @@ pub enum RunError {
     Timeout(String),
     /// The invariant checker found the simulated state inconsistent.
     CheckerViolation(String),
+    /// A checkpoint, journal, or result-store write failed at the disk
+    /// layer (disk full, permissions, torn volume). Carries the
+    /// [`std::io::ErrorKind`] so callers can distinguish recoverable
+    /// conditions without string matching.
+    Io { kind: std::io::ErrorKind, message: String },
 }
 
 impl RunError {
@@ -90,6 +95,7 @@ impl RunError {
             RunError::CellPanic(_) => "cell-panic",
             RunError::Timeout(_) => "timeout",
             RunError::CheckerViolation(_) => "checker-violation",
+            RunError::Io { .. } => "io",
         }
     }
 
@@ -101,13 +107,22 @@ impl RunError {
             | RunError::CellPanic(m)
             | RunError::Timeout(m)
             | RunError::CheckerViolation(m) => m,
+            RunError::Io { message, .. } => message,
         }
+    }
+
+    /// Wraps a disk-layer failure, preserving the [`std::io::ErrorKind`]
+    /// and naming what was being written when it failed.
+    pub fn io(context: &str, e: &std::io::Error) -> RunError {
+        RunError::Io { kind: e.kind(), message: format!("{context}: {e}") }
     }
 
     /// Whether retrying the same cell could plausibly succeed. Only
     /// timeouts qualify: wall-clock deadlines depend on machine load,
     /// while config, trace, panic, and checker failures are deterministic
-    /// functions of the input and would fail identically again.
+    /// functions of the input and would fail identically again. I/O
+    /// failures are *not* retried per-cell — a full disk fails every
+    /// subsequent write too, and retrying just burns the backoff budget.
     pub fn is_transient(&self) -> bool {
         matches!(self, RunError::Timeout(_))
     }
@@ -265,6 +280,37 @@ impl fmt::Display for CellFailure {
     }
 }
 
+/// A callback invoked from worker threads as each *freshly simulated*
+/// cell completes (never for cells recovered from a checkpoint or
+/// supplied via [`SweepOptions::prefill`]). The experiment service hangs
+/// its result-store writes off this hook so every finished cell is
+/// durable the moment it exists, independent of the checkpoint journal.
+#[derive(Clone, Default)]
+pub struct CellHook(pub Option<CellHookFn>);
+
+/// The shared callback type inside a [`CellHook`].
+pub type CellHookFn = std::sync::Arc<dyn Fn(usize, &TimedResult) + Send + Sync>;
+
+impl CellHook {
+    /// Wraps a closure into a hook.
+    pub fn new(f: impl Fn(usize, &TimedResult) + Send + Sync + 'static) -> CellHook {
+        CellHook(Some(std::sync::Arc::new(f)))
+    }
+
+    /// Invokes the hook if one is set.
+    pub fn call(&self, index: usize, result: &TimedResult) {
+        if let Some(f) = &self.0 {
+            f(index, result);
+        }
+    }
+}
+
+impl fmt::Debug for CellHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.0.is_some() { "CellHook(set)" } else { "CellHook(none)" })
+    }
+}
+
 /// How [`run_sweep_ft`] should run: per-cell options, failure policy, and
 /// optional checkpointing.
 #[derive(Debug, Clone, Default)]
@@ -283,6 +329,18 @@ pub struct SweepOptions {
     /// cache key hash those, and observability must not invalidate
     /// checkpoints.
     pub telemetry: Telemetry,
+    /// Cells already known from an external source (the content-addressed
+    /// result store): `prefill[i] = Some(r)` marks cell `i` as done before
+    /// the sweep starts, exactly like a checkpoint-recovered cell (it
+    /// counts toward [`SweepSummary::resumed`] and emits `CellResumed`).
+    /// Empty (the default) prefills nothing; otherwise the length must
+    /// equal the job count. Checkpoint recovery wins where both supply a
+    /// cell.
+    pub prefill: Vec<Option<TimedResult>>,
+    /// Invoked as each freshly simulated cell completes (see
+    /// [`CellHook`]); never called for prefilled or journal-recovered
+    /// cells, so a store writer behind it cannot re-store served entries.
+    pub on_cell: CellHook,
 }
 
 /// Aggregate result of one sweep, as returned by [`run_sweep_ft`] /
@@ -716,7 +774,7 @@ pub fn run_sweep_ft(
     assert!(!jobs.is_empty(), "run_sweep needs at least one job");
     let start = Instant::now();
 
-    let (journal, recovered) = match &opts.checkpoint {
+    let (journal, mut recovered) = match &opts.checkpoint {
         Some(spec) => {
             let id = sweep_id(jobs, max_insts, opts.run);
             let (journal, recovered) = Journal::open(spec, id, jobs.len())?;
@@ -724,6 +782,18 @@ pub fn run_sweep_ft(
         }
         None => (None, vec![None; jobs.len()]),
     };
+    if !opts.prefill.is_empty() {
+        assert_eq!(
+            opts.prefill.len(),
+            jobs.len(),
+            "prefill length must match the job count"
+        );
+        for (slot, pre) in recovered.iter_mut().zip(&opts.prefill) {
+            if slot.is_none() {
+                slot.clone_from(pre);
+            }
+        }
+    }
     let resumed = recovered.iter().filter(|c| c.is_some()).count();
     let skip: Vec<bool> = recovered.iter().map(Option::is_some).collect();
 
@@ -747,6 +817,7 @@ pub fn run_sweep_ft(
 
     let journal_err: Mutex<Option<std::io::Error>> = Mutex::new(None);
     let outcomes = execute(jobs, max_insts, opts.run, &opts.policy, &skip, tel, |i, result| {
+        opts.on_cell.call(i, result);
         if let Some(journal) = &journal {
             let write_start = Instant::now();
             let appended = journal.lock().expect("journal poisoned").record(i, result);
@@ -979,6 +1050,59 @@ mod tests {
             let serial = Simulator::new(*cfg).run(&trace);
             assert_eq!(parallel[i].stats, serial, "job {i} out of order or nondeterministic");
         }
+    }
+
+    /// An I/O failure keeps its [`std::io::ErrorKind`], classifies under
+    /// the stable `io` category, and is never retried (a full disk fails
+    /// every attempt identically).
+    #[test]
+    fn io_errors_are_structured_and_not_transient() {
+        let disk_full =
+            std::io::Error::new(std::io::ErrorKind::StorageFull, "no space left on device");
+        let err = RunError::io("result store write", &disk_full);
+        assert_eq!(err.category(), "io");
+        assert!(!err.is_transient());
+        assert!(err.message().contains("result store write"), "{err}");
+        let RunError::Io { kind, .. } = &err else { panic!("wrong variant: {err}") };
+        assert_eq!(*kind, std::io::ErrorKind::StorageFull);
+        assert!(err.to_string().starts_with("io: "), "{err}");
+    }
+
+    /// Prefilled cells behave like checkpoint-recovered ones: they are
+    /// never re-simulated, they count as resumed, and the `on_cell` hook
+    /// fires only for the cells that actually ran.
+    #[test]
+    fn prefill_skips_cells_and_on_cell_sees_only_fresh_ones() {
+        use ce_sim::machine;
+        let jobs = vec![
+            (Benchmark::Compress, machine::baseline_8way()),
+            (Benchmark::Li, machine::baseline_8way()),
+        ];
+        let full = run_sweep(&jobs, 2_000, RunOptions::default());
+        let canned = full.cells[0].clone().unwrap();
+
+        let fresh = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let hook_log = std::sync::Arc::clone(&fresh);
+        let summary = run_sweep_ft(
+            &jobs,
+            2_000,
+            &SweepOptions {
+                prefill: vec![Some(canned.clone()), None],
+                on_cell: CellHook::new(move |i, _| {
+                    hook_log.lock().unwrap().push(i);
+                }),
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(summary.all_ok());
+        assert_eq!(summary.resumed, 1);
+        assert_eq!(summary.cells[0].as_ref().unwrap().wall, canned.wall);
+        assert_eq!(
+            summary.cells[1].as_ref().unwrap().stats.fingerprint(),
+            full.cells[1].as_ref().unwrap().stats.fingerprint()
+        );
+        assert_eq!(*fresh.lock().unwrap(), vec![1], "hook must see only the fresh cell");
     }
 
     #[test]

@@ -140,6 +140,26 @@ pub enum Event {
         /// Wall time of the whole sweep, µs.
         wall_us: u64,
     },
+    /// A cell was served from the content-addressed result store instead
+    /// of being simulated (the experiment service emits these while
+    /// planning a job).
+    CacheHit {
+        /// Input-order cell index.
+        cell: usize,
+    },
+    /// A cell missed the result store and will be simulated. A stale
+    /// entry (written by a different code version) counts as a miss — it
+    /// is never silently served.
+    CacheMiss {
+        /// Input-order cell index.
+        cell: usize,
+    },
+    /// The shared trace LRU evicted entries; `count` is the eviction
+    /// delta since the previous report (the service emits one per job).
+    TraceEvicted {
+        /// Evictions since the last `TraceEvicted` event.
+        count: u64,
+    },
 }
 
 impl Event {
@@ -154,6 +174,9 @@ impl Event {
             Event::Quarantined { .. } => "quarantined",
             Event::CheckpointWrite { .. } => "checkpoint-write",
             Event::SweepEnd { .. } => "sweep-end",
+            Event::CacheHit { .. } => "cache-hit",
+            Event::CacheMiss { .. } => "cache-miss",
+            Event::TraceEvicted { .. } => "trace-evicted",
         }
     }
 }
@@ -368,6 +391,8 @@ fn event_json(t_us: u64, ev: &Event) -> String {
         Event::SweepEnd { ok, failed, wall_us } => {
             format!("\"ok\": {ok}, \"failed\": {failed}, \"wall_us\": {wall_us}")
         }
+        Event::CacheHit { cell } | Event::CacheMiss { cell } => format!("\"cell\": {cell}"),
+        Event::TraceEvicted { count } => format!("\"count\": {count}"),
     };
     format!("{{\"t_us\": {t_us}, \"ev\": \"{}\", {body}}}", ev.name())
 }
@@ -450,6 +475,7 @@ impl Progress {
 /// Synthetic Chrome-trace lane ids for non-worker activity.
 const CHECKPOINT_TID: u64 = 1_000;
 const RESUMED_TID: u64 = 1_001;
+const CACHE_TID: u64 = 1_002;
 
 /// Renders recorded events as Chrome `trace_event` JSON (the
 /// `{"traceEvents": [...]}` object format Perfetto and `chrome://tracing`
@@ -481,10 +507,17 @@ fn chrome_trace_json(name: &str, events: &[(u64, Event)]) -> String {
              \"args\": {{\"name\": \"ce-cell-{w}\"}}}}"
         ));
     }
-    for (tid, label) in [(CHECKPOINT_TID, "checkpoint"), (RESUMED_TID, "resumed")] {
+    for (tid, label) in [
+        (CHECKPOINT_TID, "checkpoint"),
+        (RESUMED_TID, "resumed"),
+        (CACHE_TID, "result-cache"),
+    ] {
         if events.iter().any(|(_, ev)| match ev {
             Event::CheckpointWrite { .. } => tid == CHECKPOINT_TID,
             Event::CellResumed { .. } => tid == RESUMED_TID,
+            Event::CacheHit { .. } | Event::CacheMiss { .. } | Event::TraceEvicted { .. } => {
+                tid == CACHE_TID
+            }
             _ => false,
         }) {
             out.push(format!(
@@ -544,6 +577,19 @@ fn chrome_trace_json(name: &str, events: &[(u64, Event)]) -> String {
                  \"s\": \"t\", \"name\": \"resumed cell {cell}\", \
                  \"args\": {{\"wall_us\": {wall_us}}}}}"
             )),
+            Event::CacheHit { cell } => out.push(format!(
+                "{{\"ph\": \"i\", \"pid\": 1, \"tid\": {CACHE_TID}, \"ts\": {t_us}, \
+                 \"s\": \"t\", \"name\": \"cache-hit cell {cell}\", \"args\": {{}}}}"
+            )),
+            Event::CacheMiss { cell } => out.push(format!(
+                "{{\"ph\": \"i\", \"pid\": 1, \"tid\": {CACHE_TID}, \"ts\": {t_us}, \
+                 \"s\": \"t\", \"name\": \"cache-miss cell {cell}\", \"args\": {{}}}}"
+            )),
+            Event::TraceEvicted { count } => out.push(format!(
+                "{{\"ph\": \"i\", \"pid\": 1, \"tid\": {CACHE_TID}, \"ts\": {t_us}, \
+                 \"s\": \"t\", \"name\": \"trace-evicted\", \
+                 \"args\": {{\"count\": {count}}}}}"
+            )),
         }
     }
     format!(
@@ -591,6 +637,12 @@ pub struct HealthReport {
     pub sweep_wall_us: u64,
     /// Whether a `sweep-end` event was seen (false = killed mid-sweep).
     pub ended: bool,
+    /// Cells served from the content-addressed result store.
+    pub cache_hits: usize,
+    /// Cells that missed the result store (stale entries included).
+    pub cache_misses: usize,
+    /// Trace-LRU evictions reported (`trace-evicted` counts summed).
+    pub trace_evictions: u64,
 }
 
 impl HealthReport {
@@ -680,6 +732,9 @@ impl HealthReport {
                 self.ended = true;
                 self.sweep_wall_us = num("wall_us").unwrap_or(t_us);
             }
+            "cache-hit" => self.cache_hits += 1,
+            "cache-miss" => self.cache_misses += 1,
+            "trace-evicted" => self.trace_evictions += num("count").unwrap_or(0),
             other => return Err(format!("unknown event `{other}`")),
         }
         Ok(())
@@ -767,6 +822,19 @@ impl HealthReport {
                 self.ckpt_write_us as f64 / 1e3,
                 self.ckpt_write_us as f64 / self.ckpt_writes as f64,
             );
+        }
+        if self.cache_hits + self.cache_misses > 0 {
+            let total = self.cache_hits + self.cache_misses;
+            let _ = writeln!(
+                out,
+                "result cache: {} hits, {} misses ({:.0}% hit rate)",
+                self.cache_hits,
+                self.cache_misses,
+                self.cache_hits as f64 / total as f64 * 100.0,
+            );
+        }
+        if self.trace_evictions > 0 {
+            let _ = writeln!(out, "trace cache: {} eviction(s)", self.trace_evictions);
         }
         for (category, count) in &self.errors_by_category {
             let _ = writeln!(out, "errors[{category}]: {count} attempt(s)");
@@ -885,6 +953,33 @@ mod tests {
         let rendered = report.render(3);
         assert!(rendered.contains("2/3 cells completed"), "{rendered}");
         assert!(rendered.contains("errors[timeout]"), "{rendered}");
+    }
+
+    /// Cache events aggregate into the health report: hits and misses
+    /// count cells, trace evictions sum their deltas, and the render
+    /// surfaces both — while journals without cache events keep their old
+    /// output (the lines are elided entirely).
+    #[test]
+    fn cache_events_aggregate_and_render() {
+        let mut events = sample_events();
+        events.insert(1, (1, Event::CacheHit { cell: 0 }));
+        events.insert(2, (1, Event::CacheHit { cell: 1 }));
+        events.insert(3, (1, Event::CacheMiss { cell: 2 }));
+        events.push((1001, Event::TraceEvicted { count: 2 }));
+        events.push((1002, Event::TraceEvicted { count: 3 }));
+        let report = HealthReport::from_journal(&journal_of(&events)).unwrap();
+        assert_eq!(report.cache_hits, 2);
+        assert_eq!(report.cache_misses, 1);
+        assert_eq!(report.trace_evictions, 5);
+        let rendered = report.render(0);
+        assert!(rendered.contains("result cache: 2 hits, 1 misses (67% hit rate)"), "{rendered}");
+        assert!(rendered.contains("trace cache: 5 eviction(s)"), "{rendered}");
+
+        let plain = HealthReport::from_journal(&journal_of(&sample_events())).unwrap();
+        assert_eq!(plain.cache_hits + plain.cache_misses, 0);
+        let rendered = plain.render(0);
+        assert!(!rendered.contains("result cache"), "{rendered}");
+        assert!(!rendered.contains("trace cache"), "{rendered}");
     }
 
     /// The journal reader shares the checkpoint loader's semantics: a torn

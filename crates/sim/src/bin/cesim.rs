@@ -32,19 +32,11 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 fn machine_by_name(name: &str) -> Option<SimConfig> {
-    Some(match name {
-        "window" => machine::baseline_8way(),
-        "fifos" => machine::dependence_8way(),
-        "clustered-fifos" => machine::clustered_fifos_8way(),
-        "clustered-windows" => machine::clustered_windows_dispatch_8way(),
-        "exec-steer" => machine::clustered_window_exec_8way(),
-        "random" => machine::clustered_windows_random_8way(),
-        _ => return None,
-    })
+    machine::by_name(name)
 }
 
 fn benchmark_by_name(name: &str) -> Option<Benchmark> {
-    Benchmark::all().into_iter().find(|b| b.name() == name)
+    Benchmark::from_name(name)
 }
 
 struct Options {

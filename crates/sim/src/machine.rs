@@ -98,6 +98,25 @@ pub fn clustered_windows_random_8way() -> SimConfig {
     }
 }
 
+/// Stable names of the preset machines, as accepted by [`by_name`] —
+/// the wire vocabulary shared by `cesim --machine` and the experiment
+/// service's custom-cell specs.
+pub const MACHINE_NAMES: [&str; 6] =
+    ["window", "fifos", "clustered-fifos", "clustered-windows", "exec-steer", "random"];
+
+/// Looks up a preset machine by its stable name (see [`MACHINE_NAMES`]).
+pub fn by_name(name: &str) -> Option<SimConfig> {
+    Some(match name {
+        "window" => baseline_8way(),
+        "fifos" => dependence_8way(),
+        "clustered-fifos" => clustered_fifos_8way(),
+        "clustered-windows" => clustered_windows_dispatch_8way(),
+        "exec-steer" => clustered_window_exec_8way(),
+        "random" => clustered_windows_random_8way(),
+        _ => return None,
+    })
+}
+
 /// All five Figure 17 organizations, in the figure's bar order, with
 /// display labels.
 pub fn figure17_machines() -> [(&'static str, SimConfig); 5] {

@@ -55,6 +55,13 @@ impl Benchmark {
         ]
     }
 
+    /// Looks a benchmark up by its display name (the inverse of
+    /// [`name`](Benchmark::name)) — the wire vocabulary `cesim --bench`
+    /// and the experiment service's cell specs share.
+    pub fn from_name(name: &str) -> Option<Benchmark> {
+        Benchmark::all().into_iter().find(|b| b.name() == name)
+    }
+
     /// The benchmark's display name (lowercase, as in the paper's figures).
     pub fn name(self) -> &'static str {
         match self {
