@@ -28,8 +28,9 @@
 //! Other ops: `{"op": "status"}`, `{"op": "ping"}`, `{"op": "shutdown"}`.
 //! Failures come back as `{"ev": "error", "kind": "...", "message": ...}`
 //! with the kinds the exit-discipline greps for: `overloaded` (admission
-//! refused), `malformed` (unparseable request), `config-invalid` (unknown
-//! preset/machine/benchmark), `io` (daemon-side disk failure).
+//! refused), `proto` (unparseable, oversized, or unknown request — the
+//! connection stays open and the daemon keeps serving), `config-invalid`
+//! (unknown preset/machine/benchmark), `io` (daemon-side disk failure).
 //!
 //! A custom sweep names cells explicitly, using the [`machine`] registry
 //! vocabulary `cesim --machine` shares:
@@ -576,7 +577,7 @@ pub enum JobEvent {
         outcome: JobOutcome,
     },
     /// The request failed; `kind` is machine-readable (`overloaded`,
-    /// `malformed`, `config-invalid`, `io`).
+    /// `proto`, `config-invalid`, `io`).
     Error {
         /// Stable error kind.
         kind: String,

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cesimd [--socket PATH] [--state DIR] [--max-pending N]
-//!        [--degrade-pending N] [--quiet]
+//!        [--degrade-pending N] [--quiet] [--fsck]
 //!
 //!   --socket PATH       Unix socket to listen on
 //!                       (default: <state>/cesimd.sock)
@@ -11,15 +11,24 @@
 //!   --max-pending N     reject submissions beyond N pending jobs (8)
 //!   --degrade-pending N degrade opt-in jobs to sampled mode at N (4)
 //!   --quiet             suppress informational stderr lines
+//!   --fsck              audit and repair the state dir, print the
+//!                       report, and exit without serving
 //! ```
 //!
 //! Protocol, store layout, and the crash-recovery contract are
 //! documented in `ce_bench::service` and DESIGN.md. Talk to it with
 //! `cesimctl`. Stop it with SIGTERM (drains, then exits 0); `kill -9`
-//! is recoverable — the next start resumes every interrupted job.
+//! is recoverable — the next start resumes every interrupted job. Every
+//! start runs the same audit as `--fsck` first (`ce_bench::fsck`):
+//! orphaned tempfiles are swept and corrupt files are moved to
+//! `<state>/quarantine/` before any loader touches them.
 //!
-//! Exit codes: 0 clean shutdown, 2 startup/usage errors (reported as a
-//! structured `error[io]`/usage line).
+//! Exit codes: 0 clean shutdown (or clean `--fsck`), 1 `--fsck` found
+//! corruption (quarantined, bytes preserved), 2 startup/usage errors
+//! (reported as a structured `error[io]`/usage line).
+//!
+//! `CE_IOFAULT` (e.g. `eio@3,torn@10,crash@25`) arms the deterministic
+//! I/O fault-injection seam for chaos testing; see `ce_bench::iofault`.
 
 #[cfg(unix)]
 fn main() -> std::process::ExitCode {
@@ -31,12 +40,13 @@ fn main() -> std::process::ExitCode {
     let mut max_pending = 8usize;
     let mut degrade_pending = 4usize;
     let mut quiet = false;
+    let mut fsck_only = false;
 
     let mut args = std::env::args().skip(1);
     let usage = || {
         eprintln!(
             "usage: cesimd [--socket PATH] [--state DIR] [--max-pending N] \
-             [--degrade-pending N] [--quiet]"
+             [--degrade-pending N] [--quiet] [--fsck]"
         );
         std::process::ExitCode::from(2)
     };
@@ -59,6 +69,7 @@ fn main() -> std::process::ExitCode {
                         .map_err(|e| format!("bad --degrade-pending: {e}"))?;
                 }
                 "--quiet" => quiet = true,
+                "--fsck" => fsck_only = true,
                 "--help" | "-h" => return Err(String::new()),
                 other => return Err(format!("unknown argument `{other}`")),
             }
@@ -70,6 +81,30 @@ fn main() -> std::process::ExitCode {
             }
             return usage();
         }
+    }
+
+    // Arm the deterministic I/O fault seam (chaos campaigns set
+    // CE_IOFAULT); a bad spec is a usage error, not a silent no-op.
+    if let Err(e) = ce_bench::iofault::arm_global_from_env() {
+        eprintln!("error: CE_IOFAULT: {e}");
+        return usage();
+    }
+
+    if fsck_only {
+        return match ce_bench::fsck::fsck(&state_dir, true) {
+            Ok(report) => {
+                println!("{report}");
+                if report.clean() {
+                    std::process::ExitCode::SUCCESS
+                } else {
+                    std::process::ExitCode::from(1)
+                }
+            }
+            Err(e) => {
+                eprintln!("cesimd: error[io]: fsck: {e}");
+                std::process::ExitCode::from(2)
+            }
+        };
     }
 
     let config = ServiceConfig {

@@ -37,8 +37,7 @@
 //! result CSVs themselves are written via [`write_atomic`]
 //! (tempfile + rename), so readers never observe a half-written table.
 
-use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Write as _};
+use std::fs::File;
 use std::path::{Path, PathBuf};
 
 use ce_sim::{SampledStats, SimStats, StallCause};
@@ -79,10 +78,13 @@ pub fn sweep_id(jobs: &[Job], max_insts: u64, opts: RunOptions) -> u64 {
     h.digest()
 }
 
-/// An open, appendable sweep journal.
+/// An open, appendable sweep journal. Appends go through the
+/// [`crate::iofault`] seam one complete line at a time, so an injected
+/// torn write leaves exactly the torn-final-line shape the loader
+/// already tolerates.
 #[derive(Debug)]
 pub struct Journal {
-    writer: BufWriter<File>,
+    file: File,
     path: PathBuf,
 }
 
@@ -105,11 +107,21 @@ impl Journal {
     ) -> std::io::Result<(Journal, Vec<Option<TimedResult>>)> {
         let mut recovered: Vec<Option<TimedResult>> = vec![None; cells];
         let mut replay = false;
+        // A torn final line (kill -9 or a torn write mid-append) is
+        // dropped by the loader, but it must also be truncated off the
+        // file before appending: a record appended after the half-line
+        // would merge with it into one garbage line and be silently
+        // lost on the *next* resume.
+        let mut keep_bytes: Option<u64> = None;
         if spec.resume {
             if let Ok(text) = std::fs::read_to_string(&spec.path) {
                 if let Some(loaded) = load_journal(&text, id, cells) {
                     recovered = loaded;
                     replay = true;
+                    if !text.ends_with('\n') {
+                        let keep = text.rfind('\n').map_or(0, |i| i + 1);
+                        keep_bytes = Some(keep as u64);
+                    }
                 }
             }
         }
@@ -118,46 +130,46 @@ impl Journal {
                 std::fs::create_dir_all(dir)?;
             }
         }
-        let mut writer = if replay {
-            // Keep the valid journal and append to it. Recovery already
-            // dropped any torn final line; appending after it is safe
-            // because the loader tolerates (and re-drops) it on the next
-            // resume — every complete line is still complete.
-            BufWriter::new(OpenOptions::new().append(true).open(&spec.path)?)
+        let file = if replay {
+            if let Some(keep) = keep_bytes {
+                let f = std::fs::OpenOptions::new().write(true).open(&spec.path)?;
+                f.set_len(keep)?;
+            }
+            crate::iofault::open_append(&spec.path)?
         } else {
-            let mut w = BufWriter::new(File::create(&spec.path)?);
-            writeln!(w, "{{\"ce_sweep_ckpt\": 1, \"sweep\": \"{id:016x}\", \"cells\": {cells}}}")?;
-            w.flush()?;
-            w
+            let mut f = crate::iofault::create(&spec.path)?;
+            let header =
+                format!("{{\"ce_sweep_ckpt\": 1, \"sweep\": \"{id:016x}\", \"cells\": {cells}}}\n");
+            crate::iofault::write_all(&mut f, header.as_bytes())?;
+            f
         };
-        writer.flush()?;
-        Ok((Journal { writer, path: spec.path.clone() }, recovered))
+        Ok((Journal { file, path: spec.path.clone() }, recovered))
     }
 
-    /// Appends one completed cell and flushes, so the record survives an
-    /// immediate `kill -9`.
+    /// Appends one completed cell as a single unbuffered write, so the
+    /// record survives an immediate `kill -9`.
     ///
     /// # Errors
     ///
-    /// I/O errors from the append or flush.
+    /// I/O errors from the append (injected faults included; a torn
+    /// append leaves a recoverable torn final line, never a torn middle).
     pub fn record(&mut self, cell: usize, result: &TimedResult) -> std::io::Result<()> {
         let sampled = match &result.sampled {
             Some(s) => format!(", \"sampled\": {}", sampled_to_json(s)),
             None => String::new(),
         };
-        writeln!(
-            self.writer,
-            "{{\"cell\": {cell}, \"wall_us\": {}, \"stats\": {}{sampled}}}",
+        let line = format!(
+            "{{\"cell\": {cell}, \"wall_us\": {}, \"stats\": {}{sampled}}}\n",
             result.wall.as_micros(),
             stats_to_json(&result.stats)
-        )?;
-        self.writer.flush()
+        );
+        crate::iofault::write_all(&mut self.file, line.as_bytes())
     }
 
     /// Removes the journal — the sweep completed and its results were
     /// written, so there is nothing left to resume.
     pub fn finish(self) {
-        drop(self.writer);
+        drop(self.file);
         let _ = std::fs::remove_file(&self.path);
     }
 }
@@ -208,6 +220,60 @@ fn load_journal(text: &str, id: u64, cells: usize) -> Option<Vec<Option<TimedRes
         }
     }
     Some(recovered)
+}
+
+/// Structural health of a line-oriented journal file, as `fsck` reports
+/// it. "Structural" means every line parses with the fields its format
+/// requires — not that it belongs to any particular sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalClass {
+    /// Header and every record line parse.
+    Valid,
+    /// Every line but the last parses; the last is torn — the `kill -9`
+    /// mid-append signature every loader already drops. Recoverable.
+    TornTail,
+    /// A line *before* the end fails to parse: real corruption. Loaders
+    /// discard such journals wholesale; `fsck` quarantines them.
+    Corrupt,
+}
+
+/// Classifies a checkpoint journal's text structurally: header tag, then
+/// one `{"cell": …, "wall_us": …, "stats": …}` record per line. An
+/// empty file (or a lone torn header) is [`JournalClass::TornTail`] —
+/// the crash landed before or inside the header write, and recovery
+/// simply starts the sweep fresh.
+pub fn classify_journal(text: &str) -> JournalClass {
+    classify_lines(text, |is_header, doc| {
+        if is_header {
+            doc.at("ce_sweep_ckpt").and_then(Json::as_u64) == Some(1)
+        } else {
+            doc.at("cell").and_then(Json::as_u64).is_some()
+                && doc.at("wall_us").and_then(Json::as_u64).is_some()
+                && doc.at("stats").and_then(stats_from_json).is_some()
+        }
+    })
+}
+
+/// Shared line-walk for journal classification: `check(is_header, doc)`
+/// validates one parsed line. Torn-tail tolerance matches every loader
+/// in this crate: only the **final** line may fail.
+pub(crate) fn classify_lines(
+    text: &str,
+    check: impl Fn(bool, &Json) -> bool,
+) -> JournalClass {
+    let lines: Vec<&str> = text.lines().collect();
+    if lines.is_empty() {
+        return JournalClass::TornTail;
+    }
+    let last = lines.len() - 1;
+    for (i, line) in lines.iter().enumerate() {
+        let ok = !line.trim().is_empty()
+            && Json::parse(line).is_ok_and(|doc| check(i == 0, &doc));
+        if !ok {
+            return if i == last { JournalClass::TornTail } else { JournalClass::Corrupt };
+        }
+    }
+    JournalClass::Valid
 }
 
 /// Serializes every [`SimStats`] counter to a JSON object, losslessly.
@@ -324,14 +390,22 @@ pub(crate) fn stats_from_json(doc: &Json) -> Option<SimStats> {
     Some(s)
 }
 
-/// Writes `content` to `path` atomically: tempfile in the same directory,
-/// flush, then rename over the target. Readers (and a `kill -9`) never
-/// observe a half-written file.
+/// Writes `content` to `path` atomically: tempfile in the same
+/// directory, write, **fsync**, then rename over the target. Readers
+/// (and a `kill -9`) never observe a half-written file, and the fsync
+/// before the rename means the rename can never install a file whose
+/// bytes a power cut could still lose.
+///
+/// Every step goes through [`crate::iofault`], so injected `ENOSPC`,
+/// `EIO`, torn-write, and failed-fsync faults surface here as ordinary
+/// errors — with the guarantee that a failure leaves the *old* target
+/// intact and no tempfile behind (a crash between create and rename can
+/// still orphan one; `cesimd --fsck` sweeps those).
 ///
 /// # Errors
 ///
-/// I/O errors from the write or rename; the tempfile is cleaned up on
-/// failure.
+/// I/O errors from the write, fsync, or rename; the tempfile is cleaned
+/// up on failure.
 pub fn write_atomic(path: &Path, content: &str) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
@@ -342,7 +416,13 @@ pub fn write_atomic(path: &Path, content: &str) -> std::io::Result<()> {
         "tmp.{}",
         std::process::id(),
     ));
-    let result = std::fs::write(&tmp, content).and_then(|()| std::fs::rename(&tmp, path));
+    let result = (|| {
+        let mut file = crate::iofault::create(&tmp)?;
+        crate::iofault::write_all(&mut file, content.as_bytes())?;
+        crate::iofault::sync(&file)?;
+        drop(file);
+        crate::iofault::rename(&tmp, path)
+    })();
     if result.is_err() {
         let _ = std::fs::remove_file(&tmp);
     }

@@ -34,11 +34,14 @@ use std::sync::Arc;
 use ce_workloads::{trace_cached, Benchmark, Trace};
 
 pub mod api;
+pub mod chaos;
 pub mod checkpoint;
 pub mod cli;
 pub mod delay_csv;
 pub mod explore;
 pub mod fault;
+pub mod fsck;
+pub mod iofault;
 pub mod json;
 pub mod manifest;
 pub mod metrics_check;

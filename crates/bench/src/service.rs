@@ -232,17 +232,20 @@ impl Wal {
             compact.push('\n');
         }
         write_atomic(path, &compact)?;
-        let file = std::fs::OpenOptions::new().append(true).open(path)?;
+        let file = crate::iofault::open_append(path)?;
         Ok((Wal { file }, pending, next_id))
     }
 
     fn append(&mut self, record: &str) -> std::io::Result<()> {
-        self.file.write_all(record.as_bytes())?;
-        self.file.write_all(b"\n")?;
+        // One complete line per write through the fault seam, so an
+        // injected (or real) torn write leaves the recoverable
+        // torn-final-line shape, never a torn middle.
+        let line = format!("{record}\n");
+        crate::iofault::write_all(&mut self.file, line.as_bytes())?;
         // The WAL is the durability boundary of the `submitted` state:
         // fsync, not just flush, so `accepted` is never sent for a job a
         // power cut could forget. One fsync per job, not per cell.
-        self.file.sync_data()
+        crate::iofault::sync(&self.file)
     }
 }
 
@@ -311,6 +314,17 @@ struct Shared {
 /// Socket/state-directory setup failures only; everything after startup
 /// is reported per connection or per job.
 pub fn run(config: ServiceConfig) -> Result<(), String> {
+    // Audit-and-repair before any loader touches the state dir: orphaned
+    // tempfiles are swept and corrupt files quarantined (bytes
+    // preserved under <state>/quarantine/), so every file the WAL,
+    // store, and checkpoint loaders then see is one their recovery
+    // rules actually cover.
+    let audit = crate::fsck::fsck(&config.state_dir, true)
+        .map_err(|e| format!("startup fsck: {e}"))?;
+    if !config.quiet && (!audit.clean() || audit.count(crate::fsck::FileClass::OrphanTemp) > 0)
+    {
+        eprintln!("{audit}");
+    }
     for sub in ["ckpt", "telemetry", "artifacts"] {
         std::fs::create_dir_all(config.state_dir.join(sub))
             .map_err(|e| format!("creating state dir: {e}"))?;
@@ -429,33 +443,65 @@ fn executor_loop(shared: &Shared) {
     }
 }
 
+/// Longest request line the daemon buffers. A hostile (or broken) client
+/// streaming an endless line must cost bounded memory: past this the
+/// line is discarded to its newline and answered with `error[proto]`.
+pub const MAX_REQUEST_LINE: usize = 64 * 1024;
+
+/// One read attempt's outcome (see [`read_request`]).
+enum Request {
+    /// A complete line, within the cap.
+    Line(String),
+    /// The line exceeded [`MAX_REQUEST_LINE`]; it was discarded up to
+    /// and including its newline (or EOF), and the connection is still
+    /// usable.
+    Oversized,
+    /// The client went away (EOF, error, or daemon shutdown).
+    Gone,
+}
+
 /// Reads one newline-terminated request line, tolerating the socket's
-/// read timeout (so shutdown is never blocked on a silent client).
-fn read_request(stream: &mut UnixStream) -> Option<String> {
+/// read timeout (so shutdown is never blocked on a silent client) and
+/// capping line length (so a hostile client cannot balloon memory).
+/// `spill` carries bytes read past a previous line's newline, so a
+/// client that pipelines several requests in one burst loses none of
+/// them — even when one of the burst's lines was oversized.
+fn read_request(stream: &mut UnixStream, spill: &mut VecDeque<u8>) -> Request {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
-    let mut buf = Vec::new();
-    let mut chunk = [0u8; 256];
+    let mut line: Vec<u8> = Vec::new();
+    let mut oversized = false;
+    let mut chunk = [0u8; 1024];
     loop {
-        if STOP.load(Ordering::SeqCst) && buf.is_empty() {
-            return None;
+        while let Some(b) = spill.pop_front() {
+            if b == b'\n' {
+                return if oversized {
+                    Request::Oversized
+                } else {
+                    Request::Line(String::from_utf8_lossy(&line).into_owned())
+                };
+            }
+            if oversized {
+                continue; // keep draining the hostile line
+            }
+            line.push(b);
+            if line.len() > MAX_REQUEST_LINE {
+                oversized = true;
+                line.clear();
+            }
+        }
+        if STOP.load(Ordering::SeqCst) && line.is_empty() && !oversized {
+            return Request::Gone;
         }
         match stream.read(&mut chunk) {
-            Ok(0) => return None,
-            Ok(n) => {
-                for &b in &chunk[..n] {
-                    if b == b'\n' {
-                        return Some(String::from_utf8_lossy(&buf).into_owned());
-                    }
-                    buf.push(b);
-                }
-            }
+            Ok(0) => return Request::Gone,
+            Ok(n) => spill.extend(chunk[..n].iter().copied()),
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
                 continue
             }
-            Err(_) => return None,
+            Err(_) => return Request::Gone,
         }
     }
 }
@@ -471,43 +517,58 @@ fn send_event(stream: &mut UnixStream, ev: &JobEvent) {
     send_line(stream, &ev.to_json());
 }
 
+/// Serves one client connection until it hangs up. Protocol faults —
+/// unparseable JSON, unknown ops, oversized lines — are answered with a
+/// structured `error[proto]` event and the connection (and daemon) stay
+/// alive: a hostile or buggy client must never cost more than its own
+/// request.
 fn handle_connection(mut stream: UnixStream, shared: &Shared) {
-    let Some(line) = read_request(&mut stream) else { return };
-    let Ok(doc) = Json::parse(&line) else {
-        send_event(
-            &mut stream,
-            &JobEvent::Error { kind: "malformed".into(), message: "unparseable request".into() },
-        );
-        return;
+    let proto_error = |stream: &mut UnixStream, message: String| {
+        send_event(stream, &JobEvent::Error { kind: "proto".into(), message });
     };
-    match doc.at("op").and_then(Json::as_str) {
-        Some("ping") => send_line(&mut stream, "{\"ev\": \"pong\"}"),
-        Some("status") => {
-            let (pending, running) = {
-                let state = shared.state.lock().expect("service state");
-                (state.queue.len(), state.running)
-            };
-            send_line(
-                &mut stream,
-                &format!(
-                    "{{\"ev\": \"status\", \"queued\": {pending}, \"running\": {running}, \
-                     \"store_entries\": {}}}",
-                    shared.store.len()
-                ),
-            );
+    let mut spill = VecDeque::new();
+    loop {
+        let line = match read_request(&mut stream, &mut spill) {
+            Request::Gone => return,
+            Request::Oversized => {
+                proto_error(
+                    &mut stream,
+                    format!("request line exceeds {MAX_REQUEST_LINE} bytes"),
+                );
+                continue;
+            }
+            Request::Line(line) => line,
+        };
+        if line.trim().is_empty() {
+            continue; // blank lines are harmless keep-alive noise
         }
-        Some("shutdown") => {
-            STOP.store(true, Ordering::SeqCst);
-            send_line(&mut stream, "{\"ev\": \"stopping\"}");
+        let Ok(doc) = Json::parse(&line) else {
+            proto_error(&mut stream, "unparseable request (not a JSON object)".into());
+            continue;
+        };
+        match doc.at("op").and_then(Json::as_str) {
+            Some("ping") => send_line(&mut stream, "{\"ev\": \"pong\"}"),
+            Some("status") => {
+                let (pending, running) = {
+                    let state = shared.state.lock().expect("service state");
+                    (state.queue.len(), state.running)
+                };
+                send_line(
+                    &mut stream,
+                    &format!(
+                        "{{\"ev\": \"status\", \"queued\": {pending}, \"running\": {running}, \
+                         \"store_entries\": {}}}",
+                        shared.store.len()
+                    ),
+                );
+            }
+            Some("shutdown") => {
+                STOP.store(true, Ordering::SeqCst);
+                send_line(&mut stream, "{\"ev\": \"stopping\"}");
+            }
+            Some("submit") => handle_submit(&mut stream, shared, &doc),
+            other => proto_error(&mut stream, format!("unknown op {other:?}")),
         }
-        Some("submit") => handle_submit(&mut stream, shared, &doc),
-        other => send_event(
-            &mut stream,
-            &JobEvent::Error {
-                kind: "malformed".into(),
-                message: format!("unknown op {other:?}"),
-            },
-        ),
     }
 }
 
@@ -516,7 +577,7 @@ fn handle_submit(stream: &mut UnixStream, shared: &Shared, doc: &Json) {
         send_event(stream, &JobEvent::Error { kind: kind.into(), message });
     };
     let Some(spec_doc) = doc.at("spec") else {
-        return fail(stream, "malformed", "submit without `spec`".into());
+        return fail(stream, "proto", "submit without `spec`".into());
     };
     let spec = match JobSpec::from_json(spec_doc) {
         Ok(spec) => spec,
@@ -826,6 +887,57 @@ mod tests {
         assert!(parse_wal("").unwrap().0.is_empty());
         assert!(parse_wal("{\"ce_jobs_w").unwrap().0.is_empty(), "torn header = empty");
         assert!(parse_wal("{\"other\": 1}\n{\"job\": 1}\n").is_err(), "wrong header");
+    }
+
+    /// The nastier journal shapes: a torn header with intact records
+    /// after it is an integrity failure (the id mark is gone, so the
+    /// records cannot be trusted), the header's high-water mark wins
+    /// over lower record ids, and a fault injected into the compaction
+    /// rename leaves the original journal byte-identical on disk.
+    #[test]
+    fn wal_edge_cases() {
+        // A torn header with records after it is NOT the kill -9 torn
+        // tail: discard loudly rather than replay unanchored ids.
+        let mut text = String::from("{\"ce_jobs_w\n");
+        text.push_str(&submitted_record(1, &spec(), false));
+        text.push('\n');
+        assert!(parse_wal(&text).is_err());
+
+        // The header mark outranks every record id (compaction wrote
+        // it after handing out ids 1..100; the records just lag).
+        let mut text = format!("{}\n", wal_header(100));
+        text.push_str(&submitted_record(3, &spec(), true));
+        text.push('\n');
+        let (pending, next_id) = parse_wal(&text).unwrap();
+        assert_eq!(pending.len(), 1);
+        assert_eq!(next_id, 100, "the mark never rewinds");
+
+        // Interrupted compaction: write_atomic's rename is its op 3;
+        // fail it and the pre-compaction journal must still be on disk
+        // byte for byte, with a clean reopen recovering everything.
+        let dir = std::env::temp_dir().join(format!("ce-wal-edge-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("jobs.jsonl");
+        let mut text = format!("{}\n", wal_header(1));
+        text.push_str(&submitted_record(1, &spec(), false));
+        text.push('\n');
+        std::fs::write(&path, &text).unwrap();
+        let (result, ops) = crate::iofault::with_plan(
+            crate::iofault::FailPlan::one(3, crate::iofault::FaultClass::Eio),
+            || Wal::open(&path),
+        );
+        assert!(result.is_err(), "the compaction failure must propagate");
+        assert_eq!(ops, 4, "create, write, sync, then the faulted rename");
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            text,
+            "the original journal survives an interrupted compaction untouched"
+        );
+        let (_, pending, next_id) = Wal::open(&path).unwrap();
+        assert_eq!(pending.len(), 1);
+        assert_eq!(next_id, 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// Wal::open compacts: done jobs disappear from the rewritten file,

@@ -142,6 +142,33 @@ impl ResultStore {
     }
 }
 
+/// Structural validation of one store entry's text against the key its
+/// filename claims (`<key>.json`), for `fsck`: the entry must parse
+/// completely *and* embed the same key — a mismatch means the file was
+/// renamed, truncated-and-rewritten, or otherwise tampered with, and
+/// serving it would silently answer the wrong cell.
+///
+/// # Errors
+///
+/// A one-line description of what is wrong.
+pub fn validate_entry_text(text: &str, key: &str) -> Result<(), String> {
+    let doc = Json::parse(text).map_err(|e| format!("unparseable entry: {e}"))?;
+    if doc.at("ce_result").and_then(Json::as_u64) != Some(ENTRY_VERSION) {
+        return Err("missing or wrong ce_result version tag".into());
+    }
+    match doc.at("key").and_then(Json::as_str) {
+        Some(embedded) if embedded == key => {}
+        Some(embedded) => {
+            return Err(format!("embedded key {embedded} does not match filename key {key}"))
+        }
+        None => return Err("entry has no embedded key".into()),
+    }
+    if parse_entry(text).is_none() {
+        return Err("stats block incomplete or ill-typed".into());
+    }
+    Ok(())
+}
+
 fn parse_entry(text: &str) -> Option<(String, TimedResult)> {
     let doc = Json::parse(text).ok()?;
     if doc.at("ce_result").and_then(Json::as_u64) != Some(ENTRY_VERSION) {

@@ -34,7 +34,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::fs::File;
-use std::io::{BufWriter, Write as _};
+use std::io::Write as _;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -227,7 +227,7 @@ impl std::fmt::Debug for Telemetry {
 struct Inner {
     name: String,
     epoch: Instant,
-    journal: Option<Mutex<BufWriter<File>>>,
+    journal: Option<Mutex<File>>,
     chrome_out: Option<PathBuf>,
     recorder: Option<Mutex<Vec<(u64, Event)>>>,
     progress: Option<Mutex<Progress>>,
@@ -267,15 +267,18 @@ impl Telemetry {
                         std::fs::create_dir_all(dir)?;
                     }
                 }
-                let mut w = BufWriter::new(File::create(path)?);
-                writeln!(
-                    w,
+                // Through the I/O fault seam like every durability path:
+                // an injected fault here fails telemetry *creation*
+                // loudly (the caller asked for a journal it cannot have)
+                // while per-event append faults later are swallowed.
+                let mut w = crate::iofault::create(path)?;
+                let header = format!(
                     "{{\"ce_telemetry\": {TELEMETRY_VERSION}, \"name\": \"{}\", \
-                     \"cells\": {}, \"max_insts\": {max_insts}}}",
+                     \"cells\": {}, \"max_insts\": {max_insts}}}\n",
                     config.name,
                     weights.len(),
-                )?;
-                w.flush()?;
+                );
+                crate::iofault::write_all(&mut w, header.as_bytes())?;
                 Some(Mutex::new(w))
             }
             None => None,
@@ -323,11 +326,13 @@ impl Inner {
         let t_us = u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX);
         if let Some(journal) = &self.journal {
             // Telemetry I/O failures must never fail a sweep: swallow
-            // them (the journal simply ends early, which every reader
-            // already tolerates).
+            // them (the journal simply ends early or loses one line,
+            // which every reader already tolerates). One complete line
+            // per write through the fault seam, so even an injected torn
+            // write leaves the recoverable torn-line shape.
             if let Ok(mut w) = journal.lock() {
-                let _ = writeln!(w, "{}", event_json(t_us, &ev));
-                let _ = w.flush();
+                let line = format!("{}\n", event_json(t_us, &ev));
+                let _ = crate::iofault::write_all(&mut w, line.as_bytes());
             }
         }
         if let Some(recorder) = &self.recorder {

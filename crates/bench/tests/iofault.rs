@@ -1,0 +1,149 @@
+//! Fault-injection integration tests: one end-to-end scenario per
+//! non-crash fault class, each driving a real durability flow of the
+//! experiment service through the `ce_bench::iofault` seam. (The crash
+//! class needs a process to die; its end-to-end coverage lives in
+//! `tests/chaos.rs` and the `cechaos` grid.)
+//!
+//! The shared shape: arm a thread-local [`FailPlan`], run the real
+//! code path, assert the error surfaces *and* that the on-disk state is
+//! either untouched or recoverable — then re-run disarmed and assert
+//! convergence to the same bytes a never-faulted run produces.
+
+use std::path::PathBuf;
+
+use ce_bench::chaos::synthetic_result;
+use ce_bench::checkpoint::{classify_journal, write_atomic, CheckpointSpec, Journal, JournalClass};
+use ce_bench::iofault::{with_plan, FailPlan, FaultClass};
+use ce_bench::store::{Lookup, ResultStore};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ce-iofault-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn tmpfiles(dir: &std::path::Path) -> Vec<String> {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .flatten()
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.contains(".tmp"))
+        .collect()
+}
+
+/// ENOSPC against a result-store insert: the error surfaces with the
+/// real OS code, the store stays entry-free and tempfile-free, and a
+/// disarmed retry converges to a servable entry.
+#[test]
+fn enospc_store_insert_fails_clean_and_retry_converges() {
+    let dir = temp_dir("enospc");
+    let store = ResultStore::open(&dir).unwrap();
+    let result = synthetic_result(7);
+
+    let (outcome, ops) = with_plan(FailPlan::one(0, FaultClass::Enospc), || {
+        store.insert("00000000000000aa", "chaos-v1", &result)
+    });
+    let err = outcome.expect_err("the injected ENOSPC must surface");
+    assert_eq!(err.raw_os_error(), Some(28), "ENOSPC, the real errno");
+    assert!(ops >= 1, "the plan fired");
+    assert_eq!(store.len(), 0, "no partial entry");
+    assert_eq!(tmpfiles(&dir), Vec::<String>::new(), "no orphaned tempfile");
+
+    store.insert("00000000000000aa", "chaos-v1", &result).unwrap();
+    match store.lookup("00000000000000aa", "chaos-v1") {
+        Lookup::Hit(got) => assert_eq!(got.stats.cycles, result.stats.cycles),
+        other => panic!("expected a hit after the retry, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// EIO against a checkpoint-journal append: the record call errors, but
+/// every previously recorded cell survives and a resumed journal
+/// recovers them — the restarted sweep re-simulates only the lost cell.
+#[test]
+fn eio_journal_append_keeps_prior_records_resumable() {
+    let dir = temp_dir("eio");
+    let spec = CheckpointSpec::for_output(&dir.join("sweep.csv"), true);
+    let id = 0xBEEF;
+
+    let (mut journal, recovered) = Journal::open(&spec, id, 3).unwrap();
+    assert!(recovered.iter().all(Option::is_none));
+    journal.record(0, &synthetic_result(0)).unwrap();
+
+    // Op 0 of the faulted scope is the very next append.
+    let (outcome, _) = with_plan(FailPlan::one(0, FaultClass::Eio), || {
+        journal.record(1, &synthetic_result(1))
+    });
+    assert_eq!(
+        outcome.expect_err("the injected EIO must surface").raw_os_error(),
+        Some(5)
+    );
+    drop(journal);
+
+    let (mut journal, recovered) = Journal::open(&spec, id, 3).unwrap();
+    assert!(recovered[0].is_some(), "cell 0 survived the faulted append");
+    assert!(recovered[1].is_none(), "the faulted cell is owed again");
+    journal.record(1, &synthetic_result(1)).unwrap();
+    journal.record(2, &synthetic_result(2)).unwrap();
+    drop(journal);
+
+    let (_, recovered) = Journal::open(&spec, id, 3).unwrap();
+    assert!(recovered.iter().all(Option::is_some), "full recovery after the retry");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A torn write against a journal append: half the line lands on disk.
+/// The torn *final* line is the tolerated kill -9 signature — the
+/// classifier calls it torn-tail, and a resume silently drops it while
+/// keeping every complete record.
+#[test]
+fn torn_journal_append_leaves_recoverable_torn_tail() {
+    let dir = temp_dir("torn");
+    let spec = CheckpointSpec::for_output(&dir.join("sweep.csv"), true);
+    let id = 0xF00D;
+
+    let (mut journal, _) = Journal::open(&spec, id, 2).unwrap();
+    journal.record(0, &synthetic_result(0)).unwrap();
+    let (outcome, _) = with_plan(FailPlan::one(0, FaultClass::TornWrite), || {
+        journal.record(1, &synthetic_result(1))
+    });
+    assert!(outcome.is_err(), "a torn write reports the short write as an error");
+    drop(journal);
+
+    let text = std::fs::read_to_string(&spec.path).unwrap();
+    assert!(!text.ends_with('\n'), "the torn half-line is on disk");
+    assert_eq!(classify_journal(&text), JournalClass::TornTail);
+
+    let (mut journal, recovered) = Journal::open(&spec, id, 2).unwrap();
+    assert!(recovered[0].is_some(), "the complete record survives the torn tail");
+    assert!(recovered[1].is_none(), "the torn record is dropped, not half-parsed");
+    journal.record(1, &synthetic_result(1)).unwrap();
+    drop(journal);
+    let (_, recovered) = Journal::open(&spec, id, 2).unwrap();
+    assert!(recovered.iter().all(Option::is_some));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A failed fsync against an atomic file write: the destination keeps
+/// its old bytes (rename never ran), no tempfile is left behind, and
+/// the disarmed retry publishes the new content.
+#[test]
+fn failed_fsync_write_atomic_preserves_old_content() {
+    let dir = temp_dir("fsync");
+    let path = dir.join("results.csv");
+    write_atomic(&path, "old,content\n").unwrap();
+
+    // write_atomic is create(0) → write(1) → fsync(2) → rename(3).
+    let (outcome, ops) = with_plan(FailPlan::one(2, FaultClass::FailedFsync), || {
+        write_atomic(&path, "new,content\n")
+    });
+    assert!(outcome.is_err(), "the fsync failure must surface, not be swallowed");
+    assert_eq!(ops, 3, "the rename after the failed fsync never ran");
+    assert_eq!(std::fs::read_to_string(&path).unwrap(), "old,content\n");
+    assert_eq!(tmpfiles(&dir), Vec::<String>::new(), "the tempfile was cleaned up");
+
+    write_atomic(&path, "new,content\n").unwrap();
+    assert_eq!(std::fs::read_to_string(&path).unwrap(), "new,content\n");
+    let _ = std::fs::remove_dir_all(&dir);
+}
